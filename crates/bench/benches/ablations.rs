@@ -1,0 +1,115 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`:
+//! each group reports the *accuracy* consequence of a choice through
+//! Criterion's measurement of the corresponding simulation kernel, and
+//! the kernels return the accuracy so `--verbose` output shows it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tlbsim_bench::run_functional;
+use tlbsim_core::PrefetcherConfig;
+use tlbsim_sim::SimConfig;
+use tlbsim_workloads::find_app;
+
+/// Prefetch-candidate filtering (the concurrent TLB/buffer lookup) vs
+/// issuing blindly: pollution effect on the small buffer.
+fn bench_filtering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_filtering");
+    group.sample_size(10);
+    let app = find_app("galgel").unwrap();
+    for (label, enabled) in [("filtered", true), ("blind", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &enabled, |b, enabled| {
+            b.iter(|| {
+                run_functional(
+                    app,
+                    &SimConfig::paper_default().with_prefetch_filtering(*enabled),
+                )
+                .accuracy()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// DP slot count on a fan-out-3 pattern: s must cover the fan-out.
+fn bench_slot_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dp_slots");
+    group.sample_size(10);
+    let app = find_app("gsm-enc").unwrap();
+    for slots in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(slots), &slots, |b, slots| {
+            b.iter(|| {
+                let mut cfg = PrefetcherConfig::distance();
+                cfg.slots(*slots);
+                run_functional(app, &SimConfig::paper_default().with_prefetcher(cfg)).accuracy()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// PC-qualified distance indexing (§4 future work) vs plain distance
+/// indexing.
+fn bench_pc_qualification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dp_pc_qualified");
+    group.sample_size(10);
+    for name in ["galgel", "mcf"] {
+        let app = find_app(name).unwrap();
+        for qualified in [false, true] {
+            let label = format!("{name}/{}", if qualified { "pc" } else { "plain" });
+            group.bench_with_input(BenchmarkId::from_parameter(label), &qualified, |b, q| {
+                b.iter(|| {
+                    let mut cfg = PrefetcherConfig::distance();
+                    cfg.pc_qualified(*q);
+                    run_functional(app, &SimConfig::paper_default().with_prefetcher(cfg))
+                        .accuracy()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Aggressive prediction tables self-evict from the 16-entry buffer:
+/// the paper's observed ASP degradation at r = 1024.
+fn bench_buffer_pressure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_buffer_pressure");
+    group.sample_size(10);
+    let app = find_app("apsi").unwrap();
+    for (label, buffer) in [("b8", 8usize), ("b16", 16), ("b64", 64)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &buffer, |b, buffer| {
+            b.iter(|| {
+                run_functional(app, &SimConfig::paper_default().with_prefetch_buffer(*buffer))
+                    .accuracy()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Pair-indexed distance tables (§2.5's "set of consecutive distances"
+/// variant) vs plain indexing on a high-fanout cycle app.
+fn bench_pair_indexing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dp_pair_index");
+    group.sample_size(10);
+    let app = find_app("gsm-enc").unwrap();
+    for paired in [false, true] {
+        let label = if paired { "pair" } else { "plain" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &paired, |b, paired| {
+            b.iter(|| {
+                let mut cfg = PrefetcherConfig::distance();
+                cfg.pair_indexed(*paired);
+                run_functional(app, &SimConfig::paper_default().with_prefetcher(cfg)).accuracy()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_filtering,
+    bench_slot_fanout,
+    bench_pc_qualification,
+    bench_buffer_pressure,
+    bench_pair_indexing
+);
+criterion_main!(benches);

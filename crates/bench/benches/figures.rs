@@ -1,0 +1,83 @@
+//! One bench group per figure of the paper: times the simulation kernel
+//! that regenerates each figure's data points (at reduced scale — the
+//! full-scale regeneration is `xp figure7 …`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tlbsim_bench::run_functional;
+use tlbsim_core::{Associativity, PrefetcherConfig};
+use tlbsim_mmu::TlbConfig;
+use tlbsim_sim::SimConfig;
+use tlbsim_workloads::find_app;
+
+/// Figure 7 kernel: one SPEC application under each of the four schemes.
+fn bench_figure7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure7_kernel");
+    group.sample_size(10);
+    let app = find_app("galgel").unwrap();
+    for scheme in [
+        PrefetcherConfig::recency(),
+        PrefetcherConfig::markov(),
+        PrefetcherConfig::distance(),
+        PrefetcherConfig::stride(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, scheme| {
+                b.iter(|| {
+                    run_functional(
+                        app,
+                        &SimConfig::paper_default().with_prefetcher(scheme.clone()),
+                    )
+                    .accuracy()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 8 kernel: one application per non-SPEC suite under DP.
+fn bench_figure8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure8_kernel");
+    group.sample_size(10);
+    for name in ["adpcm-enc", "msvc", "ft"] {
+        let app = find_app(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &app, |b, app| {
+            b.iter(|| run_functional(app, &SimConfig::paper_default()).accuracy());
+        });
+    }
+    group.finish();
+}
+
+/// Figure 9 kernel: DP sensitivity points (table size, slots, buffer,
+/// TLB size) on one high-miss application.
+fn bench_figure9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure9_kernel");
+    group.sample_size(10);
+    let app = find_app("adpcm-enc").unwrap();
+
+    let mut small_table = PrefetcherConfig::distance();
+    small_table.rows(32).assoc(Associativity::Full);
+    let mut many_slots = PrefetcherConfig::distance();
+    many_slots.slots(6);
+
+    let variants: Vec<(&str, SimConfig)> = vec![
+        ("r32-full", SimConfig::paper_default().with_prefetcher(small_table)),
+        ("s6", SimConfig::paper_default().with_prefetcher(many_slots)),
+        ("b64", SimConfig::paper_default().with_prefetch_buffer(64)),
+        (
+            "tlb64",
+            SimConfig::paper_default().with_tlb(TlbConfig::fully_associative(64)),
+        ),
+    ];
+    for (label, config) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            b.iter(|| run_functional(app, config).accuracy());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure7, bench_figure8, bench_figure9);
+criterion_main!(benches);

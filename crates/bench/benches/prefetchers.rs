@@ -1,0 +1,54 @@
+//! Microbenchmarks of the five prefetching mechanisms' `on_miss` paths —
+//! the logic that would sit next to the TLB, where the paper worries
+//! about "slowing down the critical path of TLB accesses".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tlbsim_bench::mixed_miss_stream;
+use tlbsim_core::{PrefetcherConfig, PrefetcherKind};
+
+fn bench_on_miss(c: &mut Criterion) {
+    let stream = mixed_miss_stream(10_000);
+    let mut group = c.benchmark_group("on_miss");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for kind in PrefetcherKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.abbrev()),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    let mut p = PrefetcherConfig::new(*kind).build().unwrap();
+                    let mut issued = 0usize;
+                    for ctx in &stream {
+                        issued += p.on_miss(ctx).pages.len();
+                    }
+                    issued
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_table_sizes(c: &mut Criterion) {
+    let stream = mixed_miss_stream(10_000);
+    let mut group = c.benchmark_group("dp_table_size");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for rows in [32usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, rows| {
+            b.iter(|| {
+                let mut cfg = PrefetcherConfig::distance();
+                cfg.rows(*rows);
+                let mut p = cfg.build().unwrap();
+                let mut issued = 0usize;
+                for ctx in &stream {
+                    issued += p.on_miss(ctx).pages.len();
+                }
+                issued
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_on_miss, bench_table_sizes);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! One bench group per table of the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tlbsim_bench::run_functional;
+use tlbsim_core::PrefetcherConfig;
+use tlbsim_experiments::table1;
+use tlbsim_mem::TimingParams;
+use tlbsim_sim::{run_app_timed, SimConfig};
+use tlbsim_workloads::{find_app, Scale};
+
+/// Table 1 is generated from the implementations; the bench times the
+/// profile extraction and rendering.
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/render", |b| {
+        b.iter(|| table1::run().render().len());
+    });
+}
+
+/// Table 2 kernel: the four-scheme accuracy comparison on one app.
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_kernel");
+    group.sample_size(10);
+    let app = find_app("parser").unwrap();
+    for scheme in [
+        PrefetcherConfig::distance(),
+        PrefetcherConfig::recency(),
+        PrefetcherConfig::stride(),
+        PrefetcherConfig::markov(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, scheme| {
+                b.iter(|| {
+                    run_functional(
+                        app,
+                        &SimConfig::paper_default().with_prefetcher(scheme.clone()),
+                    )
+                    .accuracy()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Table 3 kernel: the three timed runs (baseline, RP, DP) per
+/// application.
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_kernel");
+    group.sample_size(10);
+    let params = TimingParams::paper_default();
+    for name in ["ammp", "mcf"] {
+        let app = find_app(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &app, |b, app| {
+            b.iter(|| {
+                let base =
+                    run_app_timed(app, Scale::TINY, &SimConfig::baseline(), params).unwrap();
+                let rp = run_app_timed(
+                    app,
+                    Scale::TINY,
+                    &SimConfig::paper_default().with_prefetcher(PrefetcherConfig::recency()),
+                    params,
+                )
+                .unwrap();
+                let dp =
+                    run_app_timed(app, Scale::TINY, &SimConfig::paper_default(), params).unwrap();
+                (
+                    rp.normalized_against(&base),
+                    dp.normalized_against(&base),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_table2, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! # tlbsim-bench — shared benchmark fixtures
+//!
+//! Deterministic miss streams and run helpers used by the Criterion
+//! benches in `benches/`. The bench groups mirror the paper's artifacts:
+//! `figures.rs` and `tables.rs` time the kernels that regenerate each
+//! figure/table, `prefetchers.rs` and `substrates.rs` microbenchmark the
+//! mechanisms and hardware models, and `ablations.rs` quantifies the
+//! design choices called out in `DESIGN.md`.
+
+use tlbsim_core::{MemoryAccess, MissContext, Pc, VirtPage};
+use tlbsim_sim::{Engine, SimConfig, SimStats};
+use tlbsim_workloads::{AppSpec, Scale};
+
+/// A deterministic synthetic miss stream mixing strided runs with
+/// repeating jumps — exercises every mechanism's table paths without
+/// degenerating into a single hot row.
+pub fn mixed_miss_stream(len: usize) -> Vec<MissContext> {
+    let mut out = Vec::with_capacity(len);
+    let mut page = 0x10_0000u64;
+    for i in 0..len {
+        let step = match i % 7 {
+            0..=3 => 1,
+            4 => 13,
+            5 => 1,
+            _ => 97,
+        };
+        page += step;
+        out.push(MissContext {
+            page: VirtPage::new(page),
+            pc: Pc::new(0x400 + (i as u64 % 4) * 4),
+            prefetch_buffer_hit: i % 3 == 0,
+            evicted_tlb_entry: if i % 2 == 0 {
+                Some(VirtPage::new(page - 200))
+            } else {
+                None
+            },
+        });
+    }
+    out
+}
+
+/// A deterministic access stream for whole-engine benchmarks.
+pub fn looping_access_stream(pages: u64, refs: u64, laps: u64) -> Vec<MemoryAccess> {
+    let mut out = Vec::with_capacity((pages * refs * laps) as usize);
+    for _ in 0..laps {
+        for p in 0..pages {
+            for r in 0..refs {
+                out.push(MemoryAccess::read(0x400, (0x10_0000 + p) * 4096 + r * 64));
+            }
+        }
+    }
+    out
+}
+
+/// Runs an application through the functional engine at bench scale.
+pub fn run_functional(app: &AppSpec, config: &SimConfig) -> SimStats {
+    let mut engine = Engine::new(config).expect("valid bench configuration");
+    engine.run(app.workload(Scale::TINY));
+    *engine.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(mixed_miss_stream(100), mixed_miss_stream(100));
+        assert_eq!(
+            looping_access_stream(10, 2, 2),
+            looping_access_stream(10, 2, 2)
+        );
+        assert_eq!(looping_access_stream(10, 2, 2).len(), 40);
+    }
+}

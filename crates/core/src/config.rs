@@ -1,0 +1,358 @@
+//! Construction of prefetching mechanisms from a uniform description.
+//!
+//! The paper sweeps the same three parameters across mechanisms: the table
+//! size `r`, the slot count `s` and the table associativity (§3.1).
+//! [`PrefetcherConfig`] is the builder that carries those knobs, and
+//! [`PrefetcherConfig::build`] is the factory producing a boxed
+//! [`TlbPrefetcher`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::assoc::{Associativity, InvalidGeometry};
+use crate::distance::DistancePrefetcher;
+use crate::markov::MarkovPrefetcher;
+use crate::prefetcher::{NullPrefetcher, TlbPrefetcher};
+use crate::recency::RecencyPrefetcher;
+use crate::sequential::SequentialPrefetcher;
+use crate::stride::StridePrefetcher;
+
+/// Which prefetching mechanism to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrefetcherKind {
+    /// No prefetching (the normalisation baseline).
+    None,
+    /// Tagged sequential prefetching (SP).
+    Sequential,
+    /// Arbitrary stride prefetching (ASP, Chen & Baer).
+    Stride,
+    /// Markov prefetching (MP, Joseph & Grunwald).
+    Markov,
+    /// Recency-based prefetching (RP, Saulsbury et al.).
+    Recency,
+    /// Distance prefetching (DP, this paper's contribution).
+    Distance,
+}
+
+impl PrefetcherKind {
+    /// All mechanisms that actually prefetch, in the paper's presentation
+    /// order (Figure 7 bar groups): RP, MP, DP, ASP — plus SP first since
+    /// §2 introduces it first.
+    pub const ALL: [PrefetcherKind; 5] = [
+        PrefetcherKind::Sequential,
+        PrefetcherKind::Stride,
+        PrefetcherKind::Markov,
+        PrefetcherKind::Recency,
+        PrefetcherKind::Distance,
+    ];
+
+    /// The paper's abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            PrefetcherKind::None => "none",
+            PrefetcherKind::Sequential => "SP",
+            PrefetcherKind::Stride => "ASP",
+            PrefetcherKind::Markov => "MP",
+            PrefetcherKind::Recency => "RP",
+            PrefetcherKind::Distance => "DP",
+        }
+    }
+}
+
+impl fmt::Display for PrefetcherKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Errors constructing a prefetcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Row count and associativity do not form a valid table.
+    Geometry(InvalidGeometry),
+    /// The slot count `s` is zero.
+    ZeroSlots,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Geometry(g) => write!(f, "invalid table geometry: {g}"),
+            ConfigError::ZeroSlots => f.write_str("slot count must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Geometry(g) => Some(g),
+            ConfigError::ZeroSlots => None,
+        }
+    }
+}
+
+impl From<InvalidGeometry> for ConfigError {
+    fn from(err: InvalidGeometry) -> Self {
+        ConfigError::Geometry(err)
+    }
+}
+
+/// A uniform description of any prefetching mechanism.
+///
+/// Defaults mirror the paper's representative configuration: `r = 256`
+/// rows, `s = 2` slots, direct-mapped tables.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_core::{Associativity, PrefetcherConfig};
+///
+/// let mut cfg = PrefetcherConfig::distance();
+/// cfg.rows(32).assoc(Associativity::Full);
+/// let dp = cfg.build()?;
+/// assert_eq!(dp.name(), "DP");
+/// # Ok::<(), tlbsim_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetcherConfig {
+    kind: PrefetcherKind,
+    rows: usize,
+    slots: usize,
+    assoc: Associativity,
+    pc_qualified: bool,
+    pair_indexed: bool,
+}
+
+impl PrefetcherConfig {
+    /// The paper's representative table size (`r = 256`).
+    pub const DEFAULT_ROWS: usize = 256;
+    /// The paper's representative slot count (`s = 2`).
+    pub const DEFAULT_SLOTS: usize = 2;
+
+    /// Starts a configuration for `kind` with the paper's defaults.
+    pub fn new(kind: PrefetcherKind) -> Self {
+        PrefetcherConfig {
+            kind,
+            rows: Self::DEFAULT_ROWS,
+            slots: Self::DEFAULT_SLOTS,
+            assoc: Associativity::Direct,
+            pc_qualified: false,
+            pair_indexed: false,
+        }
+    }
+
+    /// The no-prefetching baseline.
+    pub fn none() -> Self {
+        Self::new(PrefetcherKind::None)
+    }
+
+    /// Tagged sequential prefetching.
+    pub fn sequential() -> Self {
+        Self::new(PrefetcherKind::Sequential)
+    }
+
+    /// Arbitrary stride prefetching (Chen & Baer RPT).
+    pub fn stride() -> Self {
+        Self::new(PrefetcherKind::Stride)
+    }
+
+    /// Markov prefetching.
+    pub fn markov() -> Self {
+        Self::new(PrefetcherKind::Markov)
+    }
+
+    /// Recency-based prefetching.
+    pub fn recency() -> Self {
+        Self::new(PrefetcherKind::Recency)
+    }
+
+    /// Distance prefetching (the paper's contribution).
+    pub fn distance() -> Self {
+        Self::new(PrefetcherKind::Distance)
+    }
+
+    /// Sets the prediction-table row count `r` (ignored by SP and RP).
+    pub fn rows(&mut self, rows: usize) -> &mut Self {
+        self.rows = rows;
+        self
+    }
+
+    /// Sets the per-row slot count `s` (used by MP and DP).
+    pub fn slots(&mut self, slots: usize) -> &mut Self {
+        self.slots = slots;
+        self
+    }
+
+    /// Sets the prediction-table associativity (ignored by SP and RP).
+    pub fn assoc(&mut self, assoc: Associativity) -> &mut Self {
+        self.assoc = assoc;
+        self
+    }
+
+    /// Enables the PC-qualified distance index (a §4 "ongoing work"
+    /// extension; only meaningful for [`PrefetcherKind::Distance`]).
+    pub fn pc_qualified(&mut self, enabled: bool) -> &mut Self {
+        self.pc_qualified = enabled;
+        self
+    }
+
+    /// Returns the configured mechanism kind.
+    pub fn kind(&self) -> PrefetcherKind {
+        self.kind
+    }
+
+    /// Returns the configured row count `r`.
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns the configured slot count `s`.
+    pub fn slot_count(&self) -> usize {
+        self.slots
+    }
+
+    /// Returns the configured table associativity.
+    pub fn associativity(&self) -> Associativity {
+        self.assoc
+    }
+
+    /// Returns whether the PC-qualified distance index is enabled.
+    pub fn is_pc_qualified(&self) -> bool {
+        self.pc_qualified
+    }
+
+    /// Enables indexing by the pair of the last two distances (the §2.5
+    /// "set of consecutive distances" extension; only meaningful for
+    /// [`PrefetcherKind::Distance`]).
+    pub fn pair_indexed(&mut self, enabled: bool) -> &mut Self {
+        self.pair_indexed = enabled;
+        self
+    }
+
+    /// Returns whether pair indexing is enabled.
+    pub fn is_pair_indexed(&self) -> bool {
+        self.pair_indexed
+    }
+
+    /// Instantiates the mechanism.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the table geometry is invalid or the
+    /// slot count is zero.
+    pub fn build(&self) -> Result<Box<dyn TlbPrefetcher>, ConfigError> {
+        Ok(match self.kind {
+            PrefetcherKind::None => Box::new(NullPrefetcher::new()),
+            PrefetcherKind::Sequential => Box::new(SequentialPrefetcher::new()),
+            PrefetcherKind::Stride => Box::new(StridePrefetcher::from_config(self)?),
+            PrefetcherKind::Markov => Box::new(MarkovPrefetcher::from_config(self)?),
+            PrefetcherKind::Recency => Box::new(RecencyPrefetcher::new()),
+            PrefetcherKind::Distance => Box::new(DistancePrefetcher::from_config(self)?),
+        })
+    }
+
+    /// A compact label for figure legends, e.g. `DP,256,D`.
+    pub fn label(&self) -> String {
+        match self.kind {
+            PrefetcherKind::None => "none".to_owned(),
+            PrefetcherKind::Sequential => "SP".to_owned(),
+            PrefetcherKind::Recency => "RP".to_owned(),
+            PrefetcherKind::Stride => format!("ASP,{}", self.rows),
+            _ => format!("{},{},{}", self.kind, self.rows, self.assoc.label()),
+        }
+    }
+
+    /// Validates geometry and slots without building.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PrefetcherConfig::build`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.slots == 0 {
+            return Err(ConfigError::ZeroSlots);
+        }
+        match self.kind {
+            PrefetcherKind::Stride | PrefetcherKind::Markov | PrefetcherKind::Distance => {
+                self.assoc.sets(self.rows)?;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+impl Default for PrefetcherConfig {
+    fn default() -> Self {
+        PrefetcherConfig::distance()
+    }
+}
+
+impl fmt::Display for PrefetcherConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = PrefetcherConfig::distance();
+        assert_eq!(cfg.row_count(), 256);
+        assert_eq!(cfg.slot_count(), 2);
+        assert_eq!(cfg.associativity(), Associativity::Direct);
+    }
+
+    #[test]
+    fn build_all_kinds() {
+        for kind in PrefetcherKind::ALL {
+            let p = PrefetcherConfig::new(kind).build().unwrap();
+            assert_eq!(p.name(), kind.abbrev());
+        }
+        let none = PrefetcherConfig::none().build().unwrap();
+        assert_eq!(none.name(), "none");
+    }
+
+    #[test]
+    fn invalid_geometry_is_reported() {
+        let mut cfg = PrefetcherConfig::markov();
+        cfg.rows(10).assoc(Associativity::ways_of(4));
+        assert!(matches!(cfg.build(), Err(ConfigError::Geometry(_))));
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_slots_is_rejected() {
+        let mut cfg = PrefetcherConfig::distance();
+        cfg.slots(0);
+        assert_eq!(cfg.build().err(), Some(ConfigError::ZeroSlots));
+    }
+
+    #[test]
+    fn geometry_is_irrelevant_for_untabled_schemes() {
+        let mut cfg = PrefetcherConfig::recency();
+        cfg.rows(10).assoc(Associativity::ways_of(4));
+        assert!(cfg.build().is_ok());
+    }
+
+    #[test]
+    fn labels_match_figure_legends() {
+        let mut dp = PrefetcherConfig::distance();
+        dp.rows(512).assoc(Associativity::Full);
+        assert_eq!(dp.label(), "DP,512,F");
+        assert_eq!(PrefetcherConfig::recency().label(), "RP");
+        let mut asp = PrefetcherConfig::stride();
+        asp.rows(64);
+        assert_eq!(asp.label(), "ASP,64");
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        let err = ConfigError::ZeroSlots;
+        assert!(err.to_string().contains("slot"));
+    }
+}

@@ -1,0 +1,76 @@
+//! # tlbsim-core — TLB prefetching mechanisms
+//!
+//! This crate implements the contribution of *Going the Distance for TLB
+//! Prefetching: An Application-Driven Study* (Kandiraju & Sivasubramaniam,
+//! ISCA 2002): **distance prefetching** ([`DistancePrefetcher`]), together
+//! with the four mechanisms the paper compares against, all adapted to
+//! operate on the TLB miss stream:
+//!
+//! * [`SequentialPrefetcher`] — tagged sequential prefetching (SP),
+//! * [`StridePrefetcher`] — Chen & Baer arbitrary stride prefetching (ASP),
+//! * [`MarkovPrefetcher`] — Joseph & Grunwald Markov prefetching (MP),
+//! * [`RecencyPrefetcher`] — Saulsbury et al. recency prefetching (RP),
+//! * [`NullPrefetcher`] — the no-prefetching baseline.
+//!
+//! All mechanisms implement [`TlbPrefetcher`]: they receive one
+//! [`MissContext`] per TLB miss and return a [`PrefetchDecision`] naming
+//! the pages to pull into the prefetch buffer plus any state-maintenance
+//! memory traffic. The shared prediction-table hardware (`r` rows, `s`
+//! slots, D/2/4/F indexing — the knobs the paper sweeps) lives in
+//! [`PredictionTable`] and [`SlotList`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tlbsim_core::{MissContext, Pc, PrefetcherConfig, VirtPage};
+//!
+//! // The paper's representative configuration: r = 256, s = 2, direct.
+//! let mut dp = PrefetcherConfig::distance().build()?;
+//!
+//! // Feed it a miss stream with alternating distances +1, +2 (the
+//! // paper's example string 1, 2, 4, 5, 7, 8 …).
+//! for page in [1u64, 2, 4, 5, 7, 8] {
+//!     dp.on_miss(&MissContext::demand(VirtPage::new(page), Pc::new(0)));
+//! }
+//! // The pattern is now captured in two table rows; distance +2 at page
+//! // 10 predicts +1 => page 11.
+//! let d = dp.on_miss(&MissContext::demand(VirtPage::new(10), Pc::new(0)));
+//! assert_eq!(d.pages, vec![VirtPage::new(11)]);
+//! # Ok::<(), tlbsim_core::ConfigError>(())
+//! ```
+//!
+//! The TLB, prefetch buffer and page table live in `tlbsim-mmu`; the
+//! simulation engines that drive these mechanisms live in `tlbsim-sim`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assoc;
+mod config;
+mod distance;
+mod markov;
+mod prefetcher;
+mod recency;
+mod sequential;
+mod slots;
+mod stride;
+mod table;
+mod types;
+
+pub use assoc::{Associativity, InvalidGeometry};
+pub use config::{ConfigError, PrefetcherConfig, PrefetcherKind};
+pub use distance::DistancePrefetcher;
+pub use markov::MarkovPrefetcher;
+pub use prefetcher::{
+    HardwareProfile, IndexSource, MissContext, NullPrefetcher, PrefetchDecision, RowBudget,
+    StateLocation, TlbPrefetcher,
+};
+pub use recency::RecencyPrefetcher;
+pub use sequential::SequentialPrefetcher;
+pub use slots::SlotList;
+pub use stride::{RptEntry, RptState, StridePrefetcher};
+pub use table::{PredictionTable, TableKey};
+pub use types::{
+    AccessKind, Distance, InvalidPageSize, MemoryAccess, PageSize, Pc, PhysPage, VirtAddr,
+    VirtPage,
+};

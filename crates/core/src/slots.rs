@@ -1,0 +1,196 @@
+//! The per-row prediction slots shared by the Markov and distance
+//! prefetchers.
+//!
+//! Each row of an MP or DP prediction table holds `s` slots "maintained in
+//! LRU order" (paper §2.3/§2.5): the next few pages (MP) or distances (DP)
+//! that followed the row's key in the past. [`SlotList`] implements exactly
+//! that bounded most-recently-used list.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A bounded list of predictions kept in most-recently-used order.
+///
+/// Inserting an element that is already present promotes it to the MRU
+/// position; inserting a new element into a full list evicts the LRU one.
+/// Iteration yields MRU first, which is the order predictions are issued
+/// in when the prefetch buffer cannot hold them all.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_core::SlotList;
+///
+/// let mut slots = SlotList::new(2);
+/// slots.insert(10);
+/// slots.insert(20);
+/// slots.insert(10); // promotes 10, keeps 20
+/// slots.insert(30); // evicts 20 (the LRU entry)
+/// assert_eq!(slots.iter().copied().collect::<Vec<_>>(), vec![30, 10]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotList<T> {
+    /// MRU-first order; `items.len() <= capacity`.
+    items: Vec<T>,
+    capacity: usize,
+}
+
+impl<T: PartialEq> SlotList<T> {
+    /// Creates an empty list holding at most `capacity` predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero; a row with no slots cannot predict
+    /// anything and indicates a configuration bug.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "slot list capacity must be at least 1");
+        SlotList {
+            items: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Inserts `item` at the MRU position, promoting it if already
+    /// present and evicting the LRU element if the list is full.
+    ///
+    /// Returns the evicted element, if any.
+    pub fn insert(&mut self, item: T) -> Option<T> {
+        if let Some(pos) = self.items.iter().position(|x| *x == item) {
+            let existing = self.items.remove(pos);
+            self.items.insert(0, existing);
+            // The caller's `item` is dropped; the stored copy is promoted.
+            return None;
+        }
+        let evicted = if self.items.len() == self.capacity {
+            self.items.pop()
+        } else {
+            None
+        };
+        self.items.insert(0, item);
+        evicted
+    }
+
+    /// Returns `true` if `item` is present.
+    pub fn contains(&self, item: &T) -> bool {
+        self.items.contains(item)
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Configured number of slots (`s` in the paper).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates over predictions, most recently used first.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+
+    /// Removes every prediction, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+impl<'a, T: PartialEq> IntoIterator for &'a SlotList<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<T: PartialEq + fmt::Display> fmt::Display for SlotList<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_panics() {
+        let _ = SlotList::<u32>::new(0);
+    }
+
+    #[test]
+    fn insert_until_full_then_evicts_lru() {
+        let mut s = SlotList::new(3);
+        assert_eq!(s.insert(1), None);
+        assert_eq!(s.insert(2), None);
+        assert_eq!(s.insert(3), None);
+        // 1 is now LRU.
+        assert_eq!(s.insert(4), Some(1));
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![4, 3, 2]);
+    }
+
+    #[test]
+    fn reinsert_promotes_without_eviction() {
+        let mut s = SlotList::new(2);
+        s.insert(1);
+        s.insert(2);
+        assert_eq!(s.insert(1), None);
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn contains_and_clear() {
+        let mut s = SlotList::new(2);
+        s.insert(7);
+        assert!(s.contains(&7));
+        assert!(!s.contains(&8));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 2);
+    }
+
+    #[test]
+    fn iteration_is_mru_first() {
+        let mut s = SlotList::new(4);
+        for x in [1, 2, 3] {
+            s.insert(x);
+        }
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn display_lists_mru_first() {
+        let mut s = SlotList::new(2);
+        s.insert(1);
+        s.insert(2);
+        assert_eq!(s.to_string(), "[2, 1]");
+        let empty = SlotList::<u32>::new(1);
+        assert_eq!(empty.to_string(), "[]");
+    }
+
+    #[test]
+    fn len_never_exceeds_capacity() {
+        let mut s = SlotList::new(2);
+        for x in 0..100 {
+            s.insert(x);
+            assert!(s.len() <= 2);
+        }
+    }
+}

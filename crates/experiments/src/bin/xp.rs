@@ -1,0 +1,137 @@
+//! `xp` — regenerate the paper's tables and figures from the command
+//! line.
+//!
+//! ```text
+//! xp <table1|table2|table3|figure7|figure8|figure9|extras|all>
+//!    [--scale tiny|small|standard|<factor>]
+//!    [--csv <dir>]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tlbsim_experiments::{extras, figure7, figure8, figure9, table1, table2, table3};
+use tlbsim_workloads::Scale;
+
+struct Args {
+    experiment: String,
+    scale: Scale,
+    csv_dir: Option<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: xp <table1|table2|table3|figure7|figure8|figure9|extras|all> \
+     [--scale tiny|small|standard|<factor>] [--csv <dir>]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiment = None;
+    let mut scale = Scale::STANDARD;
+    let mut csv_dir = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = argv.next().ok_or("--scale needs a value")?;
+                scale = match value.as_str() {
+                    "tiny" => Scale::TINY,
+                    "small" => Scale::SMALL,
+                    "standard" => Scale::STANDARD,
+                    n => Scale::new(
+                        n.parse::<u32>()
+                            .map_err(|_| format!("bad scale {n:?}"))?
+                            .max(1),
+                    ),
+                };
+            }
+            "--csv" => {
+                csv_dir = Some(PathBuf::from(argv.next().ok_or("--csv needs a directory")?));
+            }
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other if experiment.is_none() && !other.starts_with('-') => {
+                experiment = Some(other.to_owned());
+            }
+            other => return Err(format!("unexpected argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        experiment: experiment.unwrap_or_else(|| "all".to_owned()),
+        scale,
+        csv_dir,
+    })
+}
+
+fn emit(name: &str, rendered: String, csv: String, csv_dir: &Option<PathBuf>) -> Result<(), String> {
+    println!("{rendered}");
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir:?}: {e}"))?;
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, csv).map_err(|e| format!("writing {path:?}: {e}"))?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn run_one(name: &str, scale: Scale, csv_dir: &Option<PathBuf>) -> Result<(), String> {
+    let fail = |e: tlbsim_sim::SimError| format!("{name}: {e}");
+    match name {
+        "table1" => {
+            let t = table1::run();
+            emit(name, t.render(), t.to_csv(), csv_dir)
+        }
+        "table2" => {
+            let t = table2::run(scale).map_err(fail)?;
+            emit(name, t.render(), t.to_csv(), csv_dir)
+        }
+        "table3" => {
+            let t = table3::run(scale).map_err(fail)?;
+            emit(name, t.render(), t.to_csv(), csv_dir)
+        }
+        "figure7" => {
+            let f = figure7::run(scale).map_err(fail)?;
+            emit(name, f.render(), f.to_csv(), csv_dir)
+        }
+        "figure8" => {
+            let f = figure8::run(scale).map_err(fail)?;
+            emit(name, f.render(), f.to_csv(), csv_dir)
+        }
+        "figure9" => {
+            let f = figure9::run(scale).map_err(fail)?;
+            emit(name, f.render(), f.to_csv(), csv_dir)
+        }
+        "extras" => {
+            let e = extras::run(scale).map_err(fail)?;
+            emit(name, e.render(), e.to_csv(), csv_dir)
+        }
+        other => Err(format!("unknown experiment {other:?}\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let experiments: Vec<&str> = if args.experiment == "all" {
+        vec!["table1", "figure7", "figure8", "table2", "table3", "figure9", "extras"]
+    } else {
+        vec![args.experiment.as_str()]
+    };
+    eprintln!(
+        "running {} at scale {} …",
+        experiments.join(", "),
+        args.scale
+    );
+    for name in experiments {
+        let started = std::time::Instant::now();
+        if let Err(message) = run_one(name, args.scale, &args.csv_dir) {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("{name} done in {:.1?}", started.elapsed());
+    }
+    ExitCode::SUCCESS
+}

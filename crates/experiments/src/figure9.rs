@@ -1,0 +1,227 @@
+//! Figure 9: sensitivity of DP to hardware parameters on the eight
+//! highest-miss-rate applications (vpr, mcf, twolf, galgel, ammp, lucas,
+//! apsi, adpcm-enc).
+//!
+//! Four panels: (a) table size r and associativity; (b) slots s ∈ {2, 4,
+//! 6}; (c) prefetch buffer b ∈ {16, 32, 64}; (d) TLB size ∈ {64, 128,
+//! 256}. The paper's conclusion — reproduced as a test in
+//! `tests/paper_claims.rs` — is that DP "is fairly insensitive to many
+//! of these parameters, and even a small direct-mapped 32-256 entry
+//! table suffices".
+
+use tlbsim_core::{Associativity, PrefetcherConfig};
+use tlbsim_mmu::TlbConfig;
+use tlbsim_sim::{sweep, SimConfig, SimError, SweepJob};
+use tlbsim_workloads::{high_miss_apps, Scale};
+
+use crate::report::{fmt3, TextTable};
+
+/// One panel of Figure 9: a labelled set of DP variants per application.
+#[derive(Debug, Clone)]
+pub struct Figure9Panel {
+    /// Panel title (matches the paper's subplots).
+    pub title: String,
+    /// Variant labels, in legend order.
+    pub labels: Vec<String>,
+    /// `(app, accuracies-by-variant)` rows.
+    pub rows: Vec<(&'static str, Vec<f64>)>,
+}
+
+impl Figure9Panel {
+    /// Assembles a panel from its parts (used by the extra-sensitivity
+    /// experiments that share this rendering).
+    pub fn from_parts(
+        title: String,
+        labels: Vec<String>,
+        rows: Vec<(&'static str, Vec<f64>)>,
+    ) -> Self {
+        Figure9Panel { title, labels, rows }
+    }
+
+    /// Variant labels in legend order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// `(app, accuracies)` rows.
+    pub fn rows(&self) -> &[(&'static str, Vec<f64>)] {
+        &self.rows
+    }
+}
+
+/// The regenerated Figure 9.
+#[derive(Debug, Clone)]
+pub struct Figure9 {
+    /// Panel (a): table size × associativity.
+    pub geometry: Figure9Panel,
+    /// Panel (b): slot count.
+    pub slots: Figure9Panel,
+    /// Panel (c): prefetch buffer size.
+    pub buffer: Figure9Panel,
+    /// Panel (d): TLB entries.
+    pub tlb: Figure9Panel,
+}
+
+fn panel(
+    title: &str,
+    variants: Vec<(String, SimConfig)>,
+    scale: Scale,
+) -> Result<Figure9Panel, SimError> {
+    let apps = high_miss_apps();
+    let mut jobs = Vec::new();
+    for (app, _) in &apps {
+        for (label, config) in &variants {
+            jobs.push(SweepJob {
+                tag: label.clone(),
+                app,
+                scale,
+                config: config.clone(),
+            });
+        }
+    }
+    let results = sweep(jobs)?;
+    let labels: Vec<String> = variants.iter().map(|(l, _)| l.clone()).collect();
+    let mut rows = Vec::new();
+    let mut iter = results.into_iter();
+    for (app, _) in &apps {
+        let mut accs = Vec::with_capacity(labels.len());
+        for _ in 0..labels.len() {
+            accs.push(iter.next().expect("one result per job").stats.accuracy());
+        }
+        rows.push((app.name, accs));
+    }
+    Ok(Figure9Panel {
+        title: title.to_owned(),
+        labels,
+        rows,
+    })
+}
+
+fn dp(rows: usize, assoc: Associativity, slots: usize) -> PrefetcherConfig {
+    let mut cfg = PrefetcherConfig::distance();
+    cfg.rows(rows).assoc(assoc).slots(slots);
+    cfg
+}
+
+/// Runs all four sensitivity panels.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if a configuration is invalid.
+pub fn run(scale: Scale) -> Result<Figure9, SimError> {
+    let base = SimConfig::paper_default;
+
+    // Panel (a): the paper's 14 geometry variants.
+    let mut geometry = Vec::new();
+    for (rows, assoc) in [
+        (1024, Associativity::Direct),
+        (1024, Associativity::ways_of(4)),
+        (1024, Associativity::ways_of(2)),
+        (512, Associativity::Direct),
+        (512, Associativity::ways_of(4)),
+        (256, Associativity::Direct),
+        (256, Associativity::ways_of(4)),
+        (256, Associativity::Full),
+        (128, Associativity::Direct),
+        (128, Associativity::Full),
+        (64, Associativity::Direct),
+        (64, Associativity::Full),
+        (32, Associativity::Direct),
+        (32, Associativity::Full),
+    ] {
+        let cfg = dp(rows, assoc, 2);
+        geometry.push((cfg.label(), base().with_prefetcher(cfg)));
+    }
+
+    let slots = [2usize, 4, 6]
+        .into_iter()
+        .map(|s| {
+            (
+                format!("s = {s}"),
+                base().with_prefetcher(dp(256, Associativity::Direct, s)),
+            )
+        })
+        .collect();
+
+    let buffer = [16usize, 32, 64]
+        .into_iter()
+        .map(|b| (format!("b = {b}"), base().with_prefetch_buffer(b)))
+        .collect();
+
+    let tlb = [64usize, 128, 256]
+        .into_iter()
+        .map(|entries| {
+            (
+                format!("{entries}-entry TLB"),
+                base().with_tlb(TlbConfig::fully_associative(entries)),
+            )
+        })
+        .collect();
+
+    Ok(Figure9 {
+        geometry: panel("Figure 9a: DP table size and associativity", geometry, scale)?,
+        slots: panel("Figure 9b: DP prediction slots", slots, scale)?,
+        buffer: panel("Figure 9c: prefetch buffer size", buffer, scale)?,
+        tlb: panel("Figure 9d: TLB size", tlb, scale)?,
+    })
+}
+
+impl Figure9Panel {
+    /// Renders the panel as a table.
+    pub fn render(&self) -> String {
+        self.to_table().render()
+    }
+
+    /// The panel as a [`TextTable`] (for CSV export).
+    pub fn to_table(&self) -> TextTable {
+        let mut headers = vec!["app".to_owned()];
+        headers.extend(self.labels.clone());
+        let mut table = TextTable::new(self.title.clone(), headers);
+        for (app, accs) in &self.rows {
+            let mut cells = vec![(*app).to_owned()];
+            cells.extend(accs.iter().map(|a| fmt3(*a)));
+            table.row(cells);
+        }
+        table
+    }
+}
+
+impl Figure9 {
+    /// Renders all four panels.
+    pub fn render(&self) -> String {
+        format!(
+            "{}\n{}\n{}\n{}",
+            self.geometry.render(),
+            self.slots.render(),
+            self.buffer.render(),
+            self.tlb.render()
+        )
+    }
+
+    /// Renders CSV for all panels.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{}{}{}{}",
+            self.geometry.to_table().to_csv(),
+            self.slots.to_table().to_csv(),
+            self.buffer.to_table().to_csv(),
+            self.tlb.to_table().to_csv()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_panels_cover_the_eight_apps() {
+        let fig = run(Scale::TINY).unwrap();
+        assert_eq!(fig.geometry.rows.len(), 8);
+        assert_eq!(fig.geometry.labels.len(), 14);
+        assert_eq!(fig.slots.labels, vec!["s = 2", "s = 4", "s = 6"]);
+        assert_eq!(fig.buffer.labels.len(), 3);
+        assert_eq!(fig.tlb.labels.len(), 3);
+        assert!(fig.render().contains("galgel"));
+    }
+}

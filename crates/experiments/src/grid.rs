@@ -1,0 +1,162 @@
+//! The prefetcher-configuration grids the paper sweeps, and the shared
+//! accuracy-grid runner behind Figures 7 and 8.
+
+use tlbsim_core::{Associativity, PrefetcherConfig};
+use tlbsim_sim::{sweep, SimConfig, SimError, SweepJob};
+use tlbsim_workloads::{AppSpec, Scale};
+
+/// The per-application scheme grid of Figures 7 and 8: RP; MP with
+/// r ∈ {1024, 512, 256} across associativities; DP and ASP with
+/// r ∈ {1024 … 32} direct-mapped — exactly the paper's legend order.
+pub fn paper_scheme_grid() -> Vec<PrefetcherConfig> {
+    let mut grid = Vec::new();
+    grid.push(PrefetcherConfig::recency());
+    for (rows, assoc) in [
+        (1024, Associativity::Direct),
+        (1024, Associativity::ways_of(4)),
+        (1024, Associativity::ways_of(2)),
+        (512, Associativity::Direct),
+        (512, Associativity::ways_of(4)),
+        (256, Associativity::Direct),
+        (256, Associativity::ways_of(4)),
+        (256, Associativity::Full),
+    ] {
+        let mut cfg = PrefetcherConfig::markov();
+        cfg.rows(rows).assoc(assoc);
+        grid.push(cfg);
+    }
+    for rows in [1024, 512, 256, 128, 64, 32] {
+        let mut cfg = PrefetcherConfig::distance();
+        cfg.rows(rows);
+        grid.push(cfg);
+    }
+    for rows in [1024, 512, 256, 128, 64, 32] {
+        let mut cfg = PrefetcherConfig::stride();
+        cfg.rows(rows);
+        grid.push(cfg);
+    }
+    grid
+}
+
+/// The four schemes of Table 2 at the paper's representative
+/// configuration (`r = 256`, `s = 2`, direct-mapped).
+pub fn table2_schemes() -> Vec<PrefetcherConfig> {
+    vec![
+        PrefetcherConfig::distance(),
+        PrefetcherConfig::recency(),
+        PrefetcherConfig::stride(),
+        PrefetcherConfig::markov(),
+    ]
+}
+
+/// Accuracy of one application under one configuration.
+#[derive(Debug, Clone)]
+pub struct GridCell {
+    /// Scheme label in the paper's legend style (e.g. `DP,256,D`).
+    pub label: String,
+    /// Prediction accuracy.
+    pub accuracy: f64,
+    /// TLB miss rate of the run.
+    pub miss_rate: f64,
+}
+
+/// One application's row of a figure.
+#[derive(Debug, Clone)]
+pub struct GridRow {
+    /// Application name.
+    pub app: &'static str,
+    /// One cell per configuration, in grid order.
+    pub cells: Vec<GridCell>,
+}
+
+impl GridRow {
+    /// The cell with the given label.
+    pub fn cell(&self, label: &str) -> Option<&GridCell> {
+        self.cells.iter().find(|c| c.label == label)
+    }
+
+    /// The best accuracy across all configurations in the row.
+    pub fn best_accuracy(&self) -> f64 {
+        self.cells.iter().map(|c| c.accuracy).fold(0.0, f64::max)
+    }
+}
+
+/// Runs `apps × schemes` through the functional engine in parallel.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if any configuration is invalid.
+pub fn accuracy_grid(
+    apps: &[&'static AppSpec],
+    schemes: &[PrefetcherConfig],
+    scale: Scale,
+) -> Result<Vec<GridRow>, SimError> {
+    let base = SimConfig::paper_default();
+    let mut jobs = Vec::with_capacity(apps.len() * schemes.len());
+    for app in apps {
+        for scheme in schemes {
+            jobs.push(SweepJob {
+                tag: scheme.label(),
+                app,
+                scale,
+                config: base.clone().with_prefetcher(scheme.clone()),
+            });
+        }
+    }
+    let results = sweep(jobs)?;
+    let mut rows = Vec::with_capacity(apps.len());
+    let mut iter = results.into_iter();
+    for app in apps {
+        let mut cells = Vec::with_capacity(schemes.len());
+        for _ in 0..schemes.len() {
+            let r = iter.next().expect("sweep returns one result per job");
+            debug_assert_eq!(r.app, app.name);
+            cells.push(GridCell {
+                label: r.tag,
+                accuracy: r.stats.accuracy(),
+                miss_rate: r.stats.miss_rate(),
+            });
+        }
+        rows.push(GridRow {
+            app: app.name,
+            cells,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlbsim_workloads::find_app;
+
+    #[test]
+    fn grid_matches_paper_legend_count() {
+        // RP + 8 MP + 6 DP + 6 ASP = 21 configurations.
+        assert_eq!(paper_scheme_grid().len(), 21);
+        assert_eq!(paper_scheme_grid()[0].label(), "RP");
+        assert_eq!(paper_scheme_grid()[1].label(), "MP,1024,D");
+        assert_eq!(paper_scheme_grid()[9].label(), "DP,1024,D");
+        assert_eq!(paper_scheme_grid()[15].label(), "ASP,1024");
+    }
+
+    #[test]
+    fn table2_schemes_are_the_four_contenders() {
+        let labels: Vec<String> = table2_schemes().iter().map(|c| c.label()).collect();
+        assert_eq!(labels, vec!["DP,256,D", "RP", "ASP,256", "MP,256,D"]);
+    }
+
+    #[test]
+    fn accuracy_grid_produces_full_rows() {
+        let apps = vec![find_app("gap").unwrap()];
+        let schemes = vec![
+            tlbsim_core::PrefetcherConfig::distance(),
+            tlbsim_core::PrefetcherConfig::recency(),
+        ];
+        let rows = accuracy_grid(&apps, &schemes, Scale::TINY).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].cells.len(), 2);
+        assert!(rows[0].cell("RP").is_some());
+        assert!(rows[0].best_accuracy() > 0.0);
+    }
+}

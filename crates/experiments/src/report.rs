@@ -1,0 +1,161 @@
+//! Plain-text and CSV rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table with a title and column headers.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_experiments::TextTable;
+///
+/// let mut t = TextTable::new("demo", vec!["app".into(), "accuracy".into()]);
+/// t.row(vec!["galgel".into(), "0.95".into()]);
+/// let s = t.render();
+/// assert!(s.contains("galgel"));
+/// assert!(s.contains("accuracy"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        TextTable {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            }
+            // Avoid trailing spaces.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(rule));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(escape).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(escape).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Formats an accuracy or ratio with three decimals.
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a miss rate with four decimals.
+pub fn fmt4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new("t", vec!["a".into(), "bbbb".into()]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].starts_with("a     "));
+        assert!(lines[3].starts_with("xxxxxx"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new("t", vec!["a".into(), "b".into()]);
+        t.row(vec!["only".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains("only"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = TextTable::new("t", vec!["a".into(), "b".into()]);
+        t.row(vec!["x,y".into(), "he said \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn empty_table_renders_headers() {
+        let t = TextTable::new("t", vec!["a".into()]);
+        assert!(t.is_empty());
+        assert!(t.render().contains('a'));
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(fmt3(0.12345), "0.123");
+        assert_eq!(fmt4(0.12345), "0.1235");
+    }
+}

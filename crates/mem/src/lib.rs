@@ -1,0 +1,32 @@
+//! # tlbsim-mem — memory-system timing substrate
+//!
+//! The cycle model behind the paper's Table 3 experiment: a serialized
+//! [`PrefetchChannel`] on which prefetch fetches and recency
+//! prefetching's LRU-stack pointer updates contend with each other (but,
+//! per the paper's deliberately RP-favouring model, not with demand
+//! traffic), plus the [`TimingParams`] constants (100-cycle TLB miss
+//! penalty, 50-cycle memory operations, 4-wide issue).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tlbsim_core::VirtPage;
+//! use tlbsim_mem::{PrefetchChannel, TimingParams};
+//!
+//! let params = TimingParams::paper_default();
+//! let mut channel = PrefetchChannel::new(params.memory_op_cost);
+//!
+//! // RP pays four pointer updates before its two prefetch fetches.
+//! channel.issue_maintenance(0, 4);
+//! let arrival = channel.issue_fetch(0, VirtPage::new(9));
+//! assert_eq!(arrival, 5 * params.memory_op_cost);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod timing;
+
+pub use channel::PrefetchChannel;
+pub use timing::TimingParams;

@@ -1,0 +1,295 @@
+//! A generic set-associative, true-LRU cache of virtual-page keyed
+//! entries.
+//!
+//! Both the TLB and the prefetch buffer are instances of this structure
+//! (the prefetch buffer is simply fully associative); sharing the
+//! implementation keeps their replacement semantics identical, which the
+//! paper assumes implicitly by giving a single LRU description for both.
+
+use tlbsim_core::{Associativity, InvalidGeometry, VirtPage};
+
+#[derive(Debug, Clone)]
+struct Way<V> {
+    page: VirtPage,
+    value: V,
+    last_used: u64,
+}
+
+/// A fixed-capacity set-associative cache mapping [`VirtPage`] to `V`
+/// with true-LRU replacement per set.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_core::{Associativity, VirtPage};
+/// use tlbsim_mmu::AssocCache;
+///
+/// let mut cache: AssocCache<u32> = AssocCache::new(2, Associativity::Full)?;
+/// cache.insert(VirtPage::new(1), 10);
+/// cache.insert(VirtPage::new(2), 20);
+/// cache.touch(VirtPage::new(1));
+/// // 2 is now least recently used and gets evicted.
+/// let evicted = cache.insert(VirtPage::new(3), 30);
+/// assert_eq!(evicted.map(|(p, _)| p), Some(VirtPage::new(2)));
+/// # Ok::<(), tlbsim_core::InvalidGeometry>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AssocCache<V> {
+    sets: Vec<Vec<Way<V>>>,
+    ways: usize,
+    capacity: usize,
+    assoc: Associativity,
+    tick: u64,
+}
+
+impl<V> AssocCache<V> {
+    /// Creates a cache of `capacity` entries organised by `assoc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidGeometry`] if `capacity` is zero or not divisible
+    /// by the way count implied by `assoc`.
+    pub fn new(capacity: usize, assoc: Associativity) -> Result<Self, InvalidGeometry> {
+        let set_count = assoc.sets(capacity)?;
+        let ways = assoc.ways(capacity);
+        let mut sets = Vec::with_capacity(set_count);
+        for _ in 0..set_count {
+            sets.push(Vec::with_capacity(ways));
+        }
+        Ok(AssocCache {
+            sets,
+            ways,
+            capacity,
+            assoc,
+            tick: 0,
+        })
+    }
+
+    fn set_index(&self, page: VirtPage) -> usize {
+        (page.number() % self.sets.len() as u64) as usize
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up `page`, marking it most recently used on a hit.
+    pub fn touch(&mut self, page: VirtPage) -> Option<&mut V> {
+        let tick = self.bump();
+        let idx = self.set_index(page);
+        self.sets[idx]
+            .iter_mut()
+            .find(|w| w.page == page)
+            .map(|w| {
+                w.last_used = tick;
+                &mut w.value
+            })
+    }
+
+    /// Looks up `page` without changing recency.
+    pub fn peek(&self, page: VirtPage) -> Option<&V> {
+        let set = &self.sets[self.set_index(page)];
+        set.iter().find(|w| w.page == page).map(|w| &w.value)
+    }
+
+    /// Returns `true` if `page` is resident (no recency update).
+    pub fn contains(&self, page: VirtPage) -> bool {
+        self.peek(page).is_some()
+    }
+
+    /// Inserts `page -> value` as most recently used.
+    ///
+    /// Returns the evicted `(page, value)` if the set was full, or the
+    /// previous value under the same page if it was already resident.
+    pub fn insert(&mut self, page: VirtPage, value: V) -> Option<(VirtPage, V)> {
+        let tick = self.bump();
+        let ways = self.ways;
+        let idx = self.set_index(page);
+        let set = &mut self.sets[idx];
+        if let Some(w) = set.iter_mut().find(|w| w.page == page) {
+            w.last_used = tick;
+            let old = std::mem::replace(&mut w.value, value);
+            return Some((page, old));
+        }
+        let mut evicted = None;
+        if set.len() == ways {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.last_used)
+                .map(|(i, _)| i)
+                .expect("full set is non-empty");
+            let w = set.swap_remove(victim);
+            evicted = Some((w.page, w.value));
+        }
+        set.push(Way {
+            page,
+            value,
+            last_used: tick,
+        });
+        evicted
+    }
+
+    /// Removes `page`, returning its value.
+    pub fn remove(&mut self, page: VirtPage) -> Option<V> {
+        let idx = self.set_index(page);
+        let set = &mut self.sets[idx];
+        let pos = set.iter().position(|w| w.page == page)?;
+        Some(set.swap_remove(pos).value)
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(Vec::is_empty)
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Configured associativity.
+    pub fn associativity(&self) -> Associativity {
+        self.assoc
+    }
+
+    /// Invalidates every entry.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Iterates over resident `(page, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (VirtPage, &V)> {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().map(|w| (w.page, &w.value)))
+    }
+
+    /// The least recently used page of the set `page` maps to (what an
+    /// insert of `page` would evict if the set is full and `page` absent).
+    pub fn victim_for(&self, page: VirtPage) -> Option<VirtPage> {
+        let set = &self.sets[self.set_index(page)];
+        if set.len() < self.ways {
+            return None;
+        }
+        set.iter().min_by_key(|w| w.last_used).map(|w| w.page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full(cap: usize) -> AssocCache<u64> {
+        AssocCache::new(cap, Associativity::Full).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(AssocCache::<()>::new(0, Associativity::Direct).is_err());
+        assert!(AssocCache::<()>::new(6, Associativity::ways_of(4)).is_err());
+    }
+
+    #[test]
+    fn lru_eviction_order_is_exact() {
+        let mut c = full(3);
+        for p in [1u64, 2, 3] {
+            c.insert(VirtPage::new(p), p);
+        }
+        c.touch(VirtPage::new(1));
+        c.touch(VirtPage::new(2));
+        // LRU order now: 3, 1, 2.
+        assert_eq!(c.victim_for(VirtPage::new(9)), Some(VirtPage::new(3)));
+        let ev = c.insert(VirtPage::new(4), 4);
+        assert_eq!(ev, Some((VirtPage::new(3), 3)));
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut c = full(2);
+        c.insert(VirtPage::new(1), 10);
+        let old = c.insert(VirtPage::new(1), 20);
+        assert_eq!(old, Some((VirtPage::new(1), 10)));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek(VirtPage::new(1)), Some(&20));
+    }
+
+    #[test]
+    fn peek_does_not_disturb_lru() {
+        let mut c = full(2);
+        c.insert(VirtPage::new(1), 1);
+        c.insert(VirtPage::new(2), 2);
+        let _ = c.peek(VirtPage::new(1));
+        // 1 is still LRU despite the peek.
+        let ev = c.insert(VirtPage::new(3), 3);
+        assert_eq!(ev, Some((VirtPage::new(1), 1)));
+    }
+
+    #[test]
+    fn remove_frees_a_way() {
+        let mut c = full(2);
+        c.insert(VirtPage::new(1), 1);
+        c.insert(VirtPage::new(2), 2);
+        assert_eq!(c.remove(VirtPage::new(1)), Some(1));
+        assert_eq!(c.len(), 1);
+        assert!(c.insert(VirtPage::new(3), 3).is_none());
+    }
+
+    #[test]
+    fn set_associative_sets_are_independent() {
+        // 4 entries, 2-way: 2 sets. Evens in set 0, odds in set 1.
+        let mut c: AssocCache<u64> = AssocCache::new(4, Associativity::ways_of(2)).unwrap();
+        c.insert(VirtPage::new(0), 0);
+        c.insert(VirtPage::new(2), 2);
+        c.insert(VirtPage::new(4), 4); // evicts 0, not the odd set
+        c.insert(VirtPage::new(1), 1);
+        assert!(!c.contains(VirtPage::new(0)));
+        assert!(c.contains(VirtPage::new(1)));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts_are_immediate() {
+        let mut c: AssocCache<u64> = AssocCache::new(4, Associativity::Direct).unwrap();
+        c.insert(VirtPage::new(0), 0);
+        let ev = c.insert(VirtPage::new(4), 4);
+        assert_eq!(ev, Some((VirtPage::new(0), 0)));
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut c = full(2);
+        c.insert(VirtPage::new(1), 1);
+        c.flush();
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 2);
+    }
+
+    #[test]
+    fn len_bounded_under_stress() {
+        let mut c: AssocCache<u64> = AssocCache::new(8, Associativity::ways_of(4)).unwrap();
+        for i in 0..10_000u64 {
+            c.insert(VirtPage::new(i * 7 % 333), i);
+            assert!(c.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn iter_covers_all_residents() {
+        let mut c = full(4);
+        for p in [5u64, 6, 7] {
+            c.insert(VirtPage::new(p), p);
+        }
+        let mut pages: Vec<u64> = c.iter().map(|(p, _)| p.number()).collect();
+        pages.sort_unstable();
+        assert_eq!(pages, vec![5, 6, 7]);
+    }
+}

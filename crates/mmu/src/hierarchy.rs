@@ -1,0 +1,160 @@
+//! A two-level TLB hierarchy (extension).
+//!
+//! The paper's introduction lists "multilevel hierarchies" among the
+//! hardware levers for TLB performance; this module implements the
+//! standard inclusive two-level arrangement so the simulator can study
+//! prefetching into an L2 TLB, one of the §4 future-work directions.
+
+use serde::{Deserialize, Serialize};
+use tlbsim_core::{InvalidGeometry, PhysPage, VirtPage};
+
+use crate::tlb::{Tlb, TlbConfig};
+
+/// Geometry of a two-level TLB hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Small, fast first level.
+    pub l1: TlbConfig,
+    /// Larger second level, looked up on an L1 miss.
+    pub l2: TlbConfig,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            l1: TlbConfig::fully_associative(16),
+            l2: TlbConfig::paper_default(),
+        }
+    }
+}
+
+/// Where a hierarchy lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HierarchyHit {
+    /// Found in the first level.
+    L1(PhysPage),
+    /// Missed L1 but found in the second level (entry promoted to L1).
+    L2(PhysPage),
+    /// Missed both levels.
+    Miss,
+}
+
+/// An inclusive two-level TLB.
+///
+/// Fills go into both levels; L2 hits are promoted into L1. An L2
+/// eviction does not back-invalidate L1 (mirroring real designs where
+/// strict inclusion is maintained lazily), so "inclusive" here describes
+/// the fill policy.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_core::{PhysPage, VirtPage};
+/// use tlbsim_mmu::{HierarchyConfig, HierarchyHit, TlbHierarchy};
+///
+/// let mut h = TlbHierarchy::new(HierarchyConfig::default())?;
+/// h.fill(VirtPage::new(1), PhysPage::new(10));
+/// assert!(matches!(h.lookup(VirtPage::new(1)), HierarchyHit::L1(_)));
+/// # Ok::<(), tlbsim_core::InvalidGeometry>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TlbHierarchy {
+    l1: Tlb,
+    l2: Tlb,
+}
+
+impl TlbHierarchy {
+    /// Creates a hierarchy with the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidGeometry`] if either level's geometry is invalid.
+    pub fn new(config: HierarchyConfig) -> Result<Self, InvalidGeometry> {
+        Ok(TlbHierarchy {
+            l1: Tlb::new(config.l1)?,
+            l2: Tlb::new(config.l2)?,
+        })
+    }
+
+    /// Looks up both levels, promoting L2 hits into L1.
+    pub fn lookup(&mut self, page: VirtPage) -> HierarchyHit {
+        if let Some(frame) = self.l1.lookup(page) {
+            return HierarchyHit::L1(frame);
+        }
+        if let Some(frame) = self.l2.lookup(page) {
+            self.l1.fill(page, frame);
+            return HierarchyHit::L2(frame);
+        }
+        HierarchyHit::Miss
+    }
+
+    /// Installs a translation into both levels.
+    pub fn fill(&mut self, page: VirtPage, frame: PhysPage) {
+        self.l2.fill(page, frame);
+        self.l1.fill(page, frame);
+    }
+
+    /// Flushes both levels.
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+    }
+
+    /// First-level statistics.
+    pub fn l1(&self) -> &Tlb {
+        &self.l1
+    }
+
+    /// Second-level statistics.
+    pub fn l2(&self) -> &Tlb {
+        &self.l2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy(l1: usize, l2: usize) -> TlbHierarchy {
+        TlbHierarchy::new(HierarchyConfig {
+            l1: TlbConfig::fully_associative(l1),
+            l2: TlbConfig::fully_associative(l2),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn l2_hit_promotes_to_l1() {
+        let mut h = hierarchy(1, 4);
+        h.fill(VirtPage::new(1), PhysPage::new(1));
+        h.fill(VirtPage::new(2), PhysPage::new(2)); // evicts 1 from L1 only
+        assert!(matches!(h.lookup(VirtPage::new(1)), HierarchyHit::L2(_)));
+        // Promoted: next lookup hits L1.
+        assert!(matches!(h.lookup(VirtPage::new(1)), HierarchyHit::L1(_)));
+    }
+
+    #[test]
+    fn total_miss_reported() {
+        let mut h = hierarchy(1, 2);
+        assert!(matches!(h.lookup(VirtPage::new(9)), HierarchyHit::Miss));
+    }
+
+    #[test]
+    fn l1_filter_reduces_l2_lookups() {
+        let mut h = hierarchy(2, 8);
+        h.fill(VirtPage::new(1), PhysPage::new(1));
+        for _ in 0..10 {
+            h.lookup(VirtPage::new(1));
+        }
+        assert_eq!(h.l2().lookups(), 0);
+        assert_eq!(h.l1().hits(), 10);
+    }
+
+    #[test]
+    fn flush_clears_both_levels() {
+        let mut h = hierarchy(2, 4);
+        h.fill(VirtPage::new(1), PhysPage::new(1));
+        h.flush();
+        assert!(matches!(h.lookup(VirtPage::new(1)), HierarchyHit::Miss));
+    }
+}

@@ -1,0 +1,126 @@
+//! A demand-allocating page table.
+//!
+//! The simulator never sees real physical memory, so the page table
+//! simply hands out physical frames on first touch and remembers the
+//! mapping, while counting the walks that a miss handler would perform.
+//! Recency prefetching conceptually stores its LRU-stack pointers in
+//! these entries (the paper's Figure 5); the pointer state itself lives
+//! inside `tlbsim_core::RecencyPrefetcher`, and this table accounts for
+//! the capacity those two extra words would occupy via
+//! [`PageTable::rp_overhead_bytes`].
+
+use std::collections::HashMap;
+
+use tlbsim_core::{PhysPage, VirtPage};
+
+/// A virtual-to-physical mapping built on demand.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_core::VirtPage;
+/// use tlbsim_mmu::PageTable;
+///
+/// let mut pt = PageTable::new();
+/// let f1 = pt.translate(VirtPage::new(42));
+/// let f2 = pt.translate(VirtPage::new(42));
+/// assert_eq!(f1, f2); // stable mapping
+/// assert_eq!(pt.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    map: HashMap<VirtPage, PhysPage>,
+    next_frame: u64,
+    walks: u64,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        PageTable::default()
+    }
+
+    /// Translates `page`, allocating a fresh frame on first touch, and
+    /// counts one page walk.
+    pub fn translate(&mut self, page: VirtPage) -> PhysPage {
+        self.walks += 1;
+        if let Some(frame) = self.map.get(&page) {
+            return *frame;
+        }
+        let frame = PhysPage::new(self.next_frame);
+        self.next_frame += 1;
+        self.map.insert(page, frame);
+        frame
+    }
+
+    /// Looks up an existing mapping without counting a walk or
+    /// allocating.
+    pub fn peek(&self, page: VirtPage) -> Option<PhysPage> {
+        self.map.get(&page).copied()
+    }
+
+    /// Number of mapped pages (the process footprint in pages).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if no page has been touched yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Page walks performed (TLB miss handler invocations).
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+
+    /// Extra page-table bytes recency prefetching would add: two
+    /// pointers (8 bytes each) per PTE — the storage-cost asymmetry the
+    /// paper's Table 1 calls out.
+    pub fn rp_overhead_bytes(&self) -> u64 {
+        self.map.len() as u64 * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_unique_per_page() {
+        let mut pt = PageTable::new();
+        let a = pt.translate(VirtPage::new(1));
+        let b = pt.translate(VirtPage::new(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn translation_is_stable() {
+        let mut pt = PageTable::new();
+        let first = pt.translate(VirtPage::new(7));
+        for _ in 0..5 {
+            assert_eq!(pt.translate(VirtPage::new(7)), first);
+        }
+        assert_eq!(pt.len(), 1);
+        assert_eq!(pt.walks(), 6);
+    }
+
+    #[test]
+    fn peek_never_allocates() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.peek(VirtPage::new(3)), None);
+        assert!(pt.is_empty());
+        pt.translate(VirtPage::new(3));
+        assert!(pt.peek(VirtPage::new(3)).is_some());
+        assert_eq!(pt.walks(), 1);
+    }
+
+    #[test]
+    fn rp_overhead_scales_with_footprint() {
+        let mut pt = PageTable::new();
+        for p in 0..100u64 {
+            pt.translate(VirtPage::new(p));
+        }
+        assert_eq!(pt.rp_overhead_bytes(), 1600);
+    }
+}

@@ -1,0 +1,194 @@
+//! The prefetch buffer shared by every prefetching mechanism.
+//!
+//! Prefetched translations are *not* inserted into the TLB directly —
+//! they land in this small fully-associative buffer that is "concurrently
+//! looked up with the TLB, and the entry is moved over to the TLB only on
+//! an actual reference" (§2). This guarantees prefetching can never
+//! increase the TLB miss count; the price is that an aggressive mechanism
+//! can evict its own not-yet-used prefetches from the buffer, which is
+//! exactly the effect that degrades ASP at `r = 1024` in Figure 7.
+
+use tlbsim_core::{Associativity, InvalidGeometry, PhysPage, VirtPage};
+
+use crate::cache::AssocCache;
+
+/// The paper's representative prefetch-buffer size (`b = 16`).
+pub const DEFAULT_PREFETCH_BUFFER_ENTRIES: usize = 16;
+
+#[derive(Debug, Clone, Copy)]
+struct PbEntry {
+    frame: PhysPage,
+}
+
+/// A fully-associative LRU buffer of prefetched translations.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_core::{PhysPage, VirtPage};
+/// use tlbsim_mmu::PrefetchBuffer;
+///
+/// let mut pb = PrefetchBuffer::new(16)?;
+/// pb.insert(VirtPage::new(7), PhysPage::new(70));
+/// // A reference to page 7 promotes the entry out of the buffer.
+/// assert_eq!(pb.promote(VirtPage::new(7)), Some(PhysPage::new(70)));
+/// assert!(pb.promote(VirtPage::new(7)).is_none());
+/// # Ok::<(), tlbsim_core::InvalidGeometry>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefetchBuffer {
+    cache: AssocCache<PbEntry>,
+    inserted: u64,
+    promoted: u64,
+    evicted_unused: u64,
+}
+
+impl PrefetchBuffer {
+    /// Creates a buffer of `entries` translations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidGeometry`] if `entries` is zero.
+    pub fn new(entries: usize) -> Result<Self, InvalidGeometry> {
+        Ok(PrefetchBuffer {
+            cache: AssocCache::new(entries, Associativity::Full)?,
+            inserted: 0,
+            promoted: 0,
+            evicted_unused: 0,
+        })
+    }
+
+    /// Inserts a prefetched translation, evicting the LRU entry if full.
+    ///
+    /// Returns the evicted page, which by construction was never used
+    /// (used entries leave through [`PrefetchBuffer::promote`]).
+    pub fn insert(&mut self, page: VirtPage, frame: PhysPage) -> Option<VirtPage> {
+        self.inserted += 1;
+        let evicted = self.cache.insert(page, PbEntry { frame }).map(|(p, _)| p);
+        let evicted = evicted.filter(|p| *p != page);
+        if evicted.is_some() {
+            self.evicted_unused += 1;
+        }
+        evicted
+    }
+
+    /// Returns `true` if `page` is buffered (no recency update).
+    pub fn contains(&self, page: VirtPage) -> bool {
+        self.cache.contains(page)
+    }
+
+    /// Removes and returns the translation for `page` on an actual
+    /// reference — the "move over to the TLB" step.
+    pub fn promote(&mut self, page: VirtPage) -> Option<PhysPage> {
+        let entry = self.cache.remove(page)?;
+        self.promoted += 1;
+        Some(entry.frame)
+    }
+
+    /// Invalidates every buffered translation.
+    pub fn flush(&mut self) {
+        self.cache.flush();
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Returns `true` if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Buffer capacity (`b` in the paper).
+    pub fn capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// Prefetches inserted since creation.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Prefetches promoted to the TLB (i.e. useful prefetches).
+    pub fn promoted(&self) -> u64 {
+        self.promoted
+    }
+
+    /// Prefetches evicted before ever being used (wasted traffic).
+    pub fn evicted_unused(&self) -> u64 {
+        self.evicted_unused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pb(n: usize) -> PrefetchBuffer {
+        PrefetchBuffer::new(n).unwrap()
+    }
+
+    #[test]
+    fn promote_removes_the_entry() {
+        let mut b = pb(4);
+        b.insert(VirtPage::new(1), PhysPage::new(10));
+        assert!(b.contains(VirtPage::new(1)));
+        assert_eq!(b.promote(VirtPage::new(1)), Some(PhysPage::new(10)));
+        assert!(!b.contains(VirtPage::new(1)));
+        assert_eq!(b.promoted(), 1);
+    }
+
+    #[test]
+    fn overflow_evicts_lru_and_counts_waste() {
+        let mut b = pb(2);
+        b.insert(VirtPage::new(1), PhysPage::new(1));
+        b.insert(VirtPage::new(2), PhysPage::new(2));
+        let ev = b.insert(VirtPage::new(3), PhysPage::new(3));
+        assert_eq!(ev, Some(VirtPage::new(1)));
+        assert_eq!(b.evicted_unused(), 1);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_same_page_is_not_waste() {
+        let mut b = pb(2);
+        b.insert(VirtPage::new(1), PhysPage::new(1));
+        let ev = b.insert(VirtPage::new(1), PhysPage::new(1));
+        assert_eq!(ev, None);
+        assert_eq!(b.evicted_unused(), 0);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.inserted(), 2);
+    }
+
+    #[test]
+    fn aggressive_insertion_starves_earlier_prefetches() {
+        // The Figure-7 ASP-at-1024 effect in miniature: 4 useful entries
+        // pushed out by a flood before the reference arrives.
+        let mut b = pb(4);
+        for p in 1..=4u64 {
+            b.insert(VirtPage::new(p), PhysPage::new(p));
+        }
+        for p in 100..108u64 {
+            b.insert(VirtPage::new(p), PhysPage::new(p));
+        }
+        for p in 1..=4u64 {
+            assert_eq!(b.promote(VirtPage::new(p)), None);
+        }
+        assert_eq!(b.evicted_unused(), 8);
+    }
+
+    #[test]
+    fn flush_empties_buffer() {
+        let mut b = pb(2);
+        b.insert(VirtPage::new(1), PhysPage::new(1));
+        b.flush();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        assert!(PrefetchBuffer::new(0).is_err());
+    }
+}

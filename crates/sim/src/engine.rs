@@ -1,0 +1,297 @@
+//! The functional simulation engine.
+//!
+//! Implements the paper's evaluation loop exactly (§2, Figure 1): every
+//! data reference is looked up in the TLB; on a miss the prefetch buffer
+//! is checked concurrently, the translation is installed in the TLB
+//! (promoting from the buffer or walking the page table), and the
+//! prefetching mechanism observes the miss and requests prefetches into
+//! the buffer. Prefetches complete instantly here — this engine measures
+//! *prediction accuracy*; the cycle-level consequences live in
+//! [`crate::TimingEngine`].
+
+use tlbsim_core::{MemoryAccess, MissContext, TlbPrefetcher};
+use tlbsim_mmu::{PageTable, PrefetchBuffer, Tlb};
+
+use crate::config::{SimConfig, SimError};
+use crate::stats::SimStats;
+
+/// A functional TLB-prefetching simulator.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_core::MemoryAccess;
+/// use tlbsim_sim::{Engine, SimConfig};
+///
+/// let mut engine = Engine::new(&SimConfig::paper_default())?;
+/// // A long sequential walk: distance prefetching converges to ~100%.
+/// engine.run((0..200_000u64).map(|i| MemoryAccess::read(0x40, i / 8 * 4096)));
+/// assert!(engine.stats().accuracy() > 0.9);
+/// # Ok::<(), tlbsim_sim::SimError>(())
+/// ```
+pub struct Engine {
+    tlb: Tlb,
+    buffer: PrefetchBuffer,
+    prefetcher: Box<dyn TlbPrefetcher>,
+    page_table: PageTable,
+    config: SimConfig,
+    stats: SimStats,
+}
+
+impl Engine {
+    /// Builds an engine from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the TLB, buffer or prefetcher
+    /// configuration is invalid.
+    pub fn new(config: &SimConfig) -> Result<Self, SimError> {
+        Ok(Engine {
+            tlb: Tlb::new(config.tlb)?,
+            buffer: PrefetchBuffer::new(config.prefetch_buffer_entries.max(1))?,
+            prefetcher: config.prefetcher.build()?,
+            page_table: PageTable::new(),
+            config: config.clone(),
+            stats: SimStats::default(),
+        })
+    }
+
+    /// Simulates one data reference.
+    pub fn access(&mut self, access: &MemoryAccess) {
+        self.stats.accesses += 1;
+        let page = self.config.page_size.page_of(access.vaddr);
+
+        if self.tlb.lookup(page).is_some() {
+            return;
+        }
+        self.stats.misses += 1;
+
+        // The prefetch buffer is probed concurrently with the TLB; a hit
+        // promotes the translation into the TLB.
+        let (frame, pb_hit) = match self.buffer.promote(page) {
+            Some(frame) => {
+                self.stats.prefetch_buffer_hits += 1;
+                (frame, true)
+            }
+            None => {
+                self.stats.demand_walks += 1;
+                (self.page_table.translate(page), false)
+            }
+        };
+        let fill = self.tlb.fill(page, frame);
+
+        let ctx = MissContext {
+            page,
+            pc: access.pc,
+            prefetch_buffer_hit: pb_hit,
+            evicted_tlb_entry: fill.evicted,
+        };
+        let decision = self.prefetcher.on_miss(&ctx);
+        self.stats.maintenance_ops += u64::from(decision.maintenance_ops);
+
+        for candidate in decision.pages {
+            if candidate == page
+                || (self.config.filter_prefetches
+                    && (self.tlb.contains(candidate) || self.buffer.contains(candidate)))
+            {
+                self.stats.prefetches_filtered += 1;
+                continue;
+            }
+            let frame = self.page_table.translate(candidate);
+            if self.buffer.insert(candidate, frame).is_some() {
+                self.stats.prefetches_evicted_unused += 1;
+            }
+            self.stats.prefetches_issued += 1;
+        }
+    }
+
+    /// Simulates an entire reference stream and returns the final
+    /// statistics.
+    pub fn run(&mut self, stream: impl IntoIterator<Item = MemoryAccess>) -> &SimStats {
+        for access in stream {
+            self.access(&access);
+        }
+        self.finish()
+    }
+
+    /// Simulates a stream, flushing all translation and prediction state
+    /// every `interval` accesses — the multiprogrammed context-switch
+    /// mode (§4 lists flushing the prefetch tables as ongoing work).
+    pub fn run_with_flush_interval(
+        &mut self,
+        stream: impl IntoIterator<Item = MemoryAccess>,
+        interval: u64,
+    ) -> &SimStats {
+        assert!(interval > 0, "flush interval must be positive");
+        let mut since_flush = 0u64;
+        for access in stream {
+            self.access(&access);
+            since_flush += 1;
+            if since_flush == interval {
+                self.context_switch();
+                since_flush = 0;
+            }
+        }
+        self.finish()
+    }
+
+    /// Flushes the TLB, the prefetch buffer and the prefetcher's learned
+    /// state, as a context switch would.
+    pub fn context_switch(&mut self) {
+        self.tlb.flush();
+        self.buffer.flush();
+        self.prefetcher.flush();
+    }
+
+    fn finish(&mut self) -> &SimStats {
+        self.stats.footprint_pages = self.page_table.len() as u64;
+        &self.stats
+    }
+
+    /// Statistics so far (footprint is refreshed on [`Engine::run`]
+    /// completion).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The mechanism under test.
+    pub fn prefetcher_name(&self) -> &'static str {
+        self.prefetcher.name()
+    }
+
+    /// The configuration this engine was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlbsim_core::PrefetcherConfig;
+    use tlbsim_mmu::TlbConfig;
+
+    fn seq_stream(pages: u64, refs_per_page: u64) -> impl Iterator<Item = MemoryAccess> {
+        (0..pages * refs_per_page).map(move |i| MemoryAccess::read(0x40, i / refs_per_page * 4096))
+    }
+
+    #[test]
+    fn no_prefetcher_never_hits_buffer() {
+        let mut e = Engine::new(&SimConfig::baseline()).unwrap();
+        e.run(seq_stream(1000, 4));
+        assert_eq!(e.stats().prefetch_buffer_hits, 0);
+        assert_eq!(e.stats().prefetches_issued, 0);
+        assert_eq!(e.stats().misses, 1000);
+        assert_eq!(e.stats().demand_walks, 1000);
+    }
+
+    #[test]
+    fn miss_count_is_independent_of_prefetching() {
+        // Prefetching can never increase (or decrease) raw TLB misses.
+        let mut base = Engine::new(&SimConfig::baseline()).unwrap();
+        base.run(seq_stream(2000, 3));
+        for cfg in [
+            PrefetcherConfig::sequential(),
+            PrefetcherConfig::stride(),
+            PrefetcherConfig::markov(),
+            PrefetcherConfig::recency(),
+            PrefetcherConfig::distance(),
+        ] {
+            let mut e = Engine::new(&SimConfig::paper_default().with_prefetcher(cfg)).unwrap();
+            e.run(seq_stream(2000, 3));
+            assert_eq!(e.stats().misses, base.stats().misses);
+        }
+    }
+
+    #[test]
+    fn sequential_prefetcher_covers_sequential_walk() {
+        let cfg = SimConfig::paper_default().with_prefetcher(PrefetcherConfig::sequential());
+        let mut e = Engine::new(&cfg).unwrap();
+        e.run(seq_stream(5000, 4));
+        // Every miss after the first is covered by the +1 prefetch.
+        assert!(e.stats().accuracy() > 0.99);
+    }
+
+    #[test]
+    fn distance_prefetcher_learns_sequential_walk() {
+        let mut e = Engine::new(&SimConfig::paper_default()).unwrap();
+        e.run(seq_stream(5000, 4));
+        assert!(e.stats().accuracy() > 0.99, "{}", e.stats());
+    }
+
+    #[test]
+    fn buffer_hits_plus_walks_equal_misses() {
+        let mut e = Engine::new(&SimConfig::paper_default()).unwrap();
+        e.run(seq_stream(3000, 2));
+        let s = e.stats();
+        assert_eq!(s.prefetch_buffer_hits + s.demand_walks, s.misses);
+    }
+
+    #[test]
+    fn footprint_includes_prefetched_pages() {
+        let mut e = Engine::new(&SimConfig::paper_default()).unwrap();
+        e.run(seq_stream(100, 2));
+        assert!(e.stats().footprint_pages >= 100);
+    }
+
+    #[test]
+    fn recency_counts_maintenance_traffic() {
+        let cfg = SimConfig::paper_default().with_prefetcher(PrefetcherConfig::recency());
+        let mut e = Engine::new(&cfg).unwrap();
+        // Working set of 200 > 128 TLB entries, revisited: evictions and
+        // stack updates happen continuously.
+        let stream = (0..40_000u64).map(|i| MemoryAccess::read(0x40, (i % 200) * 4096));
+        e.run(stream);
+        assert!(e.stats().maintenance_ops > 0);
+        assert!(e.stats().memory_ops_per_miss() > 1.0);
+    }
+
+    #[test]
+    fn distance_prefetcher_has_no_maintenance_traffic() {
+        let mut e = Engine::new(&SimConfig::paper_default()).unwrap();
+        e.run(seq_stream(2000, 2));
+        assert_eq!(e.stats().maintenance_ops, 0);
+    }
+
+    #[test]
+    fn context_switch_flush_costs_accuracy() {
+        let stream: Vec<MemoryAccess> = seq_stream(4000, 4).collect();
+        let mut plain = Engine::new(&SimConfig::paper_default()).unwrap();
+        plain.run(stream.clone());
+        let mut flushed = Engine::new(&SimConfig::paper_default()).unwrap();
+        flushed.run_with_flush_interval(stream, 1000);
+        assert!(flushed.stats().accuracy() <= plain.stats().accuracy());
+        assert!(flushed.stats().misses >= plain.stats().misses);
+    }
+
+    #[test]
+    fn small_tlb_misses_more() {
+        let small = SimConfig::baseline().with_tlb(TlbConfig::fully_associative(16));
+        let mut small_e = Engine::new(&small).unwrap();
+        // Working set of 64 pages cycled repeatedly.
+        let stream: Vec<MemoryAccess> =
+            (0..20_000u64).map(|i| MemoryAccess::read(0, (i % 64) * 4096)).collect();
+        small_e.run(stream.clone());
+        let mut big_e = Engine::new(&SimConfig::baseline()).unwrap();
+        big_e.run(stream);
+        assert!(small_e.stats().misses > big_e.stats().misses);
+        // 64 pages fit in 128 entries: only cold misses for the big TLB.
+        assert_eq!(big_e.stats().misses, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_flush_interval_panics() {
+        let mut e = Engine::new(&SimConfig::paper_default()).unwrap();
+        e.run_with_flush_interval(std::iter::empty(), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! # tlbsim-sim — simulation engines
+//!
+//! Two engines drive the prefetching mechanisms of `tlbsim-core` through
+//! the MMU substrate of `tlbsim-mmu`:
+//!
+//! * [`Engine`] — the functional simulator behind Figures 7–9 and
+//!   Table 2: counts TLB misses, prefetch-buffer hits (the paper's
+//!   *prediction accuracy*), and memory traffic; prefetches complete
+//!   instantly;
+//! * [`TimingEngine`] — the cycle-accounting simulator behind Table 3:
+//!   prefetch traffic serialises on a single channel
+//!   (`tlbsim_mem::PrefetchChannel`), in-flight prefetches stall the CPU
+//!   until arrival, and in-memory prediction state (RP) serialises the
+//!   miss handler on its pointer updates.
+//!
+//! [`run_app`], [`compare_schemes`] and the parallel [`sweep`] executor
+//! run the synthetic applications of `tlbsim-workloads` through either
+//! engine.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tlbsim_core::PrefetcherConfig;
+//! use tlbsim_sim::{compare_schemes, SimConfig};
+//! use tlbsim_workloads::{find_app, Scale};
+//!
+//! let app = find_app("mpeg-dec").expect("registered");
+//! let results = compare_schemes(
+//!     app,
+//!     Scale::TINY,
+//!     &SimConfig::paper_default(),
+//!     &[PrefetcherConfig::distance(), PrefetcherConfig::stride()],
+//! )?;
+//! // mpeg-dec alternates two distances: DP predicts, ASP cannot.
+//! assert!(results[0].1.accuracy() > results[1].1.accuracy());
+//! # Ok::<(), tlbsim_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache_engine;
+mod config;
+mod engine;
+mod hierarchy_engine;
+mod runner;
+mod stats;
+mod timing_engine;
+
+pub use cache_engine::{CacheEngine, CacheStats};
+pub use config::{SimConfig, SimError};
+pub use engine::Engine;
+pub use hierarchy_engine::{HierarchyEngine, HierarchyStats};
+pub use runner::{compare_schemes, run_app, run_app_timed, sweep, SweepJob, SweepResult};
+pub use stats::{SimStats, TimingStats};
+pub use timing_engine::TimingEngine;

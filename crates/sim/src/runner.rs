@@ -1,0 +1,210 @@
+//! Experiment runners: single runs, scheme comparisons, and a parallel
+//! sweep executor for the figure-scale parameter grids.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+use tlbsim_core::PrefetcherConfig;
+use tlbsim_mem::TimingParams;
+use tlbsim_workloads::{AppSpec, Scale};
+
+use crate::config::{SimConfig, SimError};
+use crate::engine::Engine;
+use crate::stats::{SimStats, TimingStats};
+use crate::timing_engine::TimingEngine;
+
+/// Runs one application through the functional engine.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the configuration is invalid.
+pub fn run_app(app: &AppSpec, scale: Scale, config: &SimConfig) -> Result<SimStats, SimError> {
+    let mut engine = Engine::new(config)?;
+    engine.run(app.workload(scale));
+    Ok(*engine.stats())
+}
+
+/// Runs one application through the timing engine.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the configuration is invalid.
+pub fn run_app_timed(
+    app: &AppSpec,
+    scale: Scale,
+    config: &SimConfig,
+    params: TimingParams,
+) -> Result<TimingStats, SimError> {
+    let mut engine = TimingEngine::new(config, params)?;
+    engine.run(app.workload(scale));
+    Ok(*engine.stats())
+}
+
+/// Runs one application under every given prefetcher, returning
+/// `(label, stats)` pairs.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on the first invalid configuration.
+pub fn compare_schemes(
+    app: &AppSpec,
+    scale: Scale,
+    base: &SimConfig,
+    prefetchers: &[PrefetcherConfig],
+) -> Result<Vec<(String, SimStats)>, SimError> {
+    prefetchers
+        .iter()
+        .map(|p| {
+            let cfg = base.clone().with_prefetcher(p.clone());
+            Ok((p.label(), run_app(app, scale, &cfg)?))
+        })
+        .collect()
+}
+
+/// One unit of work for the parallel sweep: an application at a scale
+/// under a configuration, identified by `tag`.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Identifier carried into the result (e.g. `"galgel/DP,256,D"`).
+    pub tag: String,
+    /// Application to simulate.
+    pub app: &'static AppSpec,
+    /// Run length.
+    pub scale: Scale,
+    /// Full simulation configuration.
+    pub config: SimConfig,
+}
+
+/// The outcome of one sweep job.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The job's identifier.
+    pub tag: String,
+    /// Application name.
+    pub app: &'static str,
+    /// Functional statistics (accuracy, miss rate, traffic).
+    pub stats: SimStats,
+}
+
+/// Executes jobs across all available cores and returns results in the
+/// submission order.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] encountered; remaining jobs still run.
+pub fn sweep(jobs: Vec<SweepJob>) -> Result<Vec<SweepResult>, SimError> {
+    if jobs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len());
+
+    let (tx, rx) = channel::unbounded::<(usize, SweepJob)>();
+    for (i, job) in jobs.into_iter().enumerate() {
+        tx.send((i, job)).expect("queue is open");
+    }
+    drop(tx);
+
+    let slots: Mutex<Vec<Option<Result<SweepResult, SimError>>>> = Mutex::new(Vec::new());
+    {
+        let mut guard = slots.lock();
+        guard.resize_with(rx.len(), || None);
+    }
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let slots = &slots;
+            scope.spawn(move || {
+                while let Ok((index, job)) = rx.recv() {
+                    let outcome = run_app(job.app, job.scale, &job.config).map(|stats| {
+                        SweepResult {
+                            tag: job.tag,
+                            app: job.app.name,
+                            stats,
+                        }
+                    });
+                    slots.lock()[index] = Some(outcome);
+                }
+            });
+        }
+    });
+
+    let collected = slots.into_inner();
+    let mut results = Vec::with_capacity(collected.len());
+    for slot in collected {
+        results.push(slot.expect("every job ran")?);
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlbsim_workloads::find_app;
+
+    #[test]
+    fn run_app_produces_stats() {
+        let app = find_app("gap").unwrap();
+        let stats = run_app(app, Scale::TINY, &SimConfig::paper_default()).unwrap();
+        assert!(stats.accesses > 0);
+        assert!(stats.misses > 0);
+    }
+
+    #[test]
+    fn compare_schemes_labels_results() {
+        let app = find_app("gap").unwrap();
+        let results = compare_schemes(
+            app,
+            Scale::TINY,
+            &SimConfig::paper_default(),
+            &[PrefetcherConfig::distance(), PrefetcherConfig::recency()],
+        )
+        .unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].0.starts_with("DP"));
+        assert_eq!(results[1].0, "RP");
+    }
+
+    #[test]
+    fn sweep_preserves_submission_order_and_matches_serial_runs() {
+        let apps = ["gap", "facerec", "eon"];
+        let jobs: Vec<SweepJob> = apps
+            .iter()
+            .map(|name| SweepJob {
+                tag: format!("{name}/DP"),
+                app: find_app(name).unwrap(),
+                scale: Scale::TINY,
+                config: SimConfig::paper_default(),
+            })
+            .collect();
+        let results = sweep(jobs).unwrap();
+        assert_eq!(results.len(), 3);
+        for (result, name) in results.iter().zip(apps) {
+            assert_eq!(result.app, name);
+            let serial =
+                run_app(find_app(name).unwrap(), Scale::TINY, &SimConfig::paper_default())
+                    .unwrap();
+            assert_eq!(result.stats, serial, "parallel result differs for {name}");
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_ok() {
+        assert!(sweep(Vec::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn timed_run_produces_cycles() {
+        let app = find_app("gap").unwrap();
+        let t = run_app_timed(
+            app,
+            Scale::TINY,
+            &SimConfig::paper_default(),
+            TimingParams::paper_default(),
+        )
+        .unwrap();
+        assert!(t.cycles > 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Counters collected by the simulation engines.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Counters from a functional (accuracy-oriented) simulation.
+///
+/// The headline derived metric is [`SimStats::accuracy`] — the paper's
+/// *prediction accuracy*, "the percentage of TLB misses that hit in the
+/// prefetch buffer at the time of the reference" (§3.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Data references simulated.
+    pub accesses: u64,
+    /// TLB misses (including those satisfied by the prefetch buffer).
+    pub misses: u64,
+    /// TLB misses satisfied by the prefetch buffer.
+    pub prefetch_buffer_hits: u64,
+    /// TLB misses that walked the page table.
+    pub demand_walks: u64,
+    /// Prefetches inserted into the buffer.
+    pub prefetches_issued: u64,
+    /// Prefetch candidates dropped because the page was already resident
+    /// in the TLB or the buffer.
+    pub prefetches_filtered: u64,
+    /// Prefetched entries evicted from the buffer before use.
+    pub prefetches_evicted_unused: u64,
+    /// State-maintenance memory operations (RP's pointer updates).
+    pub maintenance_ops: u64,
+    /// Distinct pages touched (process footprint).
+    pub footprint_pages: u64,
+}
+
+impl SimStats {
+    /// TLB miss rate: misses / accesses (0 before any access).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Prediction accuracy: prefetch-buffer hits / TLB misses (§3.2).
+    ///
+    /// Zero when there were no misses.
+    pub fn accuracy(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.prefetch_buffer_hits as f64 / self.misses as f64
+        }
+    }
+
+    /// Fraction of issued prefetches that were eventually used.
+    pub fn prefetch_efficiency(&self) -> f64 {
+        if self.prefetches_issued == 0 {
+            0.0
+        } else {
+            self.prefetch_buffer_hits as f64 / self.prefetches_issued as f64
+        }
+    }
+
+    /// Extra memory operations per TLB miss (prefetch fetches plus
+    /// maintenance) — the traffic axis of the DP-vs-RP comparison.
+    pub fn memory_ops_per_miss(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            (self.prefetches_issued + self.maintenance_ops) as f64 / self.misses as f64
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accesses {}, misses {} (rate {:.4}), accuracy {:.3}, traffic/miss {:.2}",
+            self.accesses,
+            self.misses,
+            self.miss_rate(),
+            self.accuracy(),
+            self.memory_ops_per_miss()
+        )
+    }
+}
+
+/// Counters from a timing (cycle-accounting) simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimingStats {
+    /// Total execution cycles.
+    pub cycles: f64,
+    /// Data references simulated.
+    pub accesses: u64,
+    /// TLB misses.
+    pub misses: u64,
+    /// Misses satisfied by an already-arrived prefetch (no stall).
+    pub covered_hits: u64,
+    /// Misses whose prefetch was still in flight (partial stall).
+    pub inflight_hits: u64,
+    /// Misses served by a full-penalty demand walk.
+    pub demand_misses: u64,
+    /// Cycles stalled on demand walks.
+    pub stall_demand: f64,
+    /// Cycles stalled waiting for in-flight prefetches.
+    pub stall_inflight: f64,
+    /// Cycles stalled waiting for pending state maintenance (RP's
+    /// LRU-stack updates).
+    pub stall_maintenance: f64,
+    /// Prefetch fetches issued on the memory channel.
+    pub channel_fetches: u64,
+    /// Maintenance operations issued on the memory channel.
+    pub channel_maintenance: u64,
+    /// Prefetch opportunities skipped because the channel was busy (the
+    /// paper's RP fallback mode).
+    pub prefetches_skipped_busy: u64,
+    /// Prefetches dropped because too many were outstanding.
+    pub prefetches_dropped_backlog: u64,
+}
+
+impl TimingStats {
+    /// Execution cycles normalised against a baseline run (the paper's
+    /// Table 3 metric).
+    pub fn normalized_against(&self, baseline: &TimingStats) -> f64 {
+        if baseline.cycles == 0.0 {
+            0.0
+        } else {
+            self.cycles / baseline.cycles
+        }
+    }
+
+    /// Cycles per access.
+    pub fn cpi_proxy(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.cycles / self.accesses as f64
+        }
+    }
+}
+
+impl fmt::Display for TimingStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycles {:.0} ({:.3}/access), misses {} [covered {}, in-flight {}, demand {}]",
+            self.cycles,
+            self.cpi_proxy(),
+            self.misses,
+            self.covered_hits,
+            self.inflight_hits,
+            self.demand_misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics_handle_zero_denominators() {
+        let s = SimStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.accuracy(), 0.0);
+        assert_eq!(s.prefetch_efficiency(), 0.0);
+        assert_eq!(s.memory_ops_per_miss(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_is_hits_over_misses() {
+        let s = SimStats {
+            accesses: 100,
+            misses: 20,
+            prefetch_buffer_hits: 15,
+            ..Default::default()
+        };
+        assert!((s.accuracy() - 0.75).abs() < 1e-12);
+        assert!((s.miss_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_combines_fetches_and_maintenance() {
+        let s = SimStats {
+            misses: 10,
+            prefetches_issued: 20,
+            maintenance_ops: 40,
+            ..Default::default()
+        };
+        assert!((s.memory_ops_per_miss() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_against_baseline() {
+        let base = TimingStats {
+            cycles: 200.0,
+            ..Default::default()
+        };
+        let run = TimingStats {
+            cycles: 170.0,
+            ..Default::default()
+        };
+        assert!((run.normalized_against(&base) - 0.85).abs() < 1e-12);
+        assert_eq!(run.normalized_against(&TimingStats::default()), 0.0);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!SimStats::default().to_string().is_empty());
+        assert!(!TimingStats::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the simulation engines over arbitrary reference
+//! streams.
+
+use proptest::prelude::*;
+use tlbsim_core::{MemoryAccess, PrefetcherConfig, PrefetcherKind};
+use tlbsim_mem::TimingParams;
+use tlbsim_sim::{Engine, SimConfig, TimingEngine};
+
+/// Arbitrary but reasonably local reference streams: a mix of small hot
+/// regions and wide-ranging pages.
+fn arb_stream() -> impl Strategy<Value = Vec<MemoryAccess>> {
+    prop::collection::vec((0u64..4_000, 0u64..16), 1..2_000).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(page, pc)| MemoryAccess::read(0x400 + pc * 4, page * 4096))
+            .collect()
+    })
+}
+
+fn any_kind() -> impl Strategy<Value = PrefetcherKind> {
+    prop_oneof![
+        Just(PrefetcherKind::None),
+        Just(PrefetcherKind::Sequential),
+        Just(PrefetcherKind::Stride),
+        Just(PrefetcherKind::Markov),
+        Just(PrefetcherKind::Recency),
+        Just(PrefetcherKind::Distance),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The §2 guarantee: prefetching never changes the TLB miss count,
+    /// for any mechanism on any stream.
+    #[test]
+    fn miss_count_is_prefetcher_invariant(stream in arb_stream(), kind in any_kind()) {
+        let mut base = Engine::new(&SimConfig::baseline()).unwrap();
+        base.run(stream.iter().copied());
+        let cfg = SimConfig::paper_default().with_prefetcher(PrefetcherConfig::new(kind));
+        let mut engine = Engine::new(&cfg).unwrap();
+        engine.run(stream.iter().copied());
+        prop_assert_eq!(engine.stats().misses, base.stats().misses);
+    }
+
+    /// Counter sanity on arbitrary streams.
+    #[test]
+    fn counters_are_consistent(stream in arb_stream(), kind in any_kind()) {
+        let cfg = SimConfig::paper_default().with_prefetcher(PrefetcherConfig::new(kind));
+        let mut engine = Engine::new(&cfg).unwrap();
+        engine.run(stream.iter().copied());
+        let s = engine.stats();
+        prop_assert!(s.misses <= s.accesses);
+        prop_assert_eq!(s.prefetch_buffer_hits + s.demand_walks, s.misses);
+        prop_assert!(s.prefetch_buffer_hits <= s.prefetches_issued);
+        prop_assert!(s.accuracy() >= 0.0 && s.accuracy() <= 1.0);
+        prop_assert!(s.footprint_pages >= 1);
+    }
+
+    /// The timing engine never reports fewer cycles than the ideal
+    /// pipeline, and the no-prefetch baseline is exactly base + stalls.
+    #[test]
+    fn timing_cycles_are_bounded_below(stream in arb_stream(), kind in any_kind()) {
+        let params = TimingParams::paper_default();
+        let cfg = SimConfig::paper_default().with_prefetcher(PrefetcherConfig::new(kind));
+        let mut engine = TimingEngine::new(&cfg, params).unwrap();
+        engine.run(stream.iter().copied());
+        let t = engine.stats();
+        prop_assert!(t.cycles >= params.base_cycles(t.accesses) - 1e-6);
+        let stalls = t.stall_demand + t.stall_inflight + t.stall_maintenance;
+        prop_assert!(
+            (t.cycles - (params.base_cycles(t.accesses) + stalls)).abs() < 1e-3,
+            "cycles {} vs base+stalls {}",
+            t.cycles,
+            params.base_cycles(t.accesses) + stalls
+        );
+    }
+
+    /// Prefetching with the timing model can never beat the ideal of
+    /// hiding every single miss.
+    #[test]
+    fn timing_savings_are_bounded_by_full_coverage(stream in arb_stream()) {
+        let params = TimingParams::paper_default();
+        let mut base = TimingEngine::new(&SimConfig::baseline(), params).unwrap();
+        base.run(stream.iter().copied());
+        let mut dp = TimingEngine::new(&SimConfig::paper_default(), params).unwrap();
+        dp.run(stream.iter().copied());
+        let floor = params.base_cycles(base.stats().accesses);
+        prop_assert!(dp.stats().cycles >= floor - 1e-6);
+        prop_assert!(base.stats().cycles >= dp.stats().cycles - 1e-6
+            || dp.stats().cycles <= base.stats().cycles * 1.25,
+            "prefetching should not blow up cycles: {} vs {}",
+            dp.stats().cycles, base.stats().cycles);
+    }
+
+    /// Functional and timing engines agree on the miss stream.
+    #[test]
+    fn engines_agree_on_misses(stream in arb_stream(), kind in any_kind()) {
+        let cfg = SimConfig::paper_default().with_prefetcher(PrefetcherConfig::new(kind));
+        let mut f = Engine::new(&cfg).unwrap();
+        f.run(stream.iter().copied());
+        let mut t = TimingEngine::new(&cfg, TimingParams::paper_default()).unwrap();
+        t.run(stream.iter().copied());
+        prop_assert_eq!(f.stats().misses, t.stats().misses);
+    }
+}

@@ -1,0 +1,299 @@
+//! The binary trace format.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic   : 4 bytes  "TLBT"
+//! version : u16      (currently 1)
+//! reserved: u16      (zero)
+//! records : repeated { pc: u64, vaddr: u64, kind: u8 }
+//! ```
+//!
+//! The format is deliberately dumb: 17 bytes per record, no compression,
+//! so external tracing tools (a Pin/DynamoRIO client, a QEMU plugin, …)
+//! can emit it with a dozen lines of C.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+
+use bytes::{Buf, BufMut, BytesMut};
+use tlbsim_core::{AccessKind, MemoryAccess};
+
+use crate::error::TraceError;
+
+/// Magic bytes opening every binary trace.
+pub const MAGIC: [u8; 4] = *b"TLBT";
+/// Current format version.
+pub const VERSION: u16 = 1;
+const RECORD_BYTES: usize = 17;
+
+/// Streaming writer for the binary trace format.
+///
+/// Generic writers are taken by value; pass `&mut writer` to retain
+/// ownership.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_core::MemoryAccess;
+/// use tlbsim_trace::{BinaryTraceReader, BinaryTraceWriter};
+///
+/// let mut buf = Vec::new();
+/// let mut w = BinaryTraceWriter::create(&mut buf)?;
+/// w.write(&MemoryAccess::read(0x400, 0x1000))?;
+/// w.finish()?;
+///
+/// let mut r = BinaryTraceReader::open(buf.as_slice())?;
+/// let rec = r.next().unwrap()?;
+/// assert_eq!(rec.vaddr.raw(), 0x1000);
+/// # Ok::<(), tlbsim_trace::TraceError>(())
+/// ```
+#[derive(Debug)]
+pub struct BinaryTraceWriter<W: Write> {
+    out: BufWriter<W>,
+    buf: BytesMut,
+    written: u64,
+}
+
+impl<W: Write> BinaryTraceWriter<W> {
+    /// Creates a writer and emits the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if the header cannot be written.
+    pub fn create(out: W) -> Result<Self, TraceError> {
+        let mut w = BufWriter::new(out);
+        w.write_all(&MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&0u16.to_le_bytes())?;
+        Ok(BinaryTraceWriter {
+            out: w,
+            buf: BytesMut::with_capacity(RECORD_BYTES),
+            written: 0,
+        })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on write failure.
+    pub fn write(&mut self, access: &MemoryAccess) -> Result<(), TraceError> {
+        self.buf.clear();
+        self.buf.put_u64_le(access.pc.raw());
+        self.buf.put_u64_le(access.vaddr.raw());
+        self.buf.put_u8(match access.kind {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+        });
+        self.out.write_all(&self.buf)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes buffered bytes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if the flush fails.
+    pub fn finish(self) -> Result<W, TraceError> {
+        self.out
+            .into_inner()
+            .map_err(|e| TraceError::Io(io::Error::other(e.to_string())))
+    }
+}
+
+/// Streaming reader for the binary trace format; iterate to consume.
+///
+/// Generic readers are taken by value; pass `&mut reader` to retain
+/// ownership.
+#[derive(Debug)]
+pub struct BinaryTraceReader<R: Read> {
+    input: BufReader<R>,
+    read: u64,
+}
+
+impl<R: Read> BinaryTraceReader<R> {
+    /// Opens a reader, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::BadMagic`] / [`TraceError::UnsupportedVersion`]
+    /// for malformed headers and [`TraceError::Io`] for I/O failures.
+    pub fn open(input: R) -> Result<Self, TraceError> {
+        let mut input = BufReader::new(input);
+        let mut magic = [0u8; 4];
+        input.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(TraceError::BadMagic { found: magic });
+        }
+        let mut ver = [0u8; 2];
+        input.read_exact(&mut ver)?;
+        let version = u16::from_le_bytes(ver);
+        if version != VERSION {
+            return Err(TraceError::UnsupportedVersion { found: version });
+        }
+        let mut reserved = [0u8; 2];
+        input.read_exact(&mut reserved)?;
+        Ok(BinaryTraceReader { input, read: 0 })
+    }
+
+    /// Number of records decoded so far.
+    pub fn records_read(&self) -> u64 {
+        self.read
+    }
+
+    fn read_record(&mut self) -> Result<Option<MemoryAccess>, TraceError> {
+        let mut raw = [0u8; RECORD_BYTES];
+        let mut filled = 0;
+        while filled < RECORD_BYTES {
+            match self.input.read(&mut raw[filled..]) {
+                Ok(0) => {
+                    return if filled == 0 {
+                        Ok(None)
+                    } else {
+                        Err(TraceError::TruncatedRecord)
+                    };
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(TraceError::Io(e)),
+            }
+        }
+        let mut buf = &raw[..];
+        let pc = buf.get_u64_le();
+        let vaddr = buf.get_u64_le();
+        let kind = match buf.get_u8() {
+            0 => AccessKind::Read,
+            1 => AccessKind::Write,
+            found => return Err(TraceError::InvalidKind { found }),
+        };
+        self.read += 1;
+        Ok(Some(MemoryAccess {
+            pc: pc.into(),
+            vaddr: vaddr.into(),
+            kind,
+        }))
+    }
+}
+
+impl<R: Read> Iterator for BinaryTraceReader<R> {
+    type Item = Result<MemoryAccess, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_record().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u64) -> Vec<MemoryAccess> {
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    MemoryAccess::read(0x400 + i * 4, i * 4096)
+                } else {
+                    MemoryAccess::write(0x400 + i * 4, i * 4096 + 8)
+                }
+            })
+            .collect()
+    }
+
+    fn roundtrip(records: &[MemoryAccess]) -> Vec<MemoryAccess> {
+        let mut buf = Vec::new();
+        let mut w = BinaryTraceWriter::create(&mut buf).unwrap();
+        for r in records {
+            w.write(r).unwrap();
+        }
+        assert_eq!(w.records_written(), records.len() as u64);
+        w.finish().unwrap();
+        BinaryTraceReader::open(buf.as_slice())
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let recs = sample(100);
+        assert_eq!(roundtrip(&recs), recs);
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert!(roundtrip(&[]).is_empty());
+    }
+
+    #[test]
+    fn header_is_17_bytes_per_record_plus_8() {
+        let mut buf = Vec::new();
+        let mut w = BinaryTraceWriter::create(&mut buf).unwrap();
+        for r in sample(3) {
+            w.write(&r).unwrap();
+        }
+        w.finish().unwrap();
+        assert_eq!(buf.len(), 8 + 3 * RECORD_BYTES);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = BinaryTraceReader::open(&b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, TraceError::BadMagic { .. }));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&9u16.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        let err = BinaryTraceReader::open(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceError::UnsupportedVersion { found: 9 }));
+    }
+
+    #[test]
+    fn truncated_record_is_reported() {
+        let mut buf = Vec::new();
+        let mut w = BinaryTraceWriter::create(&mut buf).unwrap();
+        w.write(&MemoryAccess::read(1, 2)).unwrap();
+        w.finish().unwrap();
+        buf.truncate(buf.len() - 1);
+        let mut r = BinaryTraceReader::open(buf.as_slice()).unwrap();
+        assert!(matches!(r.next(), Some(Err(TraceError::TruncatedRecord))));
+    }
+
+    #[test]
+    fn invalid_kind_byte_is_reported() {
+        let mut buf = Vec::new();
+        let mut w = BinaryTraceWriter::create(&mut buf).unwrap();
+        w.write(&MemoryAccess::read(1, 2)).unwrap();
+        w.finish().unwrap();
+        let last = buf.len() - 1;
+        buf[last] = 7;
+        let mut r = BinaryTraceReader::open(buf.as_slice()).unwrap();
+        assert!(matches!(
+            r.next(),
+            Some(Err(TraceError::InvalidKind { found: 7 }))
+        ));
+    }
+
+    #[test]
+    fn reader_counts_records() {
+        let recs = sample(5);
+        let mut buf = Vec::new();
+        let mut w = BinaryTraceWriter::create(&mut buf).unwrap();
+        for r in &recs {
+            w.write(r).unwrap();
+        }
+        w.finish().unwrap();
+        let mut r = BinaryTraceReader::open(buf.as_slice()).unwrap();
+        while r.next().is_some() {}
+        assert_eq!(r.records_read(), 5);
+    }
+}

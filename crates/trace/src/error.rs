@@ -1,0 +1,96 @@
+//! Error type for trace encoding and decoding.
+
+use std::fmt;
+use std::io;
+
+/// Errors reading or writing reference traces.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The input does not start with the expected magic bytes.
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 4],
+    },
+    /// The format version is not supported by this build.
+    UnsupportedVersion {
+        /// The version actually found.
+        found: u16,
+    },
+    /// A record ended mid-field.
+    TruncatedRecord,
+    /// A record contained an invalid access-kind byte.
+    InvalidKind {
+        /// The byte actually found.
+        found: u8,
+    },
+    /// A text-format line could not be parsed.
+    Parse {
+        /// One-based line number.
+        line: u64,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::BadMagic { found } => {
+                write!(f, "bad trace magic {found:?}; expected \"TLBT\"")
+            }
+            TraceError::UnsupportedVersion { found } => {
+                write!(f, "unsupported trace version {found}")
+            }
+            TraceError::TruncatedRecord => f.write_str("trace ends mid-record"),
+            TraceError::InvalidKind { found } => {
+                write!(f, "invalid access kind byte {found:#x}")
+            }
+            TraceError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TraceError::BadMagic { found: *b"ABCD" };
+        assert!(e.to_string().contains("TLBT"));
+        let e = TraceError::Parse {
+            line: 7,
+            message: "want 3 fields".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let e = TraceError::InvalidKind { found: 9 };
+        assert!(e.to_string().contains("0x9"));
+    }
+
+    #[test]
+    fn io_errors_are_wrapped_with_source() {
+        use std::error::Error;
+        let e = TraceError::from(io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

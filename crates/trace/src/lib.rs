@@ -1,0 +1,52 @@
+//! # tlbsim-trace — reference-trace formats and statistics
+//!
+//! The simulator consumes any `Iterator<Item = MemoryAccess>`; this crate
+//! provides the persistent forms of such streams and tools over them:
+//!
+//! * [`BinaryTraceWriter`] / [`BinaryTraceReader`] — a compact 17-byte
+//!   per-record binary format (`TLBT` magic) that external tracers can
+//!   emit trivially;
+//! * [`TextTraceWriter`] / [`TextTraceReader`] — a `pc R|W vaddr`
+//!   line format with comments for hand-written regression inputs;
+//! * [`TraceStreamExt`] — the skip/take window discipline the paper uses
+//!   (fast-forward 2 B instructions, simulate 1 B) and sampling;
+//! * [`TraceStats`] — footprint / stride-histogram / reuse statistics
+//!   used to validate the synthetic application models.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tlbsim_core::MemoryAccess;
+//! use tlbsim_trace::{BinaryTraceReader, BinaryTraceWriter, TraceStreamExt};
+//!
+//! // Write a short trace to memory (a file works identically).
+//! let mut buf = Vec::new();
+//! let mut w = BinaryTraceWriter::create(&mut buf)?;
+//! for i in 0..1000u64 {
+//!     w.write(&MemoryAccess::read(0x400, i * 4096))?;
+//! }
+//! w.finish()?;
+//!
+//! // Read it back, skipping a warm-up prefix.
+//! let n = BinaryTraceReader::open(buf.as_slice())?
+//!     .map(|r| r.expect("valid record"))
+//!     .window(100, 500)
+//!     .count();
+//! assert_eq!(n, 500);
+//! # Ok::<(), tlbsim_trace::TraceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binary;
+mod error;
+mod stats;
+mod stream;
+mod text;
+
+pub use binary::{BinaryTraceReader, BinaryTraceWriter, MAGIC, VERSION};
+pub use error::TraceError;
+pub use stats::TraceStats;
+pub use stream::{Sampled, TraceStreamExt, TraceWindow};
+pub use text::{TextTraceReader, TextTraceWriter};

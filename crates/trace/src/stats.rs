@@ -1,0 +1,198 @@
+//! Descriptive statistics over a reference stream.
+//!
+//! These are the quantities the paper reasons about qualitatively in
+//! §3.2 — footprint, stride distribution, reuse behaviour — made
+//! measurable so that the synthetic application models in
+//! `tlbsim-workloads` can be validated against the behaviour class they
+//! claim to reproduce.
+
+use std::collections::HashMap;
+
+use tlbsim_core::{Distance, MemoryAccess, PageSize, VirtPage};
+
+/// Aggregate statistics of a reference stream at page granularity.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_core::MemoryAccess;
+/// use tlbsim_trace::TraceStats;
+///
+/// let stats = TraceStats::from_stream(
+///     (0..100u64).map(|i| MemoryAccess::read(0x40, i * 4096)),
+///     Default::default(),
+/// );
+/// assert_eq!(stats.accesses, 100);
+/// assert_eq!(stats.footprint_pages, 100);
+/// assert_eq!(stats.dominant_distance(), Some(tlbsim_core::Distance::ONE));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total references observed.
+    pub accesses: u64,
+    /// Distinct pages touched.
+    pub footprint_pages: u64,
+    /// Distinct PCs observed.
+    pub distinct_pcs: u64,
+    /// Fraction of references that write.
+    pub write_fraction: f64,
+    /// Histogram of page-granularity distances between *successive
+    /// references to different pages* (same-page runs collapse, mirroring
+    /// how the TLB miss stream hides intra-page locality).
+    pub distance_histogram: HashMap<i64, u64>,
+    /// Number of page transitions counted in the histogram.
+    pub transitions: u64,
+    /// Mean references per touched page (temporal reuse indicator).
+    pub mean_accesses_per_page: f64,
+}
+
+impl TraceStats {
+    /// Consumes a stream and computes its statistics.
+    pub fn from_stream(stream: impl Iterator<Item = MemoryAccess>, page_size: PageSize) -> Self {
+        let mut accesses = 0u64;
+        let mut writes = 0u64;
+        let mut pages: HashMap<VirtPage, u64> = HashMap::new();
+        let mut pcs: HashMap<u64, ()> = HashMap::new();
+        let mut histogram: HashMap<i64, u64> = HashMap::new();
+        let mut transitions = 0u64;
+        let mut prev_page: Option<VirtPage> = None;
+
+        for access in stream {
+            accesses += 1;
+            if access.kind == tlbsim_core::AccessKind::Write {
+                writes += 1;
+            }
+            let page = page_size.page_of(access.vaddr);
+            *pages.entry(page).or_insert(0) += 1;
+            pcs.insert(access.pc.raw(), ());
+            if let Some(prev) = prev_page {
+                if prev != page {
+                    let d = page.distance_from(prev).value();
+                    *histogram.entry(d).or_insert(0) += 1;
+                    transitions += 1;
+                    prev_page = Some(page);
+                }
+            } else {
+                prev_page = Some(page);
+            }
+        }
+
+        let footprint = pages.len() as u64;
+        TraceStats {
+            accesses,
+            footprint_pages: footprint,
+            distinct_pcs: pcs.len() as u64,
+            write_fraction: if accesses == 0 {
+                0.0
+            } else {
+                writes as f64 / accesses as f64
+            },
+            distance_histogram: histogram,
+            transitions,
+            mean_accesses_per_page: if footprint == 0 {
+                0.0
+            } else {
+                accesses as f64 / footprint as f64
+            },
+        }
+    }
+
+    /// The most frequent inter-page distance, if any transition occurred.
+    pub fn dominant_distance(&self) -> Option<Distance> {
+        self.distance_histogram
+            .iter()
+            .max_by_key(|(d, count)| (**count, -(d.abs())))
+            .map(|(d, _)| Distance::new(*d))
+    }
+
+    /// Fraction of transitions whose distance is `d`.
+    pub fn distance_share(&self, d: Distance) -> f64 {
+        if self.transitions == 0 {
+            return 0.0;
+        }
+        *self.distance_histogram.get(&d.value()).unwrap_or(&0) as f64 / self.transitions as f64
+    }
+
+    /// Number of distinct inter-page distances observed. Low counts mean
+    /// strided behaviour (classes (a)-(c) of §1); high counts mean
+    /// irregular behaviour (classes (d)-(e)).
+    pub fn distinct_distances(&self) -> usize {
+        self.distance_histogram.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(pc: u64, vaddr: u64) -> MemoryAccess {
+        MemoryAccess::read(pc, vaddr)
+    }
+
+    #[test]
+    fn empty_stream_is_all_zero() {
+        let s = TraceStats::from_stream(std::iter::empty(), PageSize::DEFAULT);
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.footprint_pages, 0);
+        assert_eq!(s.dominant_distance(), None);
+        assert_eq!(s.distance_share(Distance::ONE), 0.0);
+    }
+
+    #[test]
+    fn sequential_stream_is_pure_distance_one() {
+        let s = TraceStats::from_stream(
+            (0..64u64).map(|i| read(0x40, i * 4096)),
+            PageSize::DEFAULT,
+        );
+        assert_eq!(s.footprint_pages, 64);
+        assert_eq!(s.transitions, 63);
+        assert_eq!(s.distinct_distances(), 1);
+        assert!((s.distance_share(Distance::ONE) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_page_runs_collapse() {
+        // Four accesses per page: transitions still count pages, not refs.
+        let s = TraceStats::from_stream(
+            (0..64u64).map(|i| read(0x40, (i / 4) * 4096 + (i % 4) * 64)),
+            PageSize::DEFAULT,
+        );
+        assert_eq!(s.footprint_pages, 16);
+        assert_eq!(s.transitions, 15);
+        assert!((s.mean_accesses_per_page - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_fraction_counts_writes() {
+        let stream = (0..10u64).map(|i| {
+            if i < 3 {
+                MemoryAccess::write(0, i * 4096)
+            } else {
+                read(0, i * 4096)
+            }
+        });
+        let s = TraceStats::from_stream(stream, PageSize::DEFAULT);
+        assert!((s.write_fraction - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternating_strides_show_two_distances() {
+        // Pages 1, 2, 4, 5, 7, 8 — the paper's DP example string.
+        let pages = [1u64, 2, 4, 5, 7, 8];
+        let s = TraceStats::from_stream(
+            pages.iter().map(|p| read(0, p * 4096)),
+            PageSize::DEFAULT,
+        );
+        assert_eq!(s.distinct_distances(), 2);
+        assert_eq!(s.distance_histogram[&1], 3);
+        assert_eq!(s.distance_histogram[&2], 2);
+        assert_eq!(s.dominant_distance(), Some(Distance::ONE));
+    }
+
+    #[test]
+    fn distinct_pcs_counted() {
+        let stream = (0..10u64).map(|i| read(0x40 + (i % 3) * 4, i * 4096));
+        let s = TraceStats::from_stream(stream, PageSize::DEFAULT);
+        assert_eq!(s.distinct_pcs, 3);
+    }
+}

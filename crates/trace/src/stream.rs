@@ -1,0 +1,128 @@
+//! Iterator adapters over reference streams.
+//!
+//! The paper fast-forwards the first two billion instructions of each
+//! SPEC application and simulates the next billion (§3.1). These adapters
+//! express that discipline over any `Iterator<Item = MemoryAccess>`:
+//! [`TraceWindow`] skips then takes, and [`Sampled`] keeps every `n`-th
+//! record for quick exploratory runs.
+
+use tlbsim_core::MemoryAccess;
+
+/// Extension methods for reference streams.
+pub trait TraceStreamExt: Iterator<Item = MemoryAccess> + Sized {
+    /// Skips `skip` references and yields at most `take` after that —
+    /// the fast-forward + simulate window of §3.1.
+    fn window(self, skip: u64, take: u64) -> TraceWindow<Self> {
+        TraceWindow {
+            inner: self,
+            skip,
+            remaining: take,
+        }
+    }
+
+    /// Keeps every `period`-th reference (1 keeps everything).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    fn sample(self, period: u64) -> Sampled<Self> {
+        assert!(period > 0, "sampling period must be at least 1");
+        Sampled {
+            inner: self,
+            period,
+            seen: 0,
+        }
+    }
+}
+
+impl<I: Iterator<Item = MemoryAccess>> TraceStreamExt for I {}
+
+/// Iterator returned by [`TraceStreamExt::window`].
+#[derive(Debug, Clone)]
+pub struct TraceWindow<I> {
+    inner: I,
+    skip: u64,
+    remaining: u64,
+}
+
+impl<I: Iterator<Item = MemoryAccess>> Iterator for TraceWindow<I> {
+    type Item = MemoryAccess;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.skip > 0 {
+            self.inner.next()?;
+            self.skip -= 1;
+        }
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.inner.next()
+    }
+}
+
+/// Iterator returned by [`TraceStreamExt::sample`].
+#[derive(Debug, Clone)]
+pub struct Sampled<I> {
+    inner: I,
+    period: u64,
+    seen: u64,
+}
+
+impl<I: Iterator<Item = MemoryAccess>> Iterator for Sampled<I> {
+    type Item = MemoryAccess;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let item = self.inner.next()?;
+            self.seen += 1;
+            if (self.seen - 1).is_multiple_of(self.period) {
+                return Some(item);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n: u64) -> impl Iterator<Item = MemoryAccess> {
+        (0..n).map(|i| MemoryAccess::read(i, i * 4096))
+    }
+
+    #[test]
+    fn window_skips_then_takes() {
+        let got: Vec<u64> = stream(10).window(3, 4).map(|a| a.pc.raw()).collect();
+        assert_eq!(got, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn window_truncates_at_stream_end() {
+        let got: Vec<u64> = stream(5).window(3, 100).map(|a| a.pc.raw()).collect();
+        assert_eq!(got, vec![3, 4]);
+    }
+
+    #[test]
+    fn window_of_zero_is_empty() {
+        assert_eq!(stream(5).window(0, 0).count(), 0);
+        assert_eq!(stream(5).window(10, 5).count(), 0);
+    }
+
+    #[test]
+    fn sample_keeps_every_nth() {
+        let got: Vec<u64> = stream(10).sample(3).map(|a| a.pc.raw()).collect();
+        assert_eq!(got, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn sample_of_one_is_identity() {
+        assert_eq!(stream(7).sample(1).count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn sample_zero_panics() {
+        let _ = stream(3).sample(0);
+    }
+}

@@ -1,0 +1,240 @@
+//! The human-readable text trace format.
+//!
+//! One record per line: `<pc-hex> <R|W> <vaddr-hex>`, e.g.
+//!
+//! ```text
+//! 0x400a10 R 0x7f3218004008
+//! 0x400a14 W 0x7f3218004010
+//! ```
+//!
+//! Lines that are empty or start with `#` are ignored, so traces can be
+//! annotated. This mirrors the "din"-style formats emitted by classic
+//! tracing tools and is convenient for hand-written regression inputs.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use tlbsim_core::{AccessKind, MemoryAccess};
+
+use crate::error::TraceError;
+
+/// Streaming writer for the text format.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_core::MemoryAccess;
+/// use tlbsim_trace::{TextTraceReader, TextTraceWriter};
+///
+/// let mut buf = Vec::new();
+/// let mut w = TextTraceWriter::create(&mut buf);
+/// w.write(&MemoryAccess::write(0x400, 0x123456))?;
+/// w.finish()?;
+/// let text = String::from_utf8(buf.clone()).unwrap();
+/// assert_eq!(text.lines().last().unwrap(), "0x400 W 0x123456");
+/// # Ok::<(), tlbsim_trace::TraceError>(())
+/// ```
+#[derive(Debug)]
+pub struct TextTraceWriter<W: Write> {
+    out: BufWriter<W>,
+    written: u64,
+}
+
+impl<W: Write> TextTraceWriter<W> {
+    /// Creates a text writer (no header is needed).
+    pub fn create(out: W) -> Self {
+        TextTraceWriter {
+            out: BufWriter::new(out),
+            written: 0,
+        }
+    }
+
+    /// Appends one record as a line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on write failure.
+    pub fn write(&mut self, access: &MemoryAccess) -> Result<(), TraceError> {
+        writeln!(
+            self.out,
+            "{:#x} {} {:#x}",
+            access.pc.raw(),
+            access.kind,
+            access.vaddr.raw()
+        )?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Writes a `#`-prefixed comment line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on write failure.
+    pub fn comment(&mut self, text: &str) -> Result<(), TraceError> {
+        writeln!(self.out, "# {text}")?;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if the flush fails.
+    pub fn finish(self) -> Result<W, TraceError> {
+        self.out.into_inner().map_err(|e| {
+            TraceError::Io(std::io::Error::other(e.to_string()))
+        })
+    }
+}
+
+/// Streaming reader for the text format; iterate to consume.
+#[derive(Debug)]
+pub struct TextTraceReader<R: Read> {
+    lines: std::io::Lines<BufReader<R>>,
+    line_no: u64,
+}
+
+impl<R: Read> TextTraceReader<R> {
+    /// Creates a text reader.
+    pub fn open(input: R) -> Self {
+        TextTraceReader {
+            lines: BufReader::new(input).lines(),
+            line_no: 0,
+        }
+    }
+
+    fn parse_line(&self, line: &str) -> Result<MemoryAccess, TraceError> {
+        let mut fields = line.split_whitespace();
+        let (Some(pc), Some(kind), Some(vaddr), None) = (
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+        ) else {
+            return Err(TraceError::Parse {
+                line: self.line_no,
+                message: format!("expected `pc R|W vaddr`, got {line:?}"),
+            });
+        };
+        let parse_hex = |s: &str, what: &str| -> Result<u64, TraceError> {
+            let digits = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X"));
+            u64::from_str_radix(digits.unwrap_or(s), 16).map_err(|e| TraceError::Parse {
+                line: self.line_no,
+                message: format!("bad {what} {s:?}: {e}"),
+            })
+        };
+        let kind = match kind {
+            "R" | "r" => AccessKind::Read,
+            "W" | "w" => AccessKind::Write,
+            other => {
+                return Err(TraceError::Parse {
+                    line: self.line_no,
+                    message: format!("bad access kind {other:?}"),
+                })
+            }
+        };
+        Ok(MemoryAccess {
+            pc: parse_hex(pc, "pc")?.into(),
+            vaddr: parse_hex(vaddr, "vaddr")?.into(),
+            kind,
+        })
+    }
+}
+
+impl<R: Read> Iterator for TextTraceReader<R> {
+    type Item = Result<MemoryAccess, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(line) => line,
+                Err(e) => return Some(Err(TraceError::Io(e))),
+            };
+            self.line_no += 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            return Some(self.parse_line(trimmed));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let recs: Vec<MemoryAccess> = (0..50)
+            .map(|i| {
+                if i % 3 == 0 {
+                    MemoryAccess::write(i, i * 4096 + 17)
+                } else {
+                    MemoryAccess::read(i, i * 4096)
+                }
+            })
+            .collect();
+        let mut buf = Vec::new();
+        let mut w = TextTraceWriter::create(&mut buf);
+        w.comment("synthetic test trace").unwrap();
+        for r in &recs {
+            w.write(r).unwrap();
+        }
+        w.finish().unwrap();
+        let got: Vec<MemoryAccess> = TextTraceReader::open(buf.as_slice())
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(got, recs);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# header\n\n0x10 R 0x20\n  \n# tail\n0x14 W 0x30\n";
+        let got: Vec<MemoryAccess> = TextTraceReader::open(text.as_bytes())
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn bare_hex_without_prefix_is_accepted() {
+        let text = "400a10 r 7f32\n";
+        let got: Vec<MemoryAccess> = TextTraceReader::open(text.as_bytes())
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(got[0].pc.raw(), 0x400a10);
+        assert_eq!(got[0].vaddr.raw(), 0x7f32);
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let text = "0x10 R 0x20\nnot a record\n";
+        let mut r = TextTraceReader::open(text.as_bytes());
+        assert!(r.next().unwrap().is_ok());
+        match r.next().unwrap() {
+            Err(TraceError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_kind_is_rejected() {
+        let text = "0x10 X 0x20\n";
+        let mut r = TextTraceReader::open(text.as_bytes());
+        assert!(matches!(r.next(), Some(Err(TraceError::Parse { .. }))));
+    }
+
+    #[test]
+    fn bad_hex_is_rejected() {
+        let text = "0xZZ R 0x20\n";
+        let mut r = TextTraceReader::open(text.as_bytes());
+        assert!(matches!(r.next(), Some(Err(TraceError::Parse { .. }))));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests: both trace codecs round-trip arbitrary records, and
+//! the two formats agree with each other.
+
+use proptest::prelude::*;
+use tlbsim_core::{AccessKind, MemoryAccess};
+use tlbsim_trace::{
+    BinaryTraceReader, BinaryTraceWriter, TextTraceReader, TextTraceWriter, TraceStreamExt,
+};
+
+fn arb_access() -> impl Strategy<Value = MemoryAccess> {
+    (any::<u64>(), any::<u64>(), prop::bool::ANY).prop_map(|(pc, vaddr, write)| MemoryAccess {
+        pc: pc.into(),
+        vaddr: vaddr.into(),
+        kind: if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
+    })
+}
+
+proptest! {
+    #[test]
+    fn binary_roundtrip(records in prop::collection::vec(arb_access(), 0..200)) {
+        let mut buf = Vec::new();
+        let mut w = BinaryTraceWriter::create(&mut buf).unwrap();
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        w.finish().unwrap();
+        let got: Vec<MemoryAccess> = BinaryTraceReader::open(buf.as_slice())
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        prop_assert_eq!(got, records);
+    }
+
+    #[test]
+    fn text_roundtrip(records in prop::collection::vec(arb_access(), 0..200)) {
+        let mut buf = Vec::new();
+        let mut w = TextTraceWriter::create(&mut buf);
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        w.finish().unwrap();
+        let got: Vec<MemoryAccess> = TextTraceReader::open(buf.as_slice())
+            .map(|r| r.unwrap())
+            .collect();
+        prop_assert_eq!(got, records);
+    }
+
+    #[test]
+    fn formats_agree(records in prop::collection::vec(arb_access(), 0..100)) {
+        let mut bin = Vec::new();
+        let mut bw = BinaryTraceWriter::create(&mut bin).unwrap();
+        let mut txt = Vec::new();
+        let mut tw = TextTraceWriter::create(&mut txt);
+        for r in &records {
+            bw.write(r).unwrap();
+            tw.write(r).unwrap();
+        }
+        bw.finish().unwrap();
+        tw.finish().unwrap();
+        let from_bin: Vec<MemoryAccess> = BinaryTraceReader::open(bin.as_slice())
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        let from_txt: Vec<MemoryAccess> = TextTraceReader::open(txt.as_slice())
+            .map(|r| r.unwrap())
+            .collect();
+        prop_assert_eq!(from_bin, from_txt);
+    }
+
+    #[test]
+    fn window_equals_skip_take(
+        records in prop::collection::vec(arb_access(), 0..100),
+        skip in 0u64..50,
+        take in 0u64..50,
+    ) {
+        let via_window: Vec<MemoryAccess> = records
+            .iter()
+            .copied()
+            .window(skip, take)
+            .collect();
+        let via_std: Vec<MemoryAccess> = records
+            .iter()
+            .copied()
+            .skip(skip as usize)
+            .take(take as usize)
+            .collect();
+        prop_assert_eq!(via_window, via_std);
+    }
+}

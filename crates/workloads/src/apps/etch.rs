@@ -1,0 +1,107 @@
+//! Etch desktop-application trace models (5 applications).
+//!
+//! The Etch traces are "characteristic of desktop/PC applications"
+//! (§3.1): window-system and interpreter codes with mixed phases. §3.2
+//! singles out mpegply, msvc and perl4 among the applications where "DP
+//! does much better than the others", with msvc in the DP-only group.
+
+use crate::apps::{AppSpec, Suite};
+use crate::class::ReferenceClass;
+use crate::gen::VisitStream;
+use crate::primitives::{BlockChase, DistanceCycle, HotSet, Mix, RandomWalk, RotatePc};
+use crate::scale::Scale;
+
+const HEAP: u64 = 0x40_0000;
+const NOISE: u64 = 0x78_0000;
+const HOT: u64 = 0x08_0000;
+
+fn b(x: impl Iterator<Item = crate::gen::Visit> + Send + 'static) -> VisitStream {
+    Box::new(x)
+}
+
+/// bcc: compiler driver re-walking 4-page object-node runs in fixed
+/// order, like gcc: RP strong, DP close via within-run distances.
+fn bcc(s: Scale) -> VisitStream {
+    b(RotatePc::new(
+        b(BlockChase::new(HEAP, 170, 4, s.scaled(8), 32, 0x70010, 0x2001)),
+        0x70010,
+        3,
+    ))
+}
+
+/// mpegply: video playback advances through frame buffers with a
+/// (1,1,63) row cycle — class (d), DP-dominant (§3.2).
+fn mpegply(s: Scale) -> VisitStream {
+    b(DistanceCycle::new(HEAP, vec![1, 1, 63], s.scaled(1000), 150, 0x70020))
+}
+
+/// msvc: the IDE's symbol/edit structures hop with a high-fanout
+/// repeated-value cycle plus scatter: DP is the only mechanism with
+/// noticeable accuracy, below 20% (§3.2).
+fn msvc(s: Scale) -> VisitStream {
+    let cycle = DistanceCycle::new(HEAP + 30, vec![4, 3, 4, 13, 4, -6], s.scaled(950), 95, 0x70030);
+    let noise = RandomWalk::new(NOISE, 3500, s.scaled(330), 95, 0x70034, 0x2112);
+    b(Mix::new(b(cycle), b(noise), 4))
+}
+
+/// perl4: the interpreter streams fresh string arenas with a (1,17)
+/// hash-probe cycle over a resident opcode table — DP-dominant (§3.2).
+fn perl4(s: Scale) -> VisitStream {
+    let cycle = DistanceCycle::new(HEAP, vec![1, 17], s.scaled(900), 140, 0x70040);
+    let table = HotSet::new(HOT, 20, s.scaled(180), 55, 0x70044, 0x2223);
+    b(Mix::new(b(cycle), b(table), 6))
+}
+
+/// winword: document editing mixes short fixed-order structure walks
+/// with unpredictable UI scatter; everything lands mid-to-low, RP
+/// moderate.
+fn winword(s: Scale) -> VisitStream {
+    let walk = RotatePc::new(
+        b(BlockChase::new(HEAP, 150, 2, s.scaled(8), 32, 0x70050, 0x2334)),
+        0x70050,
+        3,
+    );
+    let noise = RandomWalk::new(NOISE, 2500, s.scaled(900), 40, 0x70054, 0x2445);
+    b(Mix::new(b(walk), b(noise), 3))
+}
+
+/// The registered Etch models, in the paper's Figure 8 order.
+pub static APPS: [AppSpec; 5] = [
+    AppSpec {
+        name: "bcc",
+        suite: Suite::Etch,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "Fixed-order 4-page object runs (gcc-like); RP strong, DP close.",
+        build: bcc,
+    },
+    AppSpec {
+        name: "mpegply",
+        suite: Suite::Etch,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "Frame-buffer advance with a (1,1,63) cycle; DP much better than the \
+                      others.",
+        build: mpegply,
+    },
+    AppSpec {
+        name: "msvc",
+        suite: Suite::Etch,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "High-fanout symbol-table cycle plus UI scatter; DP-only, below 20%.",
+        build: msvc,
+    },
+    AppSpec {
+        name: "perl4",
+        suite: Suite::Etch,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "Fresh string arenas with a (1,17) probe cycle; DP much better than the \
+                      others.",
+        build: perl4,
+    },
+    AppSpec {
+        name: "winword",
+        suite: Suite::Etch,
+        class: ReferenceClass::Irregular,
+        description: "Short structure walks drowned in UI scatter; every mechanism mediocre.",
+        build: winword,
+    },
+];

@@ -1,0 +1,314 @@
+//! MediaBench application models (20 applications).
+//!
+//! MediaBench codes are "characteristic of those in embedded and media
+//! processing systems" (§3.1): smaller working sets, heavy streaming, and
+//! — per §3.2 — several applications (gsm, jpeg) where DP is the only
+//! mechanism with any noticeable predictions.
+
+use crate::apps::{AppSpec, Suite};
+use crate::class::ReferenceClass;
+use crate::gen::VisitStream;
+use crate::primitives::{BlockChase, DistanceCycle, HotSet, LoopedScan, Mix, RandomWalk, RotatePc, StridedScan};
+use crate::scale::Scale;
+
+const HEAP: u64 = 0x30_0000;
+const NOISE: u64 = 0x70_0000;
+const HOT: u64 = 0x06_0000;
+
+fn b(x: impl Iterator<Item = crate::gen::Visit> + Send + 'static) -> VisitStream {
+    Box::new(x)
+}
+
+/// adpcm-enc: the audio sample buffer streams sequentially and is
+/// re-encoded lap after lap — the second-highest miss rate in the study
+/// (0.192). RP, ASP and DP all excel; MP "performs very poorly" because
+/// the 3000-page footprint swamps its table (§3.2).
+fn adpcm_enc(s: Scale) -> VisitStream {
+    b(LoopedScan::new(HEAP, 1, 3000, s.scaled(4), 5, 0x60010))
+}
+
+/// adpcm-dec: decode direction of the same streaming pattern.
+fn adpcm_dec(s: Scale) -> VisitStream {
+    b(LoopedScan::new(HEAP, 1, 2800, s.scaled(4), 5, 0x60020))
+}
+
+/// epic: wavelet pyramid built over fresh image planes with a constant
+/// 2-page stride — first-touch class (a), ASP/DP territory (§3.2).
+fn epic(s: Scale) -> VisitStream {
+    b(StridedScan::new(HEAP, 2, s.scaled(700), 160, 0x60030))
+}
+
+/// unepic: the inverse transform, smaller output planes.
+fn unepic(s: Scale) -> VisitStream {
+    b(StridedScan::new(HEAP, 2, s.scaled(500), 160, 0x60040))
+}
+
+/// gsm-enc: codebook search hops with a repeated-value distance cycle
+/// (fan-out 3 exceeds DP's two slots) plus scatter noise: "DP is the
+/// only mechanism which makes any noticeable predictions (even if the
+/// accuracy does not exceed 20%)" (§3.2).
+fn gsm_enc(s: Scale) -> VisitStream {
+    let cycle = DistanceCycle::new(HEAP + 50, vec![9, 4, 9, 17, 9, -6], s.scaled(1000), 95, 0x60050);
+    let noise = RandomWalk::new(NOISE, 4000, s.scaled(340), 95, 0x60054, 0xe001);
+    b(Mix::new(b(cycle), b(noise), 4))
+}
+
+/// gsm-dec: same structure, decode tables.
+fn gsm_dec(s: Scale) -> VisitStream {
+    let cycle = DistanceCycle::new(HEAP + 80, vec![7, 3, 7, -2, 7, 15], s.scaled(950), 95, 0x60060);
+    let noise = RandomWalk::new(NOISE, 4000, s.scaled(320), 95, 0x60064, 0xe112);
+    b(Mix::new(b(cycle), b(noise), 4))
+}
+
+/// rasta: speech front-end mixing fixed-order filter-bank walks with
+/// scatter; RP moderate, DP close behind.
+fn rasta(s: Scale) -> VisitStream {
+    let walk = RotatePc::new(
+        b(BlockChase::new(HEAP, 120, 3, s.scaled(9), 45, 0x60070, 0xf223)),
+        0x60070,
+        3,
+    );
+    let noise = RandomWalk::new(NOISE, 2000, s.scaled(700), 45, 0x60074, 0xf334);
+    b(Mix::new(b(walk), b(noise), 5))
+}
+
+/// gs: ghostscript page rendering revisits glyph/raster bands in fixed
+/// order; the paper lists gs among the applications where RP gives "the
+/// best, or close to the best performance" (§3.2).
+fn gs(s: Scale) -> VisitStream {
+    b(RotatePc::new(
+        b(BlockChase::new(HEAP, 130, 2, s.scaled(12), 30, 0x60080, 0x1445)),
+        0x60080,
+        3,
+    ))
+}
+
+/// g721-enc: tiny resident codec state — "so few TLB misses that a
+/// significant history does not build up" (§3.2).
+fn g721_enc(s: Scale) -> VisitStream {
+    b(HotSet::new(HEAP, 40, s.scaled(6_000), 25, 0x60090, 0x1556))
+}
+
+/// g721-dec: same, decode direction.
+fn g721_dec(s: Scale) -> VisitStream {
+    b(HotSet::new(HEAP, 36, s.scaled(5_500), 25, 0x600a0, 0x1667))
+}
+
+/// mipmap (osdemo-mesa): mip-level downsampling strides through fresh
+/// texture levels (stride 4); ASP/DP capture the first-touch pattern
+/// (§3.2 lists mipmap in the ASP-friendly group).
+fn mipmap(s: Scale) -> VisitStream {
+    b(StridedScan::new(HEAP, 4, s.scaled(750), 160, 0x600b0))
+}
+
+/// jpeg-enc: DCT macroblock sweeps with a repeated-value distance cycle
+/// plus table noise; only DP predicts, below 20% (§3.2).
+fn jpeg_enc(s: Scale) -> VisitStream {
+    let cycle = DistanceCycle::new(HEAP + 20, vec![6, 5, 6, 23, 6, -8], s.scaled(900), 95, 0x600c0);
+    let noise = RandomWalk::new(NOISE, 3000, s.scaled(300), 95, 0x600c4, 0x1778);
+    b(Mix::new(b(cycle), b(noise), 4))
+}
+
+/// jpeg-dec: inverse transform, same structure.
+fn jpeg_dec(s: Scale) -> VisitStream {
+    let cycle = DistanceCycle::new(HEAP + 40, vec![5, 4, 5, 21, 5, -7], s.scaled(850), 95, 0x600d0);
+    let noise = RandomWalk::new(NOISE, 3000, s.scaled(280), 95, 0x600d4, 0x1889);
+    b(Mix::new(b(cycle), b(noise), 4))
+}
+
+/// texgen (texgen-mesa): texture-coordinate generation rescans a large
+/// texture with stride 3; RP and ASP both do well, MP cannot hold the
+/// footprint (§3.2 pairs texgen with adpcm in this respect).
+fn texgen(s: Scale) -> VisitStream {
+    b(LoopedScan::new(HEAP, 3, 2600, s.scaled(2), 40, 0x600e0))
+}
+
+/// mpeg-enc: motion estimation walks macroblock rows with a
+/// (1,1,1,1,30) row-advance cycle — DP-dominant class (d).
+fn mpeg_enc(s: Scale) -> VisitStream {
+    b(DistanceCycle::new(HEAP, vec![1, 1, 1, 1, 30], s.scaled(1000), 150, 0x600f0))
+}
+
+/// mpeg-dec: block reconstruction alternates (1, 31) between reference
+/// and output frames — a pure two-distance cycle where "DP does much
+/// better than the others" (§3.2).
+fn mpeg_dec(s: Scale) -> VisitStream {
+    b(DistanceCycle::new(HEAP, vec![1, 31], s.scaled(1000), 150, 0x60100))
+}
+
+/// pgp-enc: RSA/IDEA encryption streams the message buffer once —
+/// first-touch sequential, ASP/DP-friendly (§3.2).
+fn pgp_enc(s: Scale) -> VisitStream {
+    b(StridedScan::new(HEAP, 1, s.scaled(800), 160, 0x60110))
+}
+
+/// pgp-dec: mostly-resident decryption state; the paper groups pgp-dec
+/// with the applications where no mechanism makes significant
+/// predictions because misses are so few (§3.2).
+fn pgp_dec(s: Scale) -> VisitStream {
+    b(HotSet::new(HEAP, 50, s.scaled(5_500), 22, 0x60120, 0x199a))
+}
+
+/// pegwit-enc: elliptic-curve encryption streaming a fresh message
+/// buffer over a resident curve table.
+fn pegwit_enc(s: Scale) -> VisitStream {
+    let fresh = StridedScan::new(HEAP, 1, s.scaled(500), 140, 0x60130);
+    let table = HotSet::new(HOT, 20, s.scaled(125), 60, 0x60134, 0x1aab);
+    b(Mix::new(b(fresh), b(table), 5))
+}
+
+/// pegwit-dec: same structure, smaller buffer.
+fn pegwit_dec(s: Scale) -> VisitStream {
+    let fresh = StridedScan::new(HEAP, 1, s.scaled(450), 140, 0x60140);
+    let table = HotSet::new(HOT, 20, s.scaled(110), 60, 0x60144, 0x1bbc);
+    b(Mix::new(b(fresh), b(table), 5))
+}
+
+/// The registered MediaBench models, in the paper's Figure 8 order.
+pub static APPS: [AppSpec; 20] = [
+    AppSpec {
+        name: "adpcm-enc",
+        suite: Suite::MediaBench,
+        class: ReferenceClass::StridedRepeated,
+        description: "Sequential sample-buffer rescans at miss rate ~0.192; RP/ASP/DP all \
+                      excel, MP's table is swamped.",
+        build: adpcm_enc,
+    },
+    AppSpec {
+        name: "adpcm-dec",
+        suite: Suite::MediaBench,
+        class: ReferenceClass::StridedRepeated,
+        description: "Decode direction of adpcm-enc's streaming rescan pattern.",
+        build: adpcm_dec,
+    },
+    AppSpec {
+        name: "epic",
+        suite: Suite::MediaBench,
+        class: ReferenceClass::StridedOnce,
+        description: "Fresh stride-2 wavelet planes; first-touch misses favour ASP and DP.",
+        build: epic,
+    },
+    AppSpec {
+        name: "unepic",
+        suite: Suite::MediaBench,
+        class: ReferenceClass::StridedOnce,
+        description: "Inverse wavelet transform, smaller fresh planes, stride 2.",
+        build: unepic,
+    },
+    AppSpec {
+        name: "gsm-enc",
+        suite: Suite::MediaBench,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "High-fanout distance cycle plus scatter noise: DP is the only mechanism \
+                      with noticeable (sub-20%) accuracy.",
+        build: gsm_enc,
+    },
+    AppSpec {
+        name: "gsm-dec",
+        suite: Suite::MediaBench,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "Decode-side high-fanout distance cycle; DP-only, below 20%.",
+        build: gsm_dec,
+    },
+    AppSpec {
+        name: "rasta",
+        suite: Suite::MediaBench,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "Fixed-order filter-bank walk with scatter; RP moderate, DP close.",
+        build: rasta,
+    },
+    AppSpec {
+        name: "gs",
+        suite: Suite::MediaBench,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "Fixed-order glyph/raster band revisits; RP best or close to best.",
+        build: gs,
+    },
+    AppSpec {
+        name: "g721-enc",
+        suite: Suite::MediaBench,
+        class: ReferenceClass::Irregular,
+        description: "Tiny resident codec state: too few misses for any history or pattern.",
+        build: g721_enc,
+    },
+    AppSpec {
+        name: "g721-dec",
+        suite: Suite::MediaBench,
+        class: ReferenceClass::Irregular,
+        description: "Decode twin of g721-enc: too few misses to predict.",
+        build: g721_dec,
+    },
+    AppSpec {
+        name: "mipmap-mesa",
+        suite: Suite::MediaBench,
+        class: ReferenceClass::StridedOnce,
+        description: "Fresh stride-4 texture levels; ASP and DP capture first-touch misses.",
+        build: mipmap,
+    },
+    AppSpec {
+        name: "jpeg-enc",
+        suite: Suite::MediaBench,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "Macroblock distance cycle with fan-out beyond s=2 plus noise; DP-only, \
+                      below 20%.",
+        build: jpeg_enc,
+    },
+    AppSpec {
+        name: "jpeg-dec",
+        suite: Suite::MediaBench,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "Inverse-DCT twin of jpeg-enc; DP-only, below 20%.",
+        build: jpeg_dec,
+    },
+    AppSpec {
+        name: "texgen-mesa",
+        suite: Suite::MediaBench,
+        class: ReferenceClass::StridedRepeated,
+        description: "Stride-3 texture rescans over 2600 pages; RP and ASP do well, MP \
+                      cannot hold the footprint.",
+        build: texgen,
+    },
+    AppSpec {
+        name: "mpeg-enc",
+        suite: Suite::MediaBench,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "Macroblock rows with a (1,1,1,1,30) cycle; DP dominant, ASP partial.",
+        build: mpeg_enc,
+    },
+    AppSpec {
+        name: "mpeg-dec",
+        suite: Suite::MediaBench,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "Pure (1,31) two-distance cycle between frames; DP much better than all \
+                      others.",
+        build: mpeg_dec,
+    },
+    AppSpec {
+        name: "pgp-enc",
+        suite: Suite::MediaBench,
+        class: ReferenceClass::StridedOnce,
+        description: "Sequential first-touch message buffer; ASP/DP capture cold misses.",
+        build: pgp_enc,
+    },
+    AppSpec {
+        name: "pgp-dec",
+        suite: Suite::MediaBench,
+        class: ReferenceClass::Irregular,
+        description: "Resident decryption state: too few misses for any mechanism.",
+        build: pgp_dec,
+    },
+    AppSpec {
+        name: "pegwitenc",
+        suite: Suite::MediaBench,
+        class: ReferenceClass::StridedOnce,
+        description: "Fresh message streaming over a resident curve table; stride-friendly.",
+        build: pegwit_enc,
+    },
+    AppSpec {
+        name: "pegwitdec",
+        suite: Suite::MediaBench,
+        class: ReferenceClass::StridedOnce,
+        description: "Decode twin of pegwitenc with a smaller buffer.",
+        build: pegwit_dec,
+    },
+];

@@ -1,0 +1,115 @@
+//! Pointer-Intensive benchmark suite models (5 applications).
+//!
+//! The suite "helps us evaluate the mechanisms for non-array based
+//! reference behavior, which can be more irregular" (§3.1). Per §3.2,
+//! anagram and yacr2 sit in the first-touch/strided group, bc and ks
+//! have "so few TLB misses" that nothing matters (with DP the only
+//! mechanism showing any predictions), and ft exercises fixed-order
+//! pointer chasing.
+
+use crate::apps::{AppSpec, Suite};
+use crate::class::ReferenceClass;
+use crate::gen::VisitStream;
+use crate::primitives::{phases, BlockChase, DistanceCycle, HotSet, Mix, RandomWalk, RotatePc, StridedScan};
+use crate::scale::Scale;
+
+const HEAP: u64 = 0x50_0000;
+const NOISE: u64 = 0x7c_0000;
+const HOT: u64 = 0x0a_0000;
+
+fn b(x: impl Iterator<Item = crate::gen::Visit> + Send + 'static) -> VisitStream {
+    Box::new(x)
+}
+
+/// anagram: streams a fresh word list once over a resident dictionary —
+/// cold misses "become prominent" and ASP/DP capture them (§3.2).
+fn anagram(s: Scale) -> VisitStream {
+    let words = StridedScan::new(HEAP, 1, s.scaled(550), 120, 0x80010);
+    let dict = HotSet::new(HOT, 20, s.scaled(140), 55, 0x80014, 0x3001);
+    b(Mix::new(b(words), b(dict), 4))
+}
+
+/// bc: the calculator's state is resident (few misses, §3.2); a brief
+/// high-fanout expression-tree phase leaves DP the only mechanism with
+/// any predictions at all.
+fn bc(s: Scale) -> VisitStream {
+    let resident = HotSet::new(HEAP, 80, s.scaled(6_000), 20, 0x80020, 0x3112);
+    let trees = Mix::new(
+        b(DistanceCycle::new(HEAP + 200, vec![3, 2, 3, 10, 3, -4], s.scaled(260), 4, 0x80024)),
+        b(RandomWalk::new(NOISE, 1500, s.scaled(90), 4, 0x80028, 0x3223)),
+        4,
+    );
+    phases(vec![b(resident), b(trees)])
+}
+
+/// ft: the Fibonacci-heap/graph benchmark re-walks 2-page node pairs in
+/// fixed order — history (RP) territory with modest DP coverage.
+fn ft(s: Scale) -> VisitStream {
+    b(RotatePc::new(
+        b(BlockChase::new(HEAP, 240, 2, s.scaled(9), 35, 0x80030, 0x3334)),
+        0x80030,
+        3,
+    ))
+}
+
+/// ks: the Kernighan-Schweikert partitioner keeps its netlist resident
+/// (few misses, §3.2); a short noisy gain-update cycle gives DP its
+/// sub-20% edge.
+fn ks(s: Scale) -> VisitStream {
+    let resident = HotSet::new(HEAP, 64, s.scaled(5_000), 18, 0x80040, 0x3445);
+    let updates = Mix::new(
+        b(DistanceCycle::new(HEAP + 150, vec![4, 2, 4, 9, 4, -5], s.scaled(400), 4, 0x80044)),
+        b(RandomWalk::new(NOISE, 1200, s.scaled(80), 4, 0x80048, 0x3556)),
+        4,
+    );
+    phases(vec![b(resident), b(updates)])
+}
+
+/// yacr2: channel routing sweeps fresh track arrays with stride 2;
+/// first-touch strided misses favour ASP and DP (§3.2).
+fn yacr2(s: Scale) -> VisitStream {
+    b(StridedScan::new(HEAP, 2, s.scaled(500), 140, 0x80050))
+}
+
+/// The registered Pointer-Intensive models, in the paper's Figure 8
+/// order.
+pub static APPS: [AppSpec; 5] = [
+    AppSpec {
+        name: "anagram",
+        suite: Suite::PointerIntensive,
+        class: ReferenceClass::StridedOnce,
+        description: "Fresh word-list streaming over a resident dictionary; cold strided \
+                      misses favour ASP/DP.",
+        build: anagram,
+    },
+    AppSpec {
+        name: "bc",
+        suite: Suite::PointerIntensive,
+        class: ReferenceClass::Irregular,
+        description: "Resident calculator state with a brief noisy tree phase; few misses, \
+                      DP-only predictions.",
+        build: bc,
+    },
+    AppSpec {
+        name: "ft",
+        suite: Suite::PointerIntensive,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "Fixed-order 2-page node pairs; RP leads, DP moderate.",
+        build: ft,
+    },
+    AppSpec {
+        name: "ks",
+        suite: Suite::PointerIntensive,
+        class: ReferenceClass::Irregular,
+        description: "Resident netlist with a short noisy update cycle; few misses, DP-only \
+                      predictions.",
+        build: ks,
+    },
+    AppSpec {
+        name: "yacr2",
+        suite: Suite::PointerIntensive,
+        class: ReferenceClass::StridedOnce,
+        description: "Fresh stride-2 track arrays; first-touch misses favour ASP/DP.",
+        build: yacr2,
+    },
+];

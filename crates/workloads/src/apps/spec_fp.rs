@@ -1,0 +1,235 @@
+//! SPEC CPU2000 floating-point application models (14 applications).
+
+use crate::apps::{AppSpec, Suite};
+use crate::class::ReferenceClass;
+use crate::gen::VisitStream;
+use crate::primitives::{BlockChase, DistanceCycle, LoopedScan, PointerChase, RotatePc, StridedScan};
+use crate::scale::Scale;
+
+const HEAP: u64 = 0x20_0000;
+
+fn b(x: impl Iterator<Item = crate::gen::Visit> + Send + 'static) -> VisitStream {
+    Box::new(x)
+}
+
+/// wupwise: blocked BLAS-style kernels walk fresh lattice planes with a
+/// short repeating distance cycle (two unit steps then a row jump) —
+/// class (d), where "DP does much better than the others" (§3.2).
+fn wupwise(s: Scale) -> VisitStream {
+    b(DistanceCycle::new(HEAP, vec![1, 1, 6], s.scaled(1000), 200, 0x50010))
+}
+
+/// swim: shallow-water stencils sweep columns of a row-major grid: three
+/// unit steps then a 497-page row advance. The changing stride defeats
+/// ASP's steady state most of the time; DP holds both transitions.
+fn swim(s: Scale) -> VisitStream {
+    b(DistanceCycle::new(HEAP, vec![1, 1, 497], s.scaled(1000), 200, 0x50020))
+}
+
+/// mgrid: multigrid restriction/prolongation hops between grid levels
+/// with a repeating (+7, +7, +13) inter-plane cycle — class (d).
+fn mgrid(s: Scale) -> VisitStream {
+    b(DistanceCycle::new(HEAP + 100, vec![7, 7, 13], s.scaled(1000), 200, 0x50030))
+}
+
+/// applu: SSOR sweeps with a (+2, +2, +9) pencil-advance cycle — class
+/// (d), DP-dominant.
+fn applu(s: Scale) -> VisitStream {
+    b(DistanceCycle::new(HEAP, vec![2, 2, 9], s.scaled(1000), 200, 0x50040))
+}
+
+/// mesa: rasterisation repeatedly scans a ~1400-page frame/texture set.
+/// All schemes predict; MP "performs poorly with small r" because the
+/// footprint exceeds even a 1024-row table (§3.2).
+fn mesa(s: Scale) -> VisitStream {
+    b(LoopedScan::new(HEAP, 1, 1400, s.scaled(2), 60, 0x50050))
+}
+
+/// galgel: Galerkin FEM matrices rescanned sequentially; the highest
+/// SPEC miss rate (0.228). Strides and history both predict; MP's table
+/// is far too small for the 2600-page footprint.
+fn galgel(s: Scale) -> VisitStream {
+    b(LoopedScan::new(HEAP, 1, 2600, s.scaled(5), 4, 0x50060))
+}
+
+/// art: neural-network weight matrices rescanned sequentially with a
+/// 1500-page footprint — same story as galgel at a lower miss rate.
+fn art(s: Scale) -> VisitStream {
+    b(LoopedScan::new(HEAP, 1, 1500, s.scaled(3), 40, 0x50070))
+}
+
+/// equake: sparse earthquake meshes stream through fresh memory with a
+/// constant 3-page stride — class (a) with a non-unit stride, so ASP and
+/// DP predict the cold misses and sequential prefetching does not.
+fn equake(s: Scale) -> VisitStream {
+    b(StridedScan::new(HEAP, 3, s.scaled(800), 170, 0x50080))
+}
+
+/// facerec: gallery images rescanned sequentially; the 200-page
+/// footprint fits every table, so "nearly all mechanisms" do well
+/// (§3.2).
+fn facerec(s: Scale) -> VisitStream {
+    b(LoopedScan::new(HEAP, 1, 200, s.scaled(12), 60, 0x50090))
+}
+
+/// ammp: molecular dynamics re-walks 5-page molecule clusters in fixed
+/// neighbour-list order; heavy per-cluster compute gives the paper's
+/// 0.0113 miss rate with bursty cluster entries. RP leads on accuracy,
+/// "DP comes very close" (§3.2), and Table 3 shows DP winning on cycles.
+fn ammp(s: Scale) -> VisitStream {
+    b(RotatePc::new(
+        b(BlockChase::new(HEAP, 130, 5, s.scaled(4), 1, 0x500a0, 0x8e15).burst_profile(306, 30)),
+        0x500a0,
+        3,
+    ))
+}
+
+/// lucas: FFT butterflies touch 2-page operand pairs in fixed
+/// bit-reversed order (miss rate ~0.016); pure history territory — the
+/// short runs leave DP little distance structure (Table 3 group).
+fn lucas(s: Scale) -> VisitStream {
+    b(RotatePc::new(
+        b(BlockChase::new(HEAP, 310, 2, s.scaled(5), 1, 0x500b0, 0x9f3d).burst_profile(109, 16)),
+        0x500b0,
+        3,
+    ))
+}
+
+/// fma3d: crash-simulation elements visited in an order reshuffled every
+/// timestep — class (e): "the irregularity makes it very difficult for
+/// any mechanism to do well" (§3.2).
+fn fma3d(s: Scale) -> VisitStream {
+    b(PointerChase::new(HEAP, 3000, s.scaled(2), 40, 0x500c0, 0xa651).reshuffled_each_lap(0xb762))
+}
+
+/// sixtrack: particle tracking re-walks 4-page lattice element groups in
+/// fixed ring order; RP best, DP close behind via within-group strides.
+fn sixtrack(s: Scale) -> VisitStream {
+    b(RotatePc::new(
+        b(BlockChase::new(HEAP, 110, 4, s.scaled(8), 55, 0x500d0, 0xc873)),
+        0x500d0,
+        3,
+    ))
+}
+
+/// apsi: pollution-model pencils re-walked in fixed order (miss rate
+/// ~0.018); RP leads, DP close, MP needs a large table.
+fn apsi(s: Scale) -> VisitStream {
+    b(RotatePc::new(
+        b(BlockChase::new(HEAP, 250, 3, s.scaled(5), 1, 0x500e0, 0xd985).burst_profile(163, 2)),
+        0x500e0,
+        3,
+    ))
+}
+
+/// The registered SPEC CPU2000 floating-point models, in the paper's
+/// Figure 7 order.
+pub static APPS: [AppSpec; 14] = [
+    AppSpec {
+        name: "wupwise",
+        suite: Suite::SpecCpu2000,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "Fresh lattice walk with a (1,1,6) distance cycle; DP much better than \
+                      ASP/MP/RP (class (d)).",
+        build: wupwise,
+    },
+    AppSpec {
+        name: "swim",
+        suite: Suite::SpecCpu2000,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "Column sweeps of a row-major grid, distance cycle (1,1,497); DP \
+                      dominant, ASP partial.",
+        build: swim,
+    },
+    AppSpec {
+        name: "mgrid",
+        suite: Suite::SpecCpu2000,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "Multigrid level hops with a (7,7,13) distance cycle; DP dominant.",
+        build: mgrid,
+    },
+    AppSpec {
+        name: "applu",
+        suite: Suite::SpecCpu2000,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "SSOR pencil advance with a (2,2,9) distance cycle; DP dominant.",
+        build: applu,
+    },
+    AppSpec {
+        name: "mesa",
+        suite: Suite::SpecCpu2000,
+        class: ReferenceClass::StridedRepeated,
+        description: "Sequential rescans of a 1400-page frame set; all schemes good except \
+                      MP at small r.",
+        build: mesa,
+    },
+    AppSpec {
+        name: "galgel",
+        suite: Suite::SpecCpu2000,
+        class: ReferenceClass::StridedRepeated,
+        description: "Sequential rescans of 2600 pages at the highest SPEC miss rate (0.228); \
+                      MP's on-chip table is far too small.",
+        build: galgel,
+    },
+    AppSpec {
+        name: "art",
+        suite: Suite::SpecCpu2000,
+        class: ReferenceClass::StridedRepeated,
+        description: "Sequential rescans of 1500 pages of network weights; like galgel.",
+        build: art,
+    },
+    AppSpec {
+        name: "equake",
+        suite: Suite::SpecCpu2000,
+        class: ReferenceClass::StridedOnce,
+        description: "Fresh stride-3 mesh streaming; ASP and DP capture cold misses, history \
+                      schemes cannot.",
+        build: equake,
+    },
+    AppSpec {
+        name: "facerec",
+        suite: Suite::SpecCpu2000,
+        class: ReferenceClass::StridedRepeated,
+        description: "Sequential gallery rescans over 200 pages; every mechanism predicts \
+                      well.",
+        build: facerec,
+    },
+    AppSpec {
+        name: "ammp",
+        suite: Suite::SpecCpu2000,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "Fixed-order 5-page molecule clusters, miss rate ~0.0113, bursty; RP \
+                      best on accuracy, DP close and ahead on cycles (Table 3).",
+        build: ammp,
+    },
+    AppSpec {
+        name: "lucas",
+        suite: Suite::SpecCpu2000,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "Bit-reversed 2-page operand pairs, miss rate ~0.016; history-only \
+                      structure (Table 3 group).",
+        build: lucas,
+    },
+    AppSpec {
+        name: "fma3d",
+        suite: Suite::SpecCpu2000,
+        class: ReferenceClass::Irregular,
+        description: "Per-lap reshuffled element visits: no mechanism predicts (class (e)).",
+        build: fma3d,
+    },
+    AppSpec {
+        name: "sixtrack",
+        suite: Suite::SpecCpu2000,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "Fixed ring order over 4-page element groups; RP best, DP close.",
+        build: sixtrack,
+    },
+    AppSpec {
+        name: "apsi",
+        suite: Suite::SpecCpu2000,
+        class: ReferenceClass::RepeatingIrregular,
+        description: "Fixed-order pencil walk, miss rate ~0.018; RP best, DP close (Figure 9 \
+                      group).",
+        build: apsi,
+    },
+];

@@ -1,0 +1,74 @@
+//! The paper's taxonomy of reference behaviour (§1).
+//!
+//! Every synthetic application model declares which class it reproduces,
+//! and the suite-level tests check that the prefetchers' relative
+//! performance on it matches the class's prediction.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The five reference-behaviour classes of §1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReferenceClass {
+    /// (a) Regular/strided accesses to data touched only once.
+    /// Stride-based schemes (ASP, and DP which also captures first-time
+    /// references) win; history-based schemes have nothing to learn.
+    StridedOnce,
+    /// (b) Regular/strided accesses to data touched several times.
+    /// Both stride- and history-based schemes do well.
+    StridedRepeated,
+    /// (c) Strided accesses whose stride changes over time.
+    /// Adaptive stride schemes track it; history schemes lag.
+    StridedChanging,
+    /// (d) No constant stride, but the irregularity itself repeats.
+    /// History-of-distances (DP) wins; per-address history needs much
+    /// more space; per-PC strides never stabilise.
+    RepeatingIrregular,
+    /// (e) No regularity and no repeating history: nothing works.
+    Irregular,
+}
+
+impl ReferenceClass {
+    /// All classes, in the paper's (a)–(e) order.
+    pub const ALL: [ReferenceClass; 5] = [
+        ReferenceClass::StridedOnce,
+        ReferenceClass::StridedRepeated,
+        ReferenceClass::StridedChanging,
+        ReferenceClass::RepeatingIrregular,
+        ReferenceClass::Irregular,
+    ];
+
+    /// The paper's single-letter label.
+    pub fn letter(self) -> char {
+        match self {
+            ReferenceClass::StridedOnce => 'a',
+            ReferenceClass::StridedRepeated => 'b',
+            ReferenceClass::StridedChanging => 'c',
+            ReferenceClass::RepeatingIrregular => 'd',
+            ReferenceClass::Irregular => 'e',
+        }
+    }
+}
+
+impl fmt::Display for ReferenceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.letter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn letters_are_distinct_and_ordered() {
+        let letters: Vec<char> = ReferenceClass::ALL.iter().map(|c| c.letter()).collect();
+        assert_eq!(letters, vec!['a', 'b', 'c', 'd', 'e']);
+    }
+
+    #[test]
+    fn display_uses_parenthesised_letter() {
+        assert_eq!(ReferenceClass::RepeatingIrregular.to_string(), "(d)");
+    }
+}

@@ -1,0 +1,198 @@
+//! The visit/emit generator framework.
+//!
+//! Application models are built in two layers:
+//!
+//! 1. a **visit stream** — an iterator of [`Visit`]s, each naming a
+//!    virtual page, how many references land on it before the pattern
+//!    moves on, and the PC of the instruction loop touching it; this is
+//!    where all pattern logic (strides, chases, cycles) lives;
+//! 2. an **emitter** ([`Emit`]) that expands visits into concrete
+//!    [`MemoryAccess`]es with intra-page offsets and a read/write mix.
+//!
+//! Keeping pattern logic at page granularity makes the models easy to
+//! reason about — the TLB only ever sees pages — while the emitter
+//! supplies the realistic byte-level stream the simulator and the trace
+//! formats consume.
+
+use tlbsim_core::{AccessKind, MemoryAccess, PageSize, Pc, VirtAddr};
+
+/// One page visit produced by a pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Visit {
+    /// Virtual page number visited.
+    pub page: u64,
+    /// References issued to the page during the visit (at least 1).
+    pub refs: u32,
+    /// PC of the loop body doing the touching.
+    pub pc: u64,
+}
+
+impl Visit {
+    /// Creates a visit.
+    pub fn new(page: u64, refs: u32, pc: u64) -> Self {
+        Visit {
+            page,
+            refs: refs.max(1),
+            pc,
+        }
+    }
+}
+
+/// A boxed visit stream (the unit application models compose).
+pub type VisitStream = Box<dyn Iterator<Item = Visit> + Send>;
+
+/// Expands visits into memory accesses.
+///
+/// Within a visit the accesses walk cache-line-sized offsets inside the
+/// page; every fourth access is a write, approximating the load/store mix
+/// of compiled code.
+#[derive(Debug)]
+pub struct Emit<I> {
+    visits: I,
+    page_size: PageSize,
+    current: Option<(Visit, u32)>,
+    emitted: u64,
+}
+
+impl<I: Iterator<Item = Visit>> Emit<I> {
+    /// Wraps a visit stream.
+    pub fn new(visits: I, page_size: PageSize) -> Self {
+        Emit {
+            visits,
+            page_size,
+            current: None,
+            emitted: 0,
+        }
+    }
+}
+
+impl<I: Iterator<Item = Visit>> Iterator for Emit<I> {
+    type Item = MemoryAccess;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some((visit, done)) = self.current.take() {
+                if done < visit.refs {
+                    let line = 64u64;
+                    let lines_per_page = self.page_size.bytes() / line;
+                    let offset = (done as u64 % lines_per_page) * line;
+                    let vaddr =
+                        VirtAddr::new((visit.page << self.page_size.bits()) | offset);
+                    let kind = if self.emitted % 4 == 3 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    self.emitted += 1;
+                    self.current = Some((visit, done + 1));
+                    return Some(MemoryAccess {
+                        pc: Pc::new(visit.pc),
+                        vaddr,
+                        kind,
+                    });
+                }
+            }
+            let visit = self.visits.next()?;
+            self.current = Some((visit, 0));
+        }
+    }
+}
+
+/// A complete, runnable reference stream with a name.
+///
+/// `Workload` is itself an `Iterator<Item = MemoryAccess>`; application
+/// models hand one to the simulator or to a trace writer.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_workloads::{Visit, Workload};
+///
+/// let w = Workload::from_visits(
+///     "two-pages",
+///     Box::new([Visit::new(1, 2, 0x40), Visit::new(2, 1, 0x40)].into_iter()),
+/// );
+/// assert_eq!(w.count(), 3);
+/// ```
+pub struct Workload {
+    name: String,
+    stream: Emit<VisitStream>,
+}
+
+impl Workload {
+    /// Builds a workload from a visit stream with the default 4 KiB page
+    /// size.
+    pub fn from_visits(name: impl Into<String>, visits: VisitStream) -> Self {
+        Workload {
+            name: name.into(),
+            stream: Emit::new(visits, PageSize::DEFAULT),
+        }
+    }
+
+    /// The workload's name (usually the application name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Iterator for Workload {
+    type Item = MemoryAccess;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.stream.next()
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload").field("name", &self.name).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_expands_refs_per_visit() {
+        let visits = vec![Visit::new(10, 3, 0x40), Visit::new(11, 1, 0x44)];
+        let accesses: Vec<MemoryAccess> =
+            Emit::new(visits.into_iter(), PageSize::DEFAULT).collect();
+        assert_eq!(accesses.len(), 4);
+        assert!(accesses[..3]
+            .iter()
+            .all(|a| PageSize::DEFAULT.page_of(a.vaddr).number() == 10));
+        assert_eq!(PageSize::DEFAULT.page_of(accesses[3].vaddr).number(), 11);
+        assert_eq!(accesses[3].pc.raw(), 0x44);
+    }
+
+    #[test]
+    fn zero_ref_visits_are_promoted_to_one() {
+        let v = Visit::new(1, 0, 0);
+        assert_eq!(v.refs, 1);
+    }
+
+    #[test]
+    fn offsets_stay_inside_the_page() {
+        let visits = vec![Visit::new(7, 200, 0)];
+        for a in Emit::new(visits.into_iter(), PageSize::DEFAULT) {
+            assert_eq!(PageSize::DEFAULT.page_of(a.vaddr).number(), 7);
+        }
+    }
+
+    #[test]
+    fn read_write_mix_is_three_to_one() {
+        let visits = vec![Visit::new(1, 100, 0)];
+        let writes = Emit::new(visits.into_iter(), PageSize::DEFAULT)
+            .filter(|a| a.kind == AccessKind::Write)
+            .count();
+        assert_eq!(writes, 25);
+    }
+
+    #[test]
+    fn workload_reports_name() {
+        let w = Workload::from_visits("x", Box::new(std::iter::empty()));
+        assert_eq!(w.name(), "x");
+        assert_eq!(format!("{w:?}"), "Workload { name: \"x\" }");
+    }
+}

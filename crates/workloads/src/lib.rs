@@ -1,0 +1,48 @@
+//! # tlbsim-workloads — the 56-application synthetic suite
+//!
+//! The paper evaluates TLB prefetching on 56 applications across four
+//! benchmark suites. Those binaries (and the SimpleScalar/Shade tracing
+//! infrastructure) are not reproducible here, but every conclusion in
+//! the paper is a property of the page-level *reference stream*, so this
+//! crate rebuilds each application as a parameterised synthetic model
+//! whose miss-stream shape matches the behaviour §3.2 attributes to it.
+//!
+//! Two layers:
+//!
+//! * [`primitives`] — reference-pattern generators keyed to the paper's
+//!   behaviour classes (§1): [`StridedScan`]/[`LoopedScan`] (classes a/b),
+//!   [`DistanceCycle`] (classes c/d), [`PointerChase`]/[`BlockChase`] and
+//!   [`Alternation`] (history-repeating irregularity), [`RandomWalk`] and
+//!   [`HotSet`] (class e / low-miss), plus [`Mix`]/[`Interleave`]/
+//!   [`phases`] combinators;
+//! * [`apps`] — the 56 registered [`AppSpec`] models composed from those
+//!   primitives, with per-application rationale in the module docs.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tlbsim_workloads::{find_app, Scale};
+//!
+//! let galgel = find_app("galgel").expect("registered");
+//! let n = galgel.workload(Scale::TINY).count();
+//! assert!(n > 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod class;
+mod gen;
+mod scale;
+
+pub mod apps;
+pub mod primitives;
+
+pub use apps::{all_apps, find_app, high_miss_apps, suite_apps, table3_apps, AppSpec, Suite};
+pub use class::ReferenceClass;
+pub use gen::{Emit, Visit, VisitStream, Workload};
+pub use primitives::{
+    phases, Alternation, BlockChase, DistanceCycle, HotSet, Interleave, LoopedScan, Mix,
+    PointerChase, RandomWalk, RotatePc, StridedScan,
+};
+pub use scale::Scale;

@@ -1,0 +1,142 @@
+//! The history-alternation pattern of §3.2.
+//!
+//! The paper explains MP beating RP on parser and vortex with the
+//! sequence "1, 2, 3, 4, 1, 5, 2, 6, 3, 7, 4, 8, 1, 2, 3, 4, …": each
+//! base page is followed *alternately* by its sequential successor and by
+//! a partner page from a second region. A Markov row with `s = 2` slots
+//! retains both successors; recency prefetching's single stack position
+//! cannot, and a PC-indexed stride predictor never sees a stable stride.
+
+use crate::gen::Visit;
+
+/// Generates the alternation pattern over a base region of `n` pages and
+/// a partner region of `n` pages.
+///
+/// Each round emits two blocks: the base region in order
+/// (`base..base+n`), then the base region interleaved with the partner
+/// region (`base, partner, base+1, partner+1, …`).
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_workloads::Alternation;
+///
+/// let pages: Vec<u64> = Alternation::new(1, 4, 1, 1, 0x40).map(|v| v.page).collect();
+/// // The paper's example string: 1,2,3,4 then 1,5,2,6,3,7,4,8.
+/// assert_eq!(pages, vec![1, 2, 3, 4, 1, 5, 2, 6, 3, 7, 4, 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Alternation {
+    base: u64,
+    n: u64,
+    rounds: u64,
+    refs: u32,
+    pc: u64,
+    round: u64,
+    phase: u8,
+    pos: u64,
+}
+
+impl Alternation {
+    /// Creates `rounds` rounds of the two-block pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(base: u64, n: u64, rounds: u64, refs: u32, pc: u64) -> Self {
+        assert!(n > 0, "alternation needs a non-empty region");
+        Alternation {
+            base,
+            n,
+            rounds,
+            refs,
+            pc,
+            round: 0,
+            phase: 0,
+            pos: 0,
+        }
+    }
+
+    /// Total distinct pages touched (base + partner regions).
+    pub fn footprint(&self) -> u64 {
+        self.n * 2
+    }
+}
+
+impl Iterator for Alternation {
+    type Item = Visit;
+
+    fn next(&mut self) -> Option<Visit> {
+        if self.round == self.rounds {
+            return None;
+        }
+        let (page, advance) = match self.phase {
+            // Block A: base region in order.
+            0 => (self.base + self.pos, 1),
+            // Block B: interleave base with partner.
+            _ => {
+                let pair = self.pos / 2;
+                if self.pos.is_multiple_of(2) {
+                    (self.base + pair, 1)
+                } else {
+                    (self.base + self.n + pair, 1)
+                }
+            }
+        };
+        self.pos += advance;
+        let block_len = if self.phase == 0 { self.n } else { self.n * 2 };
+        if self.pos == block_len {
+            self.pos = 0;
+            if self.phase == 0 {
+                self.phase = 1;
+            } else {
+                self.phase = 0;
+                self.round += 1;
+            }
+        }
+        Some(Visit::new(page, self.refs, self.pc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_example() {
+        let pages: Vec<u64> = Alternation::new(1, 4, 2, 1, 0).map(|v| v.page).collect();
+        assert_eq!(
+            pages,
+            vec![1, 2, 3, 4, 1, 5, 2, 6, 3, 7, 4, 8, 1, 2, 3, 4, 1, 5, 2, 6, 3, 7, 4, 8]
+        );
+    }
+
+    #[test]
+    fn each_base_page_has_two_distinct_successors() {
+        let pages: Vec<u64> = Alternation::new(0, 8, 3, 1, 0).map(|v| v.page).collect();
+        // Collect successors of page 2 across the stream.
+        let succ: std::collections::HashSet<u64> = pages
+            .windows(2)
+            .filter(|w| w[0] == 2)
+            .map(|w| w[1])
+            .collect();
+        assert_eq!(succ.len(), 2); // 3 (block A) and 10 (block B)
+        assert!(succ.contains(&3) && succ.contains(&10));
+    }
+
+    #[test]
+    fn footprint_counts_both_regions() {
+        assert_eq!(Alternation::new(0, 16, 1, 1, 0).footprint(), 32);
+    }
+
+    #[test]
+    fn round_length_is_3n() {
+        assert_eq!(Alternation::new(0, 10, 4, 1, 0).count(), 4 * 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_region_panics() {
+        let _ = Alternation::new(0, 0, 1, 1, 0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Pointer-chase patterns — history-friendly irregular behaviour.
+//!
+//! A [`PointerChase`] visits the pages of a region in a fixed pseudo-random
+//! permutation, lap after lap — the page-level picture of walking a linked
+//! structure whose layout does not change. Address-history mechanisms (RP,
+//! and MP when the footprint fits its table) excel here after the first
+//! lap, while stride predictors see noise. [`BlockChase`] visits *runs* of
+//! sequential pages in permuted order, which is what compiled pointer code
+//! over multi-page nodes (or region-allocated graphs) produces; the run
+//! length is the knob that moves an application between "history only"
+//! (run 1) and "distance prefetching nearly matches history" (run 4+),
+//! matching the §3.2 spectrum from crafty/mcf to gcc/ammp.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::gen::Visit;
+
+fn permutation(n: u64, seed: u64) -> Vec<u64> {
+    let mut order: Vec<u64> = (0..n).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    order
+}
+
+/// Visits a region's pages in a fixed (or per-lap reshuffled) random
+/// order.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_workloads::PointerChase;
+///
+/// let lap1: Vec<u64> = PointerChase::new(1000, 16, 1, 4, 0x40, 7).map(|v| v.page).collect();
+/// let lap2: Vec<u64> = PointerChase::new(1000, 16, 1, 4, 0x40, 7).map(|v| v.page).collect();
+/// assert_eq!(lap1, lap2); // same seed, same order
+/// ```
+#[derive(Debug, Clone)]
+pub struct PointerChase {
+    base: u64,
+    order: Vec<u64>,
+    laps: u64,
+    refs: u32,
+    pc: u64,
+    reshuffle: Option<SmallRng>,
+    lap: u64,
+    pos: usize,
+}
+
+impl PointerChase {
+    /// Creates a chase over `pages` pages starting at page `base`,
+    /// repeated for `laps` laps in an order fixed by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn new(base: u64, pages: u64, laps: u64, refs: u32, pc: u64, seed: u64) -> Self {
+        assert!(pages > 0, "pointer chase needs at least one page");
+        PointerChase {
+            base,
+            order: permutation(pages, seed),
+            laps,
+            refs,
+            pc,
+            reshuffle: None,
+            lap: 0,
+            pos: 0,
+        }
+    }
+
+    /// Reshuffles the visit order every lap, destroying the repeating
+    /// history — class (e), the fma3d-style pattern nothing predicts.
+    pub fn reshuffled_each_lap(mut self, seed: u64) -> Self {
+        self.reshuffle = Some(SmallRng::seed_from_u64(seed));
+        self
+    }
+
+    /// The number of distinct pages visited.
+    pub fn footprint(&self) -> u64 {
+        self.order.len() as u64
+    }
+}
+
+impl Iterator for PointerChase {
+    type Item = Visit;
+
+    fn next(&mut self) -> Option<Visit> {
+        if self.lap == self.laps {
+            return None;
+        }
+        let page = self.base + self.order[self.pos];
+        self.pos += 1;
+        if self.pos == self.order.len() {
+            self.pos = 0;
+            self.lap += 1;
+            if let Some(rng) = &mut self.reshuffle {
+                if self.lap < self.laps {
+                    self.order.shuffle(rng);
+                }
+            }
+        }
+        Some(Visit::new(page, self.refs, self.pc))
+    }
+}
+
+/// Visits runs of `run_len` consecutive pages in a permuted block order,
+/// lap after lap.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_workloads::BlockChase;
+///
+/// let chase = BlockChase::new(0, 8, 4, 1, 2, 0x40, 3);
+/// assert_eq!(chase.footprint(), 32);
+/// assert_eq!(chase.count(), 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockChase {
+    base: u64,
+    block_order: Vec<u64>,
+    run_len: u64,
+    laps: u64,
+    refs_first: u32,
+    refs_rest: u32,
+    pc: u64,
+    lap: u64,
+    block_pos: usize,
+    in_block: u64,
+}
+
+impl BlockChase {
+    /// Creates a chase over `blocks` blocks of `run_len` consecutive
+    /// pages each, in an order fixed by `seed`, repeated `laps` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` or `run_len` is zero.
+    pub fn new(
+        base: u64,
+        blocks: u64,
+        run_len: u64,
+        laps: u64,
+        refs: u32,
+        pc: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(blocks > 0 && run_len > 0, "block chase needs a non-empty geometry");
+        BlockChase {
+            base,
+            block_order: permutation(blocks, seed),
+            run_len,
+            laps,
+            refs_first: refs,
+            refs_rest: refs,
+            pc,
+            lap: 0,
+            block_pos: 0,
+            in_block: 0,
+        }
+    }
+
+    /// Concentrates work on the first page of each block: `first` refs on
+    /// the block head and `rest` on the remaining pages.
+    ///
+    /// This makes the *miss stream bursty* — the remaining pages of a
+    /// block miss back-to-back right after the block head — without
+    /// changing which pages are visited. Burstiness is what exposes
+    /// recency prefetching's memory-traffic cost in the Table 3 timing
+    /// experiment: within a burst the LRU-stack pointer updates of one
+    /// miss are still in flight when the next miss arrives.
+    pub fn burst_profile(mut self, first: u32, rest: u32) -> Self {
+        self.refs_first = first.max(1);
+        self.refs_rest = rest.max(1);
+        self
+    }
+
+    /// The number of distinct pages visited.
+    pub fn footprint(&self) -> u64 {
+        self.block_order.len() as u64 * self.run_len
+    }
+
+    /// Average references per page visit.
+    pub fn mean_refs_per_visit(&self) -> f64 {
+        (self.refs_first as u64 + self.refs_rest as u64 * (self.run_len - 1)) as f64
+            / self.run_len as f64
+    }
+}
+
+impl Iterator for BlockChase {
+    type Item = Visit;
+
+    fn next(&mut self) -> Option<Visit> {
+        if self.lap == self.laps {
+            return None;
+        }
+        let block = self.block_order[self.block_pos];
+        let page = self.base + block * self.run_len + self.in_block;
+        let refs = if self.in_block == 0 {
+            self.refs_first
+        } else {
+            self.refs_rest
+        };
+        self.in_block += 1;
+        if self.in_block == self.run_len {
+            self.in_block = 0;
+            self.block_pos += 1;
+            if self.block_pos == self.block_order.len() {
+                self.block_pos = 0;
+                self.lap += 1;
+            }
+        }
+        Some(Visit::new(page, refs, self.pc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn chase_covers_region_each_lap() {
+        let pages: Vec<u64> = PointerChase::new(100, 32, 2, 1, 0, 9).map(|v| v.page).collect();
+        assert_eq!(pages.len(), 64);
+        let lap1: HashSet<u64> = pages[..32].iter().copied().collect();
+        assert_eq!(lap1.len(), 32);
+        assert!(lap1.iter().all(|p| (100..132).contains(p)));
+        // Fixed order: lap 2 repeats lap 1.
+        assert_eq!(&pages[..32], &pages[32..]);
+    }
+
+    #[test]
+    fn chase_order_is_not_sequential() {
+        let pages: Vec<u64> = PointerChase::new(0, 64, 1, 1, 0, 1).map(|v| v.page).collect();
+        let sequential: Vec<u64> = (0..64).collect();
+        assert_ne!(pages, sequential);
+    }
+
+    #[test]
+    fn reshuffled_chase_changes_order_between_laps() {
+        let pages: Vec<u64> = PointerChase::new(0, 64, 2, 1, 0, 1)
+            .reshuffled_each_lap(2)
+            .map(|v| v.page)
+            .collect();
+        assert_ne!(&pages[..64], &pages[64..]);
+        // Both laps still cover the region.
+        let lap2: HashSet<u64> = pages[64..].iter().copied().collect();
+        assert_eq!(lap2.len(), 64);
+    }
+
+    #[test]
+    fn different_seeds_give_different_orders() {
+        let a: Vec<u64> = PointerChase::new(0, 64, 1, 1, 0, 1).map(|v| v.page).collect();
+        let b: Vec<u64> = PointerChase::new(0, 64, 1, 1, 0, 2).map(|v| v.page).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn block_chase_runs_are_sequential() {
+        let pages: Vec<u64> = BlockChase::new(0, 4, 4, 1, 1, 0, 5).map(|v| v.page).collect();
+        assert_eq!(pages.len(), 16);
+        for run in pages.chunks(4) {
+            for w in run.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "within-run pages must be consecutive");
+            }
+        }
+        let distinct: HashSet<u64> = pages.iter().copied().collect();
+        assert_eq!(distinct.len(), 16);
+    }
+
+    #[test]
+    fn block_chase_repeats_identically() {
+        let pages: Vec<u64> = BlockChase::new(0, 4, 3, 2, 1, 0, 5).map(|v| v.page).collect();
+        assert_eq!(&pages[..12], &pages[12..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn empty_chase_panics() {
+        let _ = PointerChase::new(0, 0, 1, 1, 0, 0);
+    }
+
+    #[test]
+    fn burst_profile_varies_refs_within_block() {
+        let visits: Vec<Visit> = BlockChase::new(0, 2, 3, 1, 1, 0, 5)
+            .burst_profile(100, 2)
+            .collect();
+        assert_eq!(visits.len(), 6);
+        for block in visits.chunks(3) {
+            assert_eq!(block[0].refs, 100);
+            assert_eq!(block[1].refs, 2);
+            assert_eq!(block[2].refs, 2);
+        }
+    }
+
+    #[test]
+    fn mean_refs_accounts_for_burst_profile() {
+        let c = BlockChase::new(0, 4, 4, 1, 1, 0, 5).burst_profile(10, 2);
+        assert!((c.mean_refs_per_visit() - 4.0).abs() < 1e-12);
+    }
+}

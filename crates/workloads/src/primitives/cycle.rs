@@ -1,0 +1,142 @@
+//! Distance-cycle patterns — behaviour classes (c) and (d).
+//!
+//! A [`DistanceCycle`] walks fresh memory with a repeating *sequence of
+//! distances*. The stride is never constant, so per-PC stride predictors
+//! (ASP) cannot reach their steady state, and the pages are fresh, so
+//! per-address history (MP, RP) has nothing to predict from — but the
+//! distance transitions repeat exactly, which is the structure distance
+//! prefetching was designed to exploit (§2.5). Cycles with repeated
+//! values (e.g. `[9, 4, 9, 17, 9, -6]`) give individual distance rows a
+//! successor fan-out larger than `s`, bounding even DP's accuracy — the
+//! knob used to model the "DP is the only mechanism with noticeable
+//! predictions, though below 20%" applications.
+
+use crate::gen::Visit;
+
+/// Walks fresh pages with a repeating cycle of distances.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_workloads::DistanceCycle;
+///
+/// let pages: Vec<u64> = DistanceCycle::new(100, vec![1, 1, 6], 6, 1, 0x40)
+///     .map(|v| v.page)
+///     .collect();
+/// assert_eq!(pages, vec![100, 101, 102, 108, 109, 110]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistanceCycle {
+    page: i64,
+    dists: Vec<i64>,
+    visits: u64,
+    refs: u32,
+    pc: u64,
+    step: u64,
+}
+
+impl DistanceCycle {
+    /// Creates a walk of `visits` page visits from `base`, advancing by
+    /// `dists[i % len]` after the `i`-th visit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dists` is empty or if the walk can leave the
+    /// non-negative page range within one cycle of its minimum prefix
+    /// sum.
+    pub fn new(base: u64, dists: Vec<i64>, visits: u64, refs: u32, pc: u64) -> Self {
+        assert!(!dists.is_empty(), "distance cycle needs at least one distance");
+        let mut prefix = 0i64;
+        let mut min_prefix = 0i64;
+        for d in &dists {
+            prefix += d;
+            min_prefix = min_prefix.min(prefix);
+        }
+        assert!(
+            base as i64 + min_prefix >= 0,
+            "distance cycle can underflow the page range"
+        );
+        DistanceCycle {
+            page: base as i64,
+            dists,
+            visits,
+            refs,
+            pc,
+            step: 0,
+        }
+    }
+
+    /// Net page movement per full cycle (zero means the cycle revisits).
+    pub fn net_per_cycle(&self) -> i64 {
+        self.dists.iter().sum()
+    }
+}
+
+impl Iterator for DistanceCycle {
+    type Item = Visit;
+
+    fn next(&mut self) -> Option<Visit> {
+        if self.step == self.visits {
+            return None;
+        }
+        let page = self.page;
+        debug_assert!(page >= 0, "cycle walked below page zero");
+        let d = self.dists[(self.step % self.dists.len() as u64) as usize];
+        self.page += d;
+        self.step += 1;
+        Some(Visit::new(page as u64, self.refs, self.pc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_repeats_distances() {
+        let pages: Vec<u64> = DistanceCycle::new(0, vec![2, 3], 5, 1, 0)
+            .map(|v| v.page)
+            .collect();
+        assert_eq!(pages, vec![0, 2, 5, 7, 10]);
+    }
+
+    #[test]
+    fn negative_distances_allowed_when_bounded() {
+        let pages: Vec<u64> = DistanceCycle::new(10, vec![5, -3], 5, 1, 0)
+            .map(|v| v.page)
+            .collect();
+        assert_eq!(pages, vec![10, 15, 12, 17, 14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflowing_cycle_panics() {
+        let _ = DistanceCycle::new(1, vec![-5, 10], 10, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_cycle_panics() {
+        let _ = DistanceCycle::new(0, vec![], 10, 1, 0);
+    }
+
+    #[test]
+    fn net_per_cycle_reported() {
+        let c = DistanceCycle::new(0, vec![1, 1, 6], 1, 1, 0);
+        assert_eq!(c.net_per_cycle(), 8);
+    }
+
+    #[test]
+    fn distance_transitions_repeat() {
+        // The defining property: the multiset of (d_i -> d_{i+1})
+        // transitions has exactly cycle-length distinct pairs.
+        let pages: Vec<i64> = DistanceCycle::new(0, vec![1, 1, 6], 300, 1, 0)
+            .map(|v| v.page as i64)
+            .collect();
+        let dists: Vec<i64> = pages.windows(2).map(|w| w[1] - w[0]).collect();
+        let mut pairs: Vec<(i64, i64)> = dists.windows(2).map(|w| (w[0], w[1])).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 3); // (1,1), (1,6), (6,1)
+    }
+}

@@ -1,0 +1,290 @@
+//! Combinators over visit streams.
+//!
+//! Real applications rarely follow one pure pattern; these combinators
+//! compose primitives: [`Mix`] interleaves a noise stream into a main
+//! stream at a fixed period (capping every mechanism's accuracy),
+//! [`Interleave`] round-robins several streams (concurrent array
+//! walks), and [`phases`] chains patterns sequentially (program phases).
+
+use crate::gen::{Visit, VisitStream};
+
+/// Interleaves `noise` into `main`: every `period`-th visit comes from
+/// the noise stream (period 4 = 25% noise). Ends when `main` ends; a
+/// finished noise stream is simply skipped.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_workloads::{Mix, StridedScan, Visit};
+///
+/// let main = Box::new(StridedScan::new(0, 1, 6, 1, 0x40));
+/// let noise = Box::new(StridedScan::new(1000, 1, 6, 1, 0x44));
+/// let pages: Vec<u64> = Mix::new(main, noise, 3).map(|v| v.page).collect();
+/// assert_eq!(pages, vec![0, 1, 1000, 2, 3, 1001, 4, 5, 1002]);
+/// ```
+pub struct Mix {
+    main: VisitStream,
+    noise: VisitStream,
+    period: u64,
+    count: u64,
+}
+
+impl Mix {
+    /// Creates a mix emitting one noise visit after every `period - 1`
+    /// main visits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is less than 2 (all-noise is not a mix).
+    pub fn new(main: VisitStream, noise: VisitStream, period: u64) -> Self {
+        assert!(period >= 2, "mix period must be at least 2");
+        Mix {
+            main,
+            noise,
+            period,
+            count: 0,
+        }
+    }
+}
+
+impl Iterator for Mix {
+    type Item = Visit;
+
+    fn next(&mut self) -> Option<Visit> {
+        self.count += 1;
+        if self.count.is_multiple_of(self.period) {
+            if let Some(v) = self.noise.next() {
+                return Some(v);
+            }
+        }
+        self.main.next()
+    }
+}
+
+impl std::fmt::Debug for Mix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mix").field("period", &self.period).finish()
+    }
+}
+
+/// Round-robins several visit streams with a per-stream burst length,
+/// modelling loops that walk multiple arrays concurrently. Finished
+/// streams drop out; iteration ends when all are exhausted.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_workloads::{Interleave, StridedScan};
+///
+/// let a = Box::new(StridedScan::new(0, 1, 4, 1, 0x40));
+/// let b = Box::new(StridedScan::new(100, 1, 4, 1, 0x44));
+/// let pages: Vec<u64> = Interleave::new(vec![a, b], 1).map(|v| v.page).collect();
+/// assert_eq!(pages, vec![0, 100, 1, 101, 2, 102, 3, 103]);
+/// ```
+pub struct Interleave {
+    streams: Vec<Option<VisitStream>>,
+    burst: u64,
+    current: usize,
+    in_burst: u64,
+}
+
+impl Interleave {
+    /// Creates a round-robin interleave emitting `burst` visits from each
+    /// stream in turn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is empty or `burst` is zero.
+    pub fn new(streams: Vec<VisitStream>, burst: u64) -> Self {
+        assert!(!streams.is_empty(), "interleave needs at least one stream");
+        assert!(burst > 0, "interleave burst must be at least 1");
+        Interleave {
+            streams: streams.into_iter().map(Some).collect(),
+            burst,
+            current: 0,
+            in_burst: 0,
+        }
+    }
+}
+
+impl Iterator for Interleave {
+    type Item = Visit;
+
+    fn next(&mut self) -> Option<Visit> {
+        let n = self.streams.len();
+        for _ in 0..n {
+            if let Some(stream) = &mut self.streams[self.current] {
+                if let Some(v) = stream.next() {
+                    self.in_burst += 1;
+                    if self.in_burst == self.burst {
+                        self.in_burst = 0;
+                        self.current = (self.current + 1) % n;
+                    }
+                    return Some(v);
+                }
+                self.streams[self.current] = None;
+            }
+            self.in_burst = 0;
+            self.current = (self.current + 1) % n;
+        }
+        None
+    }
+}
+
+impl std::fmt::Debug for Interleave {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Interleave")
+            .field("streams", &self.streams.len())
+            .field("burst", &self.burst)
+            .finish()
+    }
+}
+
+/// Rotates visits across several PCs, modelling a loop body with more
+/// than one load instruction.
+///
+/// A fixed traversal driven by `k` loads means each individual PC
+/// observes only every `k`-th miss, so its per-PC stride is the sum of
+/// `k` consecutive distances — rarely stable. This cripples PC-indexed
+/// stride prediction (ASP) on irregular walks without affecting the
+/// PC-agnostic mechanisms, which is how real pointer code behaves.
+/// Note that on a *constant-stride* scan rotation is harmless to ASP:
+/// each PC still sees a constant (scaled) stride.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_workloads::{RotatePc, StridedScan};
+///
+/// let scan = Box::new(StridedScan::new(0, 1, 4, 1, 0));
+/// let pcs: Vec<u64> = RotatePc::new(scan, 0x40, 2).map(|v| v.pc).collect();
+/// assert_eq!(pcs, vec![0x40, 0x44, 0x40, 0x44]);
+/// ```
+pub struct RotatePc {
+    inner: VisitStream,
+    base: u64,
+    count: u64,
+    index: u64,
+}
+
+impl RotatePc {
+    /// Rotates the stream's visits across `count` word-spaced PCs
+    /// starting at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(inner: VisitStream, base: u64, count: u64) -> Self {
+        assert!(count > 0, "pc rotation needs at least one pc");
+        RotatePc {
+            inner,
+            base,
+            count,
+            index: 0,
+        }
+    }
+}
+
+impl Iterator for RotatePc {
+    type Item = Visit;
+
+    fn next(&mut self) -> Option<Visit> {
+        let mut visit = self.inner.next()?;
+        visit.pc = self.base + 4 * (self.index % self.count);
+        self.index += 1;
+        Some(visit)
+    }
+}
+
+impl std::fmt::Debug for RotatePc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RotatePc").field("count", &self.count).finish()
+    }
+}
+
+/// Chains visit streams end to end — sequential program phases.
+pub fn phases(streams: Vec<VisitStream>) -> VisitStream {
+    let mut iter: VisitStream = Box::new(std::iter::empty());
+    for s in streams {
+        iter = Box::new(iter.chain(s));
+    }
+    iter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::strided::StridedScan;
+
+    fn scan(base: u64, n: u64, pc: u64) -> VisitStream {
+        Box::new(StridedScan::new(base, 1, n, 1, pc))
+    }
+
+    #[test]
+    fn mix_ends_with_main() {
+        let pages: Vec<u64> = Mix::new(scan(0, 4, 0), scan(100, 100, 1), 2)
+            .map(|v| v.page)
+            .collect();
+        // main, noise, main, noise, main, noise, main, noise -> main runs out after 4.
+        assert_eq!(pages.iter().filter(|p| **p < 100).count(), 4);
+    }
+
+    #[test]
+    fn mix_survives_noise_exhaustion() {
+        let pages: Vec<u64> = Mix::new(scan(0, 6, 0), scan(100, 1, 1), 2)
+            .map(|v| v.page)
+            .collect();
+        assert_eq!(pages.len(), 7);
+        assert_eq!(pages.iter().filter(|p| **p >= 100).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn mix_period_one_panics() {
+        let _ = Mix::new(scan(0, 1, 0), scan(1, 1, 0), 1);
+    }
+
+    #[test]
+    fn interleave_bursts() {
+        let pages: Vec<u64> = Interleave::new(vec![scan(0, 4, 0), scan(100, 4, 1)], 2)
+            .map(|v| v.page)
+            .collect();
+        assert_eq!(pages, vec![0, 1, 100, 101, 2, 3, 102, 103]);
+    }
+
+    #[test]
+    fn interleave_drains_uneven_streams() {
+        let pages: Vec<u64> = Interleave::new(vec![scan(0, 2, 0), scan(100, 5, 1)], 1)
+            .map(|v| v.page)
+            .collect();
+        assert_eq!(pages.len(), 7);
+        assert_eq!(pages[4..], [102, 103, 104]);
+    }
+
+    #[test]
+    fn rotate_pc_cycles_and_preserves_pages() {
+        let pages: Vec<u64> = RotatePc::new(scan(5, 6, 0), 0x100, 3).map(|v| v.page).collect();
+        assert_eq!(pages, vec![5, 6, 7, 8, 9, 10]);
+        let pcs: Vec<u64> = RotatePc::new(scan(0, 6, 0), 0x100, 3).map(|v| v.pc).collect();
+        assert_eq!(pcs, vec![0x100, 0x104, 0x108, 0x100, 0x104, 0x108]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pc")]
+    fn rotate_pc_zero_panics() {
+        let _ = RotatePc::new(scan(0, 1, 0), 0, 0);
+    }
+
+    #[test]
+    fn phases_chain_in_order() {
+        let pages: Vec<u64> = phases(vec![scan(0, 2, 0), scan(10, 2, 0)])
+            .map(|v| v.page)
+            .collect();
+        assert_eq!(pages, vec![0, 1, 10, 11]);
+    }
+
+    #[test]
+    fn phases_of_nothing_is_empty() {
+        assert_eq!(phases(vec![]).count(), 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Reference-pattern primitives.
+//!
+//! Each primitive is an iterator of [`Visit`](crate::Visit)s reproducing
+//! one of the paper's reference-behaviour classes; application models in
+//! [`crate::apps`] compose them.
+
+pub mod alternation;
+pub mod chase;
+pub mod cycle;
+pub mod mix;
+pub mod random;
+pub mod strided;
+
+pub use alternation::Alternation;
+pub use chase::{BlockChase, PointerChase};
+pub use cycle::DistanceCycle;
+pub use mix::{phases, Interleave, Mix, RotatePc};
+pub use random::{HotSet, RandomWalk};
+pub use strided::{LoopedScan, StridedScan};

@@ -1,0 +1,177 @@
+//! Irregular and resident patterns — behaviour class (e) and the
+//! low-miss-rate applications.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gen::Visit;
+
+/// Uniformly random page visits over a region — class (e), where no
+/// mechanism can predict anything (the fma3d behaviour).
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_workloads::RandomWalk;
+///
+/// let a: Vec<u64> = RandomWalk::new(0, 100, 50, 1, 0x40, 7).map(|v| v.page).collect();
+/// let b: Vec<u64> = RandomWalk::new(0, 100, 50, 1, 0x40, 7).map(|v| v.page).collect();
+/// assert_eq!(a, b); // deterministic per seed
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    base: u64,
+    region: u64,
+    remaining: u64,
+    refs: u32,
+    pc: u64,
+    rng: SmallRng,
+}
+
+impl RandomWalk {
+    /// Creates `visits` uniform visits over `region` pages at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is zero.
+    pub fn new(base: u64, region: u64, visits: u64, refs: u32, pc: u64, seed: u64) -> Self {
+        assert!(region > 0, "random walk needs a non-empty region");
+        RandomWalk {
+            base,
+            region,
+            remaining: visits,
+            refs,
+            pc,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Iterator for RandomWalk {
+    type Item = Visit;
+
+    fn next(&mut self) -> Option<Visit> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let page = self.base + self.rng.gen_range(0..self.region);
+        Some(Visit::new(page, self.refs, self.pc))
+    }
+}
+
+/// A small resident working set: the region is cold-filled once in a
+/// seeded random order, then revisited uniformly at random.
+///
+/// With a region smaller than the TLB this produces almost no misses
+/// after the cold fill — the eon/g721/pgp-dec behaviour where "TLB
+/// prefetching is not as important anyway" (§3.2), and where no scheme
+/// can look good because the cold fill order is unpredictable.
+#[derive(Debug, Clone)]
+pub struct HotSet {
+    cold: Vec<u64>,
+    cold_pos: usize,
+    base: u64,
+    region: u64,
+    hot_remaining: u64,
+    refs: u32,
+    pc: u64,
+    rng: SmallRng,
+}
+
+impl HotSet {
+    /// Creates a hot set of `region` pages at `base` revisited by
+    /// `hot_visits` random visits after the cold fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is zero.
+    pub fn new(base: u64, region: u64, hot_visits: u64, refs: u32, pc: u64, seed: u64) -> Self {
+        assert!(region > 0, "hot set needs a non-empty region");
+        let mut cold: Vec<u64> = (0..region).collect();
+        use rand::seq::SliceRandom;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        cold.shuffle(&mut rng);
+        HotSet {
+            cold,
+            cold_pos: 0,
+            base,
+            region,
+            hot_remaining: hot_visits,
+            refs,
+            pc,
+            rng,
+        }
+    }
+
+    /// The number of distinct pages (cold-fill region size).
+    pub fn footprint(&self) -> u64 {
+        self.region
+    }
+}
+
+impl Iterator for HotSet {
+    type Item = Visit;
+
+    fn next(&mut self) -> Option<Visit> {
+        if self.cold_pos < self.cold.len() {
+            let page = self.base + self.cold[self.cold_pos];
+            self.cold_pos += 1;
+            return Some(Visit::new(page, self.refs, self.pc));
+        }
+        if self.hot_remaining == 0 {
+            return None;
+        }
+        self.hot_remaining -= 1;
+        let page = self.base + self.rng.gen_range(0..self.region);
+        Some(Visit::new(page, self.refs, self.pc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn random_walk_stays_in_region() {
+        for v in RandomWalk::new(1000, 50, 500, 1, 0, 3) {
+            assert!((1000..1050).contains(&v.page));
+        }
+    }
+
+    #[test]
+    fn random_walk_count_is_exact() {
+        assert_eq!(RandomWalk::new(0, 10, 123, 1, 0, 3).count(), 123);
+    }
+
+    #[test]
+    fn random_walk_is_not_constant() {
+        let pages: HashSet<u64> = RandomWalk::new(0, 100, 200, 1, 0, 3)
+            .map(|v| v.page)
+            .collect();
+        assert!(pages.len() > 50);
+    }
+
+    #[test]
+    fn hot_set_cold_fills_every_page_once() {
+        let visits: Vec<u64> = HotSet::new(0, 64, 10, 1, 0, 3).map(|v| v.page).collect();
+        let cold: HashSet<u64> = visits[..64].iter().copied().collect();
+        assert_eq!(cold.len(), 64);
+        assert_eq!(visits.len(), 74);
+    }
+
+    #[test]
+    fn hot_set_cold_fill_is_shuffled() {
+        let visits: Vec<u64> = HotSet::new(0, 64, 0, 1, 0, 3).map(|v| v.page).collect();
+        let sequential: Vec<u64> = (0..64).collect();
+        assert_ne!(visits, sequential);
+    }
+
+    #[test]
+    fn hot_visits_stay_in_region() {
+        for v in HotSet::new(500, 32, 100, 1, 0, 9) {
+            assert!((500..532).contains(&v.page));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Strided and looping scan patterns — behaviour classes (a) and (b).
+
+use crate::gen::Visit;
+
+/// A single strided pass over a region: pages `base, base+stride,
+/// base+2·stride, …` — class (a) when run once over fresh memory.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_workloads::StridedScan;
+///
+/// let pages: Vec<u64> = StridedScan::new(100, 3, 4, 1, 0x40)
+///     .map(|v| v.page)
+///     .collect();
+/// assert_eq!(pages, vec![100, 103, 106, 109]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StridedScan {
+    base: i64,
+    stride: i64,
+    pages: u64,
+    refs: u32,
+    pc: u64,
+    index: u64,
+}
+
+impl StridedScan {
+    /// Creates a scan of `pages` page visits starting at `base` with the
+    /// given page `stride`, issuing `refs` references per page from `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scan would leave the non-negative page range.
+    pub fn new(base: u64, stride: i64, pages: u64, refs: u32, pc: u64) -> Self {
+        let last = base as i64 + stride * pages.saturating_sub(1) as i64;
+        assert!(
+            last >= 0 && base <= i64::MAX as u64,
+            "strided scan leaves the page range (base {base}, stride {stride}, pages {pages})"
+        );
+        StridedScan {
+            base: base as i64,
+            stride,
+            pages,
+            refs,
+            pc,
+            index: 0,
+        }
+    }
+}
+
+impl Iterator for StridedScan {
+    type Item = Visit;
+
+    fn next(&mut self) -> Option<Visit> {
+        if self.index == self.pages {
+            return None;
+        }
+        let page = self.base + self.stride * self.index as i64;
+        self.index += 1;
+        Some(Visit::new(page as u64, self.refs, self.pc))
+    }
+}
+
+/// Repeated strided passes over the *same* region — class (b): regular
+/// accesses to data touched several times, the pattern where both
+/// stride- and history-based prefetchers succeed.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_workloads::LoopedScan;
+///
+/// let pages: Vec<u64> = LoopedScan::new(0, 1, 3, 2, 1, 0x40)
+///     .map(|v| v.page)
+///     .collect();
+/// assert_eq!(pages, vec![0, 1, 2, 0, 1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopedScan {
+    base: u64,
+    stride: i64,
+    pages: u64,
+    laps: u64,
+    refs: u32,
+    pc: u64,
+    current: Option<StridedScan>,
+    lap: u64,
+}
+
+impl LoopedScan {
+    /// Creates `laps` consecutive strided passes over the same region.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`StridedScan::new`].
+    pub fn new(base: u64, stride: i64, pages: u64, laps: u64, refs: u32, pc: u64) -> Self {
+        // Validate eagerly so a bad geometry fails at construction.
+        let _ = StridedScan::new(base, stride, pages, refs, pc);
+        LoopedScan {
+            base,
+            stride,
+            pages,
+            laps,
+            refs,
+            pc,
+            current: None,
+            lap: 0,
+        }
+    }
+
+    /// The number of distinct pages the pattern touches.
+    pub fn footprint(&self) -> u64 {
+        self.pages
+    }
+}
+
+impl Iterator for LoopedScan {
+    type Item = Visit;
+
+    fn next(&mut self) -> Option<Visit> {
+        loop {
+            if let Some(scan) = &mut self.current {
+                if let Some(v) = scan.next() {
+                    return Some(v);
+                }
+                self.current = None;
+            }
+            if self.lap == self.laps {
+                return None;
+            }
+            self.lap += 1;
+            self.current = Some(StridedScan::new(
+                self.base,
+                self.stride,
+                self.pages,
+                self.refs,
+                self.pc,
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_scan_visits_expected_pages() {
+        let v: Vec<u64> = StridedScan::new(10, -2, 3, 1, 0).map(|v| v.page).collect();
+        assert_eq!(v, vec![10, 8, 6]);
+    }
+
+    #[test]
+    fn refs_and_pc_are_propagated() {
+        let v: Vec<Visit> = StridedScan::new(0, 1, 2, 5, 0x77).collect();
+        assert!(v.iter().all(|v| v.refs == 5 && v.pc == 0x77));
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves the page range")]
+    fn underflowing_scan_panics() {
+        let _ = StridedScan::new(1, -1, 5, 1, 0);
+    }
+
+    #[test]
+    fn looped_scan_repeats_exactly() {
+        let total = LoopedScan::new(5, 2, 4, 3, 1, 0).count();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn looped_scan_zero_laps_is_empty() {
+        assert_eq!(LoopedScan::new(0, 1, 4, 0, 1, 0).count(), 0);
+    }
+
+    #[test]
+    fn footprint_is_page_count() {
+        assert_eq!(LoopedScan::new(0, 3, 7, 2, 1, 0).footprint(), 7);
+    }
+}

@@ -1,0 +1,98 @@
+//! Run-length scaling.
+//!
+//! The paper simulates one billion instructions per application after a
+//! two-billion-instruction fast-forward. Replaying 10⁹ references per
+//! configuration would make the full sweep take hours for no additional
+//! information (accuracies converge long before), so every application
+//! model is parameterised by a [`Scale`] that multiplies the number of
+//! *revisits* (laps, cycle repetitions) while keeping footprints fixed —
+//! miss rates and prediction accuracies are invariant to this within
+//! noise, which `tests/scaling.rs` asserts.
+
+use serde::{Deserialize, Serialize};
+
+/// A multiplier on each application's revisit counts.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_workloads::Scale;
+///
+/// assert!(Scale::TINY.factor() < Scale::STANDARD.factor());
+/// assert_eq!(Scale::new(3).factor(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Scale(u32);
+
+impl Scale {
+    /// Smallest useful runs, for unit tests (tens of thousands of
+    /// references per application).
+    pub const TINY: Scale = Scale(1);
+
+    /// Quick exploratory runs.
+    pub const SMALL: Scale = Scale(2);
+
+    /// The default for regenerating the paper's tables and figures
+    /// (hundreds of thousands of references per application).
+    pub const STANDARD: Scale = Scale(6);
+
+    /// Creates a custom scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn new(factor: u32) -> Self {
+        assert!(factor > 0, "scale factor must be at least 1");
+        Scale(factor)
+    }
+
+    /// The revisit multiplier.
+    pub const fn factor(self) -> u32 {
+        self.0
+    }
+
+    /// Multiplies a base count by the scale factor.
+    pub const fn scaled(self, base: u64) -> u64 {
+        base * self.0 as u64
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::STANDARD
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_order() {
+        assert!(Scale::TINY < Scale::SMALL);
+        assert!(Scale::SMALL < Scale::STANDARD);
+    }
+
+    #[test]
+    fn scaled_multiplies() {
+        assert_eq!(Scale::new(4).scaled(10), 40);
+        assert_eq!(Scale::TINY.scaled(7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_scale_panics() {
+        let _ = Scale::new(0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Scale::STANDARD.to_string(), "x6");
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the reference-pattern primitives.
+
+use proptest::prelude::*;
+use tlbsim_workloads::{
+    Alternation, BlockChase, DistanceCycle, Interleave, LoopedScan, Mix, PointerChase,
+    RandomWalk, StridedScan, Visit, VisitStream,
+};
+
+fn collect(stream: impl Iterator<Item = Visit>) -> Vec<Visit> {
+    stream.collect()
+}
+
+proptest! {
+    /// A strided scan visits exactly `pages` pages with the exact
+    /// stride.
+    #[test]
+    fn strided_scan_geometry(
+        base in 0u64..1_000_000,
+        stride in 1i64..100,
+        pages in 1u64..500,
+        refs in 1u32..8,
+    ) {
+        let visits = collect(StridedScan::new(base, stride, pages, refs, 0x40));
+        prop_assert_eq!(visits.len() as u64, pages);
+        for (i, w) in visits.windows(2).enumerate() {
+            prop_assert_eq!(
+                w[1].page as i64 - w[0].page as i64,
+                stride,
+                "at index {}",
+                i
+            );
+        }
+        prop_assert!(visits.iter().all(|v| v.refs == refs));
+    }
+
+    /// A looped scan is exactly `laps` concatenated identical scans.
+    #[test]
+    fn looped_scan_repeats(
+        pages in 1u64..200,
+        laps in 1u64..6,
+        refs in 1u32..4,
+    ) {
+        let visits = collect(LoopedScan::new(10, 1, pages, laps, refs, 0));
+        prop_assert_eq!(visits.len() as u64, pages * laps);
+        let lap0: Vec<u64> = visits[..pages as usize].iter().map(|v| v.page).collect();
+        for lap in 1..laps as usize {
+            let this: Vec<u64> = visits[lap * pages as usize..(lap + 1) * pages as usize]
+                .iter()
+                .map(|v| v.page)
+                .collect();
+            prop_assert_eq!(&this, &lap0);
+        }
+    }
+
+    /// A distance cycle's inter-visit distances repeat its cycle.
+    #[test]
+    fn distance_cycle_distances(
+        dists in prop::collection::vec(1i64..50, 1..6),
+        visits in 2u64..300,
+    ) {
+        let stream = collect(DistanceCycle::new(1000, dists.clone(), visits, 1, 0));
+        for (i, w) in stream.windows(2).enumerate() {
+            let expected = dists[i % dists.len()];
+            prop_assert_eq!(w[1].page as i64 - w[0].page as i64, expected);
+        }
+    }
+
+    /// A pointer chase covers every page of its region exactly once per
+    /// lap, in an order that is identical across laps.
+    #[test]
+    fn pointer_chase_coverage(pages in 1u64..300, laps in 1u64..4, seed in 0u64..1000) {
+        let visits = collect(PointerChase::new(500, pages, laps, 1, 0, seed));
+        prop_assert_eq!(visits.len() as u64, pages * laps);
+        let lap0: Vec<u64> = visits[..pages as usize].iter().map(|v| v.page).collect();
+        let mut sorted = lap0.clone();
+        sorted.sort_unstable();
+        let expected: Vec<u64> = (500..500 + pages).collect();
+        prop_assert_eq!(sorted, expected);
+        for lap in 1..laps as usize {
+            let this: Vec<u64> = visits[lap * pages as usize..(lap + 1) * pages as usize]
+                .iter()
+                .map(|v| v.page)
+                .collect();
+            prop_assert_eq!(&this, &lap0);
+        }
+    }
+
+    /// Block chases visit `blocks × run_len` distinct pages with
+    /// sequential runs.
+    #[test]
+    fn block_chase_structure(blocks in 1u64..80, run in 1u64..6, seed in 0u64..100) {
+        let visits = collect(BlockChase::new(0, blocks, run, 1, 1, 0, seed));
+        prop_assert_eq!(visits.len() as u64, blocks * run);
+        let mut pages: Vec<u64> = visits.iter().map(|v| v.page).collect();
+        for chunk in visits.chunks(run as usize) {
+            for w in chunk.windows(2) {
+                prop_assert_eq!(w[1].page, w[0].page + 1);
+            }
+        }
+        pages.sort_unstable();
+        pages.dedup();
+        prop_assert_eq!(pages.len() as u64, blocks * run);
+    }
+
+    /// Mix preserves every main visit in order.
+    #[test]
+    fn mix_preserves_main_stream(
+        main_len in 1u64..200,
+        noise_len in 0u64..100,
+        period in 2u64..8,
+    ) {
+        let main: VisitStream = Box::new(StridedScan::new(0, 1, main_len, 1, 0x1));
+        let noise: VisitStream = Box::new(StridedScan::new(10_000, 1, noise_len, 1, 0x2));
+        let visits = collect(Mix::new(main, noise, period));
+        let main_pages: Vec<u64> = visits
+            .iter()
+            .filter(|v| v.page < 10_000)
+            .map(|v| v.page)
+            .collect();
+        let expected: Vec<u64> = (0..main_len).collect();
+        prop_assert_eq!(main_pages, expected);
+    }
+
+    /// Interleave emits every visit of every stream exactly once.
+    #[test]
+    fn interleave_conserves_visits(
+        lens in prop::collection::vec(0u64..100, 1..4),
+        burst in 1u64..5,
+    ) {
+        let total: u64 = lens.iter().sum();
+        let streams: Vec<VisitStream> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, len)| {
+                Box::new(StridedScan::new(i as u64 * 100_000, 1, *len, 1, 0)) as VisitStream
+            })
+            .collect();
+        prop_assume!(!streams.is_empty());
+        let visits = collect(Interleave::new(streams, burst));
+        prop_assert_eq!(visits.len() as u64, total);
+    }
+
+    /// Alternation rounds have length 3n and stay inside the two
+    /// regions.
+    #[test]
+    fn alternation_bounds(n in 1u64..150, rounds in 1u64..4) {
+        let visits = collect(Alternation::new(100, n, rounds, 1, 0));
+        prop_assert_eq!(visits.len() as u64, rounds * 3 * n);
+        prop_assert!(visits.iter().all(|v| (100..100 + 2 * n).contains(&v.page)));
+    }
+
+    /// Random walks are reproducible and bounded.
+    #[test]
+    fn random_walk_bounds(region in 1u64..500, count in 0u64..300, seed in 0u64..100) {
+        let a = collect(RandomWalk::new(7, region, count, 1, 0, seed));
+        let b = collect(RandomWalk::new(7, region, count, 1, 0, seed));
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len() as u64, count);
+        prop_assert!(a.iter().all(|v| (7..7 + region).contains(&v.page)));
+    }
+}

@@ -1,0 +1,103 @@
+//! Scale-invariance: the per-application miss rates and the relative
+//! behaviour of the models must not depend on the run-length multiplier
+//! (the property that justifies simulating far fewer references than
+//! the paper's 10⁹ instructions).
+
+use tlbsim_workloads::{all_apps, find_app, Scale};
+
+/// Page-granular miss-rate proxy computed without the simulator crate
+/// (which would be a circular dev-dependency): distinct-page transitions
+/// per access against a FIFO window roughly the TLB's size.
+fn miss_proxy(name: &str, scale: Scale) -> f64 {
+    let app = find_app(name).expect("registered");
+    let mut window: std::collections::VecDeque<u64> = Default::default();
+    let mut resident: std::collections::HashSet<u64> = Default::default();
+    let mut misses = 0u64;
+    let mut accesses = 0u64;
+    for access in app.workload(scale) {
+        accesses += 1;
+        let page = access.vaddr.raw() >> 12;
+        if !resident.contains(&page) {
+            misses += 1;
+            window.push_back(page);
+            resident.insert(page);
+            if window.len() > 128 {
+                let evicted = window.pop_front().expect("non-empty");
+                resident.remove(&evicted);
+            }
+        }
+    }
+    misses as f64 / accesses as f64
+}
+
+#[test]
+fn miss_rates_are_scale_invariant() {
+    for name in ["galgel", "mcf", "gzip", "wupwise", "gs"] {
+        let tiny = miss_proxy(name, Scale::TINY);
+        let small = miss_proxy(name, Scale::SMALL);
+        assert!(
+            (tiny - small).abs() < 0.25 * tiny.max(1e-6),
+            "{name}: miss proxy drifts {tiny:.4} -> {small:.4}"
+        );
+    }
+}
+
+#[test]
+fn stream_length_scales_linearly_for_loop_models() {
+    // Loop-based models multiply laps, so length scales with the factor.
+    for name in ["gap", "facerec", "adpcm-enc"] {
+        let app = find_app(name).expect("registered");
+        let tiny = app.workload(Scale::TINY).count() as f64;
+        let small = app.workload(Scale::SMALL).count() as f64;
+        let ratio = small / tiny;
+        assert!(
+            (1.5..=2.5).contains(&ratio),
+            "{name}: length ratio {ratio} for 2x scale"
+        );
+    }
+}
+
+#[test]
+fn footprints_stay_bounded_for_loop_models() {
+    // Revisit-based models keep their footprint fixed as scale grows.
+    for name in ["galgel", "crafty", "vortex"] {
+        let app = find_app(name).expect("registered");
+        let count = |scale: Scale| {
+            let mut pages: std::collections::HashSet<u64> = Default::default();
+            for access in app.workload(scale) {
+                pages.insert(access.vaddr.raw() >> 12);
+            }
+            pages.len()
+        };
+        let tiny = count(Scale::TINY);
+        let small = count(Scale::SMALL);
+        assert_eq!(tiny, small, "{name}: footprint should not scale");
+    }
+}
+
+#[test]
+fn footprints_grow_for_first_touch_models() {
+    for name in ["gzip", "equake", "swim"] {
+        let app = find_app(name).expect("registered");
+        let count = |scale: Scale| {
+            let mut pages: std::collections::HashSet<u64> = Default::default();
+            for access in app.workload(scale) {
+                pages.insert(access.vaddr.raw() >> 12);
+            }
+            pages.len()
+        };
+        assert!(
+            count(Scale::SMALL) > count(Scale::TINY) * 3 / 2,
+            "{name}: first-touch footprint should scale"
+        );
+    }
+}
+
+#[test]
+fn every_app_has_positive_miss_proxy() {
+    for app in all_apps() {
+        let rate = miss_proxy(app.name, Scale::TINY);
+        assert!(rate > 0.0, "{}: zero miss proxy", app.name);
+        assert!(rate < 0.5, "{}: implausible miss proxy {rate}", app.name);
+    }
+}

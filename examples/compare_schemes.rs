@@ -1,0 +1,51 @@
+//! Compare all five prefetching mechanisms on a set of applications —
+//! a miniature Figure 7 for the terminal.
+//!
+//! ```text
+//! cargo run --release --example compare_schemes [app ...]
+//! ```
+//!
+//! With no arguments it runs a representative slice of the suite: one
+//! application per reference-behaviour class of the paper's §1 taxonomy.
+
+use tlb_distance::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let requested: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> = if requested.is_empty() {
+        // One app per behaviour class: (a) gzip, (b) galgel, (c) bzip,
+        // (d) mpeg-dec, (e) fma3d — plus the two Table 3 protagonists.
+        vec!["gzip", "galgel", "bzip", "mpeg-dec", "fma3d", "mcf", "ammp"]
+    } else {
+        requested.iter().map(String::as_str).collect()
+    };
+
+    let schemes = [
+        PrefetcherConfig::sequential(),
+        PrefetcherConfig::stride(),
+        PrefetcherConfig::markov(),
+        PrefetcherConfig::recency(),
+        PrefetcherConfig::distance(),
+    ];
+
+    println!(
+        "{:<10} {:>8}  {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "app", "missrate", "SP", "ASP", "MP", "RP", "DP"
+    );
+    println!("{}", "-".repeat(60));
+
+    for name in names {
+        let app = find_app(name).ok_or_else(|| format!("unknown application {name:?}"))?;
+        let results = compare_schemes(app, Scale::SMALL, &SimConfig::paper_default(), &schemes)?;
+        let miss_rate = results[0].1.miss_rate();
+        print!("{:<10} {:>8.4} ", app.name, miss_rate);
+        for (_, stats) in &results {
+            print!(" {:>6.3}", stats.accuracy());
+        }
+        println!();
+    }
+
+    println!();
+    println!("accuracy = fraction of TLB misses satisfied by the prefetch buffer");
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Quickstart: simulate one application under the paper's default
+//! configuration and print what the distance prefetcher achieved.
+//!
+//! ```text
+//! cargo run --release --example quickstart [app-name]
+//! ```
+
+use tlb_distance::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "galgel".to_owned());
+    let app = find_app(&name).ok_or_else(|| {
+        format!(
+            "unknown application {name:?}; try one of: {}",
+            all_apps()
+                .iter()
+                .map(|a| a.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })?;
+
+    println!("application : {app}");
+    println!("behaviour   : {} {}", app.class, app.description);
+    println!();
+
+    // The paper's representative setup: 128-entry fully-associative TLB,
+    // 16-entry prefetch buffer, DP with r = 256 rows and s = 2 slots.
+    let config = SimConfig::paper_default();
+    let stats = run_app(app, Scale::SMALL, &config)?;
+
+    println!("configuration        : {config}");
+    println!("references simulated : {}", stats.accesses);
+    println!("footprint            : {} pages", stats.footprint_pages);
+    println!("TLB miss rate        : {:.4}", stats.miss_rate());
+    println!("prediction accuracy  : {:.3}", stats.accuracy());
+    println!("prefetches issued    : {}", stats.prefetches_issued);
+    println!("memory ops per miss  : {:.2}", stats.memory_ops_per_miss());
+    Ok(())
+}

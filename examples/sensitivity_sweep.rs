@@ -1,0 +1,44 @@
+//! Reproduce a slice of Figure 9: sweep the distance prefetcher's table
+//! size and associativity on one application and watch how little it
+//! matters (the paper's point: a small direct-mapped 32-256 entry table
+//! suffices).
+//!
+//! ```text
+//! cargo run --release --example sensitivity_sweep [app-name]
+//! ```
+
+use tlb_distance::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "adpcm-enc".to_owned());
+    let app = find_app(&name).ok_or_else(|| format!("unknown application {name:?}"))?;
+    println!("DP sensitivity on {app}\n");
+
+    println!("{:<8} {:>8} {:>8} {:>8}", "rows", "direct", "4-way", "full");
+    println!("{}", "-".repeat(36));
+    for rows in [32usize, 64, 128, 256, 512, 1024] {
+        print!("{rows:<8}");
+        for assoc in [
+            Associativity::Direct,
+            Associativity::ways_of(4),
+            Associativity::Full,
+        ] {
+            let mut dp = PrefetcherConfig::distance();
+            dp.rows(rows).assoc(assoc);
+            let config = SimConfig::paper_default().with_prefetcher(dp);
+            let stats = run_app(app, Scale::SMALL, &config)?;
+            print!(" {:>8.3}", stats.accuracy());
+        }
+        println!();
+    }
+
+    println!("\nslots (r = 256, direct):");
+    for slots in [1usize, 2, 4, 6, 8] {
+        let mut dp = PrefetcherConfig::distance();
+        dp.slots(slots);
+        let config = SimConfig::paper_default().with_prefetcher(dp);
+        let stats = run_app(app, Scale::SMALL, &config)?;
+        println!("  s = {slots}: accuracy {:.3}", stats.accuracy());
+    }
+    Ok(())
+}

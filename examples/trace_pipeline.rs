@@ -1,0 +1,55 @@
+//! The external-trace pipeline: generate a workload, persist it in the
+//! binary trace format, analyse the file, and simulate from the trace —
+//! exactly how a trace captured by an external tool (Pin, DynamoRIO,
+//! QEMU) would be consumed.
+//!
+//! ```text
+//! cargo run --release --example trace_pipeline [app-name]
+//! ```
+
+use tlb_distance::prelude::*;
+use tlb_distance::trace::{BinaryTraceReader, BinaryTraceWriter, TraceStats, TraceStreamExt};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "swim".to_owned());
+    let app = find_app(&name).ok_or_else(|| format!("unknown application {name:?}"))?;
+
+    // 1. Capture the workload into a binary trace file.
+    let path = std::env::temp_dir().join(format!("tlb-distance-{name}.trace"));
+    let file = std::fs::File::create(&path)?;
+    let mut writer = BinaryTraceWriter::create(file)?;
+    for access in app.workload(Scale::TINY) {
+        writer.write(&access)?;
+    }
+    let written = writer.records_written();
+    writer.finish()?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!("wrote {written} records ({bytes} bytes) to {}", path.display());
+
+    // 2. Analyse the trace: footprint, stride mix, reuse.
+    let reader = BinaryTraceReader::open(std::fs::File::open(&path)?)?;
+    let stats = TraceStats::from_stream(reader.map(|r| r.expect("valid record")), PageSize::DEFAULT);
+    println!("\ntrace statistics:");
+    println!("  accesses            : {}", stats.accesses);
+    println!("  footprint           : {} pages", stats.footprint_pages);
+    println!("  distinct PCs        : {}", stats.distinct_pcs);
+    println!("  write fraction      : {:.2}", stats.write_fraction);
+    println!("  distinct distances  : {}", stats.distinct_distances());
+    if let Some(d) = stats.dominant_distance() {
+        println!(
+            "  dominant distance   : {d} ({:.1}% of transitions)",
+            100.0 * stats.distance_share(d)
+        );
+    }
+
+    // 3. Simulate straight from the file, skipping a warm-up window.
+    let reader = BinaryTraceReader::open(std::fs::File::open(&path)?)?;
+    let stream = reader.map(|r| r.expect("valid record")).window(1_000, u64::MAX);
+    let mut engine = Engine::new(&SimConfig::paper_default())?;
+    engine.run(stream);
+    println!("\nsimulation from trace (after 1k-record fast-forward):");
+    println!("  {}", engine.stats());
+
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! # tlb-distance
+//!
+//! A from-scratch reproduction of **“Going the Distance for TLB
+//! Prefetching: An Application-Driven Study”** (Kandiraju &
+//! Sivasubramaniam, ISCA 2002): distance prefetching for TLBs, the four
+//! mechanisms it is compared against, the TLB/prefetch-buffer/memory
+//! substrate, 56 synthetic application models, and the full evaluation
+//! harness regenerating every table and figure of the paper.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! | module | crate | role |
+//! |--------|-------|------|
+//! | [`core`] | `tlbsim-core` | the prefetching mechanisms (DP + SP/ASP/MP/RP) and prediction tables |
+//! | [`mmu`] | `tlbsim-mmu` | TLB, prefetch buffer, page table |
+//! | [`mem`] | `tlbsim-mem` | prefetch-traffic channel and timing parameters |
+//! | [`trace`] | `tlbsim-trace` | binary/text trace formats and statistics |
+//! | [`workloads`] | `tlbsim-workloads` | the 56-application synthetic suite |
+//! | [`sim`] | `tlbsim-sim` | functional and timing simulation engines |
+//! | [`experiments`] | `tlbsim-experiments` | Table 1–3 / Figure 7–9 regeneration |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tlb_distance::prelude::*;
+//!
+//! // Simulate SPEC's galgel under the paper's default configuration
+//! // (128-entry fully-associative TLB, 16-entry prefetch buffer,
+//! // distance prefetcher with r = 256, s = 2).
+//! let app = find_app("galgel").expect("registered application");
+//! let stats = run_app(app, Scale::TINY, &SimConfig::paper_default())?;
+//! assert!(stats.accuracy() > 0.8);
+//! # Ok::<(), tlb_distance::sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tlbsim_core as core;
+pub use tlbsim_experiments as experiments;
+pub use tlbsim_mem as mem;
+pub use tlbsim_mmu as mmu;
+pub use tlbsim_sim as sim;
+pub use tlbsim_trace as trace;
+pub use tlbsim_workloads as workloads;
+
+/// The most common imports for working with the simulator.
+pub mod prelude {
+    pub use tlbsim_core::{
+        Associativity, Distance, MemoryAccess, MissContext, PageSize, Pc, PrefetcherConfig,
+        PrefetcherKind, TlbPrefetcher, VirtAddr, VirtPage,
+    };
+    pub use tlbsim_mem::TimingParams;
+    pub use tlbsim_mmu::{PrefetchBuffer, Tlb, TlbConfig};
+    pub use tlbsim_sim::{
+        compare_schemes, run_app, run_app_timed, Engine, SimConfig, SimStats, TimingEngine,
+    };
+    pub use tlbsim_workloads::{all_apps, find_app, suite_apps, AppSpec, Scale, Suite, Workload};
+}

@@ -1,0 +1,71 @@
+//! Aggregate-level regression tests: the headline orderings of Table 2
+//! and Table 3 must hold when the whole suite is rerun.
+
+use tlb_distance::experiments::{table2, table3};
+use tlb_distance::workloads::Scale;
+
+#[test]
+fn table2_orderings_hold() {
+    let t = table2::run(Scale::SMALL).expect("valid configurations");
+    let dp = t.row("DP").expect("DP row");
+    let rp = t.row("RP").expect("RP row");
+    let asp = t.row("ASP").expect("ASP row");
+    let mp = t.row("MP").expect("MP row");
+
+    // Unweighted: DP leads by a wide margin, MP is far last.
+    assert!(
+        dp.average > rp.average + 0.15,
+        "DP {:.3} should lead RP {:.3} decisively",
+        dp.average,
+        rp.average
+    );
+    assert!(dp.average > asp.average + 0.15);
+    assert!(mp.average < rp.average && mp.average < asp.average);
+
+    // Weighted: RP closes most of the gap to DP — the paper's reversal
+    // — and MP stays far last. (At SMALL scale RP still pays visible
+    // cold-start misses on the high-weight loop apps; at STANDARD the
+    // two are within 0.01, see EXPERIMENTS.md.)
+    assert!(
+        rp.weighted > dp.weighted - 0.09,
+        "weighted RP {:.3} should be within 0.09 of DP {:.3}",
+        rp.weighted,
+        dp.weighted
+    );
+    assert!(
+        rp.weighted - rp.average > 0.25,
+        "weighting should strongly favour RP: {:.3} vs {:.3}",
+        rp.weighted,
+        rp.average
+    );
+    assert!(mp.weighted < 0.2);
+    // ASP sits clearly below RP and DP under weighting.
+    assert!(asp.weighted < rp.weighted && asp.weighted < dp.weighted);
+}
+
+#[test]
+fn table3_shape_holds() {
+    let t = table3::run(Scale::SMALL).expect("valid configurations");
+    assert_eq!(t.rows.len(), 5);
+    for row in &t.rows {
+        // The headline: DP never loses to RP on cycles.
+        assert!(
+            row.dp <= row.rp + 0.01,
+            "{}: DP {:.3} vs RP {:.3}",
+            row.app,
+            row.dp,
+            row.rp
+        );
+        // Prefetching with DP never slows execution down.
+        assert!(row.dp < 1.01, "{}: DP {:.3}", row.app, row.dp);
+    }
+    // RP's worst case is mcf, at or above parity with no prefetching.
+    let mcf = t.row("mcf").expect("mcf row");
+    assert!(mcf.rp > 1.0, "mcf RP {:.3} should cross into slowdown", mcf.rp);
+    let worst = t
+        .rows
+        .iter()
+        .max_by(|a, b| a.rp.total_cmp(&b.rp))
+        .expect("non-empty");
+    assert_eq!(worst.app, "mcf");
+}
