@@ -16,15 +16,19 @@ fn bench_filtering(c: &mut Criterion) {
     group.sample_size(10);
     let app = find_app("galgel").unwrap();
     for (label, enabled) in [("filtered", true), ("blind", false)] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &enabled, |b, enabled| {
-            b.iter(|| {
-                run_functional(
-                    app,
-                    &SimConfig::paper_default().with_prefetch_filtering(*enabled),
-                )
-                .accuracy()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &enabled,
+            |b, enabled| {
+                b.iter(|| {
+                    run_functional(
+                        app,
+                        &SimConfig::paper_default().with_prefetch_filtering(*enabled),
+                    )
+                    .accuracy()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -59,8 +63,7 @@ fn bench_pc_qualification(c: &mut Criterion) {
                 b.iter(|| {
                     let mut cfg = PrefetcherConfig::distance();
                     cfg.pc_qualified(*q);
-                    run_functional(app, &SimConfig::paper_default().with_prefetcher(cfg))
-                        .accuracy()
+                    run_functional(app, &SimConfig::paper_default().with_prefetcher(cfg)).accuracy()
                 });
             });
         }
@@ -77,8 +80,11 @@ fn bench_buffer_pressure(c: &mut Criterion) {
     for (label, buffer) in [("b8", 8usize), ("b16", 16), ("b64", 64)] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &buffer, |b, buffer| {
             b.iter(|| {
-                run_functional(app, &SimConfig::paper_default().with_prefetch_buffer(*buffer))
-                    .accuracy()
+                run_functional(
+                    app,
+                    &SimConfig::paper_default().with_prefetch_buffer(*buffer),
+                )
+                .accuracy()
             });
         });
     }

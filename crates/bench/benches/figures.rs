@@ -63,7 +63,10 @@ fn bench_figure9(c: &mut Criterion) {
     many_slots.slots(6);
 
     let variants: Vec<(&str, SimConfig)> = vec![
-        ("r32-full", SimConfig::paper_default().with_prefetcher(small_table)),
+        (
+            "r32-full",
+            SimConfig::paper_default().with_prefetcher(small_table),
+        ),
         ("s6", SimConfig::paper_default().with_prefetcher(many_slots)),
         ("b64", SimConfig::paper_default().with_prefetch_buffer(64)),
         (

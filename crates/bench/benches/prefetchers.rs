@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tlbsim_bench::mixed_miss_stream;
-use tlbsim_core::{PrefetcherConfig, PrefetcherKind};
+use tlbsim_core::{CandidateBuf, PrefetcherConfig, PrefetcherKind};
 
 fn bench_on_miss(c: &mut Criterion) {
     let stream = mixed_miss_stream(10_000);
@@ -17,9 +17,12 @@ fn bench_on_miss(c: &mut Criterion) {
             |b, kind| {
                 b.iter(|| {
                     let mut p = PrefetcherConfig::new(*kind).build().unwrap();
+                    let mut sink = CandidateBuf::new();
                     let mut issued = 0usize;
                     for ctx in &stream {
-                        issued += p.on_miss(ctx).pages.len();
+                        sink.clear();
+                        p.on_miss(ctx, &mut sink);
+                        issued += sink.len();
                     }
                     issued
                 });
@@ -39,9 +42,12 @@ fn bench_table_sizes(c: &mut Criterion) {
                 let mut cfg = PrefetcherConfig::distance();
                 cfg.rows(*rows);
                 let mut p = cfg.build().unwrap();
+                let mut sink = CandidateBuf::new();
                 let mut issued = 0usize;
                 for ctx in &stream {
-                    issued += p.on_miss(ctx).pages.len();
+                    sink.clear();
+                    p.on_miss(ctx, &mut sink);
+                    issued += sink.len();
                 }
                 issued
             });

@@ -54,8 +54,7 @@ fn bench_table3(c: &mut Criterion) {
         let app = find_app(name).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(name), &app, |b, app| {
             b.iter(|| {
-                let base =
-                    run_app_timed(app, Scale::TINY, &SimConfig::baseline(), params).unwrap();
+                let base = run_app_timed(app, Scale::TINY, &SimConfig::baseline(), params).unwrap();
                 let rp = run_app_timed(
                     app,
                     Scale::TINY,
@@ -65,10 +64,7 @@ fn bench_table3(c: &mut Criterion) {
                 .unwrap();
                 let dp =
                     run_app_timed(app, Scale::TINY, &SimConfig::paper_default(), params).unwrap();
-                (
-                    rp.normalized_against(&base),
-                    dp.normalized_against(&base),
-                )
+                (rp.normalized_against(&base), dp.normalized_against(&base))
             });
         });
     }

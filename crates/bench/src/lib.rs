@@ -7,50 +7,13 @@
 //! mechanisms and hardware models, and `ablations.rs` quantifies the
 //! design choices called out in `DESIGN.md`.
 
-use tlbsim_core::{MemoryAccess, MissContext, Pc, VirtPage};
 use tlbsim_sim::{Engine, SimConfig, SimStats};
 use tlbsim_workloads::{AppSpec, Scale};
 
-/// A deterministic synthetic miss stream mixing strided runs with
-/// repeating jumps — exercises every mechanism's table paths without
-/// degenerating into a single hot row.
-pub fn mixed_miss_stream(len: usize) -> Vec<MissContext> {
-    let mut out = Vec::with_capacity(len);
-    let mut page = 0x10_0000u64;
-    for i in 0..len {
-        let step = match i % 7 {
-            0..=3 => 1,
-            4 => 13,
-            5 => 1,
-            _ => 97,
-        };
-        page += step;
-        out.push(MissContext {
-            page: VirtPage::new(page),
-            pc: Pc::new(0x400 + (i as u64 % 4) * 4),
-            prefetch_buffer_hit: i % 3 == 0,
-            evicted_tlb_entry: if i % 2 == 0 {
-                Some(VirtPage::new(page - 200))
-            } else {
-                None
-            },
-        });
-    }
-    out
-}
-
-/// A deterministic access stream for whole-engine benchmarks.
-pub fn looping_access_stream(pages: u64, refs: u64, laps: u64) -> Vec<MemoryAccess> {
-    let mut out = Vec::with_capacity((pages * refs * laps) as usize);
-    for _ in 0..laps {
-        for p in 0..pages {
-            for r in 0..refs {
-                out.push(MemoryAccess::read(0x400, (0x10_0000 + p) * 4096 + r * 64));
-            }
-        }
-    }
-    out
-}
+// The stream fixtures are canonically defined next to the telemetry
+// that snapshots them (`xp bench-json`), so bench numbers and
+// BENCH_throughput.json always measure the same streams.
+pub use tlbsim_experiments::throughput::{looping_access_stream, mixed_miss_stream};
 
 /// Runs an application through the functional engine at bench scale.
 pub fn run_functional(app: &AppSpec, config: &SimConfig) -> SimStats {
@@ -62,6 +25,7 @@ pub fn run_functional(app: &AppSpec, config: &SimConfig) -> SimStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tlbsim_core::{CandidateBuf, PrefetcherConfig, PrefetcherKind};
 
     #[test]
     fn fixtures_are_deterministic() {
@@ -71,5 +35,29 @@ mod tests {
             looping_access_stream(10, 2, 2)
         );
         assert_eq!(looping_access_stream(10, 2, 2).len(), 40);
+    }
+
+    #[test]
+    fn sink_path_matches_vec_path_on_mixed_miss_stream() {
+        // Byte-for-byte equivalence of the reusable-sink hot path and
+        // the owned-decision convenience path on the shared bench
+        // fixture, for every mechanism.
+        let stream = mixed_miss_stream(5_000);
+        for kind in PrefetcherKind::ALL {
+            let mut via_sink = PrefetcherConfig::new(kind).build().unwrap();
+            let mut via_decide = PrefetcherConfig::new(kind).build().unwrap();
+            let mut sink = CandidateBuf::new();
+            for (i, ctx) in stream.iter().enumerate() {
+                sink.clear();
+                via_sink.on_miss(ctx, &mut sink);
+                let decision = via_decide.decide(ctx);
+                assert_eq!(
+                    sink.pages(),
+                    decision.pages.as_slice(),
+                    "{kind:?} diverged at miss {i}"
+                );
+                assert_eq!(sink.maintenance_ops(), decision.maintenance_ops);
+            }
+        }
     }
 }

@@ -73,6 +73,13 @@ pub enum ConfigError {
     Geometry(InvalidGeometry),
     /// The slot count `s` is zero.
     ZeroSlots,
+    /// The slot count `s` exceeds the inline row storage
+    /// ([`SlotList::MAX_CAPACITY`](crate::SlotList::MAX_CAPACITY)) —
+    /// rows live on the miss path and never heap-allocate.
+    TooManySlots {
+        /// The requested slot count.
+        slots: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -80,6 +87,11 @@ impl fmt::Display for ConfigError {
         match self {
             ConfigError::Geometry(g) => write!(f, "invalid table geometry: {g}"),
             ConfigError::ZeroSlots => f.write_str("slot count must be at least 1"),
+            ConfigError::TooManySlots { slots } => write!(
+                f,
+                "slot count {slots} exceeds the inline row maximum of {}",
+                crate::SlotList::<u64>::MAX_CAPACITY
+            ),
         }
     }
 }
@@ -88,7 +100,7 @@ impl std::error::Error for ConfigError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ConfigError::Geometry(g) => Some(g),
-            ConfigError::ZeroSlots => None,
+            ConfigError::ZeroSlots | ConfigError::TooManySlots { .. } => None,
         }
     }
 }
@@ -272,6 +284,9 @@ impl PrefetcherConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.slots == 0 {
             return Err(ConfigError::ZeroSlots);
+        }
+        if self.slots > crate::SlotList::<u64>::MAX_CAPACITY {
+            return Err(ConfigError::TooManySlots { slots: self.slots });
         }
         match self.kind {
             PrefetcherKind::Stride | PrefetcherKind::Markov | PrefetcherKind::Distance => {

@@ -20,9 +20,9 @@
 use crate::assoc::Associativity;
 use crate::config::{ConfigError, PrefetcherConfig};
 use crate::prefetcher::{
-    HardwareProfile, IndexSource, MissContext, PrefetchDecision, RowBudget, StateLocation,
-    TlbPrefetcher,
+    HardwareProfile, IndexSource, MissContext, RowBudget, StateLocation, TlbPrefetcher,
 };
+use crate::sink::CandidateBuf;
 use crate::slots::SlotList;
 use crate::table::PredictionTable;
 use crate::types::{Distance, Pc, VirtPage};
@@ -68,10 +68,10 @@ impl crate::table::TableKey for DistanceKey {
 ///
 /// let mut dp = DistancePrefetcher::from_config(&PrefetcherConfig::distance())?;
 /// let m = |p: u64| MissContext::demand(VirtPage::new(p), Pc::new(0));
-/// dp.on_miss(&m(0));
-/// dp.on_miss(&m(1)); // distance +1 observed
-/// dp.on_miss(&m(2)); // "+1 follows +1" learned; predicts page 3
-/// let d = dp.on_miss(&m(3));
+/// dp.decide(&m(0));
+/// dp.decide(&m(1)); // distance +1 observed
+/// dp.decide(&m(2)); // "+1 follows +1" learned; predicts page 3
+/// let d = dp.decide(&m(3));
 /// assert_eq!(d.pages, vec![VirtPage::new(4)]);
 /// # Ok::<(), tlbsim_core::ConfigError>(())
 /// ```
@@ -96,6 +96,9 @@ impl DistancePrefetcher {
     pub fn new(rows: usize, slots: usize, assoc: Associativity) -> Result<Self, ConfigError> {
         if slots == 0 {
             return Err(ConfigError::ZeroSlots);
+        }
+        if slots > SlotList::<Distance>::MAX_CAPACITY {
+            return Err(ConfigError::TooManySlots { slots });
         }
         Ok(DistancePrefetcher {
             table: PredictionTable::new(rows, assoc)?,
@@ -165,9 +168,10 @@ impl DistancePrefetcher {
         self.table.len()
     }
 
-    /// Read-only view of the distances predicted to follow `distance`
-    /// (MRU first), in distance-only indexing mode.
-    pub fn followers(&self, distance: Distance) -> Vec<Distance> {
+    /// Allocating snapshot of the distances predicted to follow
+    /// `distance` (MRU first), in distance-only indexing mode —
+    /// debug/test introspection, never called on the miss path.
+    pub fn followers_snapshot(&self, distance: Distance) -> Vec<Distance> {
         self.table
             .get(DistanceKey {
                 distance,
@@ -179,7 +183,7 @@ impl DistancePrefetcher {
 }
 
 impl TlbPrefetcher for DistancePrefetcher {
-    fn on_miss(&mut self, ctx: &MissContext) -> PrefetchDecision {
+    fn on_miss(&mut self, ctx: &MissContext, sink: &mut CandidateBuf) {
         let page = ctx.page;
         let pc_fold = self.fold_pc(ctx.pc);
 
@@ -187,7 +191,7 @@ impl TlbPrefetcher for DistancePrefetcher {
             // Very first miss: no distance to compute yet (step 1 needs a
             // previous address).
             self.prev_page = Some(page);
-            return PrefetchDecision::none();
+            return;
         };
 
         // Step 1: the current distance, keyed with whatever extra
@@ -199,13 +203,12 @@ impl TlbPrefetcher for DistancePrefetcher {
         };
 
         // Steps 2-3: a table hit yields predicted distances, applied to
-        // the *current* page.
-        let mut pages = Vec::new();
+        // the *current* page and pushed straight into the caller's sink.
         if let Some(row) = self.table.get_mut(key) {
             for d in row.iter() {
                 if let Some(target) = page.offset(*d) {
                     if target != page {
-                        pages.push(target);
+                        sink.push(target);
                     }
                 }
             }
@@ -225,8 +228,6 @@ impl TlbPrefetcher for DistancePrefetcher {
         self.prev_distance = Some(distance);
         self.prev_page = Some(page);
         self.prev_key = Some(key);
-
-        PrefetchDecision::pages(pages)
     }
 
     fn flush(&mut self) {
@@ -261,8 +262,8 @@ mod tests {
         DistancePrefetcher::new(rows, slots, Associativity::Direct).unwrap()
     }
 
-    fn miss(p: &mut DistancePrefetcher, page: u64) -> PrefetchDecision {
-        p.on_miss(&MissContext::demand(VirtPage::new(page), Pc::new(0)))
+    fn miss(p: &mut DistancePrefetcher, page: u64) -> crate::PrefetchDecision {
+        p.decide(&MissContext::demand(VirtPage::new(page), Pc::new(0)))
     }
 
     #[test]
@@ -280,7 +281,7 @@ mod tests {
         }
         // Only the "+1 -> +1" transition exists.
         assert_eq!(p.occupancy(), 1);
-        assert_eq!(p.followers(Distance::ONE), vec![Distance::ONE]);
+        assert_eq!(p.followers_snapshot(Distance::ONE), vec![Distance::ONE]);
     }
 
     #[test]
@@ -292,8 +293,14 @@ mod tests {
             miss(&mut p, page);
         }
         assert_eq!(p.occupancy(), 2);
-        assert_eq!(p.followers(Distance::new(1)), vec![Distance::new(2)]);
-        assert_eq!(p.followers(Distance::new(2)), vec![Distance::new(1)]);
+        assert_eq!(
+            p.followers_snapshot(Distance::new(1)),
+            vec![Distance::new(2)]
+        );
+        assert_eq!(
+            p.followers_snapshot(Distance::new(2)),
+            vec![Distance::new(1)]
+        );
         // Continue the pattern: 10 arrives with distance +2, predicting +1.
         let d = miss(&mut p, 10);
         assert_eq!(d.pages, vec![VirtPage::new(11)]);
@@ -361,8 +368,11 @@ mod tests {
         }
         // Rows: +1 -> {+1 or +10}, +10 -> {+1}.
         assert!(p.occupancy() <= 3);
-        assert_eq!(p.followers(Distance::new(10)), vec![Distance::new(1)]);
-        let f1 = p.followers(Distance::new(1));
+        assert_eq!(
+            p.followers_snapshot(Distance::new(10)),
+            vec![Distance::new(1)]
+        );
+        let f1 = p.followers_snapshot(Distance::new(1));
         assert!(f1.contains(&Distance::new(1)) && f1.contains(&Distance::new(10)));
     }
 
@@ -397,13 +407,13 @@ mod tests {
         let mut p = DistancePrefetcher::from_config(&cfg).unwrap();
         let m = |pc: u64, page: u64| MissContext::demand(VirtPage::new(page), Pc::new(pc));
         // PC 0x40 walks stride +1; learn and predict under that PC.
-        p.on_miss(&m(0x40, 0));
-        p.on_miss(&m(0x40, 1));
-        p.on_miss(&m(0x40, 2));
-        let d = p.on_miss(&m(0x40, 3));
+        p.decide(&m(0x40, 0));
+        p.decide(&m(0x40, 1));
+        p.decide(&m(0x40, 2));
+        let d = p.decide(&m(0x40, 3));
         assert_eq!(d.pages, vec![VirtPage::new(4)]);
         // The same distance under a different PC has no history.
-        let d = p.on_miss(&m(0x99, 4));
+        let d = p.decide(&m(0x99, 4));
         assert!(d.pages.is_empty());
     }
 
@@ -420,7 +430,7 @@ mod tests {
             let mut chances = 0u32;
             for i in 0..600 {
                 let vp = VirtPage::new(page as u64);
-                let d = p.on_miss(&MissContext::demand(vp, Pc::new(0)));
+                let d = p.decide(&MissContext::demand(vp, Pc::new(0)));
                 let next = page + cycle[i % cycle.len()];
                 // After two warm-up cycles the decision at each miss
                 // should name the next page to miss.

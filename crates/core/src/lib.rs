@@ -13,29 +13,46 @@
 //! * [`NullPrefetcher`] — the no-prefetching baseline.
 //!
 //! All mechanisms implement [`TlbPrefetcher`]: they receive one
-//! [`MissContext`] per TLB miss and return a [`PrefetchDecision`] naming
-//! the pages to pull into the prefetch buffer plus any state-maintenance
-//! memory traffic. The shared prediction-table hardware (`r` rows, `s`
-//! slots, D/2/4/F indexing — the knobs the paper sweeps) lives in
-//! [`PredictionTable`] and [`SlotList`].
+//! [`MissContext`] per TLB miss and push the pages to pull into the
+//! prefetch buffer — plus any state-maintenance memory traffic — into a
+//! caller-owned [`CandidateBuf`] sink. The shared prediction-table
+//! hardware (`r` rows, `s` slots, D/2/4/F indexing — the knobs the paper
+//! sweeps) lives in [`PredictionTable`] and [`SlotList`].
+//!
+//! ## The zero-allocation miss path
+//!
+//! The sink API exists because the evaluation loop runs billions of
+//! times across the paper's sweeps. The contract:
+//!
+//! * callers allocate **one** [`CandidateBuf`] per simulation (it is a
+//!   plain inline array) and [`clear`](CandidateBuf::clear) it before
+//!   every [`TlbPrefetcher::on_miss`] call;
+//! * mechanisms push candidates in priority order and never allocate on
+//!   the miss path — anything allocating is segregated into explicitly
+//!   named `*_snapshot` debug accessors;
+//! * the owned [`PrefetchDecision`] shape survives as the convenience
+//!   wrapper [`TlbPrefetcher::decide`] for tests and examples.
 //!
 //! ## Quick start
 //!
 //! ```
-//! use tlbsim_core::{MissContext, Pc, PrefetcherConfig, VirtPage};
+//! use tlbsim_core::{CandidateBuf, MissContext, Pc, PrefetcherConfig, VirtPage};
 //!
 //! // The paper's representative configuration: r = 256, s = 2, direct.
 //! let mut dp = PrefetcherConfig::distance().build()?;
+//! let mut sink = CandidateBuf::new();
 //!
 //! // Feed it a miss stream with alternating distances +1, +2 (the
 //! // paper's example string 1, 2, 4, 5, 7, 8 …).
 //! for page in [1u64, 2, 4, 5, 7, 8] {
-//!     dp.on_miss(&MissContext::demand(VirtPage::new(page), Pc::new(0)));
+//!     sink.clear();
+//!     dp.on_miss(&MissContext::demand(VirtPage::new(page), Pc::new(0)), &mut sink);
 //! }
 //! // The pattern is now captured in two table rows; distance +2 at page
 //! // 10 predicts +1 => page 11.
-//! let d = dp.on_miss(&MissContext::demand(VirtPage::new(10), Pc::new(0)));
-//! assert_eq!(d.pages, vec![VirtPage::new(11)]);
+//! sink.clear();
+//! dp.on_miss(&MissContext::demand(VirtPage::new(10), Pc::new(0)), &mut sink);
+//! assert_eq!(sink.pages(), &[VirtPage::new(11)]);
 //! # Ok::<(), tlbsim_core::ConfigError>(())
 //! ```
 //!
@@ -52,6 +69,7 @@ mod markov;
 mod prefetcher;
 mod recency;
 mod sequential;
+mod sink;
 mod slots;
 mod stride;
 mod table;
@@ -67,10 +85,10 @@ pub use prefetcher::{
 };
 pub use recency::RecencyPrefetcher;
 pub use sequential::SequentialPrefetcher;
+pub use sink::CandidateBuf;
 pub use slots::SlotList;
 pub use stride::{RptEntry, RptState, StridePrefetcher};
 pub use table::{PredictionTable, TableKey};
 pub use types::{
-    AccessKind, Distance, InvalidPageSize, MemoryAccess, PageSize, Pc, PhysPage, VirtAddr,
-    VirtPage,
+    AccessKind, Distance, InvalidPageSize, MemoryAccess, PageSize, Pc, PhysPage, VirtAddr, VirtPage,
 };

@@ -11,9 +11,9 @@
 use crate::assoc::Associativity;
 use crate::config::{ConfigError, PrefetcherConfig};
 use crate::prefetcher::{
-    HardwareProfile, IndexSource, MissContext, PrefetchDecision, RowBudget, StateLocation,
-    TlbPrefetcher,
+    HardwareProfile, IndexSource, MissContext, RowBudget, StateLocation, TlbPrefetcher,
 };
+use crate::sink::CandidateBuf;
 use crate::slots::SlotList;
 use crate::table::PredictionTable;
 use crate::types::VirtPage;
@@ -28,9 +28,9 @@ use crate::types::VirtPage;
 /// let mut mp = MarkovPrefetcher::from_config(&PrefetcherConfig::markov())?;
 /// let m = |p: u64| MissContext::demand(VirtPage::new(p), Pc::new(0));
 /// // Teach the transition 100 -> 200, then revisit 100.
-/// mp.on_miss(&m(100));
-/// mp.on_miss(&m(200));
-/// let d = mp.on_miss(&m(100));
+/// mp.decide(&m(100));
+/// mp.decide(&m(200));
+/// let d = mp.decide(&m(100));
 /// assert_eq!(d.pages, vec![VirtPage::new(200)]);
 /// # Ok::<(), tlbsim_core::ConfigError>(())
 /// ```
@@ -50,6 +50,9 @@ impl MarkovPrefetcher {
     pub fn new(rows: usize, slots: usize, assoc: Associativity) -> Result<Self, ConfigError> {
         if slots == 0 {
             return Err(ConfigError::ZeroSlots);
+        }
+        if slots > SlotList::<VirtPage>::MAX_CAPACITY {
+            return Err(ConfigError::TooManySlots { slots });
         }
         Ok(MarkovPrefetcher {
             table: PredictionTable::new(rows, assoc)?,
@@ -77,8 +80,9 @@ impl MarkovPrefetcher {
         self.table.len()
     }
 
-    /// Read-only view of the successors recorded for `page` (MRU first).
-    pub fn successors(&self, page: VirtPage) -> Vec<VirtPage> {
+    /// Allocating snapshot of the successors recorded for `page` (MRU
+    /// first) — debug/test introspection, never called on the miss path.
+    pub fn successors_snapshot(&self, page: VirtPage) -> Vec<VirtPage> {
         self.table
             .get(page)
             .map(|row| row.iter().copied().collect())
@@ -87,15 +91,18 @@ impl MarkovPrefetcher {
 }
 
 impl TlbPrefetcher for MarkovPrefetcher {
-    fn on_miss(&mut self, ctx: &MissContext) -> PrefetchDecision {
+    fn on_miss(&mut self, ctx: &MissContext, sink: &mut CandidateBuf) {
         let page = ctx.page;
 
-        // 1. Index by the missing page; a hit yields up to `s` predictions.
-        //    A miss allocates the row with empty slots (§2.3: "this entry
-        //    is added, and the s slots for this entry are kept empty").
+        // 1. Index by the missing page; a hit yields up to `s` predictions
+        //    written straight into the caller's sink. A table miss
+        //    allocates the row with empty slots (§2.3: "this entry is
+        //    added, and the s slots for this entry are kept empty").
         let slots = self.slots;
         let row = self.table.get_or_insert_with(page, || SlotList::new(slots));
-        let predictions: Vec<VirtPage> = row.iter().copied().collect();
+        for prediction in row.iter() {
+            sink.push(*prediction);
+        }
 
         // 2. Record the transition prev -> page in the previous page's
         //    row. The previous row may have been evicted by step 1 in a
@@ -108,8 +115,6 @@ impl TlbPrefetcher for MarkovPrefetcher {
             }
         }
         self.prev_miss = Some(page);
-
-        PrefetchDecision::pages(predictions)
     }
 
     fn flush(&mut self) {
@@ -143,8 +148,8 @@ mod tests {
         MarkovPrefetcher::new(rows, slots, Associativity::Direct).unwrap()
     }
 
-    fn miss(p: &mut MarkovPrefetcher, page: u64) -> PrefetchDecision {
-        p.on_miss(&MissContext::demand(VirtPage::new(page), Pc::new(0)))
+    fn miss(p: &mut MarkovPrefetcher, page: u64) -> crate::PrefetchDecision {
+        p.decide(&MissContext::demand(VirtPage::new(page), Pc::new(0)))
     }
 
     #[test]
@@ -185,7 +190,7 @@ mod tests {
             miss(&mut p, succ);
         }
         assert_eq!(
-            p.successors(VirtPage::new(1)),
+            p.successors_snapshot(VirtPage::new(1)),
             vec![VirtPage::new(4), VirtPage::new(3)]
         );
     }
@@ -200,7 +205,7 @@ mod tests {
             miss(&mut p, page);
         }
         // Page 1 has seen successors 2 then 5; both retained.
-        let s = p.successors(VirtPage::new(1));
+        let s = p.successors_snapshot(VirtPage::new(1));
         assert!(s.contains(&VirtPage::new(2)) && s.contains(&VirtPage::new(5)));
         // On the next visit to 1, both are predicted.
         let d = miss(&mut p, 1);
@@ -212,7 +217,7 @@ mod tests {
         let mut p = mp(64, 2);
         miss(&mut p, 5);
         miss(&mut p, 5);
-        assert!(p.successors(VirtPage::new(5)).is_empty());
+        assert!(p.successors_snapshot(VirtPage::new(5)).is_empty());
     }
 
     #[test]

@@ -3,14 +3,18 @@
 //! Following the paper's uniform adaptation (§2), prefetchers observe only
 //! the *miss stream* coming out of the TLB: the simulation engine calls
 //! [`TlbPrefetcher::on_miss`] once per TLB miss — whether the translation
-//! was then found in the prefetch buffer or demand-fetched — and receives
-//! back the pages the mechanism wants brought into the prefetch buffer,
-//! plus the number of extra memory operations spent maintaining prediction
-//! state (zero for the on-chip schemes, up to four pointer updates for
-//! recency prefetching).
+//! was then found in the prefetch buffer or demand-fetched — passing a
+//! reusable [`CandidateBuf`] sink that the mechanism fills with the pages
+//! it wants brought into the prefetch buffer, plus the number of extra
+//! memory operations spent maintaining prediction state (zero for the
+//! on-chip schemes, up to four pointer updates for recency prefetching).
+//! The sink-based shape keeps the per-miss path free of heap allocation;
+//! the allocating [`TlbPrefetcher::decide`] wrapper exists for tests and
+//! examples that want an owned [`PrefetchDecision`].
 
 use std::fmt;
 
+use crate::sink::CandidateBuf;
 use crate::types::{Pc, VirtPage};
 
 /// Everything a mechanism may inspect about one TLB miss.
@@ -42,7 +46,13 @@ impl MissContext {
     }
 }
 
-/// What a mechanism decided to do about one miss.
+/// An owned snapshot of what a mechanism decided to do about one miss.
+///
+/// This is the **convenience** shape, produced by
+/// [`TlbPrefetcher::decide`] or [`CandidateBuf::take_decision`]: it heap
+/// allocates, so tests and examples use it freely but the simulation
+/// engines never touch it — their per-miss loop stays on the
+/// [`CandidateBuf`] sink.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PrefetchDecision {
     /// Pages to bring into the prefetch buffer, in priority order.
@@ -170,25 +180,64 @@ impl fmt::Display for RowBudget {
 /// always produces the same prefetch decisions, which the test suite
 /// relies on heavily.
 ///
+/// The hot entry point is [`on_miss`](Self::on_miss): the caller owns a
+/// reusable [`CandidateBuf`] and the mechanism writes its candidates
+/// straight into it — no allocation, no intermediate collection. The
+/// allocating [`decide`](Self::decide) wrapper trades that for the
+/// ergonomic owned [`PrefetchDecision`] used throughout the unit tests.
+///
 /// # Examples
+///
+/// Sink-based (the engine loop's shape):
 ///
 /// ```
 /// use tlbsim_core::{
-///     DistancePrefetcher, MissContext, Pc, PrefetcherConfig, TlbPrefetcher, VirtPage,
+///     CandidateBuf, DistancePrefetcher, MissContext, Pc, PrefetcherConfig, TlbPrefetcher,
+///     VirtPage,
 /// };
 ///
 /// let mut dp = DistancePrefetcher::from_config(&PrefetcherConfig::distance())?;
+/// let mut sink = CandidateBuf::new();
 /// // Teach it that +1 is followed by +1, then watch it predict.
 /// for n in [10u64, 11, 12] {
-///     dp.on_miss(&MissContext::demand(VirtPage::new(n), Pc::new(0x40)));
+///     sink.clear();
+///     dp.on_miss(&MissContext::demand(VirtPage::new(n), Pc::new(0x40)), &mut sink);
 /// }
-/// let decision = dp.on_miss(&MissContext::demand(VirtPage::new(13), Pc::new(0x40)));
+/// sink.clear();
+/// dp.on_miss(&MissContext::demand(VirtPage::new(13), Pc::new(0x40)), &mut sink);
+/// assert!(sink.pages().contains(&VirtPage::new(14)));
+/// # Ok::<(), tlbsim_core::ConfigError>(())
+/// ```
+///
+/// Owned-decision convenience:
+///
+/// ```
+/// use tlbsim_core::{MissContext, Pc, PrefetcherConfig, TlbPrefetcher, VirtPage};
+///
+/// let mut dp = PrefetcherConfig::distance().build()?;
+/// for n in [10u64, 11, 12] {
+///     dp.decide(&MissContext::demand(VirtPage::new(n), Pc::new(0x40)));
+/// }
+/// let decision = dp.decide(&MissContext::demand(VirtPage::new(13), Pc::new(0x40)));
 /// assert!(decision.pages.contains(&VirtPage::new(14)));
 /// # Ok::<(), tlbsim_core::ConfigError>(())
 /// ```
 pub trait TlbPrefetcher {
-    /// Reacts to one TLB miss, returning the pages to prefetch.
-    fn on_miss(&mut self, ctx: &MissContext) -> PrefetchDecision;
+    /// Reacts to one TLB miss, pushing the pages to prefetch (and any
+    /// maintenance traffic) into `sink`.
+    ///
+    /// The caller provides `sink` already cleared; candidates are pushed
+    /// in priority order. This path must not allocate.
+    fn on_miss(&mut self, ctx: &MissContext, sink: &mut CandidateBuf);
+
+    /// Allocating convenience wrapper around [`on_miss`](Self::on_miss)
+    /// for tests and examples: runs the mechanism against a fresh sink
+    /// and returns the owned decision.
+    fn decide(&mut self, ctx: &MissContext) -> PrefetchDecision {
+        let mut sink = CandidateBuf::new();
+        self.on_miss(ctx, &mut sink);
+        sink.take_decision()
+    }
 
     /// Drops all learned state (e.g. on a context switch). Geometry is
     /// preserved.
@@ -216,9 +265,7 @@ impl NullPrefetcher {
 }
 
 impl TlbPrefetcher for NullPrefetcher {
-    fn on_miss(&mut self, _ctx: &MissContext) -> PrefetchDecision {
-        PrefetchDecision::none()
-    }
+    fn on_miss(&mut self, _ctx: &MissContext, _sink: &mut CandidateBuf) {}
 
     fn flush(&mut self) {}
 
@@ -246,10 +293,19 @@ mod tests {
     #[test]
     fn null_prefetcher_does_nothing() {
         let mut p = NullPrefetcher::new();
-        let d = p.on_miss(&MissContext::demand(VirtPage::new(1), Pc::new(2)));
+        let d = p.decide(&MissContext::demand(VirtPage::new(1), Pc::new(2)));
         assert!(d.is_none());
         assert_eq!(p.name(), "none");
         p.flush();
+    }
+
+    #[test]
+    fn decide_matches_sink_contents() {
+        let mut p = NullPrefetcher::new();
+        let ctx = MissContext::demand(VirtPage::new(1), Pc::new(2));
+        let mut sink = CandidateBuf::new();
+        p.on_miss(&ctx, &mut sink);
+        assert_eq!(p.decide(&ctx).pages, sink.pages().to_vec());
     }
 
     #[test]

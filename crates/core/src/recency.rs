@@ -15,9 +15,9 @@
 use std::collections::HashMap;
 
 use crate::prefetcher::{
-    HardwareProfile, IndexSource, MissContext, PrefetchDecision, RowBudget, StateLocation,
-    TlbPrefetcher,
+    HardwareProfile, IndexSource, MissContext, RowBudget, StateLocation, TlbPrefetcher,
 };
+use crate::sink::CandidateBuf;
 use crate::types::VirtPage;
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -37,13 +37,13 @@ struct StackNode {
 ///
 /// let mut rp = RecencyPrefetcher::new();
 /// // Pages 1 and 2 get evicted from the TLB in that order…
-/// rp.on_miss(&MissContext {
+/// rp.decide(&MissContext {
 ///     page: VirtPage::new(50),
 ///     pc: Pc::new(0),
 ///     prefetch_buffer_hit: false,
 ///     evicted_tlb_entry: Some(VirtPage::new(1)),
 /// });
-/// rp.on_miss(&MissContext {
+/// rp.decide(&MissContext {
 ///     page: VirtPage::new(51),
 ///     pc: Pc::new(0),
 ///     prefetch_buffer_hit: false,
@@ -51,7 +51,7 @@ struct StackNode {
 /// });
 /// // …so when page 2 misses again, its stack neighbour page 1 is
 /// // prefetched.
-/// let d = rp.on_miss(&MissContext {
+/// let d = rp.decide(&MissContext {
 ///     page: VirtPage::new(2),
 ///     pc: Pc::new(0),
 ///     prefetch_buffer_hit: false,
@@ -77,9 +77,10 @@ impl RecencyPrefetcher {
         self.nodes.len()
     }
 
-    /// Returns the stack from top (most recently evicted) to bottom, for
-    /// inspection in tests.
-    pub fn stack_top_down(&self) -> Vec<VirtPage> {
+    /// Allocating snapshot of the stack from top (most recently evicted)
+    /// to bottom — debug/test introspection, never called on the miss
+    /// path.
+    pub fn stack_snapshot(&self) -> Vec<VirtPage> {
         let mut out = Vec::with_capacity(self.nodes.len());
         let mut cur = self.top;
         while let Some(page) = cur {
@@ -137,18 +138,17 @@ impl RecencyPrefetcher {
 }
 
 impl TlbPrefetcher for RecencyPrefetcher {
-    fn on_miss(&mut self, ctx: &MissContext) -> PrefetchDecision {
+    fn on_miss(&mut self, ctx: &MissContext, sink: &mut CandidateBuf) {
         let mut ops = 0;
 
         // Neighbours *before* unlinking: the pages evicted just before
         // and just after the missing page was evicted.
-        let mut pages = Vec::with_capacity(2);
         if let Some(node) = self.nodes.get(&ctx.page) {
             if let Some(above) = node.above {
-                pages.push(above);
+                sink.push(above);
             }
             if let Some(below) = node.below {
-                pages.push(below);
+                sink.push(below);
             }
         }
 
@@ -163,10 +163,7 @@ impl TlbPrefetcher for RecencyPrefetcher {
             ops += self.push_top(evicted);
         }
 
-        PrefetchDecision {
-            pages,
-            maintenance_ops: ops,
-        }
+        sink.add_maintenance_ops(ops);
     }
 
     fn flush(&mut self) {
@@ -196,8 +193,8 @@ mod tests {
     use super::*;
     use crate::types::Pc;
 
-    fn miss(p: &mut RecencyPrefetcher, page: u64, evicted: Option<u64>) -> PrefetchDecision {
-        p.on_miss(&MissContext {
+    fn miss(p: &mut RecencyPrefetcher, page: u64, evicted: Option<u64>) -> crate::PrefetchDecision {
+        p.decide(&MissContext {
             page: VirtPage::new(page),
             pc: Pc::new(0),
             prefetch_buffer_hit: false,
@@ -220,7 +217,7 @@ mod tests {
         miss(&mut p, 101, Some(2));
         miss(&mut p, 102, Some(3));
         assert_eq!(
-            p.stack_top_down(),
+            p.stack_snapshot(),
             vec![VirtPage::new(3), VirtPage::new(2), VirtPage::new(1)]
         );
     }
@@ -238,7 +235,7 @@ mod tests {
         assert_eq!(d.pages.len(), 2);
         // Page 2 left the stack; 4 joined on top.
         assert_eq!(
-            p.stack_top_down(),
+            p.stack_snapshot(),
             vec![VirtPage::new(4), VirtPage::new(3), VirtPage::new(1)]
         );
     }
@@ -251,7 +248,7 @@ mod tests {
         // Stack: 2, 1. Missing page 2 (the top) has only a below-neighbour.
         let d = miss(&mut p, 2, None);
         assert_eq!(d.pages, vec![VirtPage::new(1)]);
-        assert_eq!(p.stack_top_down(), vec![VirtPage::new(1)]);
+        assert_eq!(p.stack_snapshot(), vec![VirtPage::new(1)]);
     }
 
     #[test]
@@ -286,10 +283,7 @@ mod tests {
         miss(&mut p, 101, Some(2));
         // Page 1 is evicted again without having missed (defensive path).
         miss(&mut p, 102, Some(1));
-        assert_eq!(
-            p.stack_top_down(),
-            vec![VirtPage::new(1), VirtPage::new(2)]
-        );
+        assert_eq!(p.stack_snapshot(), vec![VirtPage::new(1), VirtPage::new(2)]);
     }
 
     #[test]
@@ -298,7 +292,7 @@ mod tests {
         miss(&mut p, 100, Some(1));
         p.flush();
         assert_eq!(p.stack_len(), 0);
-        assert!(p.stack_top_down().is_empty());
+        assert!(p.stack_snapshot().is_empty());
     }
 
     #[test]
@@ -317,7 +311,7 @@ mod tests {
         let mut p = RecencyPrefetcher::new();
         miss(&mut p, 100, Some(1));
         miss(&mut p, 1, Some(100));
-        assert_eq!(p.stack_top_down(), vec![VirtPage::new(100)]);
+        assert_eq!(p.stack_snapshot(), vec![VirtPage::new(100)]);
         assert_eq!(p.stack_len(), 1);
     }
 }

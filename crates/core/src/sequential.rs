@@ -9,9 +9,9 @@
 //! `page + 1`.
 
 use crate::prefetcher::{
-    HardwareProfile, IndexSource, MissContext, PrefetchDecision, RowBudget, StateLocation,
-    TlbPrefetcher,
+    HardwareProfile, IndexSource, MissContext, RowBudget, StateLocation, TlbPrefetcher,
 };
+use crate::sink::CandidateBuf;
 
 /// The tagged sequential prefetcher.
 ///
@@ -26,7 +26,7 @@ use crate::prefetcher::{
 /// use tlbsim_core::{MissContext, Pc, SequentialPrefetcher, TlbPrefetcher, VirtPage};
 ///
 /// let mut sp = SequentialPrefetcher::new();
-/// let d = sp.on_miss(&MissContext::demand(VirtPage::new(41), Pc::new(0)));
+/// let d = sp.decide(&MissContext::demand(VirtPage::new(41), Pc::new(0)));
 /// assert_eq!(d.pages, vec![VirtPage::new(42)]);
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -42,10 +42,9 @@ impl SequentialPrefetcher {
 }
 
 impl TlbPrefetcher for SequentialPrefetcher {
-    fn on_miss(&mut self, ctx: &MissContext) -> PrefetchDecision {
-        match ctx.page.next() {
-            Some(next) => PrefetchDecision::pages(vec![next]),
-            None => PrefetchDecision::none(),
+    fn on_miss(&mut self, ctx: &MissContext, sink: &mut CandidateBuf) {
+        if let Some(next) = ctx.page.next() {
+            sink.push(next);
         }
     }
 
@@ -81,7 +80,7 @@ mod tests {
     fn always_prefetches_next_page() {
         let mut sp = SequentialPrefetcher::new();
         for p in [0u64, 5, 1000] {
-            let d = sp.on_miss(&miss(p));
+            let d = sp.decide(&miss(p));
             assert_eq!(d.pages, vec![VirtPage::new(p + 1)]);
             assert_eq!(d.maintenance_ops, 0);
         }
@@ -98,13 +97,13 @@ mod tests {
             prefetch_buffer_hit: true,
             evicted_tlb_entry: None,
         };
-        assert_eq!(sp.on_miss(&ctx).pages, vec![VirtPage::new(8)]);
+        assert_eq!(sp.decide(&ctx).pages, vec![VirtPage::new(8)]);
     }
 
     #[test]
     fn handles_address_space_end() {
         let mut sp = SequentialPrefetcher::new();
-        let d = sp.on_miss(&miss(u64::MAX));
+        let d = sp.decide(&miss(u64::MAX));
         assert!(d.is_none());
     }
 

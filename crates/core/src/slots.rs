@@ -4,11 +4,19 @@
 //! Each row of an MP or DP prediction table holds `s` slots "maintained in
 //! LRU order" (paper §2.3/§2.5): the next few pages (MP) or distances (DP)
 //! that followed the row's key in the past. [`SlotList`] implements exactly
-//! that bounded most-recently-used list.
+//! that bounded most-recently-used list — backed by an **inline array**,
+//! not a `Vec`, because prediction-table rows are created and evicted on
+//! the TLB-miss hot path: a conflict eviction replaces a row with a fresh
+//! `SlotList`, and a heap-backed row would make every replacement an
+//! allocation. [`SlotList::MAX_CAPACITY`] (8) comfortably covers the
+//! largest slot count the paper sweeps (`s = 6`, Figure 9).
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
+
+/// Inline slot storage bound (the hard upper limit on `s`).
+const MAX_SLOTS: usize = 8;
 
 /// A bounded list of predictions kept in most-recently-used order.
 ///
@@ -16,6 +24,11 @@ use serde::{Deserialize, Serialize};
 /// position; inserting a new element into a full list evicts the LRU one.
 /// Iteration yields MRU first, which is the order predictions are issued
 /// in when the prefetch buffer cannot hold them all.
+///
+/// Storage is a fixed inline array of [`SlotList::MAX_CAPACITY`] slots;
+/// the configured capacity (`s`) only bounds how many are used. The
+/// whole row is therefore `Copy`-free but heap-free, so table rows can
+/// be created, cloned and evicted without touching the allocator.
 ///
 /// # Examples
 ///
@@ -31,22 +44,36 @@ use serde::{Deserialize, Serialize};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SlotList<T> {
-    /// MRU-first order; `items.len() <= capacity`.
-    items: Vec<T>,
+    /// MRU-first order; `Some` in positions `0..len`, `None` beyond.
+    items: [Option<T>; MAX_SLOTS],
+    len: usize,
     capacity: usize,
 }
 
 impl<T: PartialEq> SlotList<T> {
+    /// The inline storage bound: the hard upper limit on `s`. Matches
+    /// the candidate sink's capacity (`CandidateBuf::CAPACITY`) — a row
+    /// can never predict more pages than one miss can sink.
+    pub const MAX_CAPACITY: usize = MAX_SLOTS;
+
     /// Creates an empty list holding at most `capacity` predictions.
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is zero; a row with no slots cannot predict
-    /// anything and indicates a configuration bug.
+    /// Panics if `capacity` is zero (a row with no slots cannot predict
+    /// anything) or exceeds [`SlotList::MAX_CAPACITY`] — both indicate a
+    /// configuration bug, and `PrefetcherConfig::validate` reports the
+    /// latter as an error before any table is built.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "slot list capacity must be at least 1");
+        assert!(
+            capacity <= Self::MAX_CAPACITY,
+            "slot list capacity {capacity} exceeds the inline maximum {}",
+            Self::MAX_CAPACITY
+        );
         SlotList {
-            items: Vec::with_capacity(capacity),
+            items: Default::default(),
+            len: 0,
             capacity,
         }
     }
@@ -56,34 +83,41 @@ impl<T: PartialEq> SlotList<T> {
     ///
     /// Returns the evicted element, if any.
     pub fn insert(&mut self, item: T) -> Option<T> {
-        if let Some(pos) = self.items.iter().position(|x| *x == item) {
-            let existing = self.items.remove(pos);
-            self.items.insert(0, existing);
-            // The caller's `item` is dropped; the stored copy is promoted.
+        if let Some(pos) = self.items[..self.len]
+            .iter()
+            .position(|x| x.as_ref() == Some(&item))
+        {
+            // Promote in place; the caller's `item` is dropped and the
+            // stored copy moves to the front.
+            self.items[..=pos].rotate_right(1);
             return None;
         }
-        let evicted = if self.items.len() == self.capacity {
-            self.items.pop()
+        let evicted = if self.len == self.capacity {
+            self.items[self.len - 1].take()
         } else {
+            self.len += 1;
             None
         };
-        self.items.insert(0, item);
+        self.items[..self.len].rotate_right(1);
+        self.items[0] = Some(item);
         evicted
     }
 
     /// Returns `true` if `item` is present.
     pub fn contains(&self, item: &T) -> bool {
-        self.items.contains(item)
+        self.items[..self.len]
+            .iter()
+            .any(|x| x.as_ref() == Some(item))
     }
 
     /// Number of occupied slots.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.len
     }
 
     /// Returns `true` if no slot is occupied.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.len == 0
     }
 
     /// Configured number of slots (`s` in the paper).
@@ -92,29 +126,23 @@ impl<T: PartialEq> SlotList<T> {
     }
 
     /// Iterates over predictions, most recently used first.
-    pub fn iter(&self) -> std::slice::Iter<'_, T> {
-        self.items.iter()
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items[..self.len].iter().filter_map(Option::as_ref)
     }
 
     /// Removes every prediction, keeping the capacity.
     pub fn clear(&mut self) {
-        self.items.clear();
-    }
-}
-
-impl<'a, T: PartialEq> IntoIterator for &'a SlotList<T> {
-    type Item = &'a T;
-    type IntoIter = std::slice::Iter<'a, T>;
-
-    fn into_iter(self) -> Self::IntoIter {
-        self.iter()
+        for slot in &mut self.items[..self.len] {
+            *slot = None;
+        }
+        self.len = 0;
     }
 }
 
 impl<T: PartialEq + fmt::Display> fmt::Display for SlotList<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("[")?;
-        for (i, item) in self.items.iter().enumerate() {
+        for (i, item) in self.iter().enumerate() {
             if i > 0 {
                 f.write_str(", ")?;
             }
@@ -132,6 +160,12 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_capacity_panics() {
         let _ = SlotList::<u32>::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inline maximum")]
+    fn oversized_capacity_panics() {
+        let _ = SlotList::<u32>::new(SlotList::<u32>::MAX_CAPACITY + 1);
     }
 
     #[test]
@@ -192,5 +226,17 @@ mod tests {
             s.insert(x);
             assert!(s.len() <= 2);
         }
+    }
+
+    #[test]
+    fn max_capacity_list_works() {
+        let cap = SlotList::<u64>::MAX_CAPACITY;
+        let mut s = SlotList::new(cap);
+        for x in 0..(cap as u64 + 3) {
+            s.insert(x);
+        }
+        let got: Vec<u64> = s.iter().copied().collect();
+        let expected: Vec<u64> = (3..cap as u64 + 3).rev().collect();
+        assert_eq!(got, expected);
     }
 }

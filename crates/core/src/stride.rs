@@ -11,9 +11,9 @@
 use crate::assoc::Associativity;
 use crate::config::{ConfigError, PrefetcherConfig};
 use crate::prefetcher::{
-    HardwareProfile, IndexSource, MissContext, PrefetchDecision, RowBudget, StateLocation,
-    TlbPrefetcher,
+    HardwareProfile, IndexSource, MissContext, RowBudget, StateLocation, TlbPrefetcher,
 };
+use crate::sink::CandidateBuf;
 use crate::table::PredictionTable;
 use crate::types::{Distance, Pc, VirtPage};
 
@@ -66,10 +66,10 @@ pub struct RptEntry {
 /// let pc = Pc::new(0x40);
 /// // Three misses with stride 5 establish the steady state…
 /// for page in [100u64, 105, 110] {
-///     asp.on_miss(&MissContext::demand(VirtPage::new(page), pc));
+///     asp.decide(&MissContext::demand(VirtPage::new(page), pc));
 /// }
 /// // …so the fourth predicts page + 5.
-/// let d = asp.on_miss(&MissContext::demand(VirtPage::new(115), pc));
+/// let d = asp.decide(&MissContext::demand(VirtPage::new(115), pc));
 /// assert_eq!(d.pages, vec![VirtPage::new(120)]);
 /// # Ok::<(), tlbsim_core::ConfigError>(())
 /// ```
@@ -113,7 +113,7 @@ impl StridePrefetcher {
 }
 
 impl TlbPrefetcher for StridePrefetcher {
-    fn on_miss(&mut self, ctx: &MissContext) -> PrefetchDecision {
+    fn on_miss(&mut self, ctx: &MissContext, sink: &mut CandidateBuf) {
         let page = ctx.page;
         match self.table.get_mut(ctx.pc) {
             None => {
@@ -127,7 +127,6 @@ impl TlbPrefetcher for StridePrefetcher {
                         state: RptState::Initial,
                     },
                 );
-                PrefetchDecision::none()
             }
             Some(entry) => {
                 let observed = page.distance_from(entry.prev_page);
@@ -155,12 +154,9 @@ impl TlbPrefetcher for StridePrefetcher {
                 };
                 entry.prev_page = page;
                 if entry.state == RptState::Steady && entry.stride != Distance::ZERO {
-                    match page.offset(entry.stride) {
-                        Some(target) => PrefetchDecision::pages(vec![target]),
-                        None => PrefetchDecision::none(),
+                    if let Some(target) = page.offset(entry.stride) {
+                        sink.push(target);
                     }
-                } else {
-                    PrefetchDecision::none()
                 }
             }
         }
@@ -195,8 +191,8 @@ mod tests {
         StridePrefetcher::new(rows, Associativity::Direct).unwrap()
     }
 
-    fn miss(p: &mut StridePrefetcher, pc: u64, page: u64) -> PrefetchDecision {
-        p.on_miss(&MissContext::demand(VirtPage::new(page), Pc::new(pc)))
+    fn miss(p: &mut StridePrefetcher, pc: u64, page: u64) -> crate::PrefetchDecision {
+        p.decide(&MissContext::demand(VirtPage::new(page), Pc::new(pc)))
     }
 
     #[test]
@@ -231,7 +227,7 @@ mod tests {
         miss(&mut p, 4, 10);
         miss(&mut p, 4, 12);
         assert!(!miss(&mut p, 4, 14).is_none()); // steady, stride 2
-        // One irregular reference: Steady -> Initial, stride kept at 2.
+                                                 // One irregular reference: Steady -> Initial, stride kept at 2.
         assert!(miss(&mut p, 4, 100).is_none());
         // Back on the old stride relative to the new prev page: 100 -> 102
         // matches the preserved stride, returning straight to Steady.

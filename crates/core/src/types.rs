@@ -21,7 +21,9 @@ use serde::{Deserialize, Serialize};
 /// let page = PageSize::DEFAULT.page_of(addr);
 /// assert_eq!(page.number(), 0x1234_5678 >> 12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct VirtAddr(u64);
 
 impl VirtAddr {
@@ -70,7 +72,9 @@ impl fmt::LowerHex for VirtAddr {
 /// assert_eq!(b.distance_from(a), Distance::new(3));
 /// assert_eq!(a.offset(Distance::new(3)), Some(b));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct VirtPage(u64);
 
 impl VirtPage {
@@ -123,7 +127,9 @@ impl fmt::Display for VirtPage {
 }
 
 /// A physical page-frame number produced by the page table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PhysPage(u64);
 
 impl PhysPage {
@@ -148,7 +154,9 @@ impl fmt::Display for PhysPage {
 ///
 /// The arbitrary-stride prefetcher (ASP) indexes its reference prediction
 /// table by the PC of the instruction that caused the TLB miss.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Pc(u64);
 
 impl Pc {
@@ -190,7 +198,9 @@ impl fmt::Display for Pc {
 /// assert_eq!(d.value(), -2);
 /// assert!(d.is_backward());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Distance(i64);
 
 impl Distance {
@@ -433,7 +443,10 @@ mod tests {
     fn offset_detects_underflow_and_overflow() {
         assert_eq!(VirtPage::new(1).offset(Distance::new(-2)), None);
         assert_eq!(VirtPage::new(u64::MAX).offset(Distance::new(1)), None);
-        assert_eq!(VirtPage::new(5).offset(Distance::ZERO), Some(VirtPage::new(5)));
+        assert_eq!(
+            VirtPage::new(5).offset(Distance::ZERO),
+            Some(VirtPage::new(5))
+        );
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use tlbsim_core::{
-    Associativity, Distance, MissContext, Pc, PredictionTable, PrefetcherConfig, PrefetcherKind,
-    SlotList, VirtPage,
+    Associativity, CandidateBuf, Distance, MissContext, Pc, PredictionTable, PrefetcherConfig,
+    PrefetcherKind, SlotList, VirtPage,
 };
 
 /// Strategy for valid (rows, associativity) geometries.
@@ -100,7 +100,7 @@ proptest! {
                 prefetch_buffer_hit: i % 3 == 0,
                 evicted_tlb_entry: if i % 2 == 0 { Some(VirtPage::new(*page / 2)) } else { None },
             };
-            let d = p.on_miss(&ctx);
+            let d = p.decide(&ctx);
             prop_assert!(d.pages.len() <= max as usize,
                 "{} returned {} pages (max {})", p.name(), d.pages.len(), max);
             if kind != PrefetcherKind::Recency {
@@ -108,6 +108,31 @@ proptest! {
                 // another page; but no scheme may prefetch the missed page.
                 prop_assert!(!d.pages.contains(&VirtPage::new(*page)));
             }
+        }
+    }
+
+    /// A long-lived sink reused across every miss (the engines' shape)
+    /// observes exactly what a fresh `decide()` per miss observes.
+    #[test]
+    fn reused_sink_matches_fresh_decisions(
+        kind in any_kind(),
+        pages in prop::collection::vec(0u64..500, 1..150),
+    ) {
+        let mut via_sink = PrefetcherConfig::new(kind).build().unwrap();
+        let mut via_decide = PrefetcherConfig::new(kind).build().unwrap();
+        let mut sink = CandidateBuf::new();
+        for (i, page) in pages.iter().enumerate() {
+            let ctx = MissContext {
+                page: VirtPage::new(*page),
+                pc: Pc::new(page % 16 * 4),
+                prefetch_buffer_hit: i % 3 == 0,
+                evicted_tlb_entry: if i % 2 == 0 { Some(VirtPage::new(page / 2)) } else { None },
+            };
+            sink.clear();
+            via_sink.on_miss(&ctx, &mut sink);
+            let d = via_decide.decide(&ctx);
+            prop_assert_eq!(sink.pages(), d.pages.as_slice());
+            prop_assert_eq!(sink.maintenance_ops(), d.maintenance_ops);
         }
     }
 
@@ -122,7 +147,7 @@ proptest! {
         let mut b = PrefetcherConfig::new(kind).build().unwrap();
         for page in &pages {
             let ctx = MissContext::demand(VirtPage::new(*page), Pc::new(page % 16 * 4));
-            prop_assert_eq!(a.on_miss(&ctx), b.on_miss(&ctx));
+            prop_assert_eq!(a.decide(&ctx), b.decide(&ctx));
         }
     }
 
@@ -135,13 +160,13 @@ proptest! {
     ) {
         let mut warmed = PrefetcherConfig::new(kind).build().unwrap();
         for page in &warmup {
-            warmed.on_miss(&MissContext::demand(VirtPage::new(*page), Pc::new(0)));
+            warmed.decide(&MissContext::demand(VirtPage::new(*page), Pc::new(0)));
         }
         warmed.flush();
         let mut fresh = PrefetcherConfig::new(kind).build().unwrap();
         for page in &probe {
             let ctx = MissContext::demand(VirtPage::new(*page), Pc::new(0));
-            prop_assert_eq!(warmed.on_miss(&ctx), fresh.on_miss(&ctx));
+            prop_assert_eq!(warmed.decide(&ctx), fresh.decide(&ctx));
         }
     }
 

@@ -5,29 +5,37 @@
 //! xp <table1|table2|table3|figure7|figure8|figure9|extras|all>
 //!    [--scale tiny|small|standard|<factor>]
 //!    [--csv <dir>]
+//! xp bench-json [--out <path>]
 //! ```
+//!
+//! `bench-json` measures simulator throughput (accesses/sec per scheme
+//! plus the DP miss-path microbench) and writes `BENCH_throughput.json`
+//! — the perf-trajectory telemetry successive PRs compare against.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use tlbsim_experiments::{extras, figure7, figure8, figure9, table1, table2, table3};
+use tlbsim_experiments::{extras, figure7, figure8, figure9, table1, table2, table3, throughput};
 use tlbsim_workloads::Scale;
 
 struct Args {
     experiment: String,
     scale: Scale,
     csv_dir: Option<PathBuf>,
+    out: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: xp <table1|table2|table3|figure7|figure8|figure9|extras|all> \
-     [--scale tiny|small|standard|<factor>] [--csv <dir>]"
+     [--scale tiny|small|standard|<factor>] [--csv <dir>]\n       \
+     xp bench-json [--out <path>]"
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut experiment = None;
     let mut scale = Scale::STANDARD;
     let mut csv_dir = None;
+    let mut out = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -47,6 +55,9 @@ fn parse_args() -> Result<Args, String> {
             "--csv" => {
                 csv_dir = Some(PathBuf::from(argv.next().ok_or("--csv needs a directory")?));
             }
+            "--out" => {
+                out = Some(PathBuf::from(argv.next().ok_or("--out needs a path")?));
+            }
             "--help" | "-h" => return Err(usage().to_owned()),
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_owned());
@@ -58,10 +69,27 @@ fn parse_args() -> Result<Args, String> {
         experiment: experiment.unwrap_or_else(|| "all".to_owned()),
         scale,
         csv_dir,
+        out,
     })
 }
 
-fn emit(name: &str, rendered: String, csv: String, csv_dir: &Option<PathBuf>) -> Result<(), String> {
+fn run_bench_json(out: &Option<PathBuf>) -> Result<(), String> {
+    let report = throughput::run().map_err(|e| format!("bench-json: {e}"))?;
+    println!("{}", report.render());
+    let path = out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_throughput.json"));
+    std::fs::write(&path, report.to_json()).map_err(|e| format!("writing {path:?}: {e}"))?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+fn emit(
+    name: &str,
+    rendered: String,
+    csv: String,
+    csv_dir: &Option<PathBuf>,
+) -> Result<(), String> {
     println!("{rendered}");
     if let Some(dir) = csv_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir:?}: {e}"))?;
@@ -115,8 +143,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.experiment == "bench-json" {
+        return match run_bench_json(&args.out) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let experiments: Vec<&str> = if args.experiment == "all" {
-        vec!["table1", "figure7", "figure8", "table2", "table3", "figure9", "extras"]
+        vec![
+            "table1", "figure7", "figure8", "table2", "table3", "figure9", "extras",
+        ]
     } else {
         vec![args.experiment.as_str()]
     };

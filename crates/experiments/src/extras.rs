@@ -23,7 +23,11 @@ pub struct Extras {
     pub tlb_assoc: Figure9Panel,
 }
 
-fn panel(title: &str, variants: Vec<(String, SimConfig)>, scale: Scale) -> Result<Figure9Panel, SimError> {
+fn panel(
+    title: &str,
+    variants: Vec<(String, SimConfig)>,
+    scale: Scale,
+) -> Result<Figure9Panel, SimError> {
     let apps = high_miss_apps();
     let mut jobs = Vec::new();
     for (app, _) in &apps {
@@ -74,14 +78,21 @@ pub fn run(scale: Scale) -> Result<Extras, SimError> {
     .map(|(label, assoc)| {
         (
             label,
-            SimConfig::paper_default().with_tlb(TlbConfig { entries: 128, assoc }),
+            SimConfig::paper_default().with_tlb(TlbConfig {
+                entries: 128,
+                assoc,
+            }),
         )
     })
     .collect();
 
     Ok(Extras {
         page_size: panel("Extras: DP accuracy vs page size", page_size, scale)?,
-        tlb_assoc: panel("Extras: DP accuracy vs 128-entry TLB associativity", tlb_assoc, scale)?,
+        tlb_assoc: panel(
+            "Extras: DP accuracy vs 128-entry TLB associativity",
+            tlb_assoc,
+            scale,
+        )?,
     })
 }
 

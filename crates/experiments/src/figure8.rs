@@ -42,7 +42,10 @@ impl Figure8 {
             &self.mediabench,
         ));
         out.push('\n');
-        out.push_str(&render_rows("Figure 8b: prediction accuracy, Etch", &self.etch));
+        out.push_str(&render_rows(
+            "Figure 8b: prediction accuracy, Etch",
+            &self.etch,
+        ));
         out.push('\n');
         out.push_str(&render_rows(
             "Figure 8c: prediction accuracy, Pointer-Intensive",

@@ -35,7 +35,11 @@ impl Figure9Panel {
         labels: Vec<String>,
         rows: Vec<(&'static str, Vec<f64>)>,
     ) -> Self {
-        Figure9Panel { title, labels, rows }
+        Figure9Panel {
+            title,
+            labels,
+            rows,
+        }
     }
 
     /// Variant labels in legend order.
@@ -159,7 +163,11 @@ pub fn run(scale: Scale) -> Result<Figure9, SimError> {
         .collect();
 
     Ok(Figure9 {
-        geometry: panel("Figure 9a: DP table size and associativity", geometry, scale)?,
+        geometry: panel(
+            "Figure 9a: DP table size and associativity",
+            geometry,
+            scale,
+        )?,
         slots: panel("Figure 9b: DP prediction slots", slots, scale)?,
         buffer: panel("Figure 9c: prefetch buffer size", buffer, scale)?,
         tlb: panel("Figure 9d: TLB size", tlb, scale)?,

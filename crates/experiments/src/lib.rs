@@ -12,6 +12,7 @@
 //! | [`table3`] | Table 3 | normalized execution cycles, RP vs DP, on the five RP-favoured apps |
 //! | [`figure9`] | Figure 9 | DP sensitivity to r/assoc, s, b and TLB size on the 8 high-miss apps |
 //! | [`extras`] | §3.3 remainder | DP sensitivity to page size and TLB associativity |
+//! | [`throughput`] | (telemetry) | simulator accesses/sec per scheme + DP miss-path microbench |
 //!
 //! Every module exposes `run(scale) -> Result<Data, SimError>` plus
 //! `render()` (aligned text, paper values alongside where applicable)
@@ -20,6 +21,7 @@
 //! ```text
 //! xp all --scale standard
 //! xp figure7 --scale small --csv out/
+//! xp bench-json            # writes BENCH_throughput.json
 //! ```
 
 #![forbid(unsafe_code)]
@@ -34,6 +36,7 @@ mod report;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod throughput;
 
 pub use grid::{accuracy_grid, paper_scheme_grid, table2_schemes, GridCell, GridRow};
 pub use report::{fmt3, fmt4, TextTable};

@@ -97,7 +97,10 @@ mod tests {
         assert!(ops_line.contains('4'));
         assert!(ops_line.contains('0'));
         // Indexing row matches Table 1.
-        let idx_line = rendered.lines().find(|l| l.starts_with("How is it")).unwrap();
+        let idx_line = rendered
+            .lines()
+            .find(|l| l.starts_with("How is it"))
+            .unwrap();
         assert!(idx_line.contains("PC"));
         assert!(idx_line.contains("Distance"));
         assert!(idx_line.contains("Page #"));

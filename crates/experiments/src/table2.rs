@@ -98,7 +98,9 @@ impl Table2 {
                 .iter()
                 .find(|(name, _, _)| *name == row.scheme)
                 .copied();
-            let (pa, pw) = reference.map(|(_, a, w)| (a, w)).unwrap_or((f64::NAN, f64::NAN));
+            let (pa, pw) = reference
+                .map(|(_, a, w)| (a, w))
+                .unwrap_or((f64::NAN, f64::NAN));
             table.row(vec![
                 row.scheme.clone(),
                 fmt3(row.average),

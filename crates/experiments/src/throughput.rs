@@ -1,0 +1,277 @@
+//! Simulator throughput telemetry (`xp bench-json`).
+//!
+//! Measures end-to-end engine throughput (accesses/sec) per prefetching
+//! scheme on a deterministic miss-heavy stream, plus the DP miss-path
+//! microbenchmark comparing the reusable-sink hot path against the
+//! allocating legacy `decide()` path. The results serialise to
+//! `BENCH_throughput.json`, giving successive PRs a machine-readable
+//! performance trajectory for the hot loop.
+//!
+//! Timing methodology: each kernel is repeated until it has run for at
+//! least [`MIN_MEASURE`] in total, and the **best** per-run time is
+//! reported — minimum-of-N is the standard way to suppress scheduler
+//! noise for short deterministic kernels. Note the Criterion benches in
+//! `tlbsim-bench` report median-of-samples over the same stream
+//! fixtures: compare trends within one methodology, not absolute
+//! numbers across the two.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use tlbsim_core::{CandidateBuf, MemoryAccess, MissContext, Pc, PrefetcherConfig, VirtPage};
+use tlbsim_sim::{Engine, SimConfig, SimError};
+
+/// Minimum accumulated measurement time per kernel.
+const MIN_MEASURE: Duration = Duration::from_millis(150);
+
+/// Throughput of one scheme through the functional engine.
+#[derive(Debug, Clone)]
+pub struct SchemeThroughput {
+    /// Scheme label (`none`, `SP`, `ASP`, `MP`, `RP`, `DP`).
+    pub scheme: &'static str,
+    /// Accesses simulated per run.
+    pub accesses: u64,
+    /// Best observed nanoseconds per access.
+    pub ns_per_access: f64,
+    /// Derived accesses per second.
+    pub accesses_per_sec: f64,
+    /// Prediction accuracy on the measurement stream (sanity anchor: a
+    /// "fast" run that stopped predicting would be a regression too).
+    pub accuracy: f64,
+}
+
+/// The DP miss-path microbenchmark: sink versus legacy `Vec` path.
+#[derive(Debug, Clone)]
+pub struct MissPathComparison {
+    /// Best nanoseconds per miss through the reusable sink.
+    pub sink_ns_per_miss: f64,
+    /// Best nanoseconds per miss through the allocating `decide()` path.
+    pub legacy_ns_per_miss: f64,
+}
+
+impl MissPathComparison {
+    /// Speedup of the sink path over the legacy path.
+    pub fn speedup(&self) -> f64 {
+        self.legacy_ns_per_miss / self.sink_ns_per_miss
+    }
+}
+
+/// The full telemetry snapshot.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// Per-scheme engine throughput.
+    pub schemes: Vec<SchemeThroughput>,
+    /// The DP miss-path comparison.
+    pub miss_path: MissPathComparison,
+}
+
+/// A deterministic synthetic miss stream mixing strided runs with
+/// repeating jumps — exercises every mechanism's table paths without
+/// degenerating into a single hot row. This is the **canonical**
+/// fixture: the Criterion benches in `tlbsim-bench` re-export it, so
+/// `cargo bench` numbers and `xp bench-json` telemetry stay comparable.
+pub fn mixed_miss_stream(len: usize) -> Vec<MissContext> {
+    let mut out = Vec::with_capacity(len);
+    let mut page = 0x10_0000u64;
+    for i in 0..len {
+        page += match i % 7 {
+            0..=3 => 1,
+            4 => 13,
+            5 => 1,
+            _ => 97,
+        };
+        out.push(MissContext {
+            page: VirtPage::new(page),
+            pc: Pc::new(0x400 + (i as u64 % 4) * 4),
+            prefetch_buffer_hit: i % 3 == 0,
+            evicted_tlb_entry: if i % 2 == 0 {
+                Some(VirtPage::new(page - 200))
+            } else {
+                None
+            },
+        });
+    }
+    out
+}
+
+/// A deterministic access stream for whole-engine benchmarks (also the
+/// canonical copy re-exported by `tlbsim-bench`).
+pub fn looping_access_stream(pages: u64, refs: u64, laps: u64) -> Vec<MemoryAccess> {
+    let mut out = Vec::with_capacity((pages * refs * laps) as usize);
+    for _ in 0..laps {
+        for p in 0..pages {
+            for r in 0..refs {
+                out.push(MemoryAccess::read(0x400, (0x10_0000 + p) * 4096 + r * 64));
+            }
+        }
+    }
+    out
+}
+
+/// The miss-heavy measurement stream: 600 pages (> 128 TLB entries)
+/// visited twice each over six laps, so every lap after the first
+/// misses on every page and the miss path dominates.
+fn engine_stream() -> Vec<MemoryAccess> {
+    looping_access_stream(600, 2, 6)
+}
+
+/// Runs `kernel` repeatedly until [`MIN_MEASURE`] accumulates and
+/// returns the best single-run duration.
+fn best_time(mut kernel: impl FnMut()) -> Duration {
+    kernel(); // warm-up
+    let mut best = Duration::MAX;
+    let mut spent = Duration::ZERO;
+    while spent < MIN_MEASURE {
+        let start = Instant::now();
+        kernel();
+        let elapsed = start.elapsed();
+        spent += elapsed;
+        best = best.min(elapsed);
+    }
+    best
+}
+
+/// Measures every scheme plus the DP miss-path comparison.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if a scheme configuration is invalid.
+pub fn run() -> Result<ThroughputReport, SimError> {
+    let stream = engine_stream();
+    let labelled = [
+        ("none", PrefetcherConfig::none()),
+        ("SP", PrefetcherConfig::sequential()),
+        ("ASP", PrefetcherConfig::stride()),
+        ("MP", PrefetcherConfig::markov()),
+        ("RP", PrefetcherConfig::recency()),
+        ("DP", PrefetcherConfig::distance()),
+    ];
+
+    let mut schemes = Vec::new();
+    for (label, prefetcher) in labelled {
+        let config = SimConfig::paper_default().with_prefetcher(prefetcher);
+        let mut engine = Engine::new(&config)?;
+        let best = best_time(|| {
+            engine.try_recycle(&config);
+            engine.run(stream.iter().copied());
+        });
+        let ns_per_access = best.as_nanos() as f64 / stream.len() as f64;
+        schemes.push(SchemeThroughput {
+            scheme: label,
+            accesses: stream.len() as u64,
+            ns_per_access,
+            accesses_per_sec: 1e9 / ns_per_access,
+            accuracy: engine.stats().accuracy(),
+        });
+    }
+
+    let misses = mixed_miss_stream(10_000);
+    let mut dp = PrefetcherConfig::distance().build()?;
+    let mut sink = CandidateBuf::new();
+    let sink_best = best_time(|| {
+        dp.flush();
+        for ctx in &misses {
+            sink.clear();
+            dp.on_miss(ctx, &mut sink);
+        }
+    });
+    let mut dp_legacy = PrefetcherConfig::distance().build()?;
+    let legacy_best = best_time(|| {
+        dp_legacy.flush();
+        for ctx in &misses {
+            std::hint::black_box(dp_legacy.decide(ctx));
+        }
+    });
+
+    Ok(ThroughputReport {
+        schemes,
+        miss_path: MissPathComparison {
+            sink_ns_per_miss: sink_best.as_nanos() as f64 / misses.len() as f64,
+            legacy_ns_per_miss: legacy_best.as_nanos() as f64 / misses.len() as f64,
+        },
+    })
+}
+
+impl ThroughputReport {
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "Engine throughput (miss-heavy stream)");
+        let _ = writeln!(
+            out,
+            "{:<8} {:>14} {:>12} {:>10}",
+            "scheme", "accesses/sec", "ns/access", "accuracy"
+        );
+        for s in &self.schemes {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>14.0} {:>12.2} {:>10.3}",
+                s.scheme, s.accesses_per_sec, s.ns_per_access, s.accuracy
+            );
+        }
+        let _ = writeln!(
+            out,
+            "DP miss path: sink {:.2} ns/miss vs legacy Vec {:.2} ns/miss ({:.2}x)",
+            self.miss_path.sink_ns_per_miss,
+            self.miss_path.legacy_ns_per_miss,
+            self.miss_path.speedup()
+        );
+        out
+    }
+
+    /// Serialises the report as pretty-printed JSON (hand-rolled — the
+    /// numbers are all finite floats and the labels are static ASCII).
+    pub fn to_json(&self) -> String {
+        let mut out =
+            String::from("{\n  \"benchmark\": \"tlbsim_throughput\",\n  \"schemes\": [\n");
+        for (i, s) in self.schemes.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"scheme\": \"{}\", \"accesses\": {}, \"ns_per_access\": {:.3}, \
+                 \"accesses_per_sec\": {:.0}, \"accuracy\": {:.6}}}",
+                s.scheme, s.accesses, s.ns_per_access, s.accesses_per_sec, s.accuracy
+            );
+            out.push_str(if i + 1 < self.schemes.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        let _ = write!(
+            out,
+            "  ],\n  \"dp_miss_path\": {{\"sink_ns_per_miss\": {:.3}, \
+             \"legacy_vec_ns_per_miss\": {:.3}, \"speedup\": {:.3}}}\n}}\n",
+            self.miss_path.sink_ns_per_miss,
+            self.miss_path.legacy_ns_per_miss,
+            self.miss_path.speedup()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_has_all_schemes_and_valid_json_shape() {
+        let report = run().unwrap();
+        assert_eq!(report.schemes.len(), 6);
+        for s in &report.schemes {
+            assert!(
+                s.accesses_per_sec > 0.0,
+                "{}: non-positive throughput",
+                s.scheme
+            );
+        }
+        assert!(report.miss_path.speedup() > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"scheme\": \"DP\""));
+        assert!(json.contains("dp_miss_path"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let rendered = report.render();
+        assert!(rendered.contains("DP miss path"));
+    }
+}

@@ -78,13 +78,10 @@ impl<V> AssocCache<V> {
     pub fn touch(&mut self, page: VirtPage) -> Option<&mut V> {
         let tick = self.bump();
         let idx = self.set_index(page);
-        self.sets[idx]
-            .iter_mut()
-            .find(|w| w.page == page)
-            .map(|w| {
-                w.last_used = tick;
-                &mut w.value
-            })
+        self.sets[idx].iter_mut().find(|w| w.page == page).map(|w| {
+            w.last_used = tick;
+            &mut w.value
+        })
     }
 
     /// Looks up `page` without changing recency.

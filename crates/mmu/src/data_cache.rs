@@ -216,7 +216,10 @@ mod tests {
     fn prefetch_fill_avoids_a_miss_and_tags_once() {
         let mut c = DataCache::new(DataCacheConfig::typical_l1d()).unwrap();
         c.fill_line(VirtPage::new(0x99));
-        assert_eq!(c.access(VirtAddr::new(0x99 * 64)), CacheAccess::PrefetchedHit);
+        assert_eq!(
+            c.access(VirtAddr::new(0x99 * 64)),
+            CacheAccess::PrefetchedHit
+        );
         assert_eq!(c.access(VirtAddr::new(0x99 * 64)), CacheAccess::Hit);
         assert_eq!(c.misses(), 0);
     }

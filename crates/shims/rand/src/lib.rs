@@ -1,0 +1,129 @@
+//! Offline stand-in for the `rand` API subset used by `tlbsim-workloads`:
+//! `SmallRng::seed_from_u64`, `Rng::gen_range(Range<u64>)`, and
+//! `SliceRandom::shuffle`.
+//!
+//! The generator is splitmix64 — tiny, fast, and statistically far more
+//! than good enough for synthetic page-visit permutations. Streams are
+//! deterministic per seed (the property the workload models and their
+//! tests rely on), though the concrete sequences differ from the real
+//! `rand::rngs::SmallRng`.
+
+use std::ops::Range;
+
+/// Types that can be seeded from a `u64` (stand-in for
+/// `rand::SeedableRng`; only the `seed_from_u64` entry point is needed).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core 64-bit generation (stand-in for `rand::RngCore`).
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling on top of [`RngCore`] (stand-in for `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (empty ranges panic).
+    fn gen_range(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "cannot sample an empty range");
+        let span = range.end - range.start;
+        range.start + self.next_u64() % span
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A splitmix64 generator standing in for `rand::rngs::SmallRng`.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers (stand-in for `rand::seq`).
+
+    use super::Rng;
+
+    /// Slice shuffling (stand-in for `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SmallRng::seed_from_u64(1).next_u64();
+        let b = SmallRng::seed_from_u64(2).next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let x = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut v: Vec<u64> = (0..64).collect();
+        let original = v.clone();
+        let mut rng = SmallRng::seed_from_u64(5);
+        v.shuffle(&mut rng);
+        assert_ne!(v, original);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, original);
+    }
+}

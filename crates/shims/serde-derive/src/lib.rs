@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The simulator derives serde traits on its config and stats types so
+//! downstream users can persist them, but nothing in-repo serializes at
+//! runtime. In the offline build environment the real `serde_derive` is
+//! unavailable, so these derives expand to nothing; the marker traits in
+//! `tlbsim-shim-serde` are blanket-implemented instead.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `tlbsim-shim-serde` blanket-implements the trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `tlbsim-shim-serde` blanket-implements the trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

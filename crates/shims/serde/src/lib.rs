@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Exposes `Serialize`/`Deserialize` as both marker traits (blanket
+//! implemented, so bounds written against them always hold) and no-op
+//! derive macros. The repo only *derives* these traits — no code path
+//! serializes at runtime — so this is enough to keep the public type
+//! signatures identical to a networked build against real serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -9,9 +9,10 @@
 //! (next-level-backed fills, no separate buffer, the common arrangement
 //! for L1 prefetching).
 
-use tlbsim_core::{MemoryAccess, MissContext, TlbPrefetcher};
+use tlbsim_core::{CandidateBuf, MemoryAccess, MissContext, TlbPrefetcher};
 use tlbsim_mmu::{CacheAccess, DataCache, DataCacheConfig};
 
+use crate::batch::drive_stream;
 use crate::config::SimError;
 
 /// Counters from a cache-prefetching simulation.
@@ -60,6 +61,8 @@ pub struct CacheEngine {
     cache: DataCache,
     prefetcher: Box<dyn TlbPrefetcher>,
     stats: CacheStats,
+    sink: CandidateBuf,
+    batch: Vec<MemoryAccess>,
 }
 
 impl CacheEngine {
@@ -76,6 +79,8 @@ impl CacheEngine {
             cache: DataCache::new(cache)?,
             prefetcher: prefetcher.build()?,
             stats: CacheStats::default(),
+            sink: CandidateBuf::new(),
+            batch: Vec::new(),
         })
     }
 
@@ -95,13 +100,18 @@ impl CacheEngine {
             }
         };
         let line = self.cache.line_of(access.vaddr);
-        let decision = self.prefetcher.on_miss(&MissContext {
-            page: line,
-            pc: access.pc,
-            prefetch_buffer_hit: pb_hit,
-            evicted_tlb_entry: None,
-        });
-        for candidate in decision.pages {
+        self.sink.clear();
+        self.prefetcher.on_miss(
+            &MissContext {
+                page: line,
+                pc: access.pc,
+                prefetch_buffer_hit: pb_hit,
+                evicted_tlb_entry: None,
+            },
+            &mut self.sink,
+        );
+        for i in 0..self.sink.len() {
+            let candidate = self.sink.pages()[i];
             if candidate == line || self.cache.contains_line(candidate) {
                 continue;
             }
@@ -110,11 +120,21 @@ impl CacheEngine {
         }
     }
 
-    /// Simulates an entire stream.
-    pub fn run(&mut self, stream: impl IntoIterator<Item = MemoryAccess>) -> &CacheStats {
-        for access in stream {
-            self.access(&access);
+    /// Simulates a batch of references (the cache-hit early return
+    /// inside [`access`](Self::access) keeps hits cheap; there is no
+    /// additional hoisting here).
+    pub fn access_batch(&mut self, batch: &[MemoryAccess]) {
+        for access in batch {
+            self.access(access);
         }
+    }
+
+    /// Simulates an entire stream, chunked through a reusable internal
+    /// batch buffer.
+    pub fn run(&mut self, stream: impl IntoIterator<Item = MemoryAccess>) -> &CacheStats {
+        let mut batch = std::mem::take(&mut self.batch);
+        drive_stream(stream, &mut batch, |chunk| self.access_batch(chunk));
+        self.batch = batch;
         &self.stats
     }
 
@@ -196,6 +216,11 @@ mod tests {
         }
         let dp = run(PrefetcherConfig::distance(), &stream);
         let asp = run(PrefetcherConfig::stride(), &stream);
-        assert!(dp.misses * 10 < asp.misses, "DP {} vs ASP {}", dp.misses, asp.misses);
+        assert!(
+            dp.misses * 10 < asp.misses,
+            "DP {} vs ASP {}",
+            dp.misses,
+            asp.misses
+        );
     }
 }

@@ -26,8 +26,10 @@ use tlbsim_mmu::TlbConfig;
 pub struct SimConfig {
     /// TLB geometry.
     pub tlb: TlbConfig,
-    /// Prefetch buffer size (`b`); zero disables the buffer (only
-    /// meaningful with no prefetcher).
+    /// Prefetch buffer size (`b`). Must be at least 1: a zero-entry
+    /// buffer cannot hold any prefetch, so engine constructors reject it
+    /// with [`SimError::ZeroPrefetchBuffer`] instead of silently
+    /// resizing.
     pub prefetch_buffer_entries: usize,
     /// Page size for splitting byte addresses into pages.
     pub page_size: PageSize,
@@ -114,6 +116,10 @@ pub enum SimError {
     Geometry(InvalidGeometry),
     /// The prefetcher configuration is invalid.
     Prefetcher(ConfigError),
+    /// `prefetch_buffer_entries` was zero — a buffer that cannot hold a
+    /// single prefetch is a configuration bug, not a request for a
+    /// minimal buffer.
+    ZeroPrefetchBuffer,
 }
 
 impl fmt::Display for SimError {
@@ -121,6 +127,9 @@ impl fmt::Display for SimError {
         match self {
             SimError::Geometry(e) => write!(f, "invalid simulation geometry: {e}"),
             SimError::Prefetcher(e) => write!(f, "invalid prefetcher: {e}"),
+            SimError::ZeroPrefetchBuffer => {
+                f.write_str("prefetch buffer must have at least one entry")
+            }
         }
     }
 }
@@ -130,6 +139,7 @@ impl std::error::Error for SimError {
         match self {
             SimError::Geometry(e) => Some(e),
             SimError::Prefetcher(e) => Some(e),
+            SimError::ZeroPrefetchBuffer => None,
         }
     }
 }

@@ -8,10 +8,24 @@
 //! the buffer. Prefetches complete instantly here — this engine measures
 //! *prediction accuracy*; the cycle-level consequences live in
 //! [`crate::TimingEngine`].
+//!
+//! ## The batched, allocation-free loop
+//!
+//! References are processed in [`access_batch`](Engine::access_batch)
+//! slices: the TLB-hit fast path is a tight loop over a chunk, and the
+//! miss path runs through the shared [`PrefetchCore`](crate::batch) —
+//! one engine-owned `CandidateBuf`, zero heap allocations per miss once
+//! the working set is warm (enforced by the `zero_alloc` integration
+//! test). [`Engine::run`] chunks arbitrary iterators through a reusable
+//! internal buffer; [`Engine::run_workload`] streams a workload through
+//! the same buffer via `Workload::fill_batch` without ever materialising
+//! the reference stream.
 
-use tlbsim_core::{MemoryAccess, MissContext, TlbPrefetcher};
-use tlbsim_mmu::{PageTable, PrefetchBuffer, Tlb};
+use tlbsim_core::{MemoryAccess, MissContext, Pc, VirtPage};
+use tlbsim_mmu::Tlb;
+use tlbsim_workloads::Workload;
 
+use crate::batch::{drive_stream, PrefetchCore, ACCESS_BATCH};
 use crate::config::{SimConfig, SimError};
 use crate::stats::SimStats;
 
@@ -31,11 +45,10 @@ use crate::stats::SimStats;
 /// ```
 pub struct Engine {
     tlb: Tlb,
-    buffer: PrefetchBuffer,
-    prefetcher: Box<dyn TlbPrefetcher>,
-    page_table: PageTable,
+    core: PrefetchCore,
     config: SimConfig,
     stats: SimStats,
+    batch: Vec<MemoryAccess>,
 }
 
 impl Engine {
@@ -44,73 +57,120 @@ impl Engine {
     /// # Errors
     ///
     /// Returns [`SimError`] if the TLB, buffer or prefetcher
-    /// configuration is invalid.
+    /// configuration is invalid; a zero-entry prefetch buffer is
+    /// rejected as [`SimError::ZeroPrefetchBuffer`].
     pub fn new(config: &SimConfig) -> Result<Self, SimError> {
         Ok(Engine {
             tlb: Tlb::new(config.tlb)?,
-            buffer: PrefetchBuffer::new(config.prefetch_buffer_entries.max(1))?,
-            prefetcher: config.prefetcher.build()?,
-            page_table: PageTable::new(),
+            core: PrefetchCore::new(config)?,
             config: config.clone(),
             stats: SimStats::default(),
+            batch: Vec::new(),
         })
+    }
+
+    /// Attempts to reuse this engine for a fresh run under `config`.
+    ///
+    /// Succeeds when the configuration matches the one the engine was
+    /// built with: all translation, prediction and statistics state is
+    /// reset (the batch buffer keeps its allocation), making the
+    /// recycled engine observationally identical to a newly built one.
+    /// Returns `false` — leaving the engine untouched — on a
+    /// configuration mismatch.
+    pub fn try_recycle(&mut self, config: &SimConfig) -> bool {
+        if self.config != *config {
+            return false;
+        }
+        self.tlb.flush();
+        self.core.reset();
+        self.stats = SimStats::default();
+        true
     }
 
     /// Simulates one data reference.
     pub fn access(&mut self, access: &MemoryAccess) {
         self.stats.accesses += 1;
         let page = self.config.page_size.page_of(access.vaddr);
-
         if self.tlb.lookup(page).is_some() {
             return;
         }
+        self.miss(page, access.pc);
+    }
+
+    /// Simulates a batch of references with the TLB-hit fast path.
+    pub fn access_batch(&mut self, batch: &[MemoryAccess]) {
+        self.stats.accesses += batch.len() as u64;
+        let page_size = self.config.page_size;
+        for access in batch {
+            let page = page_size.page_of(access.vaddr);
+            if self.tlb.lookup(page).is_some() {
+                continue;
+            }
+            self.miss(page, access.pc);
+        }
+    }
+
+    /// The miss path: promote-or-walk, fill, notify the mechanism and
+    /// install its candidates. Never allocates in steady state.
+    fn miss(&mut self, page: VirtPage, pc: Pc) {
         self.stats.misses += 1;
 
         // The prefetch buffer is probed concurrently with the TLB; a hit
         // promotes the translation into the TLB.
-        let (frame, pb_hit) = match self.buffer.promote(page) {
-            Some(frame) => {
-                self.stats.prefetch_buffer_hits += 1;
-                (frame, true)
-            }
-            None => {
-                self.stats.demand_walks += 1;
-                (self.page_table.translate(page), false)
-            }
-        };
+        let (frame, pb_hit) = self.core.translate(page);
+        if pb_hit {
+            self.stats.prefetch_buffer_hits += 1;
+        } else {
+            self.stats.demand_walks += 1;
+        }
         let fill = self.tlb.fill(page, frame);
 
         let ctx = MissContext {
             page,
-            pc: access.pc,
+            pc,
             prefetch_buffer_hit: pb_hit,
             evicted_tlb_entry: fill.evicted,
         };
-        let decision = self.prefetcher.on_miss(&ctx);
-        self.stats.maintenance_ops += u64::from(decision.maintenance_ops);
-
-        for candidate in decision.pages {
-            if candidate == page
-                || (self.config.filter_prefetches
-                    && (self.tlb.contains(candidate) || self.buffer.contains(candidate)))
-            {
-                self.stats.prefetches_filtered += 1;
-                continue;
-            }
-            let frame = self.page_table.translate(candidate);
-            if self.buffer.insert(candidate, frame).is_some() {
-                self.stats.prefetches_evicted_unused += 1;
-            }
-            self.stats.prefetches_issued += 1;
-        }
+        let tlb = &self.tlb;
+        let outcome =
+            self.core
+                .observe_and_install(&ctx, self.config.filter_prefetches, |candidate| {
+                    tlb.contains(candidate)
+                });
+        self.stats.maintenance_ops += u64::from(outcome.maintenance_ops);
+        self.stats.prefetches_issued += outcome.issued;
+        self.stats.prefetches_filtered += outcome.filtered;
+        self.stats.prefetches_evicted_unused += outcome.evicted_unused;
     }
 
     /// Simulates an entire reference stream and returns the final
     /// statistics.
+    ///
+    /// The stream is chunked through a reusable internal batch buffer,
+    /// so arbitrarily long streams cost one buffer allocation per engine
+    /// lifetime.
     pub fn run(&mut self, stream: impl IntoIterator<Item = MemoryAccess>) -> &SimStats {
-        for access in stream {
-            self.access(&access);
+        let mut batch = std::mem::take(&mut self.batch);
+        drive_stream(stream, &mut batch, |chunk| self.access_batch(chunk));
+        self.batch = batch;
+        self.finish()
+    }
+
+    /// Streams a workload through the engine chunk-at-a-time via
+    /// [`Workload::fill_batch`], without boxing an iterator per access.
+    pub fn run_workload(&mut self, workload: &mut Workload) -> &SimStats {
+        let mut batch = std::mem::take(&mut self.batch);
+        if batch.len() < ACCESS_BATCH {
+            batch.resize(ACCESS_BATCH, MemoryAccess::read(0, 0));
         }
+        loop {
+            let filled = workload.fill_batch(&mut batch);
+            if filled == 0 {
+                break;
+            }
+            self.access_batch(&batch[..filled]);
+        }
+        self.batch = batch;
         self.finish()
     }
 
@@ -139,24 +199,26 @@ impl Engine {
     /// state, as a context switch would.
     pub fn context_switch(&mut self) {
         self.tlb.flush();
-        self.buffer.flush();
-        self.prefetcher.flush();
+        self.core.flush();
     }
 
-    fn finish(&mut self) -> &SimStats {
-        self.stats.footprint_pages = self.page_table.len() as u64;
+    /// Refreshes derived counters and returns the statistics — called by
+    /// the `run*` entry points and by external batch drivers (the sweep
+    /// runner) once a stream is exhausted.
+    pub fn finish(&mut self) -> &SimStats {
+        self.stats.footprint_pages = self.core.page_table.len() as u64;
         &self.stats
     }
 
-    /// Statistics so far (footprint is refreshed on [`Engine::run`]
-    /// completion).
+    /// Statistics so far (footprint is refreshed on [`Engine::run`] /
+    /// [`Engine::finish`] completion).
     pub fn stats(&self) -> &SimStats {
         &self.stats
     }
 
     /// The mechanism under test.
     pub fn prefetcher_name(&self) -> &'static str {
-        self.prefetcher.name()
+        self.core.prefetcher.name()
     }
 
     /// The configuration this engine was built from.
@@ -278,14 +340,54 @@ mod tests {
         let small = SimConfig::baseline().with_tlb(TlbConfig::fully_associative(16));
         let mut small_e = Engine::new(&small).unwrap();
         // Working set of 64 pages cycled repeatedly.
-        let stream: Vec<MemoryAccess> =
-            (0..20_000u64).map(|i| MemoryAccess::read(0, (i % 64) * 4096)).collect();
+        let stream: Vec<MemoryAccess> = (0..20_000u64)
+            .map(|i| MemoryAccess::read(0, (i % 64) * 4096))
+            .collect();
         small_e.run(stream.clone());
         let mut big_e = Engine::new(&SimConfig::baseline()).unwrap();
         big_e.run(stream);
         assert!(small_e.stats().misses > big_e.stats().misses);
         // 64 pages fit in 128 entries: only cold misses for the big TLB.
         assert_eq!(big_e.stats().misses, 64);
+    }
+
+    #[test]
+    fn zero_buffer_configuration_is_rejected() {
+        let err = Engine::new(&SimConfig::paper_default().with_prefetch_buffer(0)).unwrap_err();
+        assert!(matches!(err, SimError::ZeroPrefetchBuffer));
+        assert!(err.to_string().contains("prefetch buffer"));
+    }
+
+    #[test]
+    fn per_access_and_batched_paths_agree() {
+        let stream: Vec<MemoryAccess> = seq_stream(700, 3)
+            .chain((0..5_000u64).map(|i| MemoryAccess::read(0x44, (i % 331) * 13 * 4096)))
+            .collect();
+        let mut one_by_one = Engine::new(&SimConfig::paper_default()).unwrap();
+        for access in &stream {
+            one_by_one.access(access);
+        }
+        one_by_one.finish();
+        let mut batched = Engine::new(&SimConfig::paper_default()).unwrap();
+        batched.run(stream.iter().copied());
+        assert_eq!(one_by_one.stats(), batched.stats());
+    }
+
+    #[test]
+    fn recycled_engine_matches_fresh_engine() {
+        let stream: Vec<MemoryAccess> = seq_stream(1500, 2).collect();
+        let mut engine = Engine::new(&SimConfig::paper_default()).unwrap();
+        engine.run(stream.iter().copied());
+        let dirty = *engine.stats();
+
+        assert!(engine.try_recycle(&SimConfig::paper_default()));
+        engine.run(stream.iter().copied());
+        assert_eq!(*engine.stats(), dirty, "recycled run must be bit-identical");
+
+        assert!(
+            !engine.try_recycle(&SimConfig::baseline()),
+            "config mismatch must refuse recycling"
+        );
     }
 
     #[test]

@@ -9,9 +9,10 @@
 //! configuration watches — and prefetched translations promote L2-ward
 //! on use.
 
-use tlbsim_core::{MemoryAccess, MissContext, TlbPrefetcher};
-use tlbsim_mmu::{HierarchyConfig, HierarchyHit, PageTable, PrefetchBuffer, TlbHierarchy};
+use tlbsim_core::{MemoryAccess, MissContext};
+use tlbsim_mmu::{HierarchyConfig, HierarchyHit, TlbHierarchy};
 
+use crate::batch::{drive_stream, PrefetchCore};
 use crate::config::{SimConfig, SimError};
 use crate::stats::SimStats;
 
@@ -76,11 +77,10 @@ impl HierarchyStats {
 /// ```
 pub struct HierarchyEngine {
     hierarchy: TlbHierarchy,
-    buffer: PrefetchBuffer,
-    prefetcher: Box<dyn TlbPrefetcher>,
-    page_table: PageTable,
+    core: PrefetchCore,
     config: SimConfig,
     stats: HierarchyStats,
+    batch: Vec<MemoryAccess>,
 }
 
 impl HierarchyEngine {
@@ -93,11 +93,10 @@ impl HierarchyEngine {
     pub fn new(config: &SimConfig, hierarchy: HierarchyConfig) -> Result<Self, SimError> {
         Ok(HierarchyEngine {
             hierarchy: TlbHierarchy::new(hierarchy)?,
-            buffer: PrefetchBuffer::new(config.prefetch_buffer_entries.max(1))?,
-            prefetcher: config.prefetcher.build()?,
-            page_table: PageTable::new(),
+            core: PrefetchCore::new(config)?,
             config: config.clone(),
             stats: HierarchyStats::default(),
+            batch: Vec::new(),
         })
     }
 
@@ -117,13 +116,10 @@ impl HierarchyEngine {
             }
         }
 
-        let (frame, pb_hit) = match self.buffer.promote(page) {
-            Some(frame) => {
-                self.stats.prefetch_buffer_hits += 1;
-                (frame, true)
-            }
-            None => (self.page_table.translate(page), false),
-        };
+        let (frame, pb_hit) = self.core.translate(page);
+        if pb_hit {
+            self.stats.prefetch_buffer_hits += 1;
+        }
         self.hierarchy.fill(page, frame);
 
         let ctx = MissContext {
@@ -134,22 +130,28 @@ impl HierarchyEngine {
             // recency prefetching is exercised at a single level only.
             evicted_tlb_entry: None,
         };
-        let decision = self.prefetcher.on_miss(&ctx);
-        for candidate in decision.pages {
-            if candidate == page || self.buffer.contains(candidate) {
-                continue;
-            }
-            let frame = self.page_table.translate(candidate);
-            self.buffer.insert(candidate, frame);
-            self.stats.prefetches_issued += 1;
+        // The hierarchy engine filters only against the buffer (it never
+        // probes two TLB levels for residency), hence the constant-false
+        // extra filter.
+        let outcome = self.core.observe_and_install(&ctx, true, |_| false);
+        self.stats.prefetches_issued += outcome.issued;
+    }
+
+    /// Simulates a batch of references (the L1-hit early return inside
+    /// [`access`](Self::access) keeps hits cheap; there is no additional
+    /// hoisting here).
+    pub fn access_batch(&mut self, batch: &[MemoryAccess]) {
+        for access in batch {
+            self.access(access);
         }
     }
 
-    /// Simulates an entire stream.
+    /// Simulates an entire stream, chunked through a reusable internal
+    /// batch buffer.
     pub fn run(&mut self, stream: impl IntoIterator<Item = MemoryAccess>) -> &HierarchyStats {
-        for access in stream {
-            self.access(&access);
-        }
+        let mut batch = std::mem::take(&mut self.batch);
+        drive_stream(stream, &mut batch, |chunk| self.access_batch(chunk));
+        self.batch = batch;
         &self.stats
     }
 
@@ -167,7 +169,7 @@ impl HierarchyEngine {
             prefetch_buffer_hits: self.stats.prefetch_buffer_hits,
             demand_walks: self.stats.l2_misses - self.stats.prefetch_buffer_hits,
             prefetches_issued: self.stats.prefetches_issued,
-            footprint_pages: self.page_table.len() as u64,
+            footprint_pages: self.core.page_table.len() as u64,
             ..SimStats::default()
         }
     }
@@ -243,9 +245,6 @@ mod tests {
         e.run(sequential(1000, 2));
         let s = e.as_sim_stats();
         assert_eq!(s.misses, e.stats().l2_misses);
-        assert_eq!(
-            s.prefetch_buffer_hits + s.demand_walks,
-            s.misses
-        );
+        assert_eq!(s.prefetch_buffer_hits + s.demand_walks, s.misses);
     }
 }

@@ -17,6 +17,20 @@
 //! run the synthetic applications of `tlbsim-workloads` through either
 //! engine.
 //!
+//! ## Batching contract
+//!
+//! Every engine processes references through `access_batch(&[MemoryAccess])`
+//! with a translation-hit fast path; the `run(...)` entry points chunk
+//! arbitrary iterators through one reusable engine-owned buffer, and
+//! [`Engine::run_workload`] streams a workload via
+//! `Workload::fill_batch` without materialising it. On a miss, engines
+//! hand their single long-lived `CandidateBuf` sink to the mechanism, so
+//! the steady-state miss path performs **zero heap allocations** — the
+//! `zero_alloc` integration test pins this with a counting allocator.
+//! The [`sweep`] executor extends the same discipline across jobs: each
+//! worker thread recycles one engine and one batch buffer for its whole
+//! lifetime ([`Engine::try_recycle`]).
+//!
 //! ## Quick start
 //!
 //! ```
@@ -39,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod cache_engine;
 mod config;
 mod engine;

@@ -1,8 +1,15 @@
 //! Experiment runners: single runs, scheme comparisons, and a parallel
 //! sweep executor for the figure-scale parameter grids.
+//!
+//! The sweep executor is allocation-conscious: each worker thread owns
+//! one [`Engine`] and one access-batch buffer for its whole lifetime and
+//! recycles them from job to job (see [`Engine::try_recycle`]), so a
+//! figure-scale grid of hundreds of jobs performs a handful of large
+//! allocations per worker rather than a handful per job.
 
-use crossbeam::channel;
-use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
 use tlbsim_core::PrefetcherConfig;
 use tlbsim_mem::TimingParams;
 use tlbsim_workloads::{AppSpec, Scale};
@@ -19,7 +26,7 @@ use crate::timing_engine::TimingEngine;
 /// Returns [`SimError`] if the configuration is invalid.
 pub fn run_app(app: &AppSpec, scale: Scale, config: &SimConfig) -> Result<SimStats, SimError> {
     let mut engine = Engine::new(config)?;
-    engine.run(app.workload(scale));
+    engine.run_workload(&mut app.workload(scale));
     Ok(*engine.stats())
 }
 
@@ -85,6 +92,35 @@ pub struct SweepResult {
     pub stats: SimStats,
 }
 
+/// Per-worker reusable simulation state: one engine (which owns its
+/// streaming batch buffer) recycled across every job the worker
+/// executes.
+struct WorkerScratch {
+    engine: Option<Engine>,
+}
+
+impl WorkerScratch {
+    fn new() -> Self {
+        WorkerScratch { engine: None }
+    }
+
+    /// Runs one job, reusing the engine from the previous job when its
+    /// configuration allows (identical results to a fresh engine —
+    /// asserted by the runner tests).
+    fn run(&mut self, job: &SweepJob) -> Result<SimStats, SimError> {
+        let recycled = self
+            .engine
+            .as_mut()
+            .is_some_and(|engine| engine.try_recycle(&job.config));
+        let engine = if recycled {
+            self.engine.as_mut().expect("recycled engine present")
+        } else {
+            self.engine.insert(Engine::new(&job.config)?)
+        };
+        Ok(*engine.run_workload(&mut job.app.workload(job.scale)))
+    }
+}
+
 /// Executes jobs across all available cores and returns results in the
 /// submission order.
 ///
@@ -100,38 +136,37 @@ pub fn sweep(jobs: Vec<SweepJob>) -> Result<Vec<SweepResult>, SimError> {
         .unwrap_or(4)
         .min(jobs.len());
 
-    let (tx, rx) = channel::unbounded::<(usize, SweepJob)>();
-    for (i, job) in jobs.into_iter().enumerate() {
-        tx.send((i, job)).expect("queue is open");
-    }
-    drop(tx);
-
-    let slots: Mutex<Vec<Option<Result<SweepResult, SimError>>>> = Mutex::new(Vec::new());
-    {
-        let mut guard = slots.lock();
-        guard.resize_with(rx.len(), || None);
-    }
+    let total = jobs.len();
+    let queue: Mutex<VecDeque<(usize, SweepJob)>> =
+        Mutex::new(jobs.into_iter().enumerate().collect());
+    let slots: Mutex<Vec<Option<Result<SweepResult, SimError>>>> = {
+        let mut v = Vec::new();
+        v.resize_with(total, || None);
+        Mutex::new(v)
+    };
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            let rx = rx.clone();
+            let queue = &queue;
             let slots = &slots;
             scope.spawn(move || {
-                while let Ok((index, job)) = rx.recv() {
-                    let outcome = run_app(job.app, job.scale, &job.config).map(|stats| {
-                        SweepResult {
-                            tag: job.tag,
-                            app: job.app.name,
-                            stats,
-                        }
+                let mut scratch = WorkerScratch::new();
+                loop {
+                    let Some((index, job)) = queue.lock().expect("queue lock").pop_front() else {
+                        break;
+                    };
+                    let outcome = scratch.run(&job).map(|stats| SweepResult {
+                        tag: job.tag,
+                        app: job.app.name,
+                        stats,
                     });
-                    slots.lock()[index] = Some(outcome);
+                    slots.lock().expect("result lock")[index] = Some(outcome);
                 }
             });
         }
     });
 
-    let collected = slots.into_inner();
+    let collected = slots.into_inner().expect("worker threads joined");
     let mut results = Vec::with_capacity(collected.len());
     for slot in collected {
         results.push(slot.expect("every job ran")?);
@@ -183,10 +218,38 @@ mod tests {
         assert_eq!(results.len(), 3);
         for (result, name) in results.iter().zip(apps) {
             assert_eq!(result.app, name);
-            let serial =
-                run_app(find_app(name).unwrap(), Scale::TINY, &SimConfig::paper_default())
-                    .unwrap();
+            let serial = run_app(
+                find_app(name).unwrap(),
+                Scale::TINY,
+                &SimConfig::paper_default(),
+            )
+            .unwrap();
             assert_eq!(result.stats, serial, "parallel result differs for {name}");
+        }
+    }
+
+    #[test]
+    fn worker_scratch_reuse_matches_fresh_engines() {
+        // The engine-recycling path must be observationally identical to
+        // building a fresh engine per job, including across config
+        // changes that defeat recycling.
+        let mut scratch = WorkerScratch::new();
+        let configs = [
+            SimConfig::paper_default(),
+            SimConfig::paper_default(),
+            SimConfig::baseline(),
+            SimConfig::paper_default().with_prefetch_buffer(8),
+        ];
+        for (i, config) in configs.iter().enumerate() {
+            let job = SweepJob {
+                tag: format!("job{i}"),
+                app: find_app("gap").unwrap(),
+                scale: Scale::TINY,
+                config: config.clone(),
+            };
+            let reused = scratch.run(&job).unwrap();
+            let fresh = run_app(job.app, job.scale, config).unwrap();
+            assert_eq!(reused, fresh, "job {i} diverged under engine reuse");
         }
     }
 

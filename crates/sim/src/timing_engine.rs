@@ -15,10 +15,11 @@
 //!   prefetches ("there would be only 4 memory transactions instead of
 //!   6").
 
-use tlbsim_core::{MemoryAccess, MissContext, StateLocation, TlbPrefetcher};
+use tlbsim_core::{CandidateBuf, MemoryAccess, MissContext, StateLocation, TlbPrefetcher};
 use tlbsim_mem::{PrefetchChannel, TimingParams};
 use tlbsim_mmu::{PageTable, PrefetchBuffer, Tlb};
 
+use crate::batch::drive_stream;
 use crate::config::{SimConfig, SimError};
 use crate::stats::TimingStats;
 
@@ -56,6 +57,8 @@ pub struct TimingEngine {
     maintenance_blocking: bool,
     now: f64,
     stats: TimingStats,
+    sink: CandidateBuf,
+    batch: Vec<MemoryAccess>,
 }
 
 impl TimingEngine {
@@ -65,11 +68,14 @@ impl TimingEngine {
     ///
     /// Returns [`SimError`] if the configuration is invalid.
     pub fn new(config: &SimConfig, params: TimingParams) -> Result<Self, SimError> {
+        if config.prefetch_buffer_entries == 0 {
+            return Err(SimError::ZeroPrefetchBuffer);
+        }
         let prefetcher = config.prefetcher.build()?;
         let maintenance_blocking = prefetcher.profile().location == StateLocation::InMemory;
         Ok(TimingEngine {
             tlb: Tlb::new(config.tlb)?,
-            buffer: PrefetchBuffer::new(config.prefetch_buffer_entries.max(1))?,
+            buffer: PrefetchBuffer::new(config.prefetch_buffer_entries)?,
             prefetcher,
             page_table: PageTable::new(),
             config: config.clone(),
@@ -79,6 +85,8 @@ impl TimingEngine {
             maintenance_blocking,
             now: 0.0,
             stats: TimingStats::default(),
+            sink: CandidateBuf::new(),
+            batch: Vec::new(),
         })
     }
 
@@ -147,25 +155,26 @@ impl TimingEngine {
             prefetch_buffer_hit: pb_hit,
             evicted_tlb_entry: fill.evicted,
         };
-        let decision = self.prefetcher.on_miss(&ctx);
+        self.sink.clear();
+        self.prefetcher.on_miss(&ctx, &mut self.sink);
 
         let now_ticks = self.now as u64;
-        if decision.maintenance_ops > 0 {
-            self.maintenance_done = self
-                .channel
-                .issue_maintenance(now_ticks, decision.maintenance_ops);
-            self.stats.channel_maintenance += u64::from(decision.maintenance_ops);
+        let maintenance_ops = self.sink.maintenance_ops();
+        if maintenance_ops > 0 {
+            self.maintenance_done = self.channel.issue_maintenance(now_ticks, maintenance_ops);
+            self.stats.channel_maintenance += u64::from(maintenance_ops);
         }
 
         // The paper's RP fallback: if earlier prefetch traffic is still
         // outstanding when the miss occurs, only the stack update happens
         // and the prefetches are skipped.
         if self.maintenance_blocking && channel_busy_at_miss {
-            self.stats.prefetches_skipped_busy += decision.pages.len() as u64;
+            self.stats.prefetches_skipped_busy += self.sink.len() as u64;
             return;
         }
 
-        for candidate in decision.pages {
+        for i in 0..self.sink.len() {
+            let candidate = self.sink.pages()[i];
             if candidate == page
                 || self.tlb.contains(candidate)
                 || self.buffer.contains(candidate)
@@ -184,11 +193,21 @@ impl TimingEngine {
         }
     }
 
-    /// Simulates an entire stream and returns the final statistics.
-    pub fn run(&mut self, stream: impl IntoIterator<Item = MemoryAccess>) -> &TimingStats {
-        for access in stream {
-            self.access(&access);
+    /// Simulates a batch of references.
+    pub fn access_batch(&mut self, batch: &[MemoryAccess]) {
+        for access in batch {
+            self.access(access);
         }
+    }
+
+    /// Simulates an entire stream and returns the final statistics.
+    ///
+    /// The stream is chunked through a reusable internal batch buffer,
+    /// matching the functional engine's streaming shape.
+    pub fn run(&mut self, stream: impl IntoIterator<Item = MemoryAccess>) -> &TimingStats {
+        let mut batch = std::mem::take(&mut self.batch);
+        drive_stream(stream, &mut batch, |chunk| self.access_batch(chunk));
+        self.batch = batch;
         self.stats.cycles = self.now;
         &self.stats
     }
@@ -236,7 +255,11 @@ mod tests {
         let s = stream(1000, 4);
         let t = run(&SimConfig::baseline(), &s);
         let expected = TimingParams::paper_default().base_cycles(4000) + 1000.0 * 100.0;
-        assert!((t.cycles - expected).abs() < 1.0, "{} vs {expected}", t.cycles);
+        assert!(
+            (t.cycles - expected).abs() < 1.0,
+            "{} vs {expected}",
+            t.cycles
+        );
         assert_eq!(t.demand_misses, 1000);
     }
 

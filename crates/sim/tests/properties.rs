@@ -103,4 +103,57 @@ proptest! {
         t.run(stream.iter().copied());
         prop_assert_eq!(f.stats().misses, t.stats().misses);
     }
+
+    /// The batched, sink-based run loop produces byte-identical
+    /// `SimStats` to the per-access path on arbitrary streams, for every
+    /// mechanism.
+    #[test]
+    fn batched_run_matches_per_access_path(stream in arb_stream(), kind in any_kind()) {
+        let cfg = SimConfig::paper_default().with_prefetcher(PrefetcherConfig::new(kind));
+        let mut one_by_one = Engine::new(&cfg).unwrap();
+        for access in &stream {
+            one_by_one.access(access);
+        }
+        one_by_one.finish();
+        let mut batched = Engine::new(&cfg).unwrap();
+        batched.run(stream.iter().copied());
+        prop_assert_eq!(one_by_one.stats(), batched.stats());
+    }
+}
+
+/// The streamed `run_workload` (fill_batch + access_batch) path must be
+/// byte-identical to driving the engine one access at a time, on real
+/// application models — one strided (galgel) and one chase-heavy (mcf),
+/// under every mechanism.
+#[test]
+fn workload_streaming_matches_per_access_path_on_apps() {
+    use tlbsim_workloads::{find_app, Scale};
+
+    for app_name in ["galgel", "mcf"] {
+        let app = find_app(app_name).expect("registered app");
+        for kind in [
+            PrefetcherKind::Sequential,
+            PrefetcherKind::Stride,
+            PrefetcherKind::Markov,
+            PrefetcherKind::Recency,
+            PrefetcherKind::Distance,
+        ] {
+            let cfg = SimConfig::paper_default().with_prefetcher(PrefetcherConfig::new(kind));
+
+            let mut per_access = Engine::new(&cfg).unwrap();
+            for access in app.workload(Scale::TINY) {
+                per_access.access(&access);
+            }
+            per_access.finish();
+
+            let mut streamed = Engine::new(&cfg).unwrap();
+            streamed.run_workload(&mut app.workload(Scale::TINY));
+
+            assert_eq!(
+                per_access.stats(),
+                streamed.stats(),
+                "{app_name}/{kind:?}: streamed stats diverged from per-access stats"
+            );
+        }
+    }
 }

@@ -15,7 +15,6 @@
 
 use std::io::{self, BufReader, BufWriter, Read, Write};
 
-use bytes::{Buf, BufMut, BytesMut};
 use tlbsim_core::{AccessKind, MemoryAccess};
 
 use crate::error::TraceError;
@@ -50,7 +49,6 @@ const RECORD_BYTES: usize = 17;
 #[derive(Debug)]
 pub struct BinaryTraceWriter<W: Write> {
     out: BufWriter<W>,
-    buf: BytesMut,
     written: u64,
 }
 
@@ -65,11 +63,7 @@ impl<W: Write> BinaryTraceWriter<W> {
         w.write_all(&MAGIC)?;
         w.write_all(&VERSION.to_le_bytes())?;
         w.write_all(&0u16.to_le_bytes())?;
-        Ok(BinaryTraceWriter {
-            out: w,
-            buf: BytesMut::with_capacity(RECORD_BYTES),
-            written: 0,
-        })
+        Ok(BinaryTraceWriter { out: w, written: 0 })
     }
 
     /// Appends one record.
@@ -78,14 +72,14 @@ impl<W: Write> BinaryTraceWriter<W> {
     ///
     /// Returns [`TraceError::Io`] on write failure.
     pub fn write(&mut self, access: &MemoryAccess) -> Result<(), TraceError> {
-        self.buf.clear();
-        self.buf.put_u64_le(access.pc.raw());
-        self.buf.put_u64_le(access.vaddr.raw());
-        self.buf.put_u8(match access.kind {
+        let mut record = [0u8; RECORD_BYTES];
+        record[0..8].copy_from_slice(&access.pc.raw().to_le_bytes());
+        record[8..16].copy_from_slice(&access.vaddr.raw().to_le_bytes());
+        record[16] = match access.kind {
             AccessKind::Read => 0,
             AccessKind::Write => 1,
-        });
-        self.out.write_all(&self.buf)?;
+        };
+        self.out.write_all(&record)?;
         self.written += 1;
         Ok(())
     }
@@ -164,10 +158,9 @@ impl<R: Read> BinaryTraceReader<R> {
                 Err(e) => return Err(TraceError::Io(e)),
             }
         }
-        let mut buf = &raw[..];
-        let pc = buf.get_u64_le();
-        let vaddr = buf.get_u64_le();
-        let kind = match buf.get_u8() {
+        let pc = u64::from_le_bytes(raw[0..8].try_into().expect("8-byte slice"));
+        let vaddr = u64::from_le_bytes(raw[8..16].try_into().expect("8-byte slice"));
+        let kind = match raw[16] {
             0 => AccessKind::Read,
             1 => AccessKind::Write,
             found => return Err(TraceError::InvalidKind { found }),

@@ -140,10 +140,8 @@ mod tests {
 
     #[test]
     fn sequential_stream_is_pure_distance_one() {
-        let s = TraceStats::from_stream(
-            (0..64u64).map(|i| read(0x40, i * 4096)),
-            PageSize::DEFAULT,
-        );
+        let s =
+            TraceStats::from_stream((0..64u64).map(|i| read(0x40, i * 4096)), PageSize::DEFAULT);
         assert_eq!(s.footprint_pages, 64);
         assert_eq!(s.transitions, 63);
         assert_eq!(s.distinct_distances(), 1);
@@ -179,10 +177,7 @@ mod tests {
     fn alternating_strides_show_two_distances() {
         // Pages 1, 2, 4, 5, 7, 8 — the paper's DP example string.
         let pages = [1u64, 2, 4, 5, 7, 8];
-        let s = TraceStats::from_stream(
-            pages.iter().map(|p| read(0, p * 4096)),
-            PageSize::DEFAULT,
-        );
+        let s = TraceStats::from_stream(pages.iter().map(|p| read(0, p * 4096)), PageSize::DEFAULT);
         assert_eq!(s.distinct_distances(), 2);
         assert_eq!(s.distance_histogram[&1], 3);
         assert_eq!(s.distance_histogram[&2], 2);

@@ -86,9 +86,9 @@ impl<W: Write> TextTraceWriter<W> {
     ///
     /// Returns [`TraceError::Io`] if the flush fails.
     pub fn finish(self) -> Result<W, TraceError> {
-        self.out.into_inner().map_err(|e| {
-            TraceError::Io(std::io::Error::other(e.to_string()))
-        })
+        self.out
+            .into_inner()
+            .map_err(|e| TraceError::Io(std::io::Error::other(e.to_string())))
     }
 }
 
@@ -110,12 +110,9 @@ impl<R: Read> TextTraceReader<R> {
 
     fn parse_line(&self, line: &str) -> Result<MemoryAccess, TraceError> {
         let mut fields = line.split_whitespace();
-        let (Some(pc), Some(kind), Some(vaddr), None) = (
-            fields.next(),
-            fields.next(),
-            fields.next(),
-            fields.next(),
-        ) else {
+        let (Some(pc), Some(kind), Some(vaddr), None) =
+            (fields.next(), fields.next(), fields.next(), fields.next())
+        else {
             return Err(TraceError::Parse {
                 line: self.line_no,
                 message: format!("expected `pc R|W vaddr`, got {line:?}"),

@@ -23,7 +23,15 @@ fn b(x: impl Iterator<Item = crate::gen::Visit> + Send + 'static) -> VisitStream
 /// order, like gcc: RP strong, DP close via within-run distances.
 fn bcc(s: Scale) -> VisitStream {
     b(RotatePc::new(
-        b(BlockChase::new(HEAP, 170, 4, s.scaled(8), 32, 0x70010, 0x2001)),
+        b(BlockChase::new(
+            HEAP,
+            170,
+            4,
+            s.scaled(8),
+            32,
+            0x70010,
+            0x2001,
+        )),
         0x70010,
         3,
     ))
@@ -32,14 +40,26 @@ fn bcc(s: Scale) -> VisitStream {
 /// mpegply: video playback advances through frame buffers with a
 /// (1,1,63) row cycle — class (d), DP-dominant (§3.2).
 fn mpegply(s: Scale) -> VisitStream {
-    b(DistanceCycle::new(HEAP, vec![1, 1, 63], s.scaled(1000), 150, 0x70020))
+    b(DistanceCycle::new(
+        HEAP,
+        vec![1, 1, 63],
+        s.scaled(1000),
+        150,
+        0x70020,
+    ))
 }
 
 /// msvc: the IDE's symbol/edit structures hop with a high-fanout
 /// repeated-value cycle plus scatter: DP is the only mechanism with
 /// noticeable accuracy, below 20% (§3.2).
 fn msvc(s: Scale) -> VisitStream {
-    let cycle = DistanceCycle::new(HEAP + 30, vec![4, 3, 4, 13, 4, -6], s.scaled(950), 95, 0x70030);
+    let cycle = DistanceCycle::new(
+        HEAP + 30,
+        vec![4, 3, 4, 13, 4, -6],
+        s.scaled(950),
+        95,
+        0x70030,
+    );
     let noise = RandomWalk::new(NOISE, 3500, s.scaled(330), 95, 0x70034, 0x2112);
     b(Mix::new(b(cycle), b(noise), 4))
 }
@@ -57,7 +77,15 @@ fn perl4(s: Scale) -> VisitStream {
 /// moderate.
 fn winword(s: Scale) -> VisitStream {
     let walk = RotatePc::new(
-        b(BlockChase::new(HEAP, 150, 2, s.scaled(8), 32, 0x70050, 0x2334)),
+        b(BlockChase::new(
+            HEAP,
+            150,
+            2,
+            s.scaled(8),
+            32,
+            0x70050,
+            0x2334,
+        )),
         0x70050,
         3,
     );

@@ -8,7 +8,9 @@
 use crate::apps::{AppSpec, Suite};
 use crate::class::ReferenceClass;
 use crate::gen::VisitStream;
-use crate::primitives::{BlockChase, DistanceCycle, HotSet, LoopedScan, Mix, RandomWalk, RotatePc, StridedScan};
+use crate::primitives::{
+    BlockChase, DistanceCycle, HotSet, LoopedScan, Mix, RandomWalk, RotatePc, StridedScan,
+};
 use crate::scale::Scale;
 
 const HEAP: u64 = 0x30_0000;
@@ -48,14 +50,26 @@ fn unepic(s: Scale) -> VisitStream {
 /// only mechanism which makes any noticeable predictions (even if the
 /// accuracy does not exceed 20%)" (§3.2).
 fn gsm_enc(s: Scale) -> VisitStream {
-    let cycle = DistanceCycle::new(HEAP + 50, vec![9, 4, 9, 17, 9, -6], s.scaled(1000), 95, 0x60050);
+    let cycle = DistanceCycle::new(
+        HEAP + 50,
+        vec![9, 4, 9, 17, 9, -6],
+        s.scaled(1000),
+        95,
+        0x60050,
+    );
     let noise = RandomWalk::new(NOISE, 4000, s.scaled(340), 95, 0x60054, 0xe001);
     b(Mix::new(b(cycle), b(noise), 4))
 }
 
 /// gsm-dec: same structure, decode tables.
 fn gsm_dec(s: Scale) -> VisitStream {
-    let cycle = DistanceCycle::new(HEAP + 80, vec![7, 3, 7, -2, 7, 15], s.scaled(950), 95, 0x60060);
+    let cycle = DistanceCycle::new(
+        HEAP + 80,
+        vec![7, 3, 7, -2, 7, 15],
+        s.scaled(950),
+        95,
+        0x60060,
+    );
     let noise = RandomWalk::new(NOISE, 4000, s.scaled(320), 95, 0x60064, 0xe112);
     b(Mix::new(b(cycle), b(noise), 4))
 }
@@ -64,7 +78,15 @@ fn gsm_dec(s: Scale) -> VisitStream {
 /// scatter; RP moderate, DP close behind.
 fn rasta(s: Scale) -> VisitStream {
     let walk = RotatePc::new(
-        b(BlockChase::new(HEAP, 120, 3, s.scaled(9), 45, 0x60070, 0xf223)),
+        b(BlockChase::new(
+            HEAP,
+            120,
+            3,
+            s.scaled(9),
+            45,
+            0x60070,
+            0xf223,
+        )),
         0x60070,
         3,
     );
@@ -77,7 +99,15 @@ fn rasta(s: Scale) -> VisitStream {
 /// best, or close to the best performance" (§3.2).
 fn gs(s: Scale) -> VisitStream {
     b(RotatePc::new(
-        b(BlockChase::new(HEAP, 130, 2, s.scaled(12), 30, 0x60080, 0x1445)),
+        b(BlockChase::new(
+            HEAP,
+            130,
+            2,
+            s.scaled(12),
+            30,
+            0x60080,
+            0x1445,
+        )),
         0x60080,
         3,
     ))
@@ -104,14 +134,26 @@ fn mipmap(s: Scale) -> VisitStream {
 /// jpeg-enc: DCT macroblock sweeps with a repeated-value distance cycle
 /// plus table noise; only DP predicts, below 20% (§3.2).
 fn jpeg_enc(s: Scale) -> VisitStream {
-    let cycle = DistanceCycle::new(HEAP + 20, vec![6, 5, 6, 23, 6, -8], s.scaled(900), 95, 0x600c0);
+    let cycle = DistanceCycle::new(
+        HEAP + 20,
+        vec![6, 5, 6, 23, 6, -8],
+        s.scaled(900),
+        95,
+        0x600c0,
+    );
     let noise = RandomWalk::new(NOISE, 3000, s.scaled(300), 95, 0x600c4, 0x1778);
     b(Mix::new(b(cycle), b(noise), 4))
 }
 
 /// jpeg-dec: inverse transform, same structure.
 fn jpeg_dec(s: Scale) -> VisitStream {
-    let cycle = DistanceCycle::new(HEAP + 40, vec![5, 4, 5, 21, 5, -7], s.scaled(850), 95, 0x600d0);
+    let cycle = DistanceCycle::new(
+        HEAP + 40,
+        vec![5, 4, 5, 21, 5, -7],
+        s.scaled(850),
+        95,
+        0x600d0,
+    );
     let noise = RandomWalk::new(NOISE, 3000, s.scaled(280), 95, 0x600d4, 0x1889);
     b(Mix::new(b(cycle), b(noise), 4))
 }
@@ -126,14 +168,26 @@ fn texgen(s: Scale) -> VisitStream {
 /// mpeg-enc: motion estimation walks macroblock rows with a
 /// (1,1,1,1,30) row-advance cycle — DP-dominant class (d).
 fn mpeg_enc(s: Scale) -> VisitStream {
-    b(DistanceCycle::new(HEAP, vec![1, 1, 1, 1, 30], s.scaled(1000), 150, 0x600f0))
+    b(DistanceCycle::new(
+        HEAP,
+        vec![1, 1, 1, 1, 30],
+        s.scaled(1000),
+        150,
+        0x600f0,
+    ))
 }
 
 /// mpeg-dec: block reconstruction alternates (1, 31) between reference
 /// and output frames — a pure two-distance cycle where "DP does much
 /// better than the others" (§3.2).
 fn mpeg_dec(s: Scale) -> VisitStream {
-    b(DistanceCycle::new(HEAP, vec![1, 31], s.scaled(1000), 150, 0x60100))
+    b(DistanceCycle::new(
+        HEAP,
+        vec![1, 31],
+        s.scaled(1000),
+        150,
+        0x60100,
+    ))
 }
 
 /// pgp-enc: RSA/IDEA encryption streams the message buffer once —

@@ -108,7 +108,10 @@ pub fn all_apps() -> Vec<&'static AppSpec> {
 
 /// Returns the applications of one suite, in paper order.
 pub fn suite_apps(suite: Suite) -> Vec<&'static AppSpec> {
-    all_apps().into_iter().filter(|a| a.suite == suite).collect()
+    all_apps()
+        .into_iter()
+        .filter(|a| a.suite == suite)
+        .collect()
 }
 
 /// Finds an application by its paper name.

@@ -10,7 +10,9 @@
 use crate::apps::{AppSpec, Suite};
 use crate::class::ReferenceClass;
 use crate::gen::VisitStream;
-use crate::primitives::{phases, BlockChase, DistanceCycle, HotSet, Mix, RandomWalk, RotatePc, StridedScan};
+use crate::primitives::{
+    phases, BlockChase, DistanceCycle, HotSet, Mix, RandomWalk, RotatePc, StridedScan,
+};
 use crate::scale::Scale;
 
 const HEAP: u64 = 0x50_0000;
@@ -35,8 +37,21 @@ fn anagram(s: Scale) -> VisitStream {
 fn bc(s: Scale) -> VisitStream {
     let resident = HotSet::new(HEAP, 80, s.scaled(6_000), 20, 0x80020, 0x3112);
     let trees = Mix::new(
-        b(DistanceCycle::new(HEAP + 200, vec![3, 2, 3, 10, 3, -4], s.scaled(260), 4, 0x80024)),
-        b(RandomWalk::new(NOISE, 1500, s.scaled(90), 4, 0x80028, 0x3223)),
+        b(DistanceCycle::new(
+            HEAP + 200,
+            vec![3, 2, 3, 10, 3, -4],
+            s.scaled(260),
+            4,
+            0x80024,
+        )),
+        b(RandomWalk::new(
+            NOISE,
+            1500,
+            s.scaled(90),
+            4,
+            0x80028,
+            0x3223,
+        )),
         4,
     );
     phases(vec![b(resident), b(trees)])
@@ -46,7 +61,15 @@ fn bc(s: Scale) -> VisitStream {
 /// fixed order — history (RP) territory with modest DP coverage.
 fn ft(s: Scale) -> VisitStream {
     b(RotatePc::new(
-        b(BlockChase::new(HEAP, 240, 2, s.scaled(9), 35, 0x80030, 0x3334)),
+        b(BlockChase::new(
+            HEAP,
+            240,
+            2,
+            s.scaled(9),
+            35,
+            0x80030,
+            0x3334,
+        )),
         0x80030,
         3,
     ))
@@ -58,8 +81,21 @@ fn ft(s: Scale) -> VisitStream {
 fn ks(s: Scale) -> VisitStream {
     let resident = HotSet::new(HEAP, 64, s.scaled(5_000), 18, 0x80040, 0x3445);
     let updates = Mix::new(
-        b(DistanceCycle::new(HEAP + 150, vec![4, 2, 4, 9, 4, -5], s.scaled(400), 4, 0x80044)),
-        b(RandomWalk::new(NOISE, 1200, s.scaled(80), 4, 0x80048, 0x3556)),
+        b(DistanceCycle::new(
+            HEAP + 150,
+            vec![4, 2, 4, 9, 4, -5],
+            s.scaled(400),
+            4,
+            0x80044,
+        )),
+        b(RandomWalk::new(
+            NOISE,
+            1200,
+            s.scaled(80),
+            4,
+            0x80048,
+            0x3556,
+        )),
         4,
     );
     phases(vec![b(resident), b(updates)])

@@ -3,7 +3,9 @@
 use crate::apps::{AppSpec, Suite};
 use crate::class::ReferenceClass;
 use crate::gen::VisitStream;
-use crate::primitives::{BlockChase, DistanceCycle, LoopedScan, PointerChase, RotatePc, StridedScan};
+use crate::primitives::{
+    BlockChase, DistanceCycle, LoopedScan, PointerChase, RotatePc, StridedScan,
+};
 use crate::scale::Scale;
 
 const HEAP: u64 = 0x20_0000;
@@ -16,26 +18,50 @@ fn b(x: impl Iterator<Item = crate::gen::Visit> + Send + 'static) -> VisitStream
 /// short repeating distance cycle (two unit steps then a row jump) —
 /// class (d), where "DP does much better than the others" (§3.2).
 fn wupwise(s: Scale) -> VisitStream {
-    b(DistanceCycle::new(HEAP, vec![1, 1, 6], s.scaled(1000), 200, 0x50010))
+    b(DistanceCycle::new(
+        HEAP,
+        vec![1, 1, 6],
+        s.scaled(1000),
+        200,
+        0x50010,
+    ))
 }
 
 /// swim: shallow-water stencils sweep columns of a row-major grid: three
 /// unit steps then a 497-page row advance. The changing stride defeats
 /// ASP's steady state most of the time; DP holds both transitions.
 fn swim(s: Scale) -> VisitStream {
-    b(DistanceCycle::new(HEAP, vec![1, 1, 497], s.scaled(1000), 200, 0x50020))
+    b(DistanceCycle::new(
+        HEAP,
+        vec![1, 1, 497],
+        s.scaled(1000),
+        200,
+        0x50020,
+    ))
 }
 
 /// mgrid: multigrid restriction/prolongation hops between grid levels
 /// with a repeating (+7, +7, +13) inter-plane cycle — class (d).
 fn mgrid(s: Scale) -> VisitStream {
-    b(DistanceCycle::new(HEAP + 100, vec![7, 7, 13], s.scaled(1000), 200, 0x50030))
+    b(DistanceCycle::new(
+        HEAP + 100,
+        vec![7, 7, 13],
+        s.scaled(1000),
+        200,
+        0x50030,
+    ))
 }
 
 /// applu: SSOR sweeps with a (+2, +2, +9) pencil-advance cycle — class
 /// (d), DP-dominant.
 fn applu(s: Scale) -> VisitStream {
-    b(DistanceCycle::new(HEAP, vec![2, 2, 9], s.scaled(1000), 200, 0x50040))
+    b(DistanceCycle::new(
+        HEAP,
+        vec![2, 2, 9],
+        s.scaled(1000),
+        200,
+        0x50040,
+    ))
 }
 
 /// mesa: rasterisation repeatedly scans a ~1400-page frame/texture set.
@@ -106,7 +132,15 @@ fn fma3d(s: Scale) -> VisitStream {
 /// fixed ring order; RP best, DP close behind via within-group strides.
 fn sixtrack(s: Scale) -> VisitStream {
     b(RotatePc::new(
-        b(BlockChase::new(HEAP, 110, 4, s.scaled(8), 55, 0x500d0, 0xc873)),
+        b(BlockChase::new(
+            HEAP,
+            110,
+            4,
+            s.scaled(8),
+            55,
+            0x500d0,
+            0xc873,
+        )),
         0x500d0,
         3,
     ))

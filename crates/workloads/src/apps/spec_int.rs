@@ -8,7 +8,9 @@
 use crate::apps::{AppSpec, Suite};
 use crate::class::ReferenceClass;
 use crate::gen::VisitStream;
-use crate::primitives::{Alternation, BlockChase, HotSet, LoopedScan, Mix, PointerChase, RotatePc, StridedScan};
+use crate::primitives::{
+    Alternation, BlockChase, HotSet, LoopedScan, Mix, PointerChase, RotatePc, StridedScan,
+};
 use crate::scale::Scale;
 
 /// Page bases keeping each logical region disjoint.
@@ -46,7 +48,15 @@ fn vpr(s: Scale) -> VisitStream {
 /// distances; MP needs r above the ~600-page footprint.
 fn gcc(s: Scale) -> VisitStream {
     b(RotatePc::new(
-        b(BlockChase::new(HEAP, 150, 4, s.scaled(6), 50, 0x40200, 0x2fb3)),
+        b(BlockChase::new(
+            HEAP,
+            150,
+            4,
+            s.scaled(6),
+            50,
+            0x40200,
+            0x2fb3,
+        )),
         0x40200,
         3,
     ))
@@ -70,7 +80,14 @@ fn mcf(s: Scale) -> VisitStream {
 /// historical indications … for RP and MP" (§3.2). The 150-page
 /// footprint fits even a 256-row Markov table.
 fn crafty(s: Scale) -> VisitStream {
-    b(PointerChase::new(HEAP, 150, s.scaled(28), 45, 0x40400, 0x4c29))
+    b(PointerChase::new(
+        HEAP,
+        150,
+        s.scaled(28),
+        45,
+        0x40400,
+        0x4c29,
+    ))
 }
 
 /// parser: dictionary pages are each followed alternately by their

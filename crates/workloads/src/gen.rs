@@ -64,37 +64,68 @@ impl<I: Iterator<Item = Visit>> Emit<I> {
             emitted: 0,
         }
     }
+
+    /// Fills `buf` with the next accesses of the stream, returning how
+    /// many were written (less than `buf.len()` only at end of stream).
+    ///
+    /// This is the chunk-at-a-time generation path: visits are expanded
+    /// in a tight loop directly into the caller's reusable buffer, so a
+    /// sweep pipeline streams whole workloads without a per-access
+    /// iterator round-trip or any allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty `buf` — a zero-length chunk would be
+    /// indistinguishable from end of stream under the "0 means
+    /// exhausted" contract.
+    pub fn fill(&mut self, buf: &mut [MemoryAccess]) -> usize {
+        assert!(!buf.is_empty(), "fill requires a non-empty batch buffer");
+        let line = 64u64;
+        let lines_per_page = self.page_size.bytes() / line;
+        let mut filled = 0;
+        'refill: while filled < buf.len() {
+            let (visit, mut done) = match self.current.take() {
+                Some(in_progress) => in_progress,
+                None => match self.visits.next() {
+                    Some(visit) => (visit, 0),
+                    None => break,
+                },
+            };
+            let base = visit.page << self.page_size.bits();
+            let pc = Pc::new(visit.pc);
+            while done < visit.refs {
+                if filled == buf.len() {
+                    self.current = Some((visit, done));
+                    break 'refill;
+                }
+                let offset = (done as u64 % lines_per_page) * line;
+                let kind = if self.emitted % 4 == 3 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                self.emitted += 1;
+                buf[filled] = MemoryAccess {
+                    pc,
+                    vaddr: VirtAddr::new(base | offset),
+                    kind,
+                };
+                filled += 1;
+                done += 1;
+            }
+        }
+        filled
+    }
 }
 
 impl<I: Iterator<Item = Visit>> Iterator for Emit<I> {
     type Item = MemoryAccess;
 
     fn next(&mut self) -> Option<Self::Item> {
-        loop {
-            if let Some((visit, done)) = self.current.take() {
-                if done < visit.refs {
-                    let line = 64u64;
-                    let lines_per_page = self.page_size.bytes() / line;
-                    let offset = (done as u64 % lines_per_page) * line;
-                    let vaddr =
-                        VirtAddr::new((visit.page << self.page_size.bits()) | offset);
-                    let kind = if self.emitted % 4 == 3 {
-                        AccessKind::Write
-                    } else {
-                        AccessKind::Read
-                    };
-                    self.emitted += 1;
-                    self.current = Some((visit, done + 1));
-                    return Some(MemoryAccess {
-                        pc: Pc::new(visit.pc),
-                        vaddr,
-                        kind,
-                    });
-                }
-            }
-            let visit = self.visits.next()?;
-            self.current = Some((visit, 0));
-        }
+        // Single source of truth: one-element batch through `fill`, so
+        // the iterator and batched paths cannot drift apart.
+        let mut one = [MemoryAccess::read(0, 0)];
+        (self.fill(&mut one) == 1).then(|| one[0])
     }
 }
 
@@ -133,6 +164,33 @@ impl Workload {
     pub fn name(&self) -> &str {
         &self.name
     }
+
+    /// Fills `buf` with the next accesses of the stream, returning how
+    /// many were written; zero means the workload is exhausted. `buf`
+    /// must be non-empty (panics otherwise — see [`Emit::fill`]).
+    ///
+    /// Interleaves correctly with [`Iterator::next`] — both consume the
+    /// same underlying stream — so callers can mix the two, though the
+    /// batched form is the one the engines' hot loops use.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tlbsim_core::MemoryAccess;
+    /// use tlbsim_workloads::{Visit, Workload};
+    ///
+    /// let mut w = Workload::from_visits(
+    ///     "three-refs",
+    ///     Box::new([Visit::new(1, 3, 0x40)].into_iter()),
+    /// );
+    /// let mut buf = vec![MemoryAccess::read(0, 0); 2];
+    /// assert_eq!(w.fill_batch(&mut buf), 2);
+    /// assert_eq!(w.fill_batch(&mut buf), 1);
+    /// assert_eq!(w.fill_batch(&mut buf), 0);
+    /// ```
+    pub fn fill_batch(&mut self, buf: &mut [MemoryAccess]) -> usize {
+        self.stream.fill(buf)
+    }
 }
 
 impl Iterator for Workload {
@@ -145,7 +203,9 @@ impl Iterator for Workload {
 
 impl std::fmt::Debug for Workload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Workload").field("name", &self.name).finish()
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -194,5 +254,50 @@ mod tests {
         let w = Workload::from_visits("x", Box::new(std::iter::empty()));
         assert_eq!(w.name(), "x");
         assert_eq!(format!("{w:?}"), "Workload { name: \"x\" }");
+    }
+
+    #[test]
+    fn fill_batch_equals_iterator_expansion() {
+        let visits = || {
+            vec![
+                Visit::new(10, 3, 0x40),
+                Visit::new(11, 1, 0x44),
+                Visit::new(12, 7, 0x48),
+                Visit::new(13, 2, 0x4c),
+            ]
+        };
+        let via_iter: Vec<MemoryAccess> =
+            Emit::new(visits().into_iter(), PageSize::DEFAULT).collect();
+        // Batch sizes that do and do not divide visit boundaries.
+        for batch_len in [1usize, 2, 5, 64] {
+            let mut emit = Emit::new(visits().into_iter(), PageSize::DEFAULT);
+            let mut buf = vec![MemoryAccess::read(0, 0); batch_len];
+            let mut via_fill = Vec::new();
+            loop {
+                let n = emit.fill(&mut buf);
+                if n == 0 {
+                    break;
+                }
+                via_fill.extend_from_slice(&buf[..n]);
+            }
+            assert_eq!(via_fill, via_iter, "batch_len {batch_len}");
+        }
+    }
+
+    #[test]
+    fn fill_batch_interleaves_with_next() {
+        let visits = vec![Visit::new(1, 5, 0), Visit::new(2, 5, 0)];
+        let expected: Vec<MemoryAccess> =
+            Emit::new(visits.clone().into_iter(), PageSize::DEFAULT).collect();
+        let mut emit = Emit::new(visits.into_iter(), PageSize::DEFAULT);
+        let mut got = Vec::new();
+        let mut buf = vec![MemoryAccess::read(0, 0); 3];
+        // Batch of 3, one plain next(), then drain through the iterator:
+        // both paths must consume the same underlying stream.
+        let n = emit.fill(&mut buf);
+        got.extend_from_slice(&buf[..n]);
+        got.push(emit.next().unwrap());
+        got.extend(emit.by_ref());
+        assert_eq!(got, expected);
     }
 }

@@ -146,7 +146,10 @@ impl BlockChase {
         pc: u64,
         seed: u64,
     ) -> Self {
-        assert!(blocks > 0 && run_len > 0, "block chase needs a non-empty geometry");
+        assert!(
+            blocks > 0 && run_len > 0,
+            "block chase needs a non-empty geometry"
+        );
         BlockChase {
             base,
             block_order: permutation(blocks, seed),
@@ -222,7 +225,9 @@ mod tests {
 
     #[test]
     fn chase_covers_region_each_lap() {
-        let pages: Vec<u64> = PointerChase::new(100, 32, 2, 1, 0, 9).map(|v| v.page).collect();
+        let pages: Vec<u64> = PointerChase::new(100, 32, 2, 1, 0, 9)
+            .map(|v| v.page)
+            .collect();
         assert_eq!(pages.len(), 64);
         let lap1: HashSet<u64> = pages[..32].iter().copied().collect();
         assert_eq!(lap1.len(), 32);
@@ -233,7 +238,9 @@ mod tests {
 
     #[test]
     fn chase_order_is_not_sequential() {
-        let pages: Vec<u64> = PointerChase::new(0, 64, 1, 1, 0, 1).map(|v| v.page).collect();
+        let pages: Vec<u64> = PointerChase::new(0, 64, 1, 1, 0, 1)
+            .map(|v| v.page)
+            .collect();
         let sequential: Vec<u64> = (0..64).collect();
         assert_ne!(pages, sequential);
     }
@@ -252,14 +259,20 @@ mod tests {
 
     #[test]
     fn different_seeds_give_different_orders() {
-        let a: Vec<u64> = PointerChase::new(0, 64, 1, 1, 0, 1).map(|v| v.page).collect();
-        let b: Vec<u64> = PointerChase::new(0, 64, 1, 1, 0, 2).map(|v| v.page).collect();
+        let a: Vec<u64> = PointerChase::new(0, 64, 1, 1, 0, 1)
+            .map(|v| v.page)
+            .collect();
+        let b: Vec<u64> = PointerChase::new(0, 64, 1, 1, 0, 2)
+            .map(|v| v.page)
+            .collect();
         assert_ne!(a, b);
     }
 
     #[test]
     fn block_chase_runs_are_sequential() {
-        let pages: Vec<u64> = BlockChase::new(0, 4, 4, 1, 1, 0, 5).map(|v| v.page).collect();
+        let pages: Vec<u64> = BlockChase::new(0, 4, 4, 1, 1, 0, 5)
+            .map(|v| v.page)
+            .collect();
         assert_eq!(pages.len(), 16);
         for run in pages.chunks(4) {
             for w in run.windows(2) {
@@ -272,7 +285,9 @@ mod tests {
 
     #[test]
     fn block_chase_repeats_identically() {
-        let pages: Vec<u64> = BlockChase::new(0, 4, 3, 2, 1, 0, 5).map(|v| v.page).collect();
+        let pages: Vec<u64> = BlockChase::new(0, 4, 3, 2, 1, 0, 5)
+            .map(|v| v.page)
+            .collect();
         assert_eq!(&pages[..12], &pages[12..]);
     }
 

@@ -45,7 +45,10 @@ impl DistanceCycle {
     /// non-negative page range within one cycle of its minimum prefix
     /// sum.
     pub fn new(base: u64, dists: Vec<i64>, visits: u64, refs: u32, pc: u64) -> Self {
-        assert!(!dists.is_empty(), "distance cycle needs at least one distance");
+        assert!(
+            !dists.is_empty(),
+            "distance cycle needs at least one distance"
+        );
         let mut prefix = 0i64;
         let mut min_prefix = 0i64;
         for d in &dists {

@@ -198,7 +198,9 @@ impl Iterator for RotatePc {
 
 impl std::fmt::Debug for RotatePc {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RotatePc").field("count", &self.count).finish()
+        f.debug_struct("RotatePc")
+            .field("count", &self.count)
+            .finish()
     }
 }
 
@@ -263,9 +265,13 @@ mod tests {
 
     #[test]
     fn rotate_pc_cycles_and_preserves_pages() {
-        let pages: Vec<u64> = RotatePc::new(scan(5, 6, 0), 0x100, 3).map(|v| v.page).collect();
+        let pages: Vec<u64> = RotatePc::new(scan(5, 6, 0), 0x100, 3)
+            .map(|v| v.page)
+            .collect();
         assert_eq!(pages, vec![5, 6, 7, 8, 9, 10]);
-        let pcs: Vec<u64> = RotatePc::new(scan(0, 6, 0), 0x100, 3).map(|v| v.pc).collect();
+        let pcs: Vec<u64> = RotatePc::new(scan(0, 6, 0), 0x100, 3)
+            .map(|v| v.pc)
+            .collect();
         assert_eq!(pcs, vec![0x100, 0x104, 0x108, 0x100, 0x104, 0x108]);
     }
 

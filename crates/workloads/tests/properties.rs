@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use tlbsim_workloads::{
-    Alternation, BlockChase, DistanceCycle, Interleave, LoopedScan, Mix, PointerChase,
-    RandomWalk, StridedScan, Visit, VisitStream,
+    Alternation, BlockChase, DistanceCycle, Interleave, LoopedScan, Mix, PointerChase, RandomWalk,
+    StridedScan, Visit, VisitStream,
 };
 
 fn collect(stream: impl Iterator<Item = Visit>) -> Vec<Visit> {

@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("DP", PrefetcherConfig::distance()),
     ];
 
-    println!("{:<18} {:>10} {:>10} {:>10} {:>10}", "pattern", "none", "SP", "ASP", "DP");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>10}",
+        "pattern", "none", "SP", "ASP", "DP"
+    );
     println!("{}", "-".repeat(62));
     for (name, stream) in patterns() {
         print!("{name:<18}");

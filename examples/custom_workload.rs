@@ -40,9 +40,7 @@ fn classes() -> Vec<(&'static str, ClassBuilder)> {
         (
             "(e) no regularity at all",
             Box::new(|| {
-                Box::new(
-                    PointerChase::new(0x10000, 4_000, 5, 6, 0x40, 7).reshuffled_each_lap(9),
-                )
+                Box::new(PointerChase::new(0x10000, 4_000, 5, 6, 0x40, 7).reshuffled_each_lap(9))
             }),
         ),
     ]

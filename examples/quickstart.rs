@@ -8,7 +8,9 @@
 use tlb_distance::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "galgel".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "galgel".to_owned());
     let app = find_app(&name).ok_or_else(|| {
         format!(
             "unknown application {name:?}; try one of: {}",

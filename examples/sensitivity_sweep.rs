@@ -10,7 +10,9 @@
 use tlb_distance::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "adpcm-enc".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "adpcm-enc".to_owned());
     let app = find_app(&name).ok_or_else(|| format!("unknown application {name:?}"))?;
     println!("DP sensitivity on {app}\n");
 

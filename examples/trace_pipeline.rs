@@ -24,11 +24,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let written = writer.records_written();
     writer.finish()?;
     let bytes = std::fs::metadata(&path)?.len();
-    println!("wrote {written} records ({bytes} bytes) to {}", path.display());
+    println!(
+        "wrote {written} records ({bytes} bytes) to {}",
+        path.display()
+    );
 
     // 2. Analyse the trace: footprint, stride mix, reuse.
     let reader = BinaryTraceReader::open(std::fs::File::open(&path)?)?;
-    let stats = TraceStats::from_stream(reader.map(|r| r.expect("valid record")), PageSize::DEFAULT);
+    let stats =
+        TraceStats::from_stream(reader.map(|r| r.expect("valid record")), PageSize::DEFAULT);
     println!("\ntrace statistics:");
     println!("  accesses            : {}", stats.accesses);
     println!("  footprint           : {} pages", stats.footprint_pages);
@@ -44,7 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Simulate straight from the file, skipping a warm-up window.
     let reader = BinaryTraceReader::open(std::fs::File::open(&path)?)?;
-    let stream = reader.map(|r| r.expect("valid record")).window(1_000, u64::MAX);
+    let stream = reader
+        .map(|r| r.expect("valid record"))
+        .window(1_000, u64::MAX);
     let mut engine = Engine::new(&SimConfig::paper_default())?;
     engine.run(stream);
     println!("\nsimulation from trace (after 1k-record fast-forward):");

@@ -17,7 +17,28 @@
 //! | [`trace`] | `tlbsim-trace` | binary/text trace formats and statistics |
 //! | [`workloads`] | `tlbsim-workloads` | the 56-application synthetic suite |
 //! | [`sim`] | `tlbsim-sim` | functional and timing simulation engines |
-//! | [`experiments`] | `tlbsim-experiments` | Table 1–3 / Figure 7–9 regeneration |
+//! | [`experiments`] | `tlbsim-experiments` | Table 1–3 / Figure 7–9 regeneration + throughput telemetry |
+//!
+//! ## The zero-allocation miss path
+//!
+//! The simulator's inner loop — the paper's Figure 1 evaluation loop —
+//! runs billions of times across the sweeps, so its hot path is
+//! allocation-free by contract:
+//!
+//! * mechanisms write prefetch candidates into a caller-owned, inline
+//!   [`core::CandidateBuf`] sink ([`core::TlbPrefetcher::on_miss`]);
+//!   the owned-`Vec` [`core::PrefetchDecision`] survives only behind the
+//!   [`core::TlbPrefetcher::decide`] convenience wrapper;
+//! * engines process references in batches with a TLB-hit fast path
+//!   (`access_batch`), stream workloads chunk-at-a-time via
+//!   [`workloads::Workload::fill_batch`], and keep one sink plus one
+//!   batch buffer for their whole lifetime;
+//! * the parallel [`sim::sweep`] executor recycles one engine per worker
+//!   thread across jobs ([`sim::Engine::try_recycle`]);
+//! * the `zero_alloc` integration test in `tlbsim-sim` pins the
+//!   guarantee with a counting global allocator, and
+//!   `xp bench-json` snapshots accesses/sec per scheme into
+//!   `BENCH_throughput.json` for a PR-over-PR perf trajectory.
 //!
 //! ## Quick start
 //!

@@ -61,7 +61,11 @@ fn table3_shape_holds() {
     }
     // RP's worst case is mcf, at or above parity with no prefetching.
     let mcf = t.row("mcf").expect("mcf row");
-    assert!(mcf.rp > 1.0, "mcf RP {:.3} should cross into slowdown", mcf.rp);
+    assert!(
+        mcf.rp > 1.0,
+        "mcf RP {:.3} should cross into slowdown",
+        mcf.rp
+    );
     let worst = t
         .rows
         .iter()

@@ -56,7 +56,10 @@ fn windowing_reduces_misses_proportionally() {
 fn table1_reflects_implementations() {
     let rendered = experiments::table1::run().render();
     for needle in ["ASP", "MP", "RP", "DP", "Distance", "No. of PTEs"] {
-        assert!(rendered.contains(needle), "missing {needle} in:\n{rendered}");
+        assert!(
+            rendered.contains(needle),
+            "missing {needle} in:\n{rendered}"
+        );
     }
 }
 

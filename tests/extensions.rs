@@ -10,7 +10,9 @@ fn dp_accuracy_with_page_size(app_name: &str, bytes: u64) -> f64 {
     let app = find_app(app_name).expect("registered");
     let mut config = SimConfig::paper_default();
     config.page_size = PageSize::new(bytes).expect("power of two");
-    run_app(app, Scale::TINY, &config).expect("valid").accuracy()
+    run_app(app, Scale::TINY, &config)
+        .expect("valid")
+        .accuracy()
 }
 
 #[test]
@@ -36,8 +38,14 @@ fn larger_pages_reduce_misses() {
         config.page_size = PageSize::new(bytes).expect("power of two");
         misses.push(run_app(app, Scale::TINY, &config).expect("valid").misses);
     }
-    assert!(misses[0] > misses[1], "8K pages should miss less: {misses:?}");
-    assert!(misses[1] > misses[2], "16K pages should miss less: {misses:?}");
+    assert!(
+        misses[0] > misses[1],
+        "8K pages should miss less: {misses:?}"
+    );
+    assert!(
+        misses[1] > misses[2],
+        "16K pages should miss less: {misses:?}"
+    );
 }
 
 #[test]
@@ -95,7 +103,10 @@ fn frequent_flushing_mostly_destroys_history_schemes() {
     let dp = run_flushed(PrefetcherConfig::distance());
     let rp = run_flushed(PrefetcherConfig::recency());
     assert!(dp > 0.8, "DP under flushing: {dp}");
-    assert!(dp > rp + 0.1, "DP {dp} should tolerate flushes better than RP {rp}");
+    assert!(
+        dp > rp + 0.1,
+        "DP {dp} should tolerate flushes better than RP {rp}"
+    );
 }
 
 #[test]

@@ -60,7 +60,15 @@ fn history_schemes_cannot_predict_first_touches() {
     // §3.2: gzip, perlbmk, equake, epic, mipmap, anagram, yacr2 — cold
     // strided misses favour ASP (and DP "delivers as good accuracies as
     // ASP"); RP and MP have no history to work with.
-    for name in ["gzip", "perlbmk", "equake", "epic", "mipmap-mesa", "anagram", "yacr2"] {
+    for name in [
+        "gzip",
+        "perlbmk",
+        "equake",
+        "epic",
+        "mipmap-mesa",
+        "anagram",
+        "yacr2",
+    ] {
         let (asp, mp, rp, dp) = four_schemes(name);
         assert!(rp < 0.05, "{name}: RP {rp}");
         assert!(mp < 0.05, "{name}: MP {mp}");
@@ -122,7 +130,9 @@ fn markov_beats_recency_on_alternation() {
 fn distance_prefetching_dominates_repeating_irregularity() {
     // §3.2: wupwise, swim, mgrid, applu, mpeg-dec, mpegply, perl4 —
     // "DP does much better than the others".
-    for name in ["wupwise", "swim", "mgrid", "applu", "mpeg-dec", "mpegply", "perl4"] {
+    for name in [
+        "wupwise", "swim", "mgrid", "applu", "mpeg-dec", "mpegply", "perl4",
+    ] {
         let (asp, mp, rp, dp) = four_schemes(name);
         let best_other = asp.max(mp).max(rp);
         assert!(
@@ -138,7 +148,9 @@ fn distance_prefetching_is_the_only_scheme_with_predictions_on_noisy_cycles() {
     // §3.2: gsm, jpeg, ks, msvc, bc — "DP is the only mechanism which
     // makes any noticeable predictions (even if the accuracy does not
     // exceed 20%)".
-    for name in ["gsm-enc", "gsm-dec", "jpeg-enc", "jpeg-dec", "msvc", "bc", "ks"] {
+    for name in [
+        "gsm-enc", "gsm-dec", "jpeg-enc", "jpeg-dec", "msvc", "bc", "ks",
+    ] {
         let (asp, mp, rp, dp) = four_schemes(name);
         assert!(dp > 0.1, "{name}: DP {dp} should be noticeable");
         assert!(asp < 0.05, "{name}: ASP {asp}");
@@ -184,7 +196,10 @@ fn dp_works_with_tiny_tables() {
     small.rows(32);
     let small_acc = accuracy(app, small);
     let large_acc = accuracy(app, PrefetcherConfig::distance());
-    assert!(small_acc > large_acc - 0.05, "32-row DP {small_acc} vs 256-row {large_acc}");
+    assert!(
+        small_acc > large_acc - 0.05,
+        "32-row DP {small_acc} vs 256-row {large_acc}"
+    );
     assert!(small_acc > 0.9);
 }
 
