@@ -1,4 +1,4 @@
-//! Ablation benches for the design choices called out in `DESIGN.md`:
+//! Ablation benches for the design choices documented in the repository `README.md`:
 //! each group reports the *accuracy* consequence of a choice through
 //! Criterion's measurement of the corresponding simulation kernel, and
 //! the kernels return the accuracy so `--verbose` output shows it.

@@ -60,7 +60,7 @@
 //! simulation engines that drive these mechanisms live in `tlbsim-sim`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod assoc;
 mod config;

@@ -4,13 +4,23 @@
 //! ```text
 //! xp <table1|table2|table3|figure7|figure8|figure9|extras|all>
 //!    [--scale tiny|small|standard|<factor>]
+//!    [--shards <n>]
 //!    [--csv <dir>]
 //! xp bench-json [--out <path>]
 //! ```
 //!
-//! `bench-json` measures simulator throughput (accesses/sec per scheme
-//! plus the DP miss-path microbench) and writes `BENCH_throughput.json`
-//! — the perf-trajectory telemetry successive PRs compare against.
+//! `--shards <n>` switches the accuracy-grid drivers (figure7, figure8,
+//! table2) from job-level parallelism to intra-run sharding: jobs run
+//! one at a time, each partitioned across `n` worker shards
+//! (`tlbsim_sim::run_app_sharded`) — the mode for very large `--scale`
+//! runs where a single job should own the whole machine. The other
+//! experiments ignore the flag. `--shards 1` is bit-identical to the
+//! default.
+//!
+//! `bench-json` measures simulator throughput (accesses/sec per scheme,
+//! the DP miss-path microbench, and sharded-vs-sequential scaling of a
+//! figure-scale DP run) and writes `BENCH_throughput.json` — the
+//! perf-trajectory telemetry successive PRs compare against.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -21,19 +31,21 @@ use tlbsim_workloads::Scale;
 struct Args {
     experiment: String,
     scale: Scale,
+    shards: usize,
     csv_dir: Option<PathBuf>,
     out: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: xp <table1|table2|table3|figure7|figure8|figure9|extras|all> \
-     [--scale tiny|small|standard|<factor>] [--csv <dir>]\n       \
+     [--scale tiny|small|standard|<factor>] [--shards <n>] [--csv <dir>]\n       \
      xp bench-json [--out <path>]"
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut experiment = None;
     let mut scale = Scale::STANDARD;
+    let mut shards = 1usize;
     let mut csv_dir = None;
     let mut out = None;
     let mut argv = std::env::args().skip(1);
@@ -52,6 +64,14 @@ fn parse_args() -> Result<Args, String> {
                     ),
                 };
             }
+            "--shards" => {
+                let value = argv.next().ok_or("--shards needs a value")?;
+                shards = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("bad shard count {value:?} (want an integer >= 1)"))?;
+            }
             "--csv" => {
                 csv_dir = Some(PathBuf::from(argv.next().ok_or("--csv needs a directory")?));
             }
@@ -68,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         experiment: experiment.unwrap_or_else(|| "all".to_owned()),
         scale,
+        shards,
         csv_dir,
         out,
     })
@@ -100,7 +121,12 @@ fn emit(
     Ok(())
 }
 
-fn run_one(name: &str, scale: Scale, csv_dir: &Option<PathBuf>) -> Result<(), String> {
+fn run_one(
+    name: &str,
+    scale: Scale,
+    shards: usize,
+    csv_dir: &Option<PathBuf>,
+) -> Result<(), String> {
     let fail = |e: tlbsim_sim::SimError| format!("{name}: {e}");
     match name {
         "table1" => {
@@ -108,7 +134,7 @@ fn run_one(name: &str, scale: Scale, csv_dir: &Option<PathBuf>) -> Result<(), St
             emit(name, t.render(), t.to_csv(), csv_dir)
         }
         "table2" => {
-            let t = table2::run(scale).map_err(fail)?;
+            let t = table2::run_sharded(scale, shards).map_err(fail)?;
             emit(name, t.render(), t.to_csv(), csv_dir)
         }
         "table3" => {
@@ -116,11 +142,11 @@ fn run_one(name: &str, scale: Scale, csv_dir: &Option<PathBuf>) -> Result<(), St
             emit(name, t.render(), t.to_csv(), csv_dir)
         }
         "figure7" => {
-            let f = figure7::run(scale).map_err(fail)?;
+            let f = figure7::run_sharded(scale, shards).map_err(fail)?;
             emit(name, f.render(), f.to_csv(), csv_dir)
         }
         "figure8" => {
-            let f = figure8::run(scale).map_err(fail)?;
+            let f = figure8::run_sharded(scale, shards).map_err(fail)?;
             emit(name, f.render(), f.to_csv(), csv_dir)
         }
         "figure9" => {
@@ -159,14 +185,19 @@ fn main() -> ExitCode {
     } else {
         vec![args.experiment.as_str()]
     };
+    let sharding = if args.shards > 1 {
+        format!(" with {} shards per run", args.shards)
+    } else {
+        String::new()
+    };
     eprintln!(
-        "running {} at scale {} …",
+        "running {} at scale {}{sharding} …",
         experiments.join(", "),
         args.scale
     );
     for name in experiments {
         let started = std::time::Instant::now();
-        if let Err(message) = run_one(name, args.scale, &args.csv_dir) {
+        if let Err(message) = run_one(name, args.scale, args.shards, &args.csv_dir) {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }

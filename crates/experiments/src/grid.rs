@@ -2,7 +2,7 @@
 //! accuracy-grid runner behind Figures 7 and 8.
 
 use tlbsim_core::{Associativity, PrefetcherConfig};
-use tlbsim_sim::{sweep, SimConfig, SimError, SweepJob};
+use tlbsim_sim::{run_app_sharded, sweep, SimConfig, SimError, SweepJob};
 use tlbsim_workloads::{AppSpec, Scale};
 
 /// The per-application scheme grid of Figures 7 and 8: RP; MP with
@@ -125,6 +125,51 @@ pub fn accuracy_grid(
     Ok(rows)
 }
 
+/// Like [`accuracy_grid`], but with **intra-run** parallelism: jobs run
+/// one after another, and each run is itself partitioned across `shards`
+/// worker shards via [`run_app_sharded`] — the mode for grids whose
+/// individual runs are large enough to own the whole machine (e.g. a
+/// figure driver at a high `--scale`).
+///
+/// `shards <= 1` delegates to the job-parallel [`accuracy_grid`]; the
+/// two paths produce identical cells there, since a one-shard run is
+/// bit-identical to a sequential run. With more shards, cell metrics can
+/// differ from the sequential grid by the cold-boundary effects
+/// documented on [`tlbsim_sim::run_app_sharded`].
+///
+/// # Errors
+///
+/// Returns [`SimError`] if any configuration is invalid.
+pub fn accuracy_grid_sharded(
+    apps: &[&'static AppSpec],
+    schemes: &[PrefetcherConfig],
+    scale: Scale,
+    shards: usize,
+) -> Result<Vec<GridRow>, SimError> {
+    if shards <= 1 {
+        return accuracy_grid(apps, schemes, scale);
+    }
+    let base = SimConfig::paper_default();
+    let mut rows = Vec::with_capacity(apps.len());
+    for app in apps {
+        let mut cells = Vec::with_capacity(schemes.len());
+        for scheme in schemes {
+            let config = base.clone().with_prefetcher(scheme.clone());
+            let run = run_app_sharded(app, scale, &config, shards)?;
+            cells.push(GridCell {
+                label: scheme.label(),
+                accuracy: run.merged.accuracy(),
+                miss_rate: run.merged.miss_rate(),
+            });
+        }
+        rows.push(GridRow {
+            app: app.name,
+            cells,
+        });
+    }
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +189,35 @@ mod tests {
     fn table2_schemes_are_the_four_contenders() {
         let labels: Vec<String> = table2_schemes().iter().map(|c| c.label()).collect();
         assert_eq!(labels, vec!["DP,256,D", "RP", "ASP,256", "MP,256,D"]);
+    }
+
+    #[test]
+    fn sharded_grid_with_one_shard_matches_the_parallel_grid() {
+        let apps = vec![find_app("gap").unwrap()];
+        let schemes = vec![
+            tlbsim_core::PrefetcherConfig::distance(),
+            tlbsim_core::PrefetcherConfig::recency(),
+        ];
+        let parallel = accuracy_grid(&apps, &schemes, Scale::TINY).unwrap();
+        let sharded = accuracy_grid_sharded(&apps, &schemes, Scale::TINY, 1).unwrap();
+        for (p, s) in parallel.iter().zip(&sharded) {
+            assert_eq!(p.app, s.app);
+            for (pc, sc) in p.cells.iter().zip(&s.cells) {
+                assert_eq!(pc.label, sc.label);
+                assert_eq!(pc.accuracy, sc.accuracy);
+                assert_eq!(pc.miss_rate, sc.miss_rate);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_grid_produces_full_rows() {
+        let apps = vec![find_app("gap").unwrap()];
+        let schemes = vec![tlbsim_core::PrefetcherConfig::distance()];
+        let rows = accuracy_grid_sharded(&apps, &schemes, Scale::TINY, 3).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].cells.len(), 1);
+        assert!(rows[0].best_accuracy() > 0.0);
     }
 
     #[test]

@@ -38,5 +38,7 @@ pub mod table2;
 pub mod table3;
 pub mod throughput;
 
-pub use grid::{accuracy_grid, paper_scheme_grid, table2_schemes, GridCell, GridRow};
+pub use grid::{
+    accuracy_grid, accuracy_grid_sharded, paper_scheme_grid, table2_schemes, GridCell, GridRow,
+};
 pub use report::{fmt3, fmt4, TextTable};

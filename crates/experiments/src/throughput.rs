@@ -8,8 +8,8 @@
 //! performance trajectory for the hot loop.
 //!
 //! Timing methodology: each kernel is repeated until it has run for at
-//! least [`MIN_MEASURE`] in total, and the **best** per-run time is
-//! reported — minimum-of-N is the standard way to suppress scheduler
+//! least `MIN_MEASURE` (150 ms) in total, and the **best** per-run time
+//! is reported — minimum-of-N is the standard way to suppress scheduler
 //! noise for short deterministic kernels. Note the Criterion benches in
 //! `tlbsim-bench` report median-of-samples over the same stream
 //! fixtures: compare trends within one methodology, not absolute
@@ -19,7 +19,8 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use tlbsim_core::{CandidateBuf, MemoryAccess, MissContext, Pc, PrefetcherConfig, VirtPage};
-use tlbsim_sim::{Engine, SimConfig, SimError};
+use tlbsim_sim::{run_app, run_app_sharded, Engine, SimConfig, SimError};
+use tlbsim_workloads::{find_app, AppSpec, Scale};
 
 /// Minimum accumulated measurement time per kernel.
 const MIN_MEASURE: Duration = Duration::from_millis(150);
@@ -56,6 +57,30 @@ impl MissPathComparison {
     }
 }
 
+/// Sharded-versus-sequential scaling of one figure-scale DP run
+/// ([`tlbsim_sim::run_app_sharded`] against [`tlbsim_sim::run_app`]).
+///
+/// The speedups here are what *this machine* delivers: intra-run
+/// sharding can only beat the sequential path when
+/// [`cpus`](ShardScaling::cpus) exceeds 1, so the CPU count is part of
+/// the snapshot and the hard ≥2×@4-shards gate lives in the
+/// parallelism-guarded `cargo bench` group (`tlbsim-bench`,
+/// `benches/sharding.rs`), not here.
+#[derive(Debug, Clone)]
+pub struct ShardScaling {
+    /// Application simulated (a high-miss DP workload).
+    pub app: &'static str,
+    /// Accesses in the measured stream.
+    pub accesses: u64,
+    /// Worker threads the host can actually run in parallel.
+    pub cpus: usize,
+    /// Best sequential nanoseconds per access.
+    pub sequential_ns_per_access: f64,
+    /// `(shards, best ns/access, speedup-vs-sequential)` per shard
+    /// count measured.
+    pub shard_points: Vec<(usize, f64, f64)>,
+}
+
 /// The full telemetry snapshot.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
@@ -63,6 +88,8 @@ pub struct ThroughputReport {
     pub schemes: Vec<SchemeThroughput>,
     /// The DP miss-path comparison.
     pub miss_path: MissPathComparison,
+    /// Intra-run shard scaling on the figure-scale DP run.
+    pub shard_scaling: ShardScaling,
 }
 
 /// A deterministic synthetic miss stream mixing strided runs with
@@ -165,6 +192,8 @@ pub fn run() -> Result<ThroughputReport, SimError> {
         });
     }
 
+    let shard_scaling = measure_shard_scaling()?;
+
     let misses = mixed_miss_stream(10_000);
     let mut dp = PrefetcherConfig::distance().build()?;
     let mut sink = CandidateBuf::new();
@@ -189,6 +218,46 @@ pub fn run() -> Result<ThroughputReport, SimError> {
             sink_ns_per_miss: sink_best.as_nanos() as f64 / misses.len() as f64,
             legacy_ns_per_miss: legacy_best.as_nanos() as f64 / misses.len() as f64,
         },
+        shard_scaling,
+    })
+}
+
+/// The shard-scaling fixture: galgel — the paper's highest-miss-rate
+/// SPEC application — under the representative DP configuration, at the
+/// figure-driver default scale.
+fn shard_scaling_fixture() -> (&'static AppSpec, Scale, SimConfig) {
+    let app = find_app("galgel").expect("galgel is registered");
+    (app, Scale::STANDARD, SimConfig::paper_default())
+}
+
+/// Times the sequential path against sharded runs at 2 and 4 shards on
+/// the figure-scale DP fixture.
+fn measure_shard_scaling() -> Result<ShardScaling, SimError> {
+    let (app, scale, config) = shard_scaling_fixture();
+    let accesses = app.stream_len(scale);
+
+    // Validate once so the timed kernels can unwrap.
+    run_app(app, scale, &config)?;
+    let sequential = best_time(|| {
+        std::hint::black_box(run_app(app, scale, &config).expect("validated"));
+    });
+    let sequential_ns = sequential.as_nanos() as f64 / accesses as f64;
+
+    let mut shard_points = Vec::new();
+    for shards in [2usize, 4] {
+        let best = best_time(|| {
+            std::hint::black_box(run_app_sharded(app, scale, &config, shards).expect("validated"));
+        });
+        let ns = best.as_nanos() as f64 / accesses as f64;
+        shard_points.push((shards, ns, sequential_ns / ns));
+    }
+
+    Ok(ShardScaling {
+        app: app.name,
+        accesses,
+        cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        sequential_ns_per_access: sequential_ns,
+        shard_points,
     })
 }
 
@@ -216,6 +285,18 @@ impl ThroughputReport {
             self.miss_path.legacy_ns_per_miss,
             self.miss_path.speedup()
         );
+        let ss = &self.shard_scaling;
+        let _ = writeln!(
+            out,
+            "Sharded run ({}, {} accesses, {} cpus): sequential {:.2} ns/access",
+            ss.app, ss.accesses, ss.cpus, ss.sequential_ns_per_access
+        );
+        for (shards, ns, speedup) in &ss.shard_points {
+            let _ = writeln!(
+                out,
+                "  {shards} shards: {ns:.2} ns/access ({speedup:.2}x vs sequential)"
+            );
+        }
         out
     }
 
@@ -237,14 +318,34 @@ impl ThroughputReport {
                 "\n"
             });
         }
-        let _ = write!(
+        let _ = writeln!(
             out,
             "  ],\n  \"dp_miss_path\": {{\"sink_ns_per_miss\": {:.3}, \
-             \"legacy_vec_ns_per_miss\": {:.3}, \"speedup\": {:.3}}}\n}}\n",
+             \"legacy_vec_ns_per_miss\": {:.3}, \"speedup\": {:.3}}},",
             self.miss_path.sink_ns_per_miss,
             self.miss_path.legacy_ns_per_miss,
             self.miss_path.speedup()
         );
+        let ss = &self.shard_scaling;
+        let _ = writeln!(
+            out,
+            "  \"sharded_run\": {{\"app\": \"{}\", \"accesses\": {}, \"cpus\": {}, \
+             \"sequential_ns_per_access\": {:.3}, \"shards\": [",
+            ss.app, ss.accesses, ss.cpus, ss.sequential_ns_per_access
+        );
+        for (i, (shards, ns, speedup)) in ss.shard_points.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"shards\": {shards}, \"ns_per_access\": {ns:.3}, \
+                 \"speedup_vs_sequential\": {speedup:.3}}}"
+            );
+            out.push_str(if i + 1 < ss.shard_points.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]}\n}\n");
         out
     }
 }
@@ -265,9 +366,21 @@ mod tests {
             );
         }
         assert!(report.miss_path.speedup() > 0.0);
+        let ss = &report.shard_scaling;
+        assert_eq!(ss.app, "galgel");
+        assert!(ss.cpus >= 1);
+        assert_eq!(
+            ss.shard_points.iter().map(|p| p.0).collect::<Vec<_>>(),
+            [2, 4]
+        );
+        for (shards, ns, speedup) in &ss.shard_points {
+            assert!(*ns > 0.0 && *speedup > 0.0, "{shards} shards mis-measured");
+        }
         let json = report.to_json();
         assert!(json.contains("\"scheme\": \"DP\""));
         assert!(json.contains("dp_miss_path"));
+        assert!(json.contains("\"sharded_run\""));
+        assert!(json.contains("\"speedup_vs_sequential\""));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -80,6 +80,17 @@ impl PageTable {
     pub fn rp_overhead_bytes(&self) -> u64 {
         self.map.len() as u64 * 16
     }
+
+    /// Allocating snapshot of every mapped page, sorted by page number.
+    ///
+    /// Off the hot path: the sharded runner calls this once per shard at
+    /// the end of a run to compute the exact footprint union across
+    /// shards (pages touched by several shards must count once).
+    pub fn pages_snapshot(&self) -> Vec<VirtPage> {
+        let mut pages: Vec<VirtPage> = self.map.keys().copied().collect();
+        pages.sort_unstable();
+        pages
+    }
 }
 
 #[cfg(test)]

@@ -221,7 +221,7 @@ pub mod collection {
     use super::TestRng;
     use std::ops::Range;
 
-    /// The accepted size specifications for [`vec`].
+    /// The accepted size specifications for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
@@ -256,7 +256,7 @@ pub mod collection {
         }
     }
 
-    /// The result of [`vec`].
+    /// The result of [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

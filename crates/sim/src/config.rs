@@ -120,6 +120,10 @@ pub enum SimError {
     /// single prefetch is a configuration bug, not a request for a
     /// minimal buffer.
     ZeroPrefetchBuffer,
+    /// A sharded run was requested with zero shards — there would be no
+    /// worker to simulate the stream (see
+    /// [`run_app_sharded`](crate::run_app_sharded)).
+    ZeroShards,
 }
 
 impl fmt::Display for SimError {
@@ -130,6 +134,7 @@ impl fmt::Display for SimError {
             SimError::ZeroPrefetchBuffer => {
                 f.write_str("prefetch buffer must have at least one entry")
             }
+            SimError::ZeroShards => f.write_str("sharded run requires at least one shard"),
         }
     }
 }
@@ -139,7 +144,7 @@ impl std::error::Error for SimError {
         match self {
             SimError::Geometry(e) => Some(e),
             SimError::Prefetcher(e) => Some(e),
-            SimError::ZeroPrefetchBuffer => None,
+            SimError::ZeroPrefetchBuffer | SimError::ZeroShards => None,
         }
     }
 }

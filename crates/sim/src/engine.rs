@@ -174,6 +174,34 @@ impl Engine {
         self.finish()
     }
 
+    /// Streams at most `limit` accesses of a workload through the
+    /// engine, chunk-at-a-time like [`Engine::run_workload`].
+    ///
+    /// This is the shard entry point: a worker that owns the time slice
+    /// `[start, start + limit)` of a partitioned run positions its
+    /// workload with [`Workload::skip_accesses`] and then consumes
+    /// exactly its slice here. Processing is chunk-size-invariant, so
+    /// driving a full stream through one `run_workload_limit(stream,
+    /// len)` call is bit-identical to [`Engine::run_workload`].
+    pub fn run_workload_limit(&mut self, workload: &mut Workload, limit: u64) -> &SimStats {
+        let mut batch = std::mem::take(&mut self.batch);
+        if batch.len() < ACCESS_BATCH {
+            batch.resize(ACCESS_BATCH, MemoryAccess::read(0, 0));
+        }
+        let mut remaining = limit;
+        while remaining > 0 {
+            let want = remaining.min(ACCESS_BATCH as u64) as usize;
+            let filled = workload.fill_batch(&mut batch[..want]);
+            if filled == 0 {
+                break;
+            }
+            self.access_batch(&batch[..filled]);
+            remaining -= filled as u64;
+        }
+        self.batch = batch;
+        self.finish()
+    }
+
     /// Simulates a stream, flushing all translation and prediction state
     /// every `interval` accesses — the multiprogrammed context-switch
     /// mode (§4 lists flushing the prefetch tables as ongoing work).
@@ -214,6 +242,26 @@ impl Engine {
     /// [`Engine::finish`] completion).
     pub fn stats(&self) -> &SimStats {
         &self.stats
+    }
+
+    /// Translations still sitting in the prefetch buffer — prefetches
+    /// that were issued but never promoted by a reference.
+    ///
+    /// At the end of a shard's time slice these are the in-flight
+    /// entries a sequential run might still have used later; the sharded
+    /// runner reports their sum as the boundary-reconciliation counter
+    /// (see `ShardedRun::boundary_resident_prefetches`).
+    pub fn resident_prefetches(&self) -> u64 {
+        self.core.buffer.len() as u64
+    }
+
+    /// Allocating snapshot of every page the run touched (demand or
+    /// prefetch), sorted by page number — the set whose size
+    /// [`SimStats::footprint_pages`] reports. Off the hot path; the
+    /// sharded runner unions these across shards for the exact merged
+    /// footprint.
+    pub fn touched_pages_snapshot(&self) -> Vec<tlbsim_core::VirtPage> {
+        self.core.page_table.pages_snapshot()
     }
 
     /// The mechanism under test.
@@ -371,6 +419,69 @@ mod tests {
         let mut batched = Engine::new(&SimConfig::paper_default()).unwrap();
         batched.run(stream.iter().copied());
         assert_eq!(one_by_one.stats(), batched.stats());
+    }
+
+    #[test]
+    fn run_workload_limit_full_length_matches_run_workload() {
+        let app = tlbsim_workloads::find_app("gap").unwrap();
+        let scale = tlbsim_workloads::Scale::TINY;
+        let mut whole = Engine::new(&SimConfig::paper_default()).unwrap();
+        whole.run_workload(&mut app.workload(scale));
+
+        let mut limited = Engine::new(&SimConfig::paper_default()).unwrap();
+        limited.run_workload_limit(&mut app.workload(scale), app.stream_len(scale));
+        assert_eq!(whole.stats(), limited.stats());
+    }
+
+    #[test]
+    fn run_workload_limit_stops_exactly_at_the_limit() {
+        let app = tlbsim_workloads::find_app("gap").unwrap();
+        let mut engine = Engine::new(&SimConfig::paper_default()).unwrap();
+        // A limit that is not a multiple of the internal batch size.
+        engine.run_workload_limit(&mut app.workload(tlbsim_workloads::Scale::TINY), 5000 + 7);
+        assert_eq!(engine.stats().accesses, 5007);
+    }
+
+    #[test]
+    fn segmented_limited_runs_match_one_continuous_run() {
+        // Driving one engine through consecutive limited segments of the
+        // same workload must equal a single run_workload call — the
+        // chunk-size invariance the sharded executor relies on.
+        let app = tlbsim_workloads::find_app("mcf").unwrap();
+        let scale = tlbsim_workloads::Scale::TINY;
+        let mut whole = Engine::new(&SimConfig::paper_default()).unwrap();
+        whole.run_workload(&mut app.workload(scale));
+
+        let mut segmented = Engine::new(&SimConfig::paper_default()).unwrap();
+        let mut workload = app.workload(scale);
+        loop {
+            let before = segmented.stats().accesses;
+            segmented.run_workload_limit(&mut workload, 1777);
+            if segmented.stats().accesses == before {
+                break;
+            }
+        }
+        assert_eq!(whole.stats(), segmented.stats());
+    }
+
+    #[test]
+    fn resident_prefetches_tracks_the_buffer() {
+        let mut e = Engine::new(&SimConfig::paper_default()).unwrap();
+        assert_eq!(e.resident_prefetches(), 0);
+        e.run(seq_stream(1000, 2));
+        // A sequential walk leaves the last prediction(s) unused in the
+        // buffer.
+        assert!(e.resident_prefetches() > 0);
+        assert!(e.resident_prefetches() <= 16);
+    }
+
+    #[test]
+    fn touched_pages_snapshot_is_sorted_and_sized_like_the_footprint() {
+        let mut e = Engine::new(&SimConfig::paper_default()).unwrap();
+        e.run(seq_stream(500, 2));
+        let pages = e.touched_pages_snapshot();
+        assert_eq!(pages.len() as u64, e.stats().footprint_pages);
+        assert!(pages.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

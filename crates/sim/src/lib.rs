@@ -17,6 +17,18 @@
 //! run the synthetic applications of `tlbsim-workloads` through either
 //! engine.
 //!
+//! ## Two axes of parallelism
+//!
+//! * **Across jobs** — [`sweep`] distributes a grid of independent jobs
+//!   over the machine, one recycled engine per worker; this is how the
+//!   figure-scale parameter grids run.
+//! * **Within one job** — [`run_app_sharded`] time-slices a single
+//!   large run into contiguous shards ([`ShardPlan`]), simulates each
+//!   on a private engine shard in parallel, and merges the per-shard
+//!   [`SimStats`] deterministically ([`SimStats::merge`] plus
+//!   footprint-union and prefetch-buffer boundary reconciliation).
+//!   `shards = 1` is bit-identical to the sequential path.
+//!
 //! ## Batching contract
 //!
 //! Every engine processes references through `access_batch(&[MemoryAccess])`
@@ -59,6 +71,7 @@ mod config;
 mod engine;
 mod hierarchy_engine;
 mod runner;
+mod shard;
 mod stats;
 mod timing_engine;
 
@@ -67,5 +80,6 @@ pub use config::{SimConfig, SimError};
 pub use engine::Engine;
 pub use hierarchy_engine::{HierarchyEngine, HierarchyStats};
 pub use runner::{compare_schemes, run_app, run_app_timed, sweep, SweepJob, SweepResult};
+pub use shard::{run_app_sharded, ShardOutcome, ShardPlan, ShardRange, ShardedRun};
 pub use stats::{SimStats, TimingStats};
 pub use timing_engine::TimingEngine;

@@ -24,6 +24,21 @@ use crate::timing_engine::TimingEngine;
 /// # Errors
 ///
 /// Returns [`SimError`] if the configuration is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_sim::{run_app, SimConfig};
+/// use tlbsim_workloads::{find_app, Scale};
+///
+/// // galgel is the paper's distance-prefetching showcase: DP at the
+/// // representative configuration predicts nearly every miss.
+/// let app = find_app("galgel").expect("registered");
+/// let stats = run_app(app, Scale::TINY, &SimConfig::paper_default())?;
+/// assert!(stats.misses > 0);
+/// assert!(stats.accuracy() > 0.8);
+/// # Ok::<(), tlbsim_sim::SimError>(())
+/// ```
 pub fn run_app(app: &AppSpec, scale: Scale, config: &SimConfig) -> Result<SimStats, SimError> {
     let mut engine = Engine::new(config)?;
     engine.run_workload(&mut app.workload(scale));
@@ -124,9 +139,35 @@ impl WorkerScratch {
 /// Executes jobs across all available cores and returns results in the
 /// submission order.
 ///
+/// This is *job-level* parallelism — the right tool when a figure-scale
+/// grid has more jobs than cores. To spread one large run across the
+/// machine instead, see [`run_app_sharded`](crate::run_app_sharded).
+///
 /// # Errors
 ///
 /// Returns the first [`SimError`] encountered; remaining jobs still run.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_sim::{sweep, SimConfig, SweepJob};
+/// use tlbsim_workloads::{find_app, Scale};
+///
+/// let jobs: Vec<SweepJob> = ["gap", "eon"]
+///     .iter()
+///     .map(|name| SweepJob {
+///         tag: format!("{name}/DP"),
+///         app: find_app(name).expect("registered"),
+///         scale: Scale::TINY,
+///         config: SimConfig::paper_default(),
+///     })
+///     .collect();
+/// let results = sweep(jobs)?;
+/// // Results come back in submission order, whatever the scheduling.
+/// assert_eq!(results[0].app, "gap");
+/// assert_eq!(results[1].app, "eon");
+/// # Ok::<(), tlbsim_sim::SimError>(())
+/// ```
 pub fn sweep(jobs: Vec<SweepJob>) -> Result<Vec<SweepResult>, SimError> {
     if jobs.is_empty() {
         return Ok(Vec::new());

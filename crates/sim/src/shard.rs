@@ -1,0 +1,444 @@
+//! Sharding one large run across worker threads.
+//!
+//! The [`sweep`](crate::sweep) executor parallelises *across* jobs; this
+//! module parallelises *within* one job, so a single figure-scale run
+//! can use the whole machine. The access stream is time-sliced into
+//! contiguous, statically planned chunks ([`ShardPlan`]); each worker
+//! thread owns a private TLB + prefetch-engine shard built from the same
+//! [`SimConfig`], positions its workload with
+//! [`Workload::skip_accesses`] (visit-granularity seeking — no prefix
+//! replay), and simulates exactly its slice. Per-shard [`SimStats`] are
+//! then folded in shard order with [`SimStats::merge`], with two
+//! reconciliation steps at shard boundaries:
+//!
+//! * **footprint union** — distinct pages touched by several shards
+//!   must count once, so the merged
+//!   [`footprint_pages`](SimStats::footprint_pages) is recomputed as the
+//!   exact union of the shards' page sets rather than the sum;
+//! * **in-flight prefetch-buffer state** — prefetches still resident in
+//!   a non-final shard's buffer at its boundary are translations a
+//!   sequential run could still have promoted later; their count is
+//!   surfaced as [`ShardedRun::boundary_resident_prefetches`] so the
+//!   sharding approximation is quantified, not silent.
+//!
+//! Because the plan is static and the fold order is the shard order, the
+//! merged result depends only on `(app, scale, config, shards)` — never
+//! on which worker finished first. With `shards = 1` the executor
+//! degenerates to a plain sequential run and the merged statistics are
+//! bit-identical to [`run_app`](crate::run_app) (both properties are
+//! pinned by tests).
+//!
+//! ## What sharding approximates
+//!
+//! Every shard starts cold: empty TLB, empty prefetch buffer, unlearned
+//! prediction tables. Merged counters are therefore exact for the
+//! simulated slices but differ slightly from a sequential run around the
+//! `shards − 1` boundaries (extra cold misses, unlearned predictions).
+//! The paper's headline metrics are ratios over millions of events, so
+//! boundary effects vanish at figure scale — but fidelity-critical runs
+//! should use `shards = 1`, which is the default everywhere.
+
+use tlbsim_core::VirtPage;
+use tlbsim_workloads::{AppSpec, Scale};
+
+use crate::config::{SimConfig, SimError};
+use crate::engine::Engine;
+use crate::stats::SimStats;
+
+/// One shard's contiguous slice of the access stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRange {
+    /// Stream position of the first access in the slice.
+    pub start: u64,
+    /// Number of accesses in the slice.
+    pub len: u64,
+}
+
+/// A static partition of a reference stream into contiguous shard
+/// ranges.
+///
+/// The first `total % shards` ranges are one access longer than the
+/// rest, so the partition is as even as possible, covers the stream
+/// exactly, and depends only on `(total, shards)` — the anchor of the
+/// executor's determinism.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_sim::ShardPlan;
+///
+/// let plan = ShardPlan::split(10, 4);
+/// let lens: Vec<u64> = plan.ranges().iter().map(|r| r.len).collect();
+/// assert_eq!(lens, [3, 3, 2, 2]);
+/// assert_eq!(plan.ranges()[2].start, 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    ranges: Vec<ShardRange>,
+}
+
+impl ShardPlan {
+    /// Splits `total` accesses into `shards` contiguous ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero; the public executor surfaces that as
+    /// [`SimError::ZeroShards`] before planning.
+    pub fn split(total: u64, shards: usize) -> Self {
+        assert!(shards > 0, "shard plan requires at least one shard");
+        let shards_u64 = shards as u64;
+        let base = total / shards_u64;
+        let longer = total % shards_u64;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0;
+        for index in 0..shards_u64 {
+            let len = base + u64::from(index < longer);
+            ranges.push(ShardRange { start, len });
+            start += len;
+        }
+        ShardPlan { ranges }
+    }
+
+    /// The planned ranges, in stream order.
+    pub fn ranges(&self) -> &[ShardRange] {
+        &self.ranges
+    }
+
+    /// Total accesses covered by the plan.
+    pub fn total(&self) -> u64 {
+        self.ranges.iter().map(|r| r.len).sum()
+    }
+}
+
+/// One shard's outcome inside a [`ShardedRun`].
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// The slice this shard simulated.
+    pub range: ShardRange,
+    /// The shard's own counters (footprint is shard-local).
+    pub stats: SimStats,
+    /// Prefetches still resident in this shard's buffer when its slice
+    /// ended — issued but never promoted.
+    pub resident_prefetches: u64,
+}
+
+/// The merged result of a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardedRun {
+    /// Deterministically merged statistics: counters summed in shard
+    /// order, footprint replaced by the exact union of shard page sets.
+    pub merged: SimStats,
+    /// Per-shard outcomes, in stream order.
+    pub shards: Vec<ShardOutcome>,
+    /// Shard-boundary reconciliation: the summed prefetch-buffer
+    /// residency of every *non-final* shard at the end of its slice.
+    /// These are the in-flight translations a sequential run could still
+    /// have used; `0` when `shards == 1`, where the run is bit-identical
+    /// to the sequential path.
+    pub boundary_resident_prefetches: u64,
+}
+
+/// Partitions one application run across `shards` worker threads and
+/// merges the per-shard statistics deterministically.
+///
+/// Shards run on a scoped worker pool bounded by the machine's
+/// available parallelism (extra shards queue on a shared cursor), and
+/// results are folded in shard order, so the output is independent of
+/// worker scheduling and arbitrary shard counts cannot exhaust OS
+/// threads. With `shards = 1` the result is bit-identical to
+/// [`run_app`].
+///
+/// # Errors
+///
+/// Returns [`SimError::ZeroShards`] for `shards == 0`, or the
+/// configuration's own error if it is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_sim::{run_app, run_app_sharded, SimConfig};
+/// use tlbsim_workloads::{find_app, Scale};
+///
+/// let app = find_app("galgel").expect("registered");
+/// let config = SimConfig::paper_default();
+/// let sharded = run_app_sharded(app, Scale::TINY, &config, 4)?;
+/// assert_eq!(sharded.shards.len(), 4);
+///
+/// // Sharding preserves the exact access and miss totals, and the
+/// // merged accuracy tracks the sequential run at figure scale.
+/// let sequential = run_app(app, Scale::TINY, &config)?;
+/// assert_eq!(sharded.merged.accesses, sequential.accesses);
+/// assert!((sharded.merged.accuracy() - sequential.accuracy()).abs() < 0.05);
+/// # Ok::<(), tlbsim_sim::SimError>(())
+/// ```
+///
+/// [`run_app`]: crate::run_app
+pub fn run_app_sharded(
+    app: &AppSpec,
+    scale: Scale,
+    config: &SimConfig,
+    shards: usize,
+) -> Result<ShardedRun, SimError> {
+    if shards == 0 {
+        return Err(SimError::ZeroShards);
+    }
+    // Validate the configuration once, up front, so worker threads can
+    // assume it is constructible and stay Result-free.
+    drop(Engine::new(config)?);
+
+    let plan = ShardPlan::split(app.stream_len(scale), shards);
+    // Bounded worker pool: shard counts beyond the core count gain
+    // nothing from extra OS threads (and absurd counts would exhaust
+    // the thread limit), so workers pull shard indices from a shared
+    // cursor. Each shard's slot is fixed by its index, so scheduling
+    // still cannot affect the result.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(shards);
+    // (stats, touched pages, resident prefetches) per finished shard.
+    type ShardSlot = std::sync::Mutex<Option<(SimStats, Vec<VirtPage>, u64)>>;
+    let slots: Vec<ShardSlot> = (0..shards).map(|_| std::sync::Mutex::new(None)).collect();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let slots = &slots;
+            let cursor = &cursor;
+            let plan = &plan;
+            scope.spawn(move || loop {
+                let index = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(range) = plan.ranges().get(index) else {
+                    break;
+                };
+                let mut engine = Engine::new(config).expect("configuration validated above");
+                let mut workload = app.workload(scale);
+                let skipped = workload.skip_accesses(range.start);
+                debug_assert_eq!(skipped, range.start, "stream shorter than planned");
+                engine.run_workload_limit(&mut workload, range.len);
+                *slots[index].lock().expect("slot lock") = Some((
+                    *engine.stats(),
+                    engine.touched_pages_snapshot(),
+                    engine.resident_prefetches(),
+                ));
+            });
+        }
+    });
+
+    let mut merged = SimStats::default();
+    let mut union: Vec<VirtPage> = Vec::new();
+    let mut outcomes = Vec::with_capacity(shards);
+    let mut boundary_resident = 0;
+    let last = shards - 1;
+    for (index, (slot, range)) in slots.into_iter().zip(plan.ranges()).enumerate() {
+        let (stats, pages, resident) = slot
+            .into_inner()
+            .expect("worker threads joined")
+            .expect("every shard ran to completion");
+        merged.merge(&stats);
+        union.extend(pages);
+        if index != last {
+            boundary_resident += resident;
+        }
+        outcomes.push(ShardOutcome {
+            range: *range,
+            stats,
+            resident_prefetches: resident,
+        });
+    }
+    union.sort_unstable();
+    union.dedup();
+    merged.footprint_pages = union.len() as u64;
+
+    Ok(ShardedRun {
+        merged,
+        shards: outcomes,
+        boundary_resident_prefetches: boundary_resident,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_app;
+    use tlbsim_core::PrefetcherConfig;
+    use tlbsim_workloads::find_app;
+
+    #[test]
+    fn plan_covers_the_stream_exactly_and_contiguously() {
+        for total in [0u64, 1, 7, 4096, 99_991] {
+            for shards in [1usize, 2, 3, 8, 64] {
+                let plan = ShardPlan::split(total, shards);
+                assert_eq!(plan.ranges().len(), shards);
+                assert_eq!(plan.total(), total);
+                let mut expected_start = 0;
+                for range in plan.ranges() {
+                    assert_eq!(range.start, expected_start, "{total}/{shards} gap");
+                    expected_start += range.len;
+                }
+                assert_eq!(expected_start, total);
+                // Even split: lengths differ by at most one.
+                let lens: Vec<u64> = plan.ranges().iter().map(|r| r.len).collect();
+                let min = *lens.iter().min().unwrap();
+                let max = *lens.iter().max().unwrap();
+                assert!(max - min <= 1, "{total}/{shards} uneven: {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shard_plan_panics() {
+        let _ = ShardPlan::split(10, 0);
+    }
+
+    #[test]
+    fn zero_shards_is_a_sim_error() {
+        let app = find_app("gap").unwrap();
+        let err = run_app_sharded(app, Scale::TINY, &SimConfig::paper_default(), 0).unwrap_err();
+        assert!(matches!(err, SimError::ZeroShards));
+        assert!(err.to_string().contains("shard"));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_spawning() {
+        let app = find_app("gap").unwrap();
+        let bad = SimConfig::paper_default().with_prefetch_buffer(0);
+        assert!(matches!(
+            run_app_sharded(app, Scale::TINY, &bad, 2),
+            Err(SimError::ZeroPrefetchBuffer)
+        ));
+    }
+
+    #[test]
+    fn one_shard_is_bit_identical_to_the_sequential_run() {
+        for (name, prefetcher) in [
+            ("galgel", PrefetcherConfig::distance()),
+            ("mcf", PrefetcherConfig::recency()),
+            ("gap", PrefetcherConfig::markov()),
+        ] {
+            let app = find_app(name).unwrap();
+            let config = SimConfig::paper_default().with_prefetcher(prefetcher);
+            let sequential = run_app(app, Scale::TINY, &config).unwrap();
+            let sharded = run_app_sharded(app, Scale::TINY, &config, 1).unwrap();
+            assert_eq!(
+                sharded.merged, sequential,
+                "{name}: shards=1 must be bit-identical"
+            );
+            assert_eq!(sharded.boundary_resident_prefetches, 0);
+            assert_eq!(sharded.shards.len(), 1);
+            assert_eq!(sharded.shards[0].stats, sequential);
+        }
+    }
+
+    #[test]
+    fn sharded_runs_are_deterministic_across_repetitions() {
+        // The merge is anchored to the static plan, not to worker
+        // completion order: repeated runs (with the OS free to schedule
+        // the worker threads differently every time) must agree exactly,
+        // shard by shard.
+        let app = find_app("galgel").unwrap();
+        let config = SimConfig::paper_default();
+        let first = run_app_sharded(app, Scale::TINY, &config, 4).unwrap();
+        for _ in 0..4 {
+            let again = run_app_sharded(app, Scale::TINY, &config, 4).unwrap();
+            assert_eq!(again.merged, first.merged);
+            assert_eq!(
+                again.boundary_resident_prefetches,
+                first.boundary_resident_prefetches
+            );
+            for (a, b) in again.shards.iter().zip(&first.shards) {
+                assert_eq!(a.range, b.range);
+                assert_eq!(a.stats, b.stats);
+                assert_eq!(a.resident_prefetches, b.resident_prefetches);
+            }
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_access_stream_exactly() {
+        let app = find_app("mcf").unwrap();
+        let config = SimConfig::paper_default();
+        let total = app.stream_len(Scale::TINY);
+        for shards in [2usize, 3, 5] {
+            let run = run_app_sharded(app, Scale::TINY, &config, shards).unwrap();
+            assert_eq!(run.merged.accesses, total, "{shards} shards lost accesses");
+            let per_shard: u64 = run.shards.iter().map(|s| s.stats.accesses).sum();
+            assert_eq!(per_shard, total);
+            for shard in &run.shards {
+                assert_eq!(shard.stats.accesses, shard.range.len);
+            }
+        }
+    }
+
+    #[test]
+    fn merged_counters_stay_internally_consistent() {
+        let app = find_app("galgel").unwrap();
+        let run = run_app_sharded(app, Scale::TINY, &SimConfig::paper_default(), 3).unwrap();
+        let m = &run.merged;
+        assert_eq!(m.prefetch_buffer_hits + m.demand_walks, m.misses);
+        assert!(m.misses <= m.accesses);
+        // Footprint is a union, never larger than the sum of the parts
+        // and at least as large as the largest part.
+        let sum: u64 = run.shards.iter().map(|s| s.stats.footprint_pages).sum();
+        let max = run
+            .shards
+            .iter()
+            .map(|s| s.stats.footprint_pages)
+            .max()
+            .unwrap();
+        assert!(m.footprint_pages <= sum);
+        assert!(m.footprint_pages >= max);
+    }
+
+    #[test]
+    fn footprint_union_matches_the_sequential_footprint() {
+        // Shards translate the same pages the sequential run does (cold
+        // boundaries may add prefetch translations, never remove
+        // demand ones), and the union must count each page once.
+        let app = find_app("gap").unwrap();
+        let config = SimConfig::baseline(); // no prefetcher: page sets are purely demand-driven
+        let sequential = run_app(app, Scale::TINY, &config).unwrap();
+        let sharded = run_app_sharded(app, Scale::TINY, &config, 4).unwrap();
+        assert_eq!(sharded.merged.footprint_pages, sequential.footprint_pages);
+    }
+
+    #[test]
+    fn boundary_reconciliation_reports_nonfinal_shards_only() {
+        let app = find_app("galgel").unwrap();
+        let run = run_app_sharded(app, Scale::TINY, &SimConfig::paper_default(), 4).unwrap();
+        let nonfinal: u64 = run.shards[..3].iter().map(|s| s.resident_prefetches).sum();
+        assert_eq!(run.boundary_resident_prefetches, nonfinal);
+        // A DP run on a distance-friendly app keeps predicting at the
+        // cut points, so some in-flight state must exist to reconcile.
+        assert!(run.boundary_resident_prefetches > 0);
+    }
+
+    #[test]
+    fn more_shards_than_accesses_plan_to_empty_tails() {
+        // Absurd but legal: trailing shards own empty ranges, and a
+        // worker handed an empty range simulates nothing.
+        let plan = ShardPlan::split(3, 8);
+        let lens: Vec<u64> = plan.ranges().iter().map(|r| r.len).collect();
+        assert_eq!(lens, [1, 1, 1, 0, 0, 0, 0, 0]);
+        assert_eq!(plan.total(), 3);
+    }
+
+    #[test]
+    fn sharded_accuracy_tracks_sequential_accuracy() {
+        // Boundary cold-start effects must stay small relative to the
+        // stream: the merged accuracy may differ from sequential, but
+        // only by a few percent at test scale.
+        let app = find_app("galgel").unwrap();
+        let config = SimConfig::paper_default();
+        let sequential = run_app(app, Scale::TINY, &config).unwrap();
+        let sharded = run_app_sharded(app, Scale::TINY, &config, 4).unwrap();
+        assert_eq!(sharded.merged.accesses, sequential.accesses);
+        assert!(
+            (sharded.merged.accuracy() - sequential.accuracy()).abs() < 0.05,
+            "sharded accuracy {} drifted from sequential {}",
+            sharded.merged.accuracy(),
+            sequential.accuracy()
+        );
+    }
+}

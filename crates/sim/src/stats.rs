@@ -33,6 +33,33 @@ pub struct SimStats {
 }
 
 impl SimStats {
+    /// Accumulates another run's (or shard's) counters into `self`.
+    ///
+    /// Every counter is a plain sum, which is exact for all of them
+    /// except [`footprint_pages`](SimStats::footprint_pages): distinct
+    /// pages touched by more than one shard would be double-counted, so
+    /// a sum is only an upper bound. The sharded runner
+    /// (`run_app_sharded`) therefore replaces the merged footprint with
+    /// the exact union of the shards' page sets after merging; callers
+    /// merging stats over *disjoint* address spaces (e.g. different
+    /// applications) can use the sum as-is.
+    ///
+    /// Merging is commutative and associative, so a fold over shard
+    /// results is deterministic regardless of which shard finished
+    /// first — the fold order, not the completion order, defines the
+    /// result.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.accesses += other.accesses;
+        self.misses += other.misses;
+        self.prefetch_buffer_hits += other.prefetch_buffer_hits;
+        self.demand_walks += other.demand_walks;
+        self.prefetches_issued += other.prefetches_issued;
+        self.prefetches_filtered += other.prefetches_filtered;
+        self.prefetches_evicted_unused += other.prefetches_evicted_unused;
+        self.maintenance_ops += other.maintenance_ops;
+        self.footprint_pages += other.footprint_pages;
+    }
+
     /// TLB miss rate: misses / accesses (0 before any access).
     pub fn miss_rate(&self) -> f64 {
         if self.accesses == 0 {
@@ -167,6 +194,61 @@ mod tests {
         assert_eq!(s.accuracy(), 0.0);
         assert_eq!(s.prefetch_efficiency(), 0.0);
         assert_eq!(s.memory_ops_per_miss(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_every_counter_and_commutes() {
+        let a = SimStats {
+            accesses: 100,
+            misses: 20,
+            prefetch_buffer_hits: 15,
+            demand_walks: 5,
+            prefetches_issued: 30,
+            prefetches_filtered: 4,
+            prefetches_evicted_unused: 3,
+            maintenance_ops: 7,
+            footprint_pages: 50,
+        };
+        let b = SimStats {
+            accesses: 11,
+            misses: 2,
+            prefetch_buffer_hits: 1,
+            demand_walks: 1,
+            prefetches_issued: 6,
+            prefetches_filtered: 2,
+            prefetches_evicted_unused: 1,
+            maintenance_ops: 3,
+            footprint_pages: 9,
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must commute");
+        assert_eq!(ab.accesses, 111);
+        assert_eq!(ab.misses, 22);
+        assert_eq!(ab.prefetch_buffer_hits, 16);
+        assert_eq!(ab.demand_walks, 6);
+        assert_eq!(ab.prefetches_issued, 36);
+        assert_eq!(ab.prefetches_filtered, 6);
+        assert_eq!(ab.prefetches_evicted_unused, 4);
+        assert_eq!(ab.maintenance_ops, 10);
+        assert_eq!(ab.footprint_pages, 59);
+    }
+
+    #[test]
+    fn merging_the_default_is_the_identity() {
+        let s = SimStats {
+            accesses: 42,
+            misses: 7,
+            ..Default::default()
+        };
+        let mut merged = s;
+        merged.merge(&SimStats::default());
+        assert_eq!(merged, s);
+        let mut from_zero = SimStats::default();
+        from_zero.merge(&s);
+        assert_eq!(from_zero, s);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! The real binaries and their inputs are unavailable here (and the
 //! paper's observations are entirely properties of the reference
 //! stream), so these parameterised models are the substitution documented
-//! in `DESIGN.md`.
+//! in the repository `README.md`.
 
 mod etch;
 mod mediabench;
@@ -76,6 +76,29 @@ impl AppSpec {
     /// Instantiates the application's reference stream at `scale`.
     pub fn workload(&self, scale: Scale) -> Workload {
         Workload::from_visits(self.name, (self.build)(scale))
+    }
+
+    /// The exact number of memory accesses the application emits at
+    /// `scale`, computed by summing per-visit reference counts over a
+    /// fresh visit stream — one pass over the visits, no access
+    /// expansion.
+    ///
+    /// This is what lets a sharded run partition the access stream into
+    /// contiguous ranges up front: combined with
+    /// [`Workload::skip_accesses`], shard *N* of *K* can position itself
+    /// at `N · len / K` without replaying the prefix access-by-access.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tlbsim_workloads::{find_app, Scale};
+    ///
+    /// let app = find_app("galgel").expect("registered");
+    /// let len = app.stream_len(Scale::TINY);
+    /// assert_eq!(len, app.workload(Scale::TINY).count() as u64);
+    /// ```
+    pub fn stream_len(&self, scale: Scale) -> u64 {
+        (self.build)(scale).map(|visit| u64::from(visit.refs)).sum()
     }
 }
 
@@ -195,6 +218,34 @@ mod tests {
             let a: Vec<_> = app.workload(Scale::TINY).take(5000).collect();
             let b: Vec<_> = app.workload(Scale::TINY).take(5000).collect();
             assert_eq!(a, b, "{name} is not deterministic");
+        }
+    }
+
+    #[test]
+    fn stream_len_matches_actual_emission() {
+        for name in ["gap", "mcf", "galgel", "adpcm-enc", "eon"] {
+            let app = find_app(name).unwrap();
+            assert_eq!(
+                app.stream_len(Scale::TINY),
+                app.workload(Scale::TINY).count() as u64,
+                "{name} stream_len drifted from the emitted stream"
+            );
+        }
+    }
+
+    #[test]
+    fn skipping_into_an_app_stream_matches_the_sequential_tail() {
+        let app = find_app("mcf").unwrap();
+        let full: Vec<_> = app.workload(Scale::TINY).collect();
+        for split in [0u64, 1, 997, full.len() as u64 / 2, full.len() as u64] {
+            let mut workload = app.workload(Scale::TINY);
+            assert_eq!(workload.skip_accesses(split), split);
+            let tail: Vec<_> = workload.collect();
+            assert_eq!(
+                tail,
+                full[split as usize..],
+                "mcf diverged at split {split}"
+            );
         }
     }
 

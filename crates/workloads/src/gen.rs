@@ -65,6 +65,41 @@ impl<I: Iterator<Item = Visit>> Emit<I> {
         }
     }
 
+    /// Skips the next `n` accesses without expanding them, returning how
+    /// many were actually skipped (less than `n` only at end of stream).
+    ///
+    /// This is the seek operation behind sharded execution: a shard
+    /// starting at stream position `p` skips `p` accesses at **visit**
+    /// granularity — whole visits are consumed by arithmetic on their
+    /// `refs` counts, never emitted — so positioning costs one pass over
+    /// the prefix's visits rather than its (typically much more
+    /// numerous) accesses. The emitted-access counter advances exactly
+    /// as if the accesses had been drawn, so the read/write mix and
+    /// intra-page offsets after the skip are bit-identical to a stream
+    /// that generated the prefix.
+    pub fn skip_accesses(&mut self, n: u64) -> u64 {
+        let mut remaining = n;
+        while remaining > 0 {
+            let (visit, done) = match self.current.take() {
+                Some(in_progress) => in_progress,
+                None => match self.visits.next() {
+                    Some(visit) => (visit, 0),
+                    None => break,
+                },
+            };
+            let left = u64::from(visit.refs - done);
+            if left > remaining {
+                self.current = Some((visit, done + remaining as u32));
+                self.emitted += remaining;
+                remaining = 0;
+            } else {
+                self.emitted += left;
+                remaining -= left;
+            }
+        }
+        n - remaining
+    }
+
     /// Fills `buf` with the next accesses of the stream, returning how
     /// many were written (less than `buf.len()` only at end of stream).
     ///
@@ -191,6 +226,33 @@ impl Workload {
     pub fn fill_batch(&mut self, buf: &mut [MemoryAccess]) -> usize {
         self.stream.fill(buf)
     }
+
+    /// Fast-forwards the stream past the next `n` accesses without
+    /// generating them, returning how many were actually skipped (less
+    /// than `n` only when the stream ends first).
+    ///
+    /// Skipping happens at visit granularity (see [`Emit::skip_accesses`]): the
+    /// cost is proportional to the number of *visits* in the skipped
+    /// prefix, not the number of accesses, and the stream continues
+    /// bit-identically to one that generated the prefix — the contract
+    /// that lets a shard of a partitioned run start mid-stream.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tlbsim_core::MemoryAccess;
+    /// use tlbsim_workloads::{Visit, Workload};
+    ///
+    /// let visits = || Box::new([Visit::new(1, 3, 0x40), Visit::new(2, 2, 0x44)].into_iter());
+    /// let mut skipped = Workload::from_visits("split", visits());
+    /// assert_eq!(skipped.skip_accesses(2), 2);
+    /// let tail: Vec<MemoryAccess> = skipped.collect();
+    /// let full: Vec<MemoryAccess> = Workload::from_visits("full", visits()).collect();
+    /// assert_eq!(tail, full[2..]);
+    /// ```
+    pub fn skip_accesses(&mut self, n: u64) -> u64 {
+        self.stream.skip_accesses(n)
+    }
 }
 
 impl Iterator for Workload {
@@ -282,6 +344,62 @@ mod tests {
             }
             assert_eq!(via_fill, via_iter, "batch_len {batch_len}");
         }
+    }
+
+    #[test]
+    fn skip_then_continue_is_bit_identical_to_the_sequential_stream() {
+        let visits = || {
+            vec![
+                Visit::new(10, 3, 0x40),
+                Visit::new(11, 1, 0x44),
+                Visit::new(12, 7, 0x48),
+                Visit::new(13, 2, 0x4c),
+            ]
+        };
+        let full: Vec<MemoryAccess> = Emit::new(visits().into_iter(), PageSize::DEFAULT).collect();
+        // Every split point, including 0 (no-op) and 13 (exact end):
+        // offsets and the read/write mix must continue as if the prefix
+        // had been generated.
+        for split in 0..=full.len() as u64 {
+            let mut emit = Emit::new(visits().into_iter(), PageSize::DEFAULT);
+            assert_eq!(
+                emit.skip_accesses(split),
+                split,
+                "skip consumed the wrong count"
+            );
+            let tail: Vec<MemoryAccess> = emit.collect();
+            assert_eq!(tail, full[split as usize..], "diverged after skip({split})");
+        }
+    }
+
+    #[test]
+    fn skip_past_the_end_reports_the_shortfall() {
+        let visits = vec![Visit::new(1, 4, 0)];
+        let mut emit = Emit::new(visits.into_iter(), PageSize::DEFAULT);
+        assert_eq!(emit.skip_accesses(10), 4);
+        assert_eq!(emit.skip_accesses(1), 0);
+        assert!(emit.next().is_none());
+    }
+
+    #[test]
+    fn skip_interleaves_with_fill() {
+        let visits = vec![
+            Visit::new(1, 5, 0),
+            Visit::new(2, 5, 0),
+            Visit::new(3, 5, 0),
+        ];
+        let full: Vec<MemoryAccess> =
+            Emit::new(visits.clone().into_iter(), PageSize::DEFAULT).collect();
+        let mut emit = Emit::new(visits.into_iter(), PageSize::DEFAULT);
+        let mut buf = vec![MemoryAccess::read(0, 0); 4];
+        // fill 4, skip 3, fill the rest: [4..7) must be absent, the rest
+        // identical to the sequential expansion.
+        let n = emit.fill(&mut buf);
+        assert_eq!(n, 4);
+        assert_eq!(&buf[..n], &full[..4]);
+        assert_eq!(emit.skip_accesses(3), 3);
+        let rest: Vec<MemoryAccess> = emit.collect();
+        assert_eq!(rest, full[7..]);
     }
 
     #[test]

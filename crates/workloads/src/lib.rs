@@ -18,6 +18,17 @@
 //! * [`apps`] — the 56 registered [`AppSpec`] models composed from those
 //!   primitives, with per-application rationale in the module docs.
 //!
+//! ## Streaming and splitting
+//!
+//! A [`Workload`] is consumed either as a plain iterator or — on the
+//! simulator's hot path — chunk-at-a-time through
+//! [`Workload::fill_batch`]. Streams are also *splittable*:
+//! [`AppSpec::stream_len`] reports the exact access count of a run by
+//! visit arithmetic alone, and [`Workload::skip_accesses`] seeks to any
+//! mid-stream position at visit granularity without expanding the
+//! prefix — the pair of operations that lets `tlbsim-sim`'s sharded
+//! executor hand contiguous time slices of one run to parallel workers.
+//!
 //! ## Quick start
 //!
 //! ```

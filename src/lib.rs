@@ -40,6 +40,21 @@
 //!   `xp bench-json` snapshots accesses/sec per scheme into
 //!   `BENCH_throughput.json` for a PR-over-PR perf trajectory.
 //!
+//! ## Sharded execution
+//!
+//! Parallelism comes on two axes: [`sim::sweep`] spreads a *grid* of
+//! independent jobs over the machine, and [`sim::run_app_sharded`]
+//! spreads *one* large run — the access stream is time-sliced into a
+//! static [`sim::ShardPlan`], each contiguous slice runs on a private
+//! engine shard ([`workloads::Workload::skip_accesses`] seeks the
+//! stream to the slice start without replaying the prefix), and the
+//! per-shard [`sim::SimStats`] merge deterministically with a
+//! footprint union plus a prefetch-buffer boundary-reconciliation
+//! counter. One shard is bit-identical to the sequential path; the
+//! `sharded_run` bench group gates ≥ 2× throughput at 4 shards on
+//! multi-core hosts, and `xp --shards N` drives the figure-scale
+//! accuracy grids through the sharded path.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -74,7 +89,8 @@ pub mod prelude {
     pub use tlbsim_mem::TimingParams;
     pub use tlbsim_mmu::{PrefetchBuffer, Tlb, TlbConfig};
     pub use tlbsim_sim::{
-        compare_schemes, run_app, run_app_timed, Engine, SimConfig, SimStats, TimingEngine,
+        compare_schemes, run_app, run_app_sharded, run_app_timed, Engine, ShardedRun, SimConfig,
+        SimStats, TimingEngine,
     };
     pub use tlbsim_workloads::{all_apps, find_app, suite_apps, AppSpec, Scale, Suite, Workload};
 }
