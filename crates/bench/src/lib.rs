@@ -7,8 +7,10 @@
 //! mechanisms and hardware models, `ablations.rs` quantifies the design
 //! choices documented in the repository `README.md`, `throughput.rs`
 //! gates the zero-allocation miss path (sink ≥ 1.5× the legacy `Vec`
-//! path), and `sharding.rs` gates the sharded single-run executor
-//! (≥ 2× sequential throughput at 4 shards on ≥ 4-CPU hosts).
+//! path), `sharding.rs` gates the sharded single-run executor
+//! (≥ 2× sequential throughput at 4 shards on ≥ 4-CPU hosts), and
+//! `trace_replay.rs` gates mmap trace replay (≥ 0.8× the
+//! generator-driven throughput on the identical stream).
 
 use tlbsim_sim::{Engine, SimConfig, SimStats};
 use tlbsim_workloads::{AppSpec, Scale};

@@ -6,26 +6,35 @@
 //!    [--scale tiny|small|standard|<factor>]
 //!    [--shards <n>]
 //!    [--csv <dir>]
+//! xp record --app <name> [--scale <s>] [--limit <n>] [--out <path>]
+//! xp replay --trace <path> [--shards <n>] [--csv <dir>]
 //! xp bench-json [--out <path>]
 //! ```
 //!
 //! `--shards <n>` switches the accuracy-grid drivers (figure7, figure8,
-//! table2) from job-level parallelism to intra-run sharding: jobs run
-//! one at a time, each partitioned across `n` worker shards
-//! (`tlbsim_sim::run_app_sharded`) — the mode for very large `--scale`
-//! runs where a single job should own the whole machine. The other
-//! experiments ignore the flag. `--shards 1` is bit-identical to the
-//! default.
+//! table2) — and `replay` — from job-level parallelism to intra-run
+//! sharding: jobs run one at a time, each partitioned across `n` worker
+//! shards (`tlbsim_sim::run_app_sharded`) — the mode for very large
+//! `--scale` runs where a single job should own the whole machine. The
+//! other experiments ignore the flag. `--shards 1` is bit-identical to
+//! the default.
+//!
+//! `record` dumps a registered application model's reference stream to
+//! the binary `TLBT` trace format; `replay` runs the figure grids'
+//! 21-scheme sweep over any such trace, mmap-replayed zero-copy.
 //!
 //! `bench-json` measures simulator throughput (accesses/sec per scheme,
-//! the DP miss-path microbench, and sharded-vs-sequential scaling of a
-//! figure-scale DP run) and writes `BENCH_throughput.json` — the
-//! perf-trajectory telemetry successive PRs compare against.
+//! the DP miss-path microbench, sharded-vs-sequential scaling of a
+//! figure-scale DP run, and mmap trace replay vs the generator) and
+//! writes `BENCH_throughput.json` — the perf-trajectory telemetry
+//! successive PRs compare against.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use tlbsim_experiments::{extras, figure7, figure8, figure9, table1, table2, table3, throughput};
+use tlbsim_experiments::{
+    extras, figure7, figure8, figure9, replay, table1, table2, table3, throughput,
+};
 use tlbsim_workloads::Scale;
 
 struct Args {
@@ -34,11 +43,16 @@ struct Args {
     shards: usize,
     csv_dir: Option<PathBuf>,
     out: Option<PathBuf>,
+    app: Option<String>,
+    trace: Option<PathBuf>,
+    limit: Option<u64>,
 }
 
 fn usage() -> &'static str {
     "usage: xp <table1|table2|table3|figure7|figure8|figure9|extras|all> \
      [--scale tiny|small|standard|<factor>] [--shards <n>] [--csv <dir>]\n       \
+     xp record --app <name> [--scale <s>] [--limit <n>] [--out <path>]\n       \
+     xp replay --trace <path> [--shards <n>] [--csv <dir>]\n       \
      xp bench-json [--out <path>]"
 }
 
@@ -48,9 +62,30 @@ fn parse_args() -> Result<Args, String> {
     let mut shards = 1usize;
     let mut csv_dir = None;
     let mut out = None;
+    let mut app = None;
+    let mut trace = None;
+    let mut limit = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
+            "--app" => {
+                app = Some(argv.next().ok_or("--app needs an application name")?);
+            }
+            "--trace" => {
+                trace = Some(PathBuf::from(
+                    argv.next().ok_or("--trace needs a trace file path")?,
+                ));
+            }
+            "--limit" => {
+                let value = argv.next().ok_or("--limit needs a value")?;
+                limit = Some(
+                    value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or_else(|| format!("bad limit {value:?} (want an integer >= 1)"))?,
+                );
+            }
             "--scale" => {
                 let value = argv.next().ok_or("--scale needs a value")?;
                 scale = match value.as_str() {
@@ -91,7 +126,34 @@ fn parse_args() -> Result<Args, String> {
         shards,
         csv_dir,
         out,
+        app,
+        trace,
+        limit,
     })
+}
+
+fn run_record(args: &Args) -> Result<(), String> {
+    let app = args
+        .app
+        .as_deref()
+        .ok_or_else(|| format!("record needs --app <name>\n{}", usage()))?;
+    let path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(format!("{app}.tlbt")));
+    let summary =
+        replay::record(app, args.scale, args.limit, &path).map_err(|e| format!("record: {e}"))?;
+    println!("{}", summary.render());
+    Ok(())
+}
+
+fn run_replay(args: &Args) -> Result<(), String> {
+    let trace = args
+        .trace
+        .as_deref()
+        .ok_or_else(|| format!("replay needs --trace <path>\n{}", usage()))?;
+    let report = replay::replay(trace, args.shards).map_err(|e| format!("replay: {e}"))?;
+    emit("replay", report.render(), report.to_csv(), &args.csv_dir)
 }
 
 fn run_bench_json(out: &Option<PathBuf>) -> Result<(), String> {
@@ -169,8 +231,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if args.experiment == "bench-json" {
-        return match run_bench_json(&args.out) {
+    if let Some(outcome) = match args.experiment.as_str() {
+        "bench-json" => Some(run_bench_json(&args.out)),
+        "record" => Some(run_record(&args)),
+        "replay" => Some(run_replay(&args)),
+        _ => None,
+    } {
+        return match outcome {
             Ok(()) => ExitCode::SUCCESS,
             Err(message) => {
                 eprintln!("{message}");

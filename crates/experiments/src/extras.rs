@@ -7,6 +7,8 @@
 //! (4/8/16 KiB) and TLB associativity (2-way/4-way/full at 128
 //! entries).
 
+use std::sync::Arc;
+
 use tlbsim_core::{Associativity, PageSize};
 use tlbsim_mmu::TlbConfig;
 use tlbsim_sim::{sweep, SimConfig, SimError, SweepJob};
@@ -34,7 +36,7 @@ fn panel(
         for (label, config) in &variants {
             jobs.push(SweepJob {
                 tag: label.clone(),
-                app,
+                spec: Arc::new(*app),
                 scale,
                 config: config.clone(),
             });

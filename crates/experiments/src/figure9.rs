@@ -9,6 +9,8 @@
 //! of these parameters, and even a small direct-mapped 32-256 entry
 //! table suffices".
 
+use std::sync::Arc;
+
 use tlbsim_core::{Associativity, PrefetcherConfig};
 use tlbsim_mmu::TlbConfig;
 use tlbsim_sim::{sweep, SimConfig, SimError, SweepJob};
@@ -77,7 +79,7 @@ fn panel(
         for (label, config) in &variants {
             jobs.push(SweepJob {
                 tag: label.clone(),
-                app,
+                spec: Arc::new(*app),
                 scale,
                 config: config.clone(),
             });

@@ -1,6 +1,8 @@
 //! The prefetcher-configuration grids the paper sweeps, and the shared
 //! accuracy-grid runner behind Figures 7 and 8.
 
+use std::sync::Arc;
+
 use tlbsim_core::{Associativity, PrefetcherConfig};
 use tlbsim_sim::{run_app_sharded, sweep, SimConfig, SimError, SweepJob};
 use tlbsim_workloads::{AppSpec, Scale};
@@ -97,7 +99,7 @@ pub fn accuracy_grid(
         for scheme in schemes {
             jobs.push(SweepJob {
                 tag: scheme.label(),
-                app,
+                spec: Arc::new(*app),
                 scale,
                 config: base.clone().with_prefetcher(scheme.clone()),
             });

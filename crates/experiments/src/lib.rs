@@ -12,7 +12,8 @@
 //! | [`table3`] | Table 3 | normalized execution cycles, RP vs DP, on the five RP-favoured apps |
 //! | [`figure9`] | Figure 9 | DP sensitivity to r/assoc, s, b and TLB size on the 8 high-miss apps |
 //! | [`extras`] | §3.3 remainder | DP sensitivity to page size and TLB associativity |
-//! | [`throughput`] | (telemetry) | simulator accesses/sec per scheme + DP miss-path microbench |
+//! | [`replay`] | §3.1 methodology | trace recording (`xp record`) and full-speed mmap replay (`xp replay`) |
+//! | [`throughput`] | (telemetry) | simulator accesses/sec per scheme + DP miss-path microbench + trace replay |
 //!
 //! Every module exposes `run(scale) -> Result<Data, SimError>` plus
 //! `render()` (aligned text, paper values alongside where applicable)
@@ -21,6 +22,8 @@
 //! ```text
 //! xp all --scale standard
 //! xp figure7 --scale small --csv out/
+//! xp record --app galgel --scale small --out galgel.tlbt
+//! xp replay --trace galgel.tlbt --shards 4
 //! xp bench-json            # writes BENCH_throughput.json
 //! ```
 
@@ -32,6 +35,7 @@ pub mod figure7;
 pub mod figure8;
 pub mod figure9;
 mod grid;
+pub mod replay;
 mod report;
 pub mod table1;
 pub mod table2;

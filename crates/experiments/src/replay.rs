@@ -1,0 +1,356 @@
+//! Trace recording and replay drivers (`xp record` / `xp replay`).
+//!
+//! The paper's methodology is trace-driven: applications are traced,
+//! fast-forwarded, then simulated. This module closes that loop for the
+//! reproduction — [`record`] dumps any registered [`AppSpec`] model to
+//! the binary `TLBT` format, and [`replay`] runs the figure grids'
+//! scheme sweep over a recorded trace, mmap-replayed at generator speed
+//! (sequential job-parallel, or intra-run sharded with `--shards`).
+//! A trace produced by an external tracer replays identically: the
+//! format is the contract, not the generator.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use tlbsim_core::MemoryAccess;
+use tlbsim_sim::{run_app_sharded, sweep, SimConfig, SimError, SweepJob};
+use tlbsim_trace::{BinaryTraceWriter, TraceError};
+use tlbsim_workloads::{find_app, AppSpec, Scale, TraceWorkload};
+
+use crate::grid::{paper_scheme_grid, GridCell};
+use crate::report::{fmt3, fmt4, TextTable};
+
+/// Errors from the record/replay drivers.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The named application is not registered.
+    UnknownApp(String),
+    /// A simulation error (invalid configuration).
+    Sim(SimError),
+    /// A trace encode/decode error.
+    Trace(TraceError),
+    /// An I/O failure on the trace file.
+    Io(io::Error),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::UnknownApp(name) => {
+                write!(f, "unknown application {name:?} (see `all_apps`)")
+            }
+            ReplayError::Sim(e) => write!(f, "{e}"),
+            ReplayError::Trace(e) => write!(f, "{e}"),
+            ReplayError::Io(e) => write!(f, "trace file i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<SimError> for ReplayError {
+    fn from(e: SimError) -> Self {
+        ReplayError::Sim(e)
+    }
+}
+
+impl From<TraceError> for ReplayError {
+    fn from(e: TraceError) -> Self {
+        ReplayError::Trace(e)
+    }
+}
+
+impl From<io::Error> for ReplayError {
+    fn from(e: io::Error) -> Self {
+        ReplayError::Io(e)
+    }
+}
+
+/// What [`record`] wrote.
+#[derive(Debug, Clone)]
+pub struct RecordSummary {
+    /// Application recorded.
+    pub app: &'static str,
+    /// Scale the generator ran at.
+    pub scale: Scale,
+    /// Records written.
+    pub records: u64,
+    /// File size in bytes (8-byte header + 17 bytes per record).
+    pub bytes: u64,
+    /// Destination path.
+    pub path: PathBuf,
+}
+
+impl RecordSummary {
+    /// One-line human-readable summary.
+    pub fn render(&self) -> String {
+        format!(
+            "recorded {} at {} -> {} ({} records, {} bytes)",
+            self.app,
+            self.scale,
+            self.path.display(),
+            self.records,
+            self.bytes
+        )
+    }
+}
+
+/// Records `app`'s reference stream at `scale` to `path` in the binary
+/// `TLBT` format, stopping after `limit` accesses if one is given.
+///
+/// # Errors
+///
+/// [`ReplayError::UnknownApp`] for an unregistered name, otherwise the
+/// underlying I/O or trace error.
+pub fn record(
+    app: &str,
+    scale: Scale,
+    limit: Option<u64>,
+    path: impl AsRef<Path>,
+) -> Result<RecordSummary, ReplayError> {
+    let spec = find_app(app).ok_or_else(|| ReplayError::UnknownApp(app.to_owned()))?;
+    let path = path.as_ref();
+    let summary = record_spec(spec, scale, limit, path)?;
+    Ok(summary)
+}
+
+/// [`record`] with the spec already resolved (also used by the bench
+/// fixtures).
+pub fn record_spec(
+    spec: &AppSpec,
+    scale: Scale,
+    limit: Option<u64>,
+    path: &Path,
+) -> Result<RecordSummary, ReplayError> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = BinaryTraceWriter::create(file)?;
+    let mut workload = spec.workload(scale);
+    let mut remaining = limit.unwrap_or(u64::MAX);
+    let mut buf = vec![MemoryAccess::read(0, 0); 4096];
+    while remaining > 0 {
+        let want = remaining.min(buf.len() as u64) as usize;
+        let filled = workload.fill_batch(&mut buf[..want]);
+        if filled == 0 {
+            break;
+        }
+        for access in &buf[..filled] {
+            writer.write(access)?;
+        }
+        remaining -= filled as u64;
+    }
+    let records = writer.records_written();
+    writer.finish()?;
+    Ok(RecordSummary {
+        app: spec.name,
+        scale,
+        records,
+        bytes: tlbsim_trace::HEADER_BYTES as u64 + records * tlbsim_trace::RECORD_BYTES as u64,
+        path: path.to_owned(),
+    })
+}
+
+/// The scheme sweep of one replayed trace: the figure grids' 21
+/// configurations, accuracy and miss rate per scheme.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Trace name (the file stem).
+    pub trace: String,
+    /// Records replayed per scheme.
+    pub records: u64,
+    /// `"mmap"` (zero-copy) or `"read"` (fallback) backend.
+    pub backend: &'static str,
+    /// Worker shards per run (1 = sequential, job-parallel sweep).
+    pub shards: usize,
+    /// One cell per scheme configuration, in grid order.
+    pub cells: Vec<GridCell>,
+}
+
+/// Replays a recorded trace under the full figure-grid scheme sweep
+/// ([`paper_scheme_grid`]).
+///
+/// With `shards <= 1` the 21 scheme runs execute job-parallel through
+/// [`sweep`], all sharing one mapping of the trace. With more, each run
+/// is itself partitioned across `shards` workers via
+/// [`run_app_sharded`] — sharded trace replay seeks each worker's
+/// cursor in O(1).
+///
+/// # Errors
+///
+/// Trace errors from opening/validating the file, or [`SimError`] from
+/// an invalid configuration.
+pub fn replay(path: impl AsRef<Path>, shards: usize) -> Result<ReplayReport, ReplayError> {
+    let trace = TraceWorkload::open(path.as_ref())?;
+    let schemes = paper_scheme_grid();
+    let base = SimConfig::paper_default();
+    let scale = Scale::TINY; // ignored by fixed-length traces
+    let mut cells = Vec::with_capacity(schemes.len());
+    if shards <= 1 {
+        let jobs: Vec<SweepJob> = schemes
+            .iter()
+            .map(|scheme| SweepJob {
+                tag: scheme.label(),
+                spec: Arc::new(trace.clone()),
+                scale,
+                config: base.clone().with_prefetcher(scheme.clone()),
+            })
+            .collect();
+        for result in sweep(jobs)? {
+            cells.push(GridCell {
+                label: result.tag,
+                accuracy: result.stats.accuracy(),
+                miss_rate: result.stats.miss_rate(),
+            });
+        }
+    } else {
+        for scheme in &schemes {
+            let config = base.clone().with_prefetcher(scheme.clone());
+            let run = run_app_sharded(&trace, scale, &config, shards)?;
+            cells.push(GridCell {
+                label: scheme.label(),
+                accuracy: run.merged.accuracy(),
+                miss_rate: run.merged.miss_rate(),
+            });
+        }
+    }
+    Ok(ReplayReport {
+        trace: trace.name().to_owned(),
+        records: trace.stream_len(),
+        backend: trace.backend(),
+        shards: shards.max(1),
+        cells,
+    })
+}
+
+impl ReplayReport {
+    /// The report as a [`TextTable`].
+    pub fn to_table(&self) -> TextTable {
+        let mut table = TextTable::new(
+            format!(
+                "Replay: {} ({} records, {} backend, {} shard{})",
+                self.trace,
+                self.records,
+                self.backend,
+                self.shards,
+                if self.shards == 1 { "" } else { "s" }
+            ),
+            vec!["scheme".into(), "accuracy".into(), "miss rate".into()],
+        );
+        for cell in &self.cells {
+            table.row(vec![
+                cell.label.clone(),
+                fmt3(cell.accuracy),
+                fmt4(cell.miss_rate),
+            ]);
+        }
+        table
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        self.to_table().render()
+    }
+
+    /// Renders CSV.
+    pub fn to_csv(&self) -> String {
+        self.to_table().to_csv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlbsim_sim::run_app;
+
+    fn temp_trace(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tlbsim-replay-{}-{tag}.tlbt", std::process::id()))
+    }
+
+    #[test]
+    fn record_writes_the_exact_stream_length() {
+        let path = temp_trace("record");
+        let summary = record("gap", Scale::TINY, None, &path).unwrap();
+        assert_eq!(summary.app, "gap");
+        let expected = find_app("gap").unwrap().stream_len(Scale::TINY);
+        assert_eq!(summary.records, expected);
+        assert_eq!(summary.bytes, std::fs::metadata(&path).unwrap().len());
+        assert!(summary.render().contains("gap"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn record_honours_the_limit() {
+        let path = temp_trace("limit");
+        let summary = record("gap", Scale::TINY, Some(5000), &path).unwrap();
+        assert_eq!(summary.records, 5000);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unknown_app_is_a_typed_error() {
+        let err = record("not-an-app", Scale::TINY, None, temp_trace("unknown")).unwrap_err();
+        assert!(matches!(err, ReplayError::UnknownApp(_)));
+        assert!(err.to_string().contains("not-an-app"));
+    }
+
+    #[test]
+    fn replay_covers_the_scheme_grid_and_matches_direct_runs() {
+        let path = temp_trace("grid");
+        record("gap", Scale::TINY, Some(20_000), &path).unwrap();
+        let report = replay(&path, 1).unwrap();
+        assert_eq!(report.cells.len(), paper_scheme_grid().len());
+        assert_eq!(report.records, 20_000);
+
+        // Spot-check one scheme against a direct trace run: the sweep
+        // path and the plain runner must agree exactly.
+        let trace = TraceWorkload::open(&path).unwrap();
+        let dp = SimConfig::paper_default();
+        let direct = run_app(&trace, Scale::TINY, &dp).unwrap();
+        let cell = report
+            .cells
+            .iter()
+            .find(|c| c.label.starts_with("DP,256"))
+            .expect("representative DP cell present");
+        assert_eq!(cell.accuracy, direct.accuracy());
+        assert_eq!(cell.miss_rate, direct.miss_rate());
+
+        let rendered = report.render();
+        assert!(rendered.contains("Replay:"));
+        assert!(rendered.contains("DP,256,D"));
+        assert!(report.to_csv().contains("scheme,accuracy,miss rate"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sharded_replay_produces_full_reports() {
+        let path = temp_trace("sharded");
+        record("gap", Scale::TINY, Some(20_000), &path).unwrap();
+        let sequential = replay(&path, 1).unwrap();
+        let sharded = replay(&path, 4).unwrap();
+        assert_eq!(sharded.shards, 4);
+        assert_eq!(sharded.cells.len(), sequential.cells.len());
+        for (s, q) in sharded.cells.iter().zip(&sequential.cells) {
+            assert_eq!(s.label, q.label);
+            assert!((0.0..=1.0).contains(&s.accuracy), "{}", s.label);
+        }
+        // The sharded report is exactly what a direct sharded trace run
+        // produces (boundary effects and all): spot-check DP.
+        let trace = TraceWorkload::open(&path).unwrap();
+        let direct = run_app_sharded(&trace, Scale::TINY, &SimConfig::paper_default(), 4).unwrap();
+        let cell = sharded
+            .cells
+            .iter()
+            .find(|c| c.label.starts_with("DP,256"))
+            .expect("representative DP cell present");
+        assert_eq!(cell.accuracy, direct.merged.accuracy());
+        assert_eq!(cell.miss_rate, direct.merged.miss_rate());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replaying_a_missing_file_is_an_io_error() {
+        let err = replay(temp_trace("missing-never-written"), 1).unwrap_err();
+        assert!(matches!(err, ReplayError::Trace(TraceError::Io(_))));
+    }
+}

@@ -47,8 +47,7 @@ pub fn run(scale: Scale) -> Result<Table2, SimError> {
 
 /// Like [`run`], but each application run is partitioned across `shards`
 /// worker shards (`xp table2 --shards N`); `shards = 1` is the
-/// job-parallel sequential grid. See
-/// [`accuracy_grid_sharded`](crate::grid::accuracy_grid_sharded).
+/// job-parallel sequential grid. See [`accuracy_grid_sharded`].
 ///
 /// # Errors
 ///

@@ -1,11 +1,12 @@
 //! Simulator throughput telemetry (`xp bench-json`).
 //!
 //! Measures end-to-end engine throughput (accesses/sec) per prefetching
-//! scheme on a deterministic miss-heavy stream, plus the DP miss-path
+//! scheme on a deterministic miss-heavy stream, the DP miss-path
 //! microbenchmark comparing the reusable-sink hot path against the
-//! allocating legacy `decide()` path. The results serialise to
-//! `BENCH_throughput.json`, giving successive PRs a machine-readable
-//! performance trajectory for the hot loop.
+//! allocating legacy `decide()` path, sharded-vs-sequential scaling,
+//! and mmap trace replay against the generator that recorded it. The
+//! results serialise to `BENCH_throughput.json`, giving successive PRs
+//! a machine-readable performance trajectory for the hot loop.
 //!
 //! Timing methodology: each kernel is repeated until it has run for at
 //! least `MIN_MEASURE` (150 ms) in total, and the **best** per-run time
@@ -20,7 +21,7 @@ use std::time::{Duration, Instant};
 
 use tlbsim_core::{CandidateBuf, MemoryAccess, MissContext, Pc, PrefetcherConfig, VirtPage};
 use tlbsim_sim::{run_app, run_app_sharded, Engine, SimConfig, SimError};
-use tlbsim_workloads::{find_app, AppSpec, Scale};
+use tlbsim_workloads::{find_app, AppSpec, Scale, TraceWorkload};
 
 /// Minimum accumulated measurement time per kernel.
 const MIN_MEASURE: Duration = Duration::from_millis(150);
@@ -81,6 +82,38 @@ pub struct ShardScaling {
     pub shard_points: Vec<(usize, f64, f64)>,
 }
 
+/// Generator-driven versus mmap-trace-replay throughput of the same
+/// reference stream through the same DP engine.
+///
+/// The gate (replay ≥ 0.8× generator throughput) lives in `cargo
+/// bench`'s `trace_replay` group (`tlbsim-bench`,
+/// `benches/trace_replay.rs`); this snapshot records what the host
+/// measured so successive PRs can diff the trajectory.
+#[derive(Debug, Clone)]
+pub struct TraceReplayThroughput {
+    /// Application whose stream was recorded (the shard-scaling DP
+    /// fixture at a bench-friendly scale).
+    pub app: &'static str,
+    /// Accesses per replay (= records in the trace).
+    pub accesses: u64,
+    /// Trace file size in bytes.
+    pub trace_bytes: u64,
+    /// `"mmap"` (zero-copy) or `"read"` (fallback) replay backend.
+    pub backend: &'static str,
+    /// Best generator-driven nanoseconds per access.
+    pub generator_ns_per_access: f64,
+    /// Best trace-replay nanoseconds per access.
+    pub replay_ns_per_access: f64,
+}
+
+impl TraceReplayThroughput {
+    /// Replay throughput as a fraction of generator throughput (1.0 =
+    /// parity; the bench gate requires ≥ 0.8).
+    pub fn replay_vs_generator(&self) -> f64 {
+        self.generator_ns_per_access / self.replay_ns_per_access
+    }
+}
+
 /// The full telemetry snapshot.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
@@ -90,6 +123,8 @@ pub struct ThroughputReport {
     pub miss_path: MissPathComparison,
     /// Intra-run shard scaling on the figure-scale DP run.
     pub shard_scaling: ShardScaling,
+    /// Generator vs mmap-trace-replay throughput.
+    pub trace_replay: TraceReplayThroughput,
 }
 
 /// A deterministic synthetic miss stream mixing strided runs with
@@ -193,6 +228,7 @@ pub fn run() -> Result<ThroughputReport, SimError> {
     }
 
     let shard_scaling = measure_shard_scaling()?;
+    let trace_replay = measure_trace_replay()?;
 
     let misses = mixed_miss_stream(10_000);
     let mut dp = PrefetcherConfig::distance().build()?;
@@ -219,6 +255,7 @@ pub fn run() -> Result<ThroughputReport, SimError> {
             legacy_ns_per_miss: legacy_best.as_nanos() as f64 / misses.len() as f64,
         },
         shard_scaling,
+        trace_replay,
     })
 }
 
@@ -228,6 +265,66 @@ pub fn run() -> Result<ThroughputReport, SimError> {
 fn shard_scaling_fixture() -> (&'static AppSpec, Scale, SimConfig) {
     let app = find_app("galgel").expect("galgel is registered");
     (app, Scale::STANDARD, SimConfig::paper_default())
+}
+
+/// The trace-replay fixture: the shard-scaling application at the
+/// `SMALL` scale (the recorded file stays a few MiB), under the same DP
+/// configuration. `tlbsim-bench`'s `trace_replay` group measures the
+/// identical fixture so the gate and this telemetry stay comparable.
+pub fn trace_replay_fixture() -> (&'static AppSpec, Scale, SimConfig) {
+    let app = find_app("galgel").expect("galgel is registered");
+    (app, Scale::SMALL, SimConfig::paper_default())
+}
+
+/// Removes a temp file when dropped, so a panic between recording and
+/// the end of the measurement cannot strand multi-MiB traces in the
+/// temp dir.
+pub struct TempFileGuard(pub std::path::PathBuf);
+
+impl Drop for TempFileGuard {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.0).ok();
+    }
+}
+
+/// Times a generator-driven run against an mmap replay of the recorded
+/// stream (identical accesses, identical engine configuration).
+///
+/// Recording to the temp dir can only fail for environmental reasons
+/// ([`SimError`] has no I/O variant to carry them), so those failures
+/// panic with context; the guard cleans the temp trace up either way.
+fn measure_trace_replay() -> Result<TraceReplayThroughput, SimError> {
+    let (app, scale, config) = trace_replay_fixture();
+    let path = std::env::temp_dir().join(format!(
+        "tlbsim-bench-trace-{}-{}.tlbt",
+        std::process::id(),
+        app.name
+    ));
+    let guard = TempFileGuard(path.clone());
+    let summary = crate::replay::record_spec(app, scale, None, &path)
+        .unwrap_or_else(|e| panic!("recording {} to {}: {e}", app.name, path.display()));
+    let trace = TraceWorkload::open(&path)
+        .unwrap_or_else(|e| panic!("opening just-recorded {}: {e}", path.display()));
+
+    run_app(app, scale, &config)?;
+    let generator = best_time(|| {
+        std::hint::black_box(run_app(app, scale, &config).expect("validated"));
+    });
+    let replay = best_time(|| {
+        std::hint::black_box(run_app(&trace, scale, &config).expect("validated"));
+    });
+    let backend = trace.backend();
+    drop(trace);
+    drop(guard);
+
+    Ok(TraceReplayThroughput {
+        app: app.name,
+        accesses: summary.records,
+        trace_bytes: summary.bytes,
+        backend,
+        generator_ns_per_access: generator.as_nanos() as f64 / summary.records as f64,
+        replay_ns_per_access: replay.as_nanos() as f64 / summary.records as f64,
+    })
 }
 
 /// Times the sequential path against sharded runs at 2 and 4 shards on
@@ -297,6 +394,18 @@ impl ThroughputReport {
                 "  {shards} shards: {ns:.2} ns/access ({speedup:.2}x vs sequential)"
             );
         }
+        let tr = &self.trace_replay;
+        let _ = writeln!(
+            out,
+            "Trace replay ({}, {} accesses, {} backend): generator {:.2} ns/access, \
+             replay {:.2} ns/access ({:.2}x of generator throughput)",
+            tr.app,
+            tr.accesses,
+            tr.backend,
+            tr.generator_ns_per_access,
+            tr.replay_ns_per_access,
+            tr.replay_vs_generator()
+        );
         out
     }
 
@@ -345,7 +454,22 @@ impl ThroughputReport {
                 "\n"
             });
         }
-        out.push_str("  ]}\n}\n");
+        out.push_str("  ]},\n");
+        let tr = &self.trace_replay;
+        let _ = writeln!(
+            out,
+            "  \"trace_replay\": {{\"app\": \"{}\", \"accesses\": {}, \"trace_bytes\": {}, \
+             \"backend\": \"{}\", \"generator_ns_per_access\": {:.3}, \
+             \"replay_ns_per_access\": {:.3}, \"replay_vs_generator\": {:.3}}}",
+            tr.app,
+            tr.accesses,
+            tr.trace_bytes,
+            tr.backend,
+            tr.generator_ns_per_access,
+            tr.replay_ns_per_access,
+            tr.replay_vs_generator()
+        );
+        out.push_str("}\n");
         out
     }
 }
@@ -376,15 +500,27 @@ mod tests {
         for (shards, ns, speedup) in &ss.shard_points {
             assert!(*ns > 0.0 && *speedup > 0.0, "{shards} shards mis-measured");
         }
+        let tr = &report.trace_replay;
+        assert_eq!(tr.app, "galgel");
+        assert!(tr.accesses > 0);
+        assert_eq!(
+            tr.trace_bytes,
+            tlbsim_trace::HEADER_BYTES as u64 + tr.accesses * tlbsim_trace::RECORD_BYTES as u64
+        );
+        assert!(tr.backend == "mmap" || tr.backend == "read");
+        assert!(tr.replay_vs_generator() > 0.0);
         let json = report.to_json();
         assert!(json.contains("\"scheme\": \"DP\""));
         assert!(json.contains("dp_miss_path"));
         assert!(json.contains("\"sharded_run\""));
         assert!(json.contains("\"speedup_vs_sequential\""));
+        assert!(json.contains("\"trace_replay\""));
+        assert!(json.contains("\"replay_vs_generator\""));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         let rendered = report.render();
         assert!(rendered.contains("DP miss path"));
+        assert!(rendered.contains("Trace replay"));
     }
 }

@@ -79,7 +79,9 @@ pub use cache_engine::{CacheEngine, CacheStats};
 pub use config::{SimConfig, SimError};
 pub use engine::Engine;
 pub use hierarchy_engine::{HierarchyEngine, HierarchyStats};
-pub use runner::{compare_schemes, run_app, run_app_timed, sweep, SweepJob, SweepResult};
+pub use runner::{
+    compare_schemes, run_app, run_app_timed, sweep, SweepJob, SweepResult, SweepSpec,
+};
 pub use shard::{run_app_sharded, ShardOutcome, ShardPlan, ShardRange, ShardedRun};
 pub use stats::{SimStats, TimingStats};
 pub use timing_engine::TimingEngine;

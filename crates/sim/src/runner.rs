@@ -8,18 +8,22 @@
 //! allocations per worker rather than a handful per job.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use tlbsim_core::PrefetcherConfig;
 use tlbsim_mem::TimingParams;
-use tlbsim_workloads::{AppSpec, Scale};
+use tlbsim_workloads::{Scale, StreamSpec};
 
 use crate::config::{SimConfig, SimError};
 use crate::engine::Engine;
 use crate::stats::{SimStats, TimingStats};
 use crate::timing_engine::TimingEngine;
 
-/// Runs one application through the functional engine.
+/// Runs one reference stream — a registered application model or a
+/// recorded trace — through the functional engine.
+///
+/// Generic over [`StreamSpec`], so `run_app(find_app("galgel")…)` and
+/// `run_app(&TraceWorkload::open("galgel.tlbt")?…)` are the same call.
 ///
 /// # Errors
 ///
@@ -39,19 +43,23 @@ use crate::timing_engine::TimingEngine;
 /// assert!(stats.accuracy() > 0.8);
 /// # Ok::<(), tlbsim_sim::SimError>(())
 /// ```
-pub fn run_app(app: &AppSpec, scale: Scale, config: &SimConfig) -> Result<SimStats, SimError> {
+pub fn run_app<S: StreamSpec + ?Sized>(
+    app: &S,
+    scale: Scale,
+    config: &SimConfig,
+) -> Result<SimStats, SimError> {
     let mut engine = Engine::new(config)?;
     engine.run_workload(&mut app.workload(scale));
     Ok(*engine.stats())
 }
 
-/// Runs one application through the timing engine.
+/// Runs one reference stream through the timing engine.
 ///
 /// # Errors
 ///
 /// Returns [`SimError`] if the configuration is invalid.
-pub fn run_app_timed(
-    app: &AppSpec,
+pub fn run_app_timed<S: StreamSpec + ?Sized>(
+    app: &S,
     scale: Scale,
     config: &SimConfig,
     params: TimingParams,
@@ -61,14 +69,14 @@ pub fn run_app_timed(
     Ok(*engine.stats())
 }
 
-/// Runs one application under every given prefetcher, returning
+/// Runs one reference stream under every given prefetcher, returning
 /// `(label, stats)` pairs.
 ///
 /// # Errors
 ///
 /// Returns [`SimError`] on the first invalid configuration.
-pub fn compare_schemes(
-    app: &AppSpec,
+pub fn compare_schemes<S: StreamSpec + ?Sized>(
+    app: &S,
     scale: Scale,
     base: &SimConfig,
     prefetchers: &[PrefetcherConfig],
@@ -82,18 +90,37 @@ pub fn compare_schemes(
         .collect()
 }
 
-/// One unit of work for the parallel sweep: an application at a scale
-/// under a configuration, identified by `tag`.
-#[derive(Debug, Clone)]
+/// Shared handle to the stream a sweep job simulates.
+///
+/// `Arc::new(app)` wraps a registered `&'static AppSpec`; an
+/// `Arc::new(trace_workload)` replays a recorded trace — the executor
+/// treats both identically (and many jobs can share one trace's
+/// mapping through clones of the same `Arc`).
+pub type SweepSpec = Arc<dyn StreamSpec>;
+
+/// One unit of work for the parallel sweep: a reference stream at a
+/// scale under a configuration, identified by `tag`.
+#[derive(Clone)]
 pub struct SweepJob {
     /// Identifier carried into the result (e.g. `"galgel/DP,256,D"`).
     pub tag: String,
-    /// Application to simulate.
-    pub app: &'static AppSpec,
-    /// Run length.
+    /// Stream to simulate (application model or recorded trace).
+    pub spec: SweepSpec,
+    /// Run length (ignored by fixed-length trace specs).
     pub scale: Scale,
     /// Full simulation configuration.
     pub config: SimConfig,
+}
+
+impl std::fmt::Debug for SweepJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepJob")
+            .field("tag", &self.tag)
+            .field("spec", &self.spec.name())
+            .field("scale", &self.scale)
+            .field("config", &self.config)
+            .finish()
+    }
 }
 
 /// The outcome of one sweep job.
@@ -101,8 +128,8 @@ pub struct SweepJob {
 pub struct SweepResult {
     /// The job's identifier.
     pub tag: String,
-    /// Application name.
-    pub app: &'static str,
+    /// Name of the simulated stream.
+    pub app: String,
     /// Functional statistics (accuracy, miss rate, traffic).
     pub stats: SimStats,
 }
@@ -132,7 +159,7 @@ impl WorkerScratch {
         } else {
             self.engine.insert(Engine::new(&job.config)?)
         };
-        Ok(*engine.run_workload(&mut job.app.workload(job.scale)))
+        Ok(*engine.run_workload(&mut job.spec.workload(job.scale)))
     }
 }
 
@@ -150,6 +177,7 @@ impl WorkerScratch {
 /// # Examples
 ///
 /// ```
+/// use std::sync::Arc;
 /// use tlbsim_sim::{sweep, SimConfig, SweepJob};
 /// use tlbsim_workloads::{find_app, Scale};
 ///
@@ -157,7 +185,7 @@ impl WorkerScratch {
 ///     .iter()
 ///     .map(|name| SweepJob {
 ///         tag: format!("{name}/DP"),
-///         app: find_app(name).expect("registered"),
+///         spec: Arc::new(find_app(name).expect("registered")),
 ///         scale: Scale::TINY,
 ///         config: SimConfig::paper_default(),
 ///     })
@@ -197,8 +225,8 @@ pub fn sweep(jobs: Vec<SweepJob>) -> Result<Vec<SweepResult>, SimError> {
                         break;
                     };
                     let outcome = scratch.run(&job).map(|stats| SweepResult {
+                        app: job.spec.name().to_owned(),
                         tag: job.tag,
-                        app: job.app.name,
                         stats,
                     });
                     slots.lock().expect("result lock")[index] = Some(outcome);
@@ -250,7 +278,7 @@ mod tests {
             .iter()
             .map(|name| SweepJob {
                 tag: format!("{name}/DP"),
-                app: find_app(name).unwrap(),
+                spec: Arc::new(find_app(name).unwrap()),
                 scale: Scale::TINY,
                 config: SimConfig::paper_default(),
             })
@@ -284,12 +312,12 @@ mod tests {
         for (i, config) in configs.iter().enumerate() {
             let job = SweepJob {
                 tag: format!("job{i}"),
-                app: find_app("gap").unwrap(),
+                spec: Arc::new(find_app("gap").unwrap()),
                 scale: Scale::TINY,
                 config: config.clone(),
             };
             let reused = scratch.run(&job).unwrap();
-            let fresh = run_app(job.app, job.scale, config).unwrap();
+            let fresh = run_app(find_app("gap").unwrap(), job.scale, config).unwrap();
             assert_eq!(reused, fresh, "job {i} diverged under engine reuse");
         }
     }

@@ -39,7 +39,7 @@
 //! should use `shards = 1`, which is the default everywhere.
 
 use tlbsim_core::VirtPage;
-use tlbsim_workloads::{AppSpec, Scale};
+use tlbsim_workloads::{Scale, StreamSpec};
 
 use crate::config::{SimConfig, SimError};
 use crate::engine::Engine;
@@ -138,8 +138,13 @@ pub struct ShardedRun {
     pub boundary_resident_prefetches: u64,
 }
 
-/// Partitions one application run across `shards` worker threads and
+/// Partitions one run — of a registered application model or a recorded
+/// trace (any [`StreamSpec`]) — across `shards` worker threads and
 /// merges the per-shard statistics deterministically.
+///
+/// Trace replay shards especially cheaply: a generator shard seeks by
+/// visit arithmetic, while a trace shard's cursor positions itself with
+/// one O(1) offset computation into the shared mapping.
 ///
 /// Shards run on a scoped worker pool bounded by the machine's
 /// available parallelism (extra shards queue on a shared cursor), and
@@ -173,8 +178,8 @@ pub struct ShardedRun {
 /// ```
 ///
 /// [`run_app`]: crate::run_app
-pub fn run_app_sharded(
-    app: &AppSpec,
+pub fn run_app_sharded<S: StreamSpec + ?Sized>(
+    app: &S,
     scale: Scale,
     config: &SimConfig,
     shards: usize,

@@ -9,8 +9,13 @@
 //! not move at all: **zero heap allocations per TLB miss**, for all five
 //! mechanisms plus the baseline.
 //!
-//! This file holds exactly one `#[test]` so no concurrent test can
-//! perturb the thread-local counter.
+//! A second test pins the same guarantee for the *trace-driven* path
+//! end-to-end: open → `decode_batch` → engine drive performs zero
+//! steady-state allocations, both at cursor level and through the full
+//! `TraceWorkload` → `Workload::fill_batch` → `run_workload` stack.
+//!
+//! The allocation counter is thread-local, so the tests cannot perturb
+//! each other even when the harness runs them concurrently.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -101,4 +106,85 @@ fn steady_state_miss_path_never_allocates() {
             "{kind:?}: steady-state loop performed {allocated} heap allocations"
         );
     }
+}
+
+#[test]
+fn mmap_trace_replay_path_never_allocates_in_steady_state() {
+    use tlbsim_trace::{BinaryTraceWriter, MmapTrace};
+    use tlbsim_workloads::TraceWorkload;
+
+    // Record the miss-heavy lap stream (4 laps) to a temp trace file —
+    // setup may allocate freely; the measured window starts later.
+    let lap = lap_stream();
+    let path = std::env::temp_dir().join(format!("tlbsim-zero-alloc-{}.tlbt", std::process::id()));
+    {
+        let mut writer = BinaryTraceWriter::create(
+            std::fs::File::create(&path).expect("temp trace file creates"),
+        )
+        .expect("trace header writes");
+        for _ in 0..4 {
+            for access in &lap {
+                writer.write(access).expect("record writes");
+            }
+        }
+        writer.finish().expect("trace flushes");
+    }
+
+    // --- Cursor level: open -> decode_batch -> engine drive. ---
+    let trace = MmapTrace::open(&path).expect("recorded trace validates");
+    let config = SimConfig::paper_default();
+    let mut engine = Engine::new(&config).expect("valid configuration");
+    let mut batch = vec![MemoryAccess::read(0, 0); 4096];
+
+    // Warm-up: one full replay populates the page table, TLB,
+    // prediction tables and every container's high-water capacity, and
+    // faults in the whole mapping.
+    let mut cursor = trace.cursor();
+    loop {
+        let filled = cursor.decode_batch(&mut batch).expect("validated records");
+        if filled == 0 {
+            break;
+        }
+        engine.access_batch(&batch[..filled]);
+    }
+
+    // Steady state: rewind the cursor and replay again — seeking,
+    // decoding and the whole miss path must stay off the heap.
+    let before = allocations_so_far();
+    cursor.seek(0);
+    loop {
+        let filled = cursor.decode_batch(&mut batch).expect("validated records");
+        if filled == 0 {
+            break;
+        }
+        engine.access_batch(&batch[..filled]);
+    }
+    let allocated = allocations_so_far() - before;
+    assert!(
+        engine.stats().misses >= 8 * 600,
+        "the replay must actually stress the miss path, saw {} misses",
+        engine.stats().misses
+    );
+    assert_eq!(
+        allocated, 0,
+        "cursor-level mmap replay performed {allocated} heap allocations"
+    );
+
+    // --- Full stack: TraceWorkload -> Workload -> run_workload. ---
+    // Workload construction (one Box + one String per replay) and the
+    // first run_workload call (which sizes the engine's internal batch
+    // buffer) happen before the measured window; the engine's tables
+    // are already warm from the laps above.
+    let workload_spec = TraceWorkload::open(&path).expect("recorded trace validates");
+    engine.run_workload(&mut workload_spec.workload());
+    let mut replay = workload_spec.workload();
+    let before = allocations_so_far();
+    engine.run_workload(&mut replay);
+    let allocated = allocations_so_far() - before;
+    assert_eq!(
+        allocated, 0,
+        "TraceWorkload replay performed {allocated} heap allocations"
+    );
+
+    std::fs::remove_file(&path).ok();
 }

@@ -23,7 +23,14 @@ use crate::error::TraceError;
 pub const MAGIC: [u8; 4] = *b"TLBT";
 /// Current format version.
 pub const VERSION: u16 = 1;
-const RECORD_BYTES: usize = 17;
+/// Fixed size of every record: `pc: u64`, `vaddr: u64`, `kind: u8`.
+///
+/// Fixed-width cells are what make record indices byte offsets: record
+/// `i` lives at `HEADER_BYTES + i * RECORD_BYTES`, so the mmap cursor
+/// ([`crate::MmapTrace`]) seeks in O(1).
+pub const RECORD_BYTES: usize = 17;
+/// Size of the magic + version + reserved header.
+pub const HEADER_BYTES: usize = 8;
 
 /// Streaming writer for the binary trace format.
 ///
@@ -114,25 +121,41 @@ pub struct BinaryTraceReader<R: Read> {
 impl<R: Read> BinaryTraceReader<R> {
     /// Opens a reader, validating the header.
     ///
+    /// Record indexing is shared across every consumer of the format:
+    /// the record this reader yields `n`-th is the one
+    /// [`window(n, …)`](crate::TraceStreamExt::window) starts at, the
+    /// one an [`MmapTraceCursor`](crate::MmapTraceCursor) seeked to `n`
+    /// decodes next, and the one a replayed workload stands on after
+    /// `skip_accesses(n)` — a doc-test on
+    /// `tlbsim_workloads::TraceWorkload` proves the three agree.
+    ///
     /// # Errors
     ///
-    /// Returns [`TraceError::BadMagic`] / [`TraceError::UnsupportedVersion`]
-    /// for malformed headers and [`TraceError::Io`] for I/O failures.
+    /// Returns [`TraceError::TruncatedHeader`] if the input ends inside
+    /// the 8-byte header, [`TraceError::BadMagic`] /
+    /// [`TraceError::UnsupportedVersion`] for malformed headers and
+    /// [`TraceError::Io`] for I/O failures.
     pub fn open(input: R) -> Result<Self, TraceError> {
         let mut input = BufReader::new(input);
-        let mut magic = [0u8; 4];
-        input.read_exact(&mut magic)?;
-        if magic != MAGIC {
-            return Err(TraceError::BadMagic { found: magic });
+        let mut header = [0u8; HEADER_BYTES];
+        let mut filled = 0;
+        while filled < HEADER_BYTES {
+            match input.read(&mut header[filled..]) {
+                Ok(0) => return Err(TraceError::TruncatedHeader { len: filled as u64 }),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(TraceError::Io(e)),
+            }
         }
-        let mut ver = [0u8; 2];
-        input.read_exact(&mut ver)?;
-        let version = u16::from_le_bytes(ver);
+        if header[0..4] != MAGIC {
+            return Err(TraceError::BadMagic {
+                found: header[0..4].try_into().expect("4-byte slice"),
+            });
+        }
+        let version = u16::from_le_bytes(header[4..6].try_into().expect("2-byte slice"));
         if version != VERSION {
             return Err(TraceError::UnsupportedVersion { found: version });
         }
-        let mut reserved = [0u8; 2];
-        input.read_exact(&mut reserved)?;
         Ok(BinaryTraceReader { input, read: 0 })
     }
 
@@ -232,6 +255,12 @@ mod tests {
         }
         w.finish().unwrap();
         assert_eq!(buf.len(), 8 + 3 * RECORD_BYTES);
+    }
+
+    #[test]
+    fn truncated_header_is_rejected() {
+        let err = BinaryTraceReader::open(&b"TLB"[..]).unwrap_err();
+        assert!(matches!(err, TraceError::TruncatedHeader { len: 3 }));
     }
 
     #[test]

@@ -8,6 +8,11 @@ use std::io;
 pub enum TraceError {
     /// An underlying I/O failure.
     Io(io::Error),
+    /// The input ends before the 8-byte header completes.
+    TruncatedHeader {
+        /// Bytes actually present.
+        len: u64,
+    },
     /// The input does not start with the expected magic bytes.
     BadMagic {
         /// The bytes actually found.
@@ -38,6 +43,9 @@ impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::TruncatedHeader { len } => {
+                write!(f, "trace ends mid-header ({len} bytes; the header is 8)")
+            }
             TraceError::BadMagic { found } => {
                 write!(f, "bad trace magic {found:?}; expected \"TLBT\"")
             }
@@ -85,6 +93,8 @@ mod tests {
         assert!(e.to_string().contains("line 7"));
         let e = TraceError::InvalidKind { found: 9 };
         assert!(e.to_string().contains("0x9"));
+        let e = TraceError::TruncatedHeader { len: 3 };
+        assert!(e.to_string().contains("mid-header"));
     }
 
     #[test]

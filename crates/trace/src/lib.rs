@@ -6,6 +6,11 @@
 //! * [`BinaryTraceWriter`] / [`BinaryTraceReader`] — a compact 17-byte
 //!   per-record binary format (`TLBT` magic) that external tracers can
 //!   emit trivially;
+//! * [`MmapTrace`] / [`MmapTraceCursor`] — the same format replayed
+//!   zero-copy from a memory-mapped file: the header is validated once,
+//!   records decode batch-wise into caller-owned buffers, and seeking is
+//!   O(1) — the full-speed input path the simulator's batched engines
+//!   and sharded executor consume;
 //! * [`TextTraceWriter`] / [`TextTraceReader`] — a `pc R|W vaddr`
 //!   line format with comments for hand-written regression inputs;
 //! * [`TraceStreamExt`] — the skip/take window discipline the paper uses
@@ -41,12 +46,16 @@
 
 mod binary;
 mod error;
+mod mmap;
 mod stats;
 mod stream;
 mod text;
 
-pub use binary::{BinaryTraceReader, BinaryTraceWriter, MAGIC, VERSION};
+pub use binary::{
+    BinaryTraceReader, BinaryTraceWriter, HEADER_BYTES, MAGIC, RECORD_BYTES, VERSION,
+};
 pub use error::TraceError;
+pub use mmap::{MmapTrace, MmapTraceCursor};
 pub use stats::TraceStats;
 pub use stream::{Sampled, TraceStreamExt, TraceWindow};
 pub use text::{TextTraceReader, TextTraceWriter};

@@ -1,11 +1,39 @@
-//! Property tests: both trace codecs round-trip arbitrary records, and
-//! the two formats agree with each other.
+//! Property tests: both trace codecs round-trip arbitrary records, the
+//! two formats agree with each other, the mmap reader agrees with the
+//! streaming reader, and malformed inputs always surface as typed
+//! [`TraceError`]s — never panics or silent short reads.
 
 use proptest::prelude::*;
 use tlbsim_core::{AccessKind, MemoryAccess};
 use tlbsim_trace::{
-    BinaryTraceReader, BinaryTraceWriter, TextTraceReader, TextTraceWriter, TraceStreamExt,
+    BinaryTraceReader, BinaryTraceWriter, MmapTrace, TextTraceReader, TextTraceWriter, TraceError,
+    TraceStreamExt, HEADER_BYTES, RECORD_BYTES,
 };
+
+fn encode(records: &[MemoryAccess]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut w = BinaryTraceWriter::create(&mut buf).unwrap();
+    for r in records {
+        w.write(r).unwrap();
+    }
+    w.finish().unwrap();
+    buf
+}
+
+/// Opens trace bytes through a real file so the proptests exercise the
+/// actual mapping path (mmap on Linux, buffered elsewhere), not just
+/// the in-memory wrapper.
+fn open_via_file(bytes: &[u8], tag: &str) -> Result<MmapTrace, TraceError> {
+    let path = std::env::temp_dir().join(format!(
+        "tlbsim-proptest-{}-{tag}-{}.tlbt",
+        std::process::id(),
+        bytes.len()
+    ));
+    std::fs::write(&path, bytes).unwrap();
+    let opened = MmapTrace::open(&path);
+    std::fs::remove_file(&path).ok();
+    opened
+}
 
 fn arb_access() -> impl Strategy<Value = MemoryAccess> {
     (any::<u64>(), any::<u64>(), prop::bool::ANY).prop_map(|(pc, vaddr, write)| MemoryAccess {
@@ -69,6 +97,119 @@ proptest! {
             .map(|r| r.unwrap())
             .collect();
         prop_assert_eq!(from_bin, from_txt);
+    }
+
+    #[test]
+    fn mmap_roundtrip_matches_written_records(
+        records in prop::collection::vec(arb_access(), 0..200),
+        batch_len in 1usize..64,
+    ) {
+        let bytes = encode(&records);
+        let trace = open_via_file(&bytes, "roundtrip").unwrap();
+        prop_assert_eq!(trace.record_count(), records.len() as u64);
+        let mut got = Vec::new();
+        let mut cursor = trace.cursor();
+        let mut buf = vec![MemoryAccess::read(0, 0); batch_len];
+        loop {
+            let n = cursor.decode_batch(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        prop_assert_eq!(got, records);
+    }
+
+    #[test]
+    fn mmap_and_streaming_readers_agree(
+        records in prop::collection::vec(arb_access(), 0..150),
+    ) {
+        let bytes = encode(&records);
+        let via_mmap: Vec<MemoryAccess> = open_via_file(&bytes, "agree")
+            .unwrap()
+            .cursor()
+            .map(|r| r.unwrap())
+            .collect();
+        let via_reader: Vec<MemoryAccess> = BinaryTraceReader::open(bytes.as_slice())
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        prop_assert_eq!(via_mmap, via_reader);
+    }
+
+    #[test]
+    fn truncated_files_yield_typed_errors_never_panics(
+        records in prop::collection::vec(arb_access(), 1..50),
+        cut in 1usize..100,
+    ) {
+        // Cut anywhere strictly inside the encoding: inside the header
+        // it must read as TruncatedHeader, on a non-record boundary as
+        // TruncatedRecord, and on a record boundary as a valid shorter
+        // trace — never a panic, never a silent wrong length.
+        let bytes = encode(&records);
+        let cut = cut % bytes.len();
+        let truncated = &bytes[..cut];
+        match open_via_file(truncated, "truncated") {
+            Err(TraceError::TruncatedHeader { len }) => {
+                prop_assert!(cut < HEADER_BYTES);
+                prop_assert_eq!(len, cut as u64);
+            }
+            Err(TraceError::TruncatedRecord) => {
+                prop_assert!(cut >= HEADER_BYTES);
+                prop_assert!(!(cut - HEADER_BYTES).is_multiple_of(RECORD_BYTES));
+            }
+            Ok(trace) => {
+                prop_assert!(cut >= HEADER_BYTES);
+                prop_assert_eq!((cut - HEADER_BYTES) % RECORD_BYTES, 0);
+                prop_assert_eq!(
+                    trace.record_count() as usize,
+                    (cut - HEADER_BYTES) / RECORD_BYTES
+                );
+            }
+            Err(other) => prop_assert!(false, "unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_headers_yield_typed_errors(
+        records in prop::collection::vec(arb_access(), 0..20),
+        byte in 0usize..6,
+        xor in 1u8..=255,
+    ) {
+        // Flip bits somewhere in magic or version: BadMagic for the
+        // first four bytes, UnsupportedVersion for the version field.
+        let mut bytes = encode(&records);
+        bytes[byte] ^= xor;
+        match open_via_file(&bytes, "header") {
+            Err(TraceError::BadMagic { found }) => {
+                prop_assert!(byte < 4);
+                prop_assert_eq!(&found[..], &bytes[0..4]);
+            }
+            Err(TraceError::UnsupportedVersion { found }) => {
+                prop_assert!((4..6).contains(&byte));
+                prop_assert_ne!(found, 1);
+            }
+            other => prop_assert!(false, "corrupt header accepted: {:?}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn corrupted_kind_bytes_are_typed_errors_from_validation(
+        records in prop::collection::vec(arb_access(), 1..50),
+        victim in 0usize..50,
+        bad_kind in 2u8..=255,
+    ) {
+        let victim = victim % records.len();
+        let mut bytes = encode(&records);
+        bytes[HEADER_BYTES + victim * RECORD_BYTES + 16] = bad_kind;
+        let trace = open_via_file(&bytes, "kind").unwrap();
+        match trace.validate_records() {
+            Err(TraceError::InvalidKind { found }) => prop_assert_eq!(found, bad_kind),
+            other => prop_assert!(false, "corrupt kind accepted: {:?}", other.is_ok()),
+        }
+        // The iterator form also surfaces it as an Err, not a panic.
+        let first_err = trace.cursor().find_map(|r| r.err());
+        prop_assert!(matches!(first_err, Some(TraceError::InvalidKind { .. })));
     }
 
     #[test]

@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 use crate::class::ReferenceClass;
 use crate::gen::{VisitStream, Workload};
 use crate::scale::Scale;
+use crate::spec::StreamSpec;
 
 /// The benchmark suite an application belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -99,6 +100,23 @@ impl AppSpec {
     /// ```
     pub fn stream_len(&self, scale: Scale) -> u64 {
         (self.build)(scale).map(|visit| u64::from(visit.refs)).sum()
+    }
+}
+
+/// Registered applications are one kind of [`StreamSpec`]; recorded
+/// traces ([`crate::TraceWorkload`]) are the other. The simulator's
+/// runners accept either.
+impl StreamSpec for AppSpec {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn workload(&self, scale: Scale) -> Workload {
+        AppSpec::workload(self, scale)
+    }
+
+    fn stream_len(&self, scale: Scale) -> u64 {
+        AppSpec::stream_len(self, scale)
     }
 }
 

@@ -164,6 +164,42 @@ impl<I: Iterator<Item = Visit>> Iterator for Emit<I> {
     }
 }
 
+/// A pluggable access-stream source a [`Workload`] can be built over.
+///
+/// The synthetic generators come built in ([`Workload::from_visits`]);
+/// this trait is the seam that lets *recorded* streams — the mmap trace
+/// replay of `TraceWorkload` — flow through the identical streaming
+/// surface (`fill_batch` / `skip_accesses`) and therefore through every
+/// engine, the sweep executor and the sharded runner unchanged.
+///
+/// Contract (shared with the generators, asserted by the differential
+/// trace tests):
+///
+/// * [`fill`](AccessSource::fill) writes the next accesses into the
+///   caller's buffer and returns the count; `0` means exhausted; the
+///   buffer is never empty;
+/// * [`skip`](AccessSource::skip) advances past `n` accesses without
+///   producing them and returns how many were skipped (less than `n`
+///   only at end of stream); the stream continues bit-identically to
+///   one that generated the prefix.
+pub trait AccessSource: Send {
+    /// Fills `buf` with the next accesses, returning how many were
+    /// written; zero means the source is exhausted.
+    fn fill(&mut self, buf: &mut [MemoryAccess]) -> usize;
+
+    /// Fast-forwards past `n` accesses, returning how many were
+    /// actually skipped.
+    fn skip(&mut self, n: u64) -> u64;
+}
+
+/// The two stream shapes behind a [`Workload`]: generated visits
+/// (kept as a concrete type — the hot path of every synthetic run —
+/// so generator fills stay monomorphised) or a boxed custom source.
+enum Stream {
+    Visits(Emit<VisitStream>),
+    Source(Box<dyn AccessSource>),
+}
+
 /// A complete, runnable reference stream with a name.
 ///
 /// `Workload` is itself an `Iterator<Item = MemoryAccess>`; application
@@ -182,7 +218,7 @@ impl<I: Iterator<Item = Visit>> Iterator for Emit<I> {
 /// ```
 pub struct Workload {
     name: String,
-    stream: Emit<VisitStream>,
+    stream: Stream,
 }
 
 impl Workload {
@@ -191,7 +227,16 @@ impl Workload {
     pub fn from_visits(name: impl Into<String>, visits: VisitStream) -> Self {
         Workload {
             name: name.into(),
-            stream: Emit::new(visits, PageSize::DEFAULT),
+            stream: Stream::Visits(Emit::new(visits, PageSize::DEFAULT)),
+        }
+    }
+
+    /// Builds a workload over any [`AccessSource`] (e.g. a recorded
+    /// trace replayed through `TraceWorkload`).
+    pub fn from_source(name: impl Into<String>, source: Box<dyn AccessSource>) -> Self {
+        Workload {
+            name: name.into(),
+            stream: Stream::Source(source),
         }
     }
 
@@ -224,7 +269,16 @@ impl Workload {
     /// assert_eq!(w.fill_batch(&mut buf), 0);
     /// ```
     pub fn fill_batch(&mut self, buf: &mut [MemoryAccess]) -> usize {
-        self.stream.fill(buf)
+        match &mut self.stream {
+            Stream::Visits(emit) => emit.fill(buf),
+            Stream::Source(source) => {
+                assert!(
+                    !buf.is_empty(),
+                    "fill_batch requires a non-empty batch buffer"
+                );
+                source.fill(buf)
+            }
+        }
     }
 
     /// Fast-forwards the stream past the next `n` accesses without
@@ -251,7 +305,10 @@ impl Workload {
     /// assert_eq!(tail, full[2..]);
     /// ```
     pub fn skip_accesses(&mut self, n: u64) -> u64 {
-        self.stream.skip_accesses(n)
+        match &mut self.stream {
+            Stream::Visits(emit) => emit.skip_accesses(n),
+            Stream::Source(source) => source.skip(n),
+        }
     }
 }
 
@@ -259,7 +316,11 @@ impl Iterator for Workload {
     type Item = MemoryAccess;
 
     fn next(&mut self) -> Option<Self::Item> {
-        self.stream.next()
+        // Single source of truth: one-element batch through
+        // `fill_batch`, so the iterator and batched paths cannot drift
+        // apart for either stream shape.
+        let mut one = [MemoryAccess::read(0, 0)];
+        (self.fill_batch(&mut one) == 1).then(|| one[0])
     }
 }
 

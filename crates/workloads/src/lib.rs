@@ -29,6 +29,13 @@
 //! prefix — the pair of operations that lets `tlbsim-sim`'s sharded
 //! executor hand contiguous time slices of one run to parallel workers.
 //!
+//! The same streaming surface is source-agnostic: [`StreamSpec`]
+//! abstracts "a named, splittable reference stream", implemented by the
+//! registered [`AppSpec`] models *and* by [`TraceWorkload`], which
+//! replays a recorded binary trace zero-copy from a memory-mapped file.
+//! Everything downstream — the engines, the sweep executor, the sharded
+//! runner — accepts either interchangeably.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -45,15 +52,19 @@
 mod class;
 mod gen;
 mod scale;
+mod spec;
+mod trace;
 
 pub mod apps;
 pub mod primitives;
 
 pub use apps::{all_apps, find_app, high_miss_apps, suite_apps, table3_apps, AppSpec, Suite};
 pub use class::ReferenceClass;
-pub use gen::{Emit, Visit, VisitStream, Workload};
+pub use gen::{AccessSource, Emit, Visit, VisitStream, Workload};
 pub use primitives::{
     phases, Alternation, BlockChase, DistanceCycle, HotSet, Interleave, LoopedScan, Mix,
     PointerChase, RandomWalk, RotatePc, StridedScan,
 };
 pub use scale::Scale;
+pub use spec::StreamSpec;
+pub use trace::TraceWorkload;

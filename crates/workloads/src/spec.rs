@@ -1,0 +1,92 @@
+//! The [`StreamSpec`] abstraction: anything that can instantiate a
+//! named, splittable reference stream.
+//!
+//! The simulator's run entry points (`run_app`, `sweep`,
+//! `run_app_sharded`) used to be tied to the 56 registered [`AppSpec`]
+//! models. Recorded traces are just as much a "runnable stream at a
+//! scale" — the paper's own methodology is trace-driven — so the
+//! runners are generic over this trait instead: an [`AppSpec`] builds
+//! its generator, a `TraceWorkload` opens a fresh mmap cursor, and both
+//! shard identically because both report an exact [`stream_len`] and
+//! hand out independently positionable [`Workload`]s.
+//!
+//! [`AppSpec`]: crate::AppSpec
+//! [`stream_len`]: StreamSpec::stream_len
+
+use crate::gen::Workload;
+use crate::scale::Scale;
+
+/// A named source of reference streams, instantiable any number of
+/// times at a given [`Scale`].
+///
+/// Implementations must be deterministic: two workloads from the same
+/// spec at the same scale yield bit-identical access streams, and
+/// [`stream_len`](StreamSpec::stream_len) reports the exact access
+/// count of such a stream — the contract the sharded executor's static
+/// partitioning rests on.
+///
+/// `Send + Sync` are supertraits because the sweep and shard executors
+/// instantiate workloads from worker threads.
+pub trait StreamSpec: Send + Sync {
+    /// The stream's name (application or trace identifier).
+    fn name(&self) -> &str;
+
+    /// Instantiates a fresh stream at `scale`, positioned at access 0.
+    fn workload(&self, scale: Scale) -> Workload;
+
+    /// The exact number of accesses [`workload`](StreamSpec::workload)
+    /// will emit at `scale`, computed without expanding the stream.
+    fn stream_len(&self, scale: Scale) -> u64;
+}
+
+impl<S: StreamSpec + ?Sized> StreamSpec for &S {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn workload(&self, scale: Scale) -> Workload {
+        (**self).workload(scale)
+    }
+
+    fn stream_len(&self, scale: Scale) -> u64 {
+        (**self).stream_len(scale)
+    }
+}
+
+impl<S: StreamSpec + ?Sized> StreamSpec for std::sync::Arc<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn workload(&self, scale: Scale) -> Workload {
+        (**self).workload(scale)
+    }
+
+    fn stream_len(&self, scale: Scale) -> u64 {
+        (**self).stream_len(scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::find_app;
+
+    fn assert_spec<S: StreamSpec>(spec: &S) -> (String, u64) {
+        (spec.name().to_owned(), spec.stream_len(Scale::TINY))
+    }
+
+    #[test]
+    fn app_specs_and_their_references_are_stream_specs() {
+        let app = find_app("gap").unwrap();
+        let direct = assert_spec(app);
+        let arced = assert_spec(&std::sync::Arc::new(app));
+        assert_eq!(direct, arced);
+        let as_dyn: &dyn StreamSpec = app;
+        assert_eq!(as_dyn.name(), "gap");
+        assert_eq!(
+            as_dyn.workload(Scale::TINY).count() as u64,
+            as_dyn.stream_len(Scale::TINY)
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! Recorded traces as first-class workloads.
+//!
+//! [`TraceWorkload`] adapts an [`MmapTrace`] to the [`StreamSpec`] /
+//! [`Workload`] surface, so a trace recorded from a real machine (or
+//! dumped from a synthetic model with `xp record`) drives `run_app`,
+//! `sweep` and `run_app_sharded` exactly like a registered application:
+//! replay decodes record batches zero-copy out of the mapped file into
+//! the engines' batch buffers, and sharded replay seeks each worker's
+//! cursor in O(1) because records are fixed 17-byte cells.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use tlbsim_core::MemoryAccess;
+use tlbsim_trace::{MmapTrace, MmapTraceCursor, TraceError};
+
+use crate::gen::{AccessSource, Workload};
+use crate::scale::Scale;
+use crate::spec::StreamSpec;
+
+/// A recorded binary trace, replayable as a [`Workload`] any number of
+/// times (each replay gets an independent cursor over one shared
+/// mapping).
+///
+/// The whole file is validated at open — header once, then every
+/// record's kind byte in one sequential pass (which doubles as
+/// page-cache warm-up) — so replay itself cannot fail mid-stream.
+///
+/// A trace has a fixed length, so the [`Scale`] argument of the
+/// [`StreamSpec`] methods is ignored: a replay is always the full
+/// recorded stream.
+///
+/// # Examples
+///
+/// Record indexing agrees across the whole stack: skipping `n` accesses
+/// into a replayed trace stands on the same record the trace crate's
+/// [`window(n, …)`](tlbsim_trace::TraceStreamExt::window) adapter
+/// starts at.
+///
+/// ```
+/// use tlbsim_core::MemoryAccess;
+/// use tlbsim_trace::{BinaryTraceReader, BinaryTraceWriter, TraceStreamExt};
+/// use tlbsim_workloads::TraceWorkload;
+///
+/// let path = std::env::temp_dir().join(format!("tlbt-window-{}", std::process::id()));
+/// let mut w = BinaryTraceWriter::create(std::fs::File::create(&path)?)?;
+/// for i in 0..50u64 {
+///     w.write(&MemoryAccess::read(0x400 + i, i * 4096))?;
+/// }
+/// w.finish()?;
+///
+/// // Record indexing: `window(skip, take)` over the streaming reader…
+/// let windowed: Vec<MemoryAccess> = BinaryTraceReader::open(std::fs::File::open(&path)?)?
+///     .map(|r| r.expect("valid record"))
+///     .window(7, 5)
+///     .collect();
+/// // …and `skip_accesses(skip)` on a replayed workload count records
+/// // identically: both start at record index 7.
+/// let trace = TraceWorkload::open(&path)?;
+/// let mut replay = trace.workload();
+/// assert_eq!(replay.skip_accesses(7), 7);
+/// let skipped: Vec<MemoryAccess> = replay.take(5).collect();
+/// assert_eq!(skipped, windowed);
+/// std::fs::remove_file(&path).ok();
+/// # Ok::<(), tlbsim_trace::TraceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceWorkload {
+    name: Arc<str>,
+    trace: MmapTrace,
+}
+
+impl TraceWorkload {
+    /// Opens and fully validates a trace file; the workload's name is
+    /// the file stem.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceError`] surfaced by mapping or validating the file —
+    /// truncated/bad headers, a torn final record, or an invalid
+    /// access-kind byte anywhere in the body.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let path = path.as_ref();
+        let name = path
+            .file_stem()
+            .map(|stem| stem.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".to_owned());
+        Self::from_trace(name, MmapTrace::open(path)?)
+    }
+
+    /// Wraps an already-mapped trace under an explicit name, running
+    /// the same full-body validation as [`TraceWorkload::open`].
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::InvalidKind`] if any record is corrupt.
+    pub fn from_trace(name: impl Into<String>, trace: MmapTrace) -> Result<Self, TraceError> {
+        trace.validate_records()?;
+        Ok(TraceWorkload {
+            name: Arc::from(name.into()),
+            trace,
+        })
+    }
+
+    /// The trace's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of recorded accesses (scale-independent).
+    pub fn stream_len(&self) -> u64 {
+        self.trace.record_count()
+    }
+
+    /// Which backend serves the bytes (`"mmap"` or the `"read"`
+    /// fallback).
+    pub fn backend(&self) -> &'static str {
+        self.trace.backend()
+    }
+
+    /// The underlying mapped trace.
+    pub fn trace(&self) -> &MmapTrace {
+        &self.trace
+    }
+
+    /// A fresh replay of the whole trace.
+    pub fn workload(&self) -> Workload {
+        Workload::from_source(
+            self.name.to_string(),
+            Box::new(TraceSource {
+                cursor: self.trace.cursor(),
+            }),
+        )
+    }
+}
+
+impl StreamSpec for TraceWorkload {
+    fn name(&self) -> &str {
+        TraceWorkload::name(self)
+    }
+
+    fn workload(&self, _scale: Scale) -> Workload {
+        TraceWorkload::workload(self)
+    }
+
+    fn stream_len(&self, _scale: Scale) -> u64 {
+        TraceWorkload::stream_len(self)
+    }
+}
+
+/// The [`AccessSource`] driving a trace replay: one cursor, decoded
+/// batch-wise straight out of the shared mapping.
+struct TraceSource {
+    cursor: MmapTraceCursor,
+}
+
+impl AccessSource for TraceSource {
+    fn fill(&mut self, buf: &mut [MemoryAccess]) -> usize {
+        // Every record was validated when the TraceWorkload was built,
+        // so a decode error here means the bytes changed under the
+        // mapping (the file was modified concurrently) — not a state
+        // this process can recover from mid-simulation.
+        self.cursor
+            .decode_batch(buf)
+            .expect("trace records were validated at open")
+    }
+
+    fn skip(&mut self, n: u64) -> u64 {
+        self.cursor.skip_records(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::find_app;
+
+    fn write_trace(tag: &str, records: &[MemoryAccess]) -> std::path::PathBuf {
+        use tlbsim_trace::BinaryTraceWriter;
+        let path = std::env::temp_dir().join(format!("tlbt-workload-{}-{tag}", std::process::id()));
+        let mut w = BinaryTraceWriter::create(std::fs::File::create(&path).unwrap()).unwrap();
+        for r in records {
+            w.write(r).unwrap();
+        }
+        w.finish().unwrap();
+        path
+    }
+
+    #[test]
+    fn replay_matches_the_recorded_generator_stream() {
+        let app = find_app("gap").unwrap();
+        let recorded: Vec<MemoryAccess> = app.workload(Scale::TINY).take(20_000).collect();
+        let path = write_trace("replay", &recorded);
+        let trace = TraceWorkload::open(&path).unwrap();
+        assert_eq!(trace.stream_len(), recorded.len() as u64);
+        let replayed: Vec<MemoryAccess> = trace.workload().collect();
+        assert_eq!(replayed, recorded);
+        // Replays are repeatable: a second workload starts from 0.
+        assert_eq!(trace.workload().count(), recorded.len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn skip_accesses_seeks_at_record_granularity() {
+        let recorded: Vec<MemoryAccess> = (0..500u64)
+            .map(|i| MemoryAccess::read(0x40 + i, i * 4096))
+            .collect();
+        let path = write_trace("skip", &recorded);
+        let trace = TraceWorkload::open(&path).unwrap();
+        for split in [0u64, 1, 250, 499, 500] {
+            let mut w = trace.workload();
+            assert_eq!(w.skip_accesses(split), split);
+            let tail: Vec<MemoryAccess> = w.collect();
+            assert_eq!(tail, recorded[split as usize..], "split {split}");
+        }
+        let mut w = trace.workload();
+        assert_eq!(w.skip_accesses(10_000), 500);
+        assert!(w.next().is_none());
+    }
+
+    #[test]
+    fn fill_batch_contract_matches_the_generators() {
+        let recorded: Vec<MemoryAccess> = (0..100u64)
+            .map(|i| MemoryAccess::read(0x40, i * 4096))
+            .collect();
+        let path = write_trace("fill", &recorded);
+        let trace = TraceWorkload::open(&path).unwrap();
+        let mut w = trace.workload();
+        let mut buf = vec![MemoryAccess::read(0, 0); 64];
+        assert_eq!(w.fill_batch(&mut buf), 64);
+        assert_eq!(w.fill_batch(&mut buf), 36);
+        assert_eq!(w.fill_batch(&mut buf), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stream_spec_surface_ignores_scale() {
+        let recorded: Vec<MemoryAccess> = (0..64u64)
+            .map(|i| MemoryAccess::read(0x40, i * 4096))
+            .collect();
+        let path = write_trace("spec", &recorded);
+        let trace = TraceWorkload::open(&path).unwrap();
+        let spec: &dyn StreamSpec = &trace;
+        assert_eq!(spec.stream_len(Scale::TINY), 64);
+        assert_eq!(spec.stream_len(Scale::STANDARD), 64);
+        assert_eq!(spec.workload(Scale::STANDARD).count(), 64);
+        assert!(spec.name().starts_with("tlbt-workload-"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_records_are_rejected_at_open() {
+        let recorded: Vec<MemoryAccess> = (0..10u64)
+            .map(|i| MemoryAccess::read(0x40, i * 4096))
+            .collect();
+        let path = write_trace("corrupt", &recorded);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let offset = tlbsim_trace::HEADER_BYTES + 6 * tlbsim_trace::RECORD_BYTES + 16;
+        bytes[offset] = 42;
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            TraceWorkload::open(&path),
+            Err(TraceError::InvalidKind { found: 42 })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -55,6 +55,23 @@
 //! multi-core hosts, and `xp --shards N` drives the figure-scale
 //! accuracy grids through the sharded path.
 //!
+//! ## Trace-driven execution
+//!
+//! The paper's methodology is trace-driven, and recorded traces are a
+//! first-class input here: [`trace::MmapTrace`] memory-maps a binary
+//! `TLBT` file (via the one `unsafe`-bearing shim crate;
+//! read-whole-file fallback elsewhere), validates it once, and decodes
+//! record batches zero-copy into the engines' buffers;
+//! [`workloads::TraceWorkload`] adapts a trace to the
+//! [`workloads::StreamSpec`] surface so [`sim::run_app`],
+//! [`sim::sweep`] and [`sim::run_app_sharded`] accept application
+//! models and traces interchangeably — sharded replay seeks each
+//! worker's cursor in O(1) because records are fixed 17-byte cells.
+//! `xp record` / `xp replay` drive it from the command line, the
+//! differential harness in `tests/trace_replay.rs` pins replayed
+//! statistics bit-identical to generator runs, and the `trace_replay`
+//! bench group gates replay at ≥ 0.8× generator throughput.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -92,5 +109,7 @@ pub mod prelude {
         compare_schemes, run_app, run_app_sharded, run_app_timed, Engine, ShardedRun, SimConfig,
         SimStats, TimingEngine,
     };
-    pub use tlbsim_workloads::{all_apps, find_app, suite_apps, AppSpec, Scale, Suite, Workload};
+    pub use tlbsim_workloads::{
+        all_apps, find_app, suite_apps, AppSpec, Scale, StreamSpec, Suite, TraceWorkload, Workload,
+    };
 }

@@ -1,0 +1,174 @@
+//! The differential trace-replay harness.
+//!
+//! The central claim of trace-driven execution is that a recorded trace
+//! is a *perfect* substitute for the generator that produced it: not
+//! approximately, but bit-for-bit, through every execution mode. This
+//! harness records one representative application per suite (family) to
+//! a `TLBT` file, replays it through [`TraceWorkload`], and asserts the
+//! replayed [`SimStats`] equal the generator run exactly — for all five
+//! prefetching mechanisms, sequentially and sharded at 1 and 4 shards.
+//! Sharded equality is the strong form: boundary cold-start effects are
+//! present in both runs and must line up shard by shard.
+//!
+//! A tiny recorded trace (`tests/data/gap-tiny-2k.tlbt`) is also checked
+//! in and pinned here, so format regressions fail against bytes this
+//! build did not produce.
+
+use tlb_distance::prelude::*;
+use tlb_distance::trace::{BinaryTraceReader, BinaryTraceWriter, MmapTrace};
+
+/// One representative per application family (suite), chosen for
+/// distinct stream shapes: mcf (SPEC, pointer-heavy), adpcm-enc
+/// (MediaBench, high-miss strided), perl4 (Etch desktop mix), ft
+/// (Pointer-Intensive chase).
+const FAMILY_REPS: [&str; 4] = ["mcf", "adpcm-enc", "perl4", "ft"];
+
+/// The five prefetching mechanisms under test.
+fn mechanisms() -> [PrefetcherConfig; 5] {
+    [
+        PrefetcherConfig::sequential(),
+        PrefetcherConfig::stride(),
+        PrefetcherConfig::markov(),
+        PrefetcherConfig::recency(),
+        PrefetcherConfig::distance(),
+    ]
+}
+
+fn record_to_temp(app: &AppSpec, tag: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "tlbsim-differential-{}-{}-{tag}.tlbt",
+        std::process::id(),
+        app.name
+    ));
+    let mut writer = BinaryTraceWriter::create(std::fs::File::create(&path).unwrap()).unwrap();
+    for access in app.workload(Scale::TINY) {
+        writer.write(&access).unwrap();
+    }
+    writer.finish().unwrap();
+    path
+}
+
+#[test]
+fn replayed_stats_are_bit_identical_for_every_family_and_mechanism() {
+    for name in FAMILY_REPS {
+        let app = find_app(name).expect("family representative is registered");
+        let path = record_to_temp(app, "seq");
+        let trace = TraceWorkload::open(&path).unwrap();
+        assert_eq!(trace.stream_len(), app.stream_len(Scale::TINY));
+
+        for prefetcher in mechanisms() {
+            let label = prefetcher.label();
+            let config = SimConfig::paper_default().with_prefetcher(prefetcher);
+            let from_generator = run_app(app, Scale::TINY, &config).unwrap();
+            let from_trace = run_app(&trace, Scale::TINY, &config).unwrap();
+            assert_eq!(
+                from_generator, from_trace,
+                "{name}/{label}: sequential replay diverged from the generator"
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[test]
+fn sharded_replay_matches_sharded_generator_runs_shard_by_shard() {
+    for name in FAMILY_REPS {
+        let app = find_app(name).expect("family representative is registered");
+        let path = record_to_temp(app, "sharded");
+        let trace = TraceWorkload::open(&path).unwrap();
+
+        for prefetcher in mechanisms() {
+            let label = prefetcher.label();
+            let config = SimConfig::paper_default().with_prefetcher(prefetcher);
+            for shards in [1usize, 4] {
+                let from_generator = run_app_sharded(app, Scale::TINY, &config, shards).unwrap();
+                let from_trace = run_app_sharded(&trace, Scale::TINY, &config, shards).unwrap();
+                assert_eq!(
+                    from_generator.merged, from_trace.merged,
+                    "{name}/{label}@{shards}: merged sharded stats diverged"
+                );
+                assert_eq!(
+                    from_generator.boundary_resident_prefetches,
+                    from_trace.boundary_resident_prefetches,
+                    "{name}/{label}@{shards}: boundary reconciliation diverged"
+                );
+                for (g, t) in from_generator.shards.iter().zip(&from_trace.shards) {
+                    assert_eq!(g.range, t.range, "{name}/{label}@{shards}: plan diverged");
+                    assert_eq!(
+                        g.stats, t.stats,
+                        "{name}/{label}@{shards}: a shard's stats diverged"
+                    );
+                }
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[test]
+fn one_shard_trace_replay_equals_the_sequential_replay() {
+    let app = find_app("mcf").unwrap();
+    let path = record_to_temp(app, "one-shard");
+    let trace = TraceWorkload::open(&path).unwrap();
+    let config = SimConfig::paper_default();
+    let sequential = run_app(&trace, Scale::TINY, &config).unwrap();
+    let sharded = run_app_sharded(&trace, Scale::TINY, &config, 1).unwrap();
+    assert_eq!(sharded.merged, sequential);
+    assert_eq!(sharded.boundary_resident_prefetches, 0);
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// The checked-in regression trace: 2000 records of gap at `Scale::TINY`
+/// recorded by `xp record --app gap --scale tiny --limit 2000`. These
+/// bytes were written by a past build, so any encoding or decoding
+/// drift in the current build fails against them.
+const REGRESSION_TRACE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/gap-tiny-2k.tlbt");
+
+#[test]
+fn checked_in_regression_trace_replays_identically_on_both_decoders() {
+    let trace = MmapTrace::open(REGRESSION_TRACE).unwrap();
+    assert_eq!(trace.record_count(), 2000);
+    assert_eq!(trace.byte_len(), 8 + 2000 * 17);
+
+    let via_mmap: Vec<MemoryAccess> = trace.cursor().map(|r| r.unwrap()).collect();
+    let via_reader: Vec<MemoryAccess> =
+        BinaryTraceReader::open(std::fs::File::open(REGRESSION_TRACE).unwrap())
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+    assert_eq!(via_mmap, via_reader);
+
+    // The recorded prefix equals what today's generator emits: the
+    // record pipeline (fill_batch -> writer) has not drifted.
+    let generated: Vec<MemoryAccess> = find_app("gap")
+        .unwrap()
+        .workload(Scale::TINY)
+        .take(2000)
+        .collect();
+    assert_eq!(via_mmap, generated);
+}
+
+#[test]
+fn checked_in_regression_trace_drives_the_full_stack() {
+    let trace = TraceWorkload::open(REGRESSION_TRACE).unwrap();
+    assert_eq!(trace.name(), "gap-tiny-2k");
+    assert_eq!(trace.stream_len(), 2000);
+
+    // Replay through the functional engine under DP: deterministic, so
+    // the coarse shape is pinned (exact values live in the generator
+    // differential tests above).
+    let stats = run_app(&trace, Scale::TINY, &SimConfig::paper_default()).unwrap();
+    assert_eq!(stats.accesses, 2000);
+    assert!(stats.misses > 0);
+    assert!(stats.misses <= stats.accesses);
+    assert_eq!(
+        stats.prefetch_buffer_hits + stats.demand_walks,
+        stats.misses
+    );
+
+    // And sharded replay of the checked-in bytes still partitions
+    // exactly.
+    let sharded = run_app_sharded(&trace, Scale::TINY, &SimConfig::paper_default(), 4).unwrap();
+    assert_eq!(sharded.merged.accesses, 2000);
+    assert_eq!(sharded.shards.len(), 4);
+}
