@@ -8,9 +8,12 @@
 //! choices documented in the repository `README.md`, `throughput.rs`
 //! gates the zero-allocation miss path (sink ≥ 1.5× the legacy `Vec`
 //! path), `sharding.rs` gates the sharded single-run executor
-//! (≥ 2× sequential throughput at 4 shards on ≥ 4-CPU hosts), and
+//! (≥ 2× sequential throughput at 4 shards on ≥ 4-CPU hosts),
 //! `trace_replay.rs` gates mmap trace replay (≥ 0.8× the
-//! generator-driven throughput on the identical stream).
+//! generator-driven throughput on the identical stream), and
+//! `multiprogram.rs` gates the interleaved multiprogrammed path
+//! (≥ 0.8× back-to-back single-stream throughput on the identical
+//! accesses).
 
 use tlbsim_sim::{Engine, SimConfig, SimStats};
 use tlbsim_workloads::{AppSpec, Scale};

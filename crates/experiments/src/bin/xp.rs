@@ -8,6 +8,8 @@
 //!    [--csv <dir>]
 //! xp record --app <name> [--scale <s>] [--limit <n>] [--out <path>]
 //! xp replay --trace <path> [--shards <n>] [--csv <dir>]
+//! xp mix --streams <a,b,…> [--quantum <n>] [--flush-on-switch]
+//!        [--scale <s>] [--shards <n>] [--csv <dir>]
 //! xp bench-json [--out <path>]
 //! ```
 //!
@@ -23,6 +25,15 @@
 //! the binary `TLBT` trace format; `replay` runs the figure grids'
 //! 21-scheme sweep over any such trace, mmap-replayed zero-copy.
 //!
+//! `mix` interleaves several streams — registered application names
+//! and/or `TLBT` trace paths, comma-separated — into one multiprogrammed
+//! stream under a round-robin `--quantum` (default 50000 accesses) and
+//! runs the same 21-scheme sweep over the interleave, printing aggregate
+//! and per-stream prediction accuracy. `--flush-on-switch` flushes the
+//! TLB, prefetch buffer and prediction tables at every context switch
+//! (the paper's §4 scenario); `--shards` partitions each run across
+//! workers at switch boundaries.
+//!
 //! `bench-json` measures simulator throughput (accesses/sec per scheme,
 //! the DP miss-path microbench, sharded-vs-sequential scaling of a
 //! figure-scale DP run, and mmap trace replay vs the generator) and
@@ -33,7 +44,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tlbsim_experiments::{
-    extras, figure7, figure8, figure9, replay, table1, table2, table3, throughput,
+    extras, figure7, figure8, figure9, mix, replay, table1, table2, table3, throughput,
 };
 use tlbsim_workloads::Scale;
 
@@ -46,6 +57,9 @@ struct Args {
     app: Option<String>,
     trace: Option<PathBuf>,
     limit: Option<u64>,
+    streams: Vec<String>,
+    quantum: u64,
+    flush_on_switch: bool,
 }
 
 fn usage() -> &'static str {
@@ -53,6 +67,8 @@ fn usage() -> &'static str {
      [--scale tiny|small|standard|<factor>] [--shards <n>] [--csv <dir>]\n       \
      xp record --app <name> [--scale <s>] [--limit <n>] [--out <path>]\n       \
      xp replay --trace <path> [--shards <n>] [--csv <dir>]\n       \
+     xp mix --streams <a,b,...> [--quantum <n>] [--flush-on-switch] \
+     [--scale <s>] [--shards <n>] [--csv <dir>]\n       \
      xp bench-json [--out <path>]"
 }
 
@@ -65,11 +81,39 @@ fn parse_args() -> Result<Args, String> {
     let mut app = None;
     let mut trace = None;
     let mut limit = None;
+    let mut streams = Vec::new();
+    let mut quantum = 50_000u64;
+    let mut flush_on_switch = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--app" => {
                 app = Some(argv.next().ok_or("--app needs an application name")?);
+            }
+            "--streams" => {
+                let value = argv
+                    .next()
+                    .ok_or("--streams needs a comma-separated list")?;
+                streams = value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if streams.is_empty() {
+                    return Err("--streams needs at least one stream".to_owned());
+                }
+            }
+            "--quantum" => {
+                let value = argv.next().ok_or("--quantum needs a value")?;
+                quantum = value
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("bad quantum {value:?} (want an integer >= 1)"))?;
+            }
+            "--flush-on-switch" => {
+                flush_on_switch = true;
             }
             "--trace" => {
                 trace = Some(PathBuf::from(
@@ -129,6 +173,9 @@ fn parse_args() -> Result<Args, String> {
         app,
         trace,
         limit,
+        streams,
+        quantum,
+        flush_on_switch,
     })
 }
 
@@ -154,6 +201,21 @@ fn run_replay(args: &Args) -> Result<(), String> {
         .ok_or_else(|| format!("replay needs --trace <path>\n{}", usage()))?;
     let report = replay::replay(trace, args.shards).map_err(|e| format!("replay: {e}"))?;
     emit("replay", report.render(), report.to_csv(), &args.csv_dir)
+}
+
+fn run_mix(args: &Args) -> Result<(), String> {
+    if args.streams.is_empty() {
+        return Err(format!("mix needs --streams <a,b,...>\n{}", usage()));
+    }
+    let report = mix::mix(
+        &args.streams,
+        args.scale,
+        args.quantum,
+        args.flush_on_switch,
+        args.shards,
+    )
+    .map_err(|e| format!("mix: {e}"))?;
+    emit("mix", report.render(), report.to_csv(), &args.csv_dir)
 }
 
 fn run_bench_json(out: &Option<PathBuf>) -> Result<(), String> {
@@ -235,6 +297,7 @@ fn main() -> ExitCode {
         "bench-json" => Some(run_bench_json(&args.out)),
         "record" => Some(run_record(&args)),
         "replay" => Some(run_replay(&args)),
+        "mix" => Some(run_mix(&args)),
         _ => None,
     } {
         return match outcome {

@@ -13,7 +13,8 @@
 //! | [`figure9`] | Figure 9 | DP sensitivity to r/assoc, s, b and TLB size on the 8 high-miss apps |
 //! | [`extras`] | §3.3 remainder | DP sensitivity to page size and TLB associativity |
 //! | [`replay`] | §3.1 methodology | trace recording (`xp record`) and full-speed mmap replay (`xp replay`) |
-//! | [`throughput`] | (telemetry) | simulator accesses/sec per scheme + DP miss-path microbench + trace replay |
+//! | [`mix`] | §4 outlook | multiprogrammed interleaves (`xp mix`): scheme sweep with context switches and per-stream attribution |
+//! | [`throughput`] | (telemetry) | simulator accesses/sec per scheme + DP miss-path microbench + trace replay + multiprogram interleave |
 //!
 //! Every module exposes `run(scale) -> Result<Data, SimError>` plus
 //! `render()` (aligned text, paper values alongside where applicable)
@@ -24,6 +25,7 @@
 //! xp figure7 --scale small --csv out/
 //! xp record --app galgel --scale small --out galgel.tlbt
 //! xp replay --trace galgel.tlbt --shards 4
+//! xp mix --streams galgel.tlbt,mcf,perl4 --quantum 50000 --flush-on-switch
 //! xp bench-json            # writes BENCH_throughput.json
 //! ```
 
@@ -35,6 +37,7 @@ pub mod figure7;
 pub mod figure8;
 pub mod figure9;
 mod grid;
+pub mod mix;
 pub mod replay;
 mod report;
 pub mod table1;

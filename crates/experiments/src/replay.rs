@@ -22,7 +22,7 @@ use tlbsim_workloads::{find_app, AppSpec, Scale, TraceWorkload};
 use crate::grid::{paper_scheme_grid, GridCell};
 use crate::report::{fmt3, fmt4, TextTable};
 
-/// Errors from the record/replay drivers.
+/// Errors from the record/replay/mix drivers.
 #[derive(Debug)]
 pub enum ReplayError {
     /// The named application is not registered.
@@ -33,6 +33,8 @@ pub enum ReplayError {
     Trace(TraceError),
     /// An I/O failure on the trace file.
     Io(io::Error),
+    /// A malformed multiprogrammed mix (see [`crate::mix`]).
+    Mix(tlbsim_workloads::MixError),
 }
 
 impl fmt::Display for ReplayError {
@@ -44,6 +46,7 @@ impl fmt::Display for ReplayError {
             ReplayError::Sim(e) => write!(f, "{e}"),
             ReplayError::Trace(e) => write!(f, "{e}"),
             ReplayError::Io(e) => write!(f, "trace file i/o: {e}"),
+            ReplayError::Mix(e) => write!(f, "{e}"),
         }
     }
 }

@@ -19,9 +19,13 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+use std::sync::Arc;
+
 use tlbsim_core::{CandidateBuf, MemoryAccess, MissContext, Pc, PrefetcherConfig, VirtPage};
-use tlbsim_sim::{run_app, run_app_sharded, Engine, SimConfig, SimError};
-use tlbsim_workloads::{find_app, AppSpec, Scale, TraceWorkload};
+use tlbsim_sim::{run_app, run_app_sharded, run_mix, Engine, SimConfig, SimError};
+use tlbsim_workloads::{
+    find_app, AppSpec, MultiStreamSpec, Scale, Schedule, StreamSpec, TraceWorkload,
+};
 
 /// Minimum accumulated measurement time per kernel.
 const MIN_MEASURE: Duration = Duration::from_millis(150);
@@ -114,6 +118,42 @@ impl TraceReplayThroughput {
     }
 }
 
+/// Single-stream versus multiprogrammed-interleave throughput of the
+/// same two reference streams through the same DP engine.
+///
+/// The single-stream path runs the component streams back-to-back
+/// (`run_app` twice); the interleaved path runs the identical accesses
+/// as one multiprogrammed stream through the switch-aware
+/// [`tlbsim_sim::run_mix`] — segment bookkeeping plus per-stream
+/// attribution are the only extra work, so the ratio measures the cost
+/// of multiprogrammed execution itself. The gate (interleave ≥ 0.8× the
+/// single-stream path) lives in `cargo bench`'s `multiprogram` group
+/// (`tlbsim-bench`, `benches/multiprogram.rs`); this snapshot records
+/// what the host measured.
+#[derive(Debug, Clone)]
+pub struct MultiprogramThroughput {
+    /// Component stream names, in rotation order.
+    pub streams: Vec<String>,
+    /// Total accesses per measured run (sum of both streams).
+    pub accesses: u64,
+    /// Round-robin quantum of the interleave, in accesses.
+    pub quantum: u64,
+    /// Best back-to-back single-stream nanoseconds per access.
+    pub single_stream_ns_per_access: f64,
+    /// Best interleaved (no-flush) nanoseconds per access.
+    pub interleaved_ns_per_access: f64,
+    /// Best interleaved nanoseconds per access with flush-on-switch.
+    pub flush_interleaved_ns_per_access: f64,
+}
+
+impl MultiprogramThroughput {
+    /// Interleaved throughput as a fraction of single-stream throughput
+    /// (1.0 = parity; the bench gate requires ≥ 0.8).
+    pub fn interleave_vs_single_stream(&self) -> f64 {
+        self.single_stream_ns_per_access / self.interleaved_ns_per_access
+    }
+}
+
 /// The full telemetry snapshot.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
@@ -125,6 +165,8 @@ pub struct ThroughputReport {
     pub shard_scaling: ShardScaling,
     /// Generator vs mmap-trace-replay throughput.
     pub trace_replay: TraceReplayThroughput,
+    /// Single-stream vs multiprogrammed-interleave throughput.
+    pub multiprogram: MultiprogramThroughput,
 }
 
 /// A deterministic synthetic miss stream mixing strided runs with
@@ -229,6 +271,7 @@ pub fn run() -> Result<ThroughputReport, SimError> {
 
     let shard_scaling = measure_shard_scaling()?;
     let trace_replay = measure_trace_replay()?;
+    let multiprogram = measure_multiprogram()?;
 
     let misses = mixed_miss_stream(10_000);
     let mut dp = PrefetcherConfig::distance().build()?;
@@ -256,6 +299,7 @@ pub fn run() -> Result<ThroughputReport, SimError> {
         },
         shard_scaling,
         trace_replay,
+        multiprogram,
     })
 }
 
@@ -324,6 +368,58 @@ fn measure_trace_replay() -> Result<TraceReplayThroughput, SimError> {
         backend,
         generator_ns_per_access: generator.as_nanos() as f64 / summary.records as f64,
         replay_ns_per_access: replay.as_nanos() as f64 / summary.records as f64,
+    })
+}
+
+/// The multiprogram fixture: the two highest-profile pointer/graph
+/// miss streams (gap + mcf) interleaved round-robin at a realistic
+/// preemption quantum, under the representative DP configuration.
+/// `tlbsim-bench`'s `multiprogram` group measures the identical fixture
+/// so the gate and this telemetry stay comparable.
+pub fn multiprogram_fixture() -> (MultiStreamSpec, Scale, SimConfig) {
+    let streams: Vec<Arc<dyn StreamSpec>> = ["gap", "mcf"]
+        .iter()
+        .map(|name| Arc::new(find_app(name).expect("registered")) as Arc<dyn StreamSpec>)
+        .collect();
+    let mix = MultiStreamSpec::new(streams, Schedule::RoundRobin { quantum: 4096 })
+        .expect("two-stream fixture is a valid mix");
+    (mix, Scale::SMALL, SimConfig::paper_default())
+}
+
+/// Times the component streams back-to-back against the multiprogrammed
+/// interleave of the identical accesses (with and without
+/// flush-on-switch).
+fn measure_multiprogram() -> Result<MultiprogramThroughput, SimError> {
+    let (mix, scale, config) = multiprogram_fixture();
+    let accesses = mix.stream_len(scale);
+    // Describe what the fixture actually is, so an edit to
+    // multiprogram_fixture can never leave this snapshot mislabelled.
+    let streams = mix.stream_names().iter().map(|s| s.to_string()).collect();
+    let Schedule::RoundRobin { quantum } = *mix.schedule() else {
+        unreachable!("the multiprogram fixture is round-robin");
+    };
+
+    // Validate once so the timed kernels can unwrap.
+    run_mix(&mix, scale, &config, false)?;
+    let single = best_time(|| {
+        for stream in mix.streams() {
+            std::hint::black_box(run_app(stream, scale, &config).expect("validated"));
+        }
+    });
+    let interleaved = best_time(|| {
+        std::hint::black_box(run_mix(&mix, scale, &config, false).expect("validated"));
+    });
+    let flushed = best_time(|| {
+        std::hint::black_box(run_mix(&mix, scale, &config, true).expect("validated"));
+    });
+
+    Ok(MultiprogramThroughput {
+        streams,
+        accesses,
+        quantum,
+        single_stream_ns_per_access: single.as_nanos() as f64 / accesses as f64,
+        interleaved_ns_per_access: interleaved.as_nanos() as f64 / accesses as f64,
+        flush_interleaved_ns_per_access: flushed.as_nanos() as f64 / accesses as f64,
     })
 }
 
@@ -406,6 +502,20 @@ impl ThroughputReport {
             tr.replay_ns_per_access,
             tr.replay_vs_generator()
         );
+        let mp = &self.multiprogram;
+        let _ = writeln!(
+            out,
+            "Multiprogram ({}, {} accesses, quantum {}): single-stream {:.2} ns/access, \
+             interleaved {:.2} ns/access ({:.2}x of single-stream throughput), \
+             flush-on-switch {:.2} ns/access",
+            mp.streams.join("+"),
+            mp.accesses,
+            mp.quantum,
+            mp.single_stream_ns_per_access,
+            mp.interleaved_ns_per_access,
+            mp.interleave_vs_single_stream(),
+            mp.flush_interleaved_ns_per_access
+        );
         out
     }
 
@@ -460,7 +570,7 @@ impl ThroughputReport {
             out,
             "  \"trace_replay\": {{\"app\": \"{}\", \"accesses\": {}, \"trace_bytes\": {}, \
              \"backend\": \"{}\", \"generator_ns_per_access\": {:.3}, \
-             \"replay_ns_per_access\": {:.3}, \"replay_vs_generator\": {:.3}}}",
+             \"replay_ns_per_access\": {:.3}, \"replay_vs_generator\": {:.3}}},",
             tr.app,
             tr.accesses,
             tr.trace_bytes,
@@ -468,6 +578,22 @@ impl ThroughputReport {
             tr.generator_ns_per_access,
             tr.replay_ns_per_access,
             tr.replay_vs_generator()
+        );
+        let mp = &self.multiprogram;
+        let streams: Vec<String> = mp.streams.iter().map(|s| format!("\"{s}\"")).collect();
+        let _ = writeln!(
+            out,
+            "  \"multiprogram\": {{\"streams\": [{}], \"accesses\": {}, \"quantum\": {}, \
+             \"single_stream_ns_per_access\": {:.3}, \"interleaved_ns_per_access\": {:.3}, \
+             \"flush_interleaved_ns_per_access\": {:.3}, \
+             \"interleave_vs_single_stream\": {:.3}}}",
+            streams.join(", "),
+            mp.accesses,
+            mp.quantum,
+            mp.single_stream_ns_per_access,
+            mp.interleaved_ns_per_access,
+            mp.flush_interleaved_ns_per_access,
+            mp.interleave_vs_single_stream()
         );
         out.push_str("}\n");
         out
@@ -509,6 +635,11 @@ mod tests {
         );
         assert!(tr.backend == "mmap" || tr.backend == "read");
         assert!(tr.replay_vs_generator() > 0.0);
+        let mp = &report.multiprogram;
+        assert_eq!(mp.streams, vec!["gap", "mcf"]);
+        assert!(mp.accesses > 0);
+        assert!(mp.interleave_vs_single_stream() > 0.0);
+        assert!(mp.flush_interleaved_ns_per_access > 0.0);
         let json = report.to_json();
         assert!(json.contains("\"scheme\": \"DP\""));
         assert!(json.contains("dp_miss_path"));
@@ -516,11 +647,14 @@ mod tests {
         assert!(json.contains("\"speedup_vs_sequential\""));
         assert!(json.contains("\"trace_replay\""));
         assert!(json.contains("\"replay_vs_generator\""));
+        assert!(json.contains("\"multiprogram\""));
+        assert!(json.contains("\"interleave_vs_single_stream\""));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         let rendered = report.render();
         assert!(rendered.contains("DP miss path"));
         assert!(rendered.contains("Trace replay"));
+        assert!(rendered.contains("Multiprogram"));
     }
 }

@@ -507,4 +507,33 @@ mod tests {
         let mut e = Engine::new(&SimConfig::paper_default()).unwrap();
         e.run_with_flush_interval(std::iter::empty(), 0);
     }
+
+    #[test]
+    fn flushing_at_every_access_degenerates_to_a_cold_tlb() {
+        // interval = 1 flushes translation *and* prediction state after
+        // each reference: nothing can ever hit — not the TLB, not the
+        // prefetch buffer — so the run degenerates to the all-cold
+        // extreme regardless of the stream's locality.
+        let stream: Vec<MemoryAccess> = seq_stream(500, 4).collect();
+        let mut e = Engine::new(&SimConfig::paper_default()).unwrap();
+        e.run_with_flush_interval(stream.iter().copied(), 1);
+        let s = e.stats();
+        assert_eq!(s.misses, s.accesses, "every access must miss");
+        assert_eq!(s.prefetch_buffer_hits, 0, "the buffer never survives");
+        assert_eq!(s.demand_walks, s.accesses);
+        assert_eq!(s.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn flush_interval_of_the_stream_length_matches_a_plain_run_bit_identically() {
+        let stream: Vec<MemoryAccess> = seq_stream(1200, 3).collect();
+        let mut plain = Engine::new(&SimConfig::paper_default()).unwrap();
+        plain.run(stream.iter().copied());
+        let mut flushed = Engine::new(&SimConfig::paper_default()).unwrap();
+        // The single flush lands after the final access, where it can no
+        // longer affect any counter — including the footprint, which the
+        // page table carries across context switches.
+        flushed.run_with_flush_interval(stream.iter().copied(), stream.len() as u64);
+        assert_eq!(flushed.stats(), plain.stats());
+    }
 }

@@ -29,6 +29,18 @@
 //!   footprint-union and prefetch-buffer boundary reconciliation).
 //!   `shards = 1` is bit-identical to the sequential path.
 //!
+//! ## Multiprogrammed execution
+//!
+//! A `tlbsim_workloads::MultiStreamSpec` interleaves several streams as
+//! one machine's reference stream. [`run_mix`] executes it with
+//! context-switch semantics — optional flush of TLB + prediction state
+//! at every stream switch — and attributes hits/misses/prefetch
+//! outcomes per stream ([`SimStats::per_stream`], a fixed-capacity
+//! [`PerStreamStats`] that rides every existing `SimStats` channel);
+//! [`run_mix_sharded`] partitions the interleave at switch boundaries,
+//! which makes flush-on-switch sharding *bit-identical* to the
+//! sequential run at any shard count.
+//!
 //! ## Batching contract
 //!
 //! Every engine processes references through `access_batch(&[MemoryAccess])`
@@ -63,13 +75,14 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod batch;
 mod cache_engine;
 mod config;
 mod engine;
 mod hierarchy_engine;
+mod multiprog;
 mod runner;
 mod shard;
 mod stats;
@@ -79,9 +92,10 @@ pub use cache_engine::{CacheEngine, CacheStats};
 pub use config::{SimConfig, SimError};
 pub use engine::Engine;
 pub use hierarchy_engine::{HierarchyEngine, HierarchyStats};
+pub use multiprog::{run_mix, run_mix_sharded};
 pub use runner::{
     compare_schemes, run_app, run_app_timed, sweep, SweepJob, SweepResult, SweepSpec,
 };
 pub use shard::{run_app_sharded, ShardOutcome, ShardPlan, ShardRange, ShardedRun};
-pub use stats::{SimStats, TimingStats};
+pub use stats::{PerStreamStats, SimStats, StreamStats, TimingStats, MAX_STREAMS};
 pub use timing_engine::TimingEngine;

@@ -1,0 +1,444 @@
+//! Multiprogrammed (interleaved) execution with context-switch
+//! semantics.
+//!
+//! The plain runners treat a [`MultiStreamSpec`] like any other stream:
+//! `run_app(&mix, …)` simulates the interleave as one merged reference
+//! stream (the mix implements `StreamSpec`). What they cannot do is see
+//! the *switches* — the paper's §4 names flushing translation and
+//! prediction state across context switches as the open multiprogramming
+//! question, and per-tenant attribution is what makes a consolidated
+//! result legible. This module adds the switch-aware entry points:
+//!
+//! * [`run_mix`] walks the interleave segment-by-segment (the schedule's
+//!   own decisions, via [`MultiStreamSpec::segments`]), optionally
+//!   flushing the TLB, prefetch buffer and prediction tables at every
+//!   stream switch ([`Engine::context_switch`] — the same flush path
+//!   behind [`Engine::run_with_flush_interval`]), and attributes every
+//!   segment's accesses, misses and prefetch outcomes to its stream in
+//!   [`SimStats::per_stream`];
+//! * [`run_mix_sharded`] partitions the interleave across worker threads
+//!   at **switch boundaries** and folds per-shard statistics through the
+//!   exact machinery of [`run_app_sharded`](crate::run_app_sharded)
+//!   ([`SimStats::merge`] carries the per-stream breakdown, the
+//!   footprint is recomputed as a union, boundary prefetch-buffer
+//!   residency is surfaced).
+//!
+//! ## Why switch-aligned shards
+//!
+//! A shard starts cold: empty TLB, empty buffer, unlearned tables. Under
+//! `flush_on_switch` that is *exactly* the machine state a sequential
+//! run has immediately after a context switch — so cutting the stream
+//! only at switches makes the sharded run **bit-identical** to the
+//! sequential one (pinned by the differential tests), not merely
+//! approximately equal. Without flushing, boundaries introduce the same
+//! bounded cold-start effects as ordinary sharding, quantified by
+//! [`ShardedRun::boundary_resident_prefetches`].
+
+use tlbsim_workloads::{MultiStreamSpec, Scale, StreamSpec, Workload};
+
+use crate::config::{SimConfig, SimError};
+use crate::engine::Engine;
+use crate::shard::{fold_shards, parallel_indexed, ShardHarvest, ShardRange, ShardedRun};
+use crate::stats::{PerStreamStats, SimStats, StreamStats};
+
+/// The attribution-relevant difference between two engine snapshots —
+/// what one segment of one stream contributed.
+fn share_between(before: &SimStats, after: &SimStats) -> StreamStats {
+    StreamStats {
+        accesses: after.accesses - before.accesses,
+        misses: after.misses - before.misses,
+        prefetch_buffer_hits: after.prefetch_buffer_hits - before.prefetch_buffer_hits,
+        demand_walks: after.demand_walks - before.demand_walks,
+        prefetches_issued: after.prefetches_issued - before.prefetches_issued,
+    }
+}
+
+/// Runs a multiprogrammed interleave through the functional engine with
+/// context-switch semantics and per-stream attribution.
+///
+/// Segments execute in schedule order on one engine. When
+/// `flush_on_switch` is set, every change of running stream flushes the
+/// TLB, the prefetch buffer and the prefetcher's learned state
+/// ([`Engine::context_switch`]); the page table survives, as
+/// translations do across a real context switch. Each segment's counter
+/// deltas are attributed to its stream in the returned
+/// [`SimStats::per_stream`] breakdown.
+///
+/// A 1-stream mix has no switches, so — flush flag or not — the result
+/// equals the plain [`run_app`](crate::run_app) on that stream (the
+/// aggregate counters bit-identically; `per_stream` additionally holds
+/// the single stream's full share).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the configuration is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use tlbsim_sim::{run_mix, SimConfig};
+/// use tlbsim_workloads::{find_app, MultiStreamSpec, Scale, Schedule, StreamSpec};
+///
+/// let mix = MultiStreamSpec::new(
+///     vec![
+///         Arc::new(find_app("gap").expect("registered")) as Arc<dyn StreamSpec>,
+///         Arc::new(find_app("mcf").expect("registered")),
+///     ],
+///     Schedule::RoundRobin { quantum: 10_000 },
+/// )
+/// .expect("valid mix");
+/// let stats = run_mix(&mix, Scale::TINY, &SimConfig::paper_default(), true)?;
+///
+/// // Attribution is exhaustive: the per-stream shares sum back to the
+/// // aggregate counters.
+/// assert_eq!(stats.per_stream.len(), 2);
+/// let attributed: u64 = stats.per_stream.streams().iter().map(|s| s.accesses).sum();
+/// assert_eq!(attributed, stats.accesses);
+/// # Ok::<(), tlbsim_sim::SimError>(())
+/// ```
+pub fn run_mix(
+    mix: &MultiStreamSpec,
+    scale: Scale,
+    config: &SimConfig,
+    flush_on_switch: bool,
+) -> Result<SimStats, SimError> {
+    let mut engine = Engine::new(config)?;
+    let mut workloads: Vec<Workload> = mix.streams().iter().map(|s| s.workload(scale)).collect();
+    let mut per = PerStreamStats::with_streams(mix.streams().len());
+    let mut running: Option<usize> = None;
+    for segment in mix.segments(scale) {
+        if flush_on_switch && running.is_some_and(|r| r != segment.stream) {
+            engine.context_switch();
+        }
+        running = Some(segment.stream);
+        let before = *engine.stats();
+        engine.run_workload_limit(&mut workloads[segment.stream], segment.len);
+        let share = share_between(&before, engine.stats());
+        debug_assert_eq!(
+            share.accesses, segment.len,
+            "stream {} ended before its reported stream_len",
+            segment.stream
+        );
+        per.record(segment.stream, &share);
+    }
+    let mut stats = *engine.finish();
+    stats.per_stream = per;
+    Ok(stats)
+}
+
+/// One switch-delimited run of consecutive same-stream segments — the
+/// unit shard boundaries may fall on.
+#[derive(Debug, Clone, Copy)]
+struct MixSlice {
+    stream: usize,
+    start_in_stream: u64,
+    len: u64,
+}
+
+/// Coalesces the schedule's segments into switch-delimited slices.
+/// Consecutive segments of the same stream (the tail once every other
+/// stream has exhausted) fuse, so a boundary between any two slices is
+/// always a genuine context switch.
+fn switch_slices(mix: &MultiStreamSpec, scale: Scale) -> Vec<MixSlice> {
+    let mut slices: Vec<MixSlice> = Vec::new();
+    for segment in mix.segments(scale) {
+        match slices.last_mut() {
+            Some(last) if last.stream == segment.stream => last.len += segment.len,
+            _ => slices.push(MixSlice {
+                stream: segment.stream,
+                start_in_stream: segment.start,
+                len: segment.len,
+            }),
+        }
+    }
+    slices
+}
+
+/// Partitions `slices` into `shards` contiguous groups of roughly equal
+/// access counts, cutting only between slices. Returns per-shard slice
+/// index ranges alongside the equivalent access-stream [`ShardRange`]s.
+fn plan_slice_groups(
+    slices: &[MixSlice],
+    shards: usize,
+) -> (Vec<std::ops::Range<usize>>, Vec<ShardRange>) {
+    let total: u64 = slices.iter().map(|s| s.len).sum();
+    let mut groups = Vec::with_capacity(shards);
+    let mut ranges = Vec::with_capacity(shards);
+    let mut next_slice = 0usize;
+    let mut position = 0u64;
+    for shard in 0..shards {
+        let target = (shard as u64 + 1) * total / shards as u64;
+        let start_slice = next_slice;
+        let start_position = position;
+        while next_slice < slices.len() && (position < target || shard + 1 == shards) {
+            position += slices[next_slice].len;
+            next_slice += 1;
+        }
+        groups.push(start_slice..next_slice);
+        ranges.push(ShardRange {
+            start: start_position,
+            len: position - start_position,
+        });
+    }
+    (groups, ranges)
+}
+
+/// Runs one shard's group of slices on a fresh engine, with per-stream
+/// workloads positioned by arithmetic, and harvests its statistics.
+fn run_slice_group(
+    mix: &MultiStreamSpec,
+    scale: Scale,
+    config: &SimConfig,
+    flush_on_switch: bool,
+    slices: &[MixSlice],
+) -> ShardHarvest {
+    let mut engine = Engine::new(config).expect("configuration validated by the caller");
+    let mut per = PerStreamStats::with_streams(mix.streams().len());
+    // Stream workloads are created on first use and positioned with one
+    // skip; within a group each stream's slices are consecutive chunks
+    // of that stream, so later slices continue without reseeking.
+    let mut workloads: Vec<Option<Workload>> = (0..mix.streams().len()).map(|_| None).collect();
+    for (index, slice) in slices.iter().enumerate() {
+        if flush_on_switch && index > 0 {
+            // Coalescing guarantees consecutive slices switch streams.
+            engine.context_switch();
+        }
+        let workload = match &mut workloads[slice.stream] {
+            Some(w) => w,
+            none => {
+                let mut fresh = mix.streams()[slice.stream].workload(scale);
+                let skipped = fresh.skip_accesses(slice.start_in_stream);
+                debug_assert_eq!(
+                    skipped, slice.start_in_stream,
+                    "stream shorter than planned"
+                );
+                none.insert(fresh)
+            }
+        };
+        let before = *engine.stats();
+        engine.run_workload_limit(workload, slice.len);
+        per.record(slice.stream, &share_between(&before, engine.stats()));
+    }
+    let mut stats = *engine.finish();
+    stats.per_stream = per;
+    (
+        stats,
+        engine.touched_pages_snapshot(),
+        engine.resident_prefetches(),
+    )
+}
+
+/// Partitions a multiprogrammed interleave across `shards` worker
+/// threads — cutting only at context-switch boundaries — and merges the
+/// per-shard statistics deterministically, per-stream attribution
+/// included.
+///
+/// The fold is the sharded executor's own: counters merge in shard order
+/// via [`SimStats::merge`] (which carries [`SimStats::per_stream`]
+/// positionally), the merged footprint is the exact union of shard page
+/// sets, and non-final prefetch-buffer residency is reported as
+/// [`ShardedRun::boundary_resident_prefetches`]. With `shards = 1` the
+/// result is bit-identical to [`run_mix`]; with `flush_on_switch` it is
+/// bit-identical at **every** shard count, because each shard boundary
+/// coincides with a flush the sequential run performs anyway.
+///
+/// Slices cannot be cut below switch granularity, so shard balance is
+/// bounded by the schedule: a mix whose tail is one long single-stream
+/// run keeps that run on a single worker.
+///
+/// # Errors
+///
+/// Returns [`SimError::ZeroShards`] for `shards == 0`, or the
+/// configuration's own error if it is invalid.
+pub fn run_mix_sharded(
+    mix: &MultiStreamSpec,
+    scale: Scale,
+    config: &SimConfig,
+    flush_on_switch: bool,
+    shards: usize,
+) -> Result<ShardedRun, SimError> {
+    if shards == 0 {
+        return Err(SimError::ZeroShards);
+    }
+    // Validate once, up front, so workers can assume constructibility.
+    drop(Engine::new(config)?);
+
+    let slices = switch_slices(mix, scale);
+    let (groups, ranges) = plan_slice_groups(&slices, shards);
+
+    let harvests = parallel_indexed(shards, |index| {
+        run_slice_group(
+            mix,
+            scale,
+            config,
+            flush_on_switch,
+            &slices[groups[index].clone()],
+        )
+    });
+    Ok(fold_shards(harvests, &ranges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_app;
+    use std::sync::Arc;
+    use tlbsim_workloads::{find_app, Schedule};
+
+    fn mix_of(names: &[&str], schedule: Schedule) -> MultiStreamSpec {
+        let streams: Vec<Arc<dyn StreamSpec>> = names
+            .iter()
+            .map(|n| Arc::new(find_app(n).unwrap()) as Arc<dyn StreamSpec>)
+            .collect();
+        MultiStreamSpec::new(streams, schedule).unwrap()
+    }
+
+    #[test]
+    fn attribution_is_exhaustive_and_per_stream_lengths_are_exact() {
+        let mix = mix_of(&["gap", "mcf"], Schedule::RoundRobin { quantum: 1000 });
+        let stats = run_mix(&mix, Scale::TINY, &SimConfig::paper_default(), false).unwrap();
+        assert_eq!(stats.per_stream.len(), 2);
+        for (share, spec) in stats.per_stream.streams().iter().zip(mix.streams()) {
+            assert_eq!(share.accesses, spec.stream_len(Scale::TINY));
+        }
+        let shares = stats.per_stream.streams();
+        let sum = |f: fn(&StreamStats) -> u64| -> u64 { shares.iter().map(f).sum() };
+        assert_eq!(sum(|s| s.accesses), stats.accesses);
+        assert_eq!(sum(|s| s.misses), stats.misses);
+        assert_eq!(sum(|s| s.prefetch_buffer_hits), stats.prefetch_buffer_hits);
+        assert_eq!(sum(|s| s.demand_walks), stats.demand_walks);
+        assert_eq!(sum(|s| s.prefetches_issued), stats.prefetches_issued);
+    }
+
+    #[test]
+    fn flushing_on_switch_costs_accuracy_never_changes_miss_attribution_totals() {
+        let mix = mix_of(&["gap", "eon"], Schedule::RoundRobin { quantum: 500 });
+        let config = SimConfig::paper_default();
+        let kept = run_mix(&mix, Scale::TINY, &config, false).unwrap();
+        let flushed = run_mix(&mix, Scale::TINY, &config, true).unwrap();
+        assert_eq!(kept.accesses, flushed.accesses);
+        assert!(
+            flushed.misses >= kept.misses,
+            "flushes cannot reduce misses"
+        );
+        assert!(flushed.accuracy() <= kept.accuracy() + 1e-12);
+    }
+
+    #[test]
+    fn one_stream_mix_matches_run_app_in_aggregate() {
+        let mix = mix_of(&["gap"], Schedule::RoundRobin { quantum: 333 });
+        let config = SimConfig::paper_default();
+        let plain = run_app(find_app("gap").unwrap(), Scale::TINY, &config).unwrap();
+        for flush in [false, true] {
+            let mut mixed = run_mix(&mix, Scale::TINY, &config, flush).unwrap();
+            assert_eq!(mixed.per_stream.len(), 1);
+            assert_eq!(mixed.per_stream.streams()[0].accesses, plain.accesses);
+            mixed.per_stream = PerStreamStats::default();
+            assert_eq!(mixed, plain, "flush={flush}");
+        }
+    }
+
+    #[test]
+    fn slice_groups_partition_exactly_at_switch_boundaries() {
+        let mix = mix_of(
+            &["gap", "mcf", "eon"],
+            Schedule::RoundRobin { quantum: 700 },
+        );
+        let slices = switch_slices(&mix, Scale::TINY);
+        assert!(slices.windows(2).all(|w| w[0].stream != w[1].stream));
+        let total: u64 = slices.iter().map(|s| s.len).sum();
+        assert_eq!(total, mix.stream_len(Scale::TINY));
+        for shards in [1usize, 2, 4, 64] {
+            let (groups, ranges) = plan_slice_groups(&slices, shards);
+            assert_eq!(groups.len(), shards);
+            assert_eq!(ranges.len(), shards);
+            // Groups are contiguous, disjoint and exhaustive.
+            let mut next = 0usize;
+            let mut position = 0u64;
+            for (group, range) in groups.iter().zip(&ranges) {
+                assert_eq!(group.start, next);
+                next = group.end;
+                assert_eq!(range.start, position);
+                let len: u64 = slices[group.clone()].iter().map(|s| s.len).sum();
+                assert_eq!(range.len, len);
+                position += len;
+            }
+            assert_eq!(next, slices.len());
+            assert_eq!(position, total);
+        }
+    }
+
+    #[test]
+    fn sharded_mix_with_flush_is_bit_identical_to_sequential() {
+        let mix = mix_of(&["gap", "mcf"], Schedule::RoundRobin { quantum: 800 });
+        let config = SimConfig::paper_default();
+        let sequential = run_mix(&mix, Scale::TINY, &config, true).unwrap();
+        for shards in [1usize, 2, 4] {
+            let sharded = run_mix_sharded(&mix, Scale::TINY, &config, true, shards).unwrap();
+            assert_eq!(
+                sharded.merged, sequential,
+                "{shards} shards diverged under flush-on-switch"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_mix_without_flush_conserves_accesses_and_attribution() {
+        let mix = mix_of(&["gap", "eon"], Schedule::RoundRobin { quantum: 900 });
+        let config = SimConfig::paper_default();
+        let sequential = run_mix(&mix, Scale::TINY, &config, false).unwrap();
+        for shards in [1usize, 2, 4] {
+            let sharded = run_mix_sharded(&mix, Scale::TINY, &config, false, shards).unwrap();
+            assert_eq!(sharded.merged.accesses, sequential.accesses);
+            assert_eq!(sharded.merged.per_stream.len(), 2);
+            for (share, expected) in sharded
+                .merged
+                .per_stream
+                .streams()
+                .iter()
+                .zip(sequential.per_stream.streams())
+            {
+                assert_eq!(share.accesses, expected.accesses, "shards={shards}");
+            }
+            if shards == 1 {
+                assert_eq!(sharded.merged, sequential, "one shard must be sequential");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let mix = mix_of(&["gap"], Schedule::RoundRobin { quantum: 10 });
+        assert!(matches!(
+            run_mix_sharded(&mix, Scale::TINY, &SimConfig::paper_default(), false, 0),
+            Err(SimError::ZeroShards)
+        ));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_spawning() {
+        let mix = mix_of(&["gap"], Schedule::RoundRobin { quantum: 10 });
+        let bad = SimConfig::paper_default().with_prefetch_buffer(0);
+        assert!(matches!(
+            run_mix_sharded(&mix, Scale::TINY, &bad, false, 2),
+            Err(SimError::ZeroPrefetchBuffer)
+        ));
+        assert!(matches!(
+            run_mix(&mix, Scale::TINY, &bad, false),
+            Err(SimError::ZeroPrefetchBuffer)
+        ));
+    }
+
+    #[test]
+    fn more_shards_than_slices_leave_empty_tails() {
+        let mix = mix_of(&["gap", "mcf"], Schedule::RoundRobin { quantum: 1 << 40 });
+        // Giant quantum: exactly two slices. Eight shards → six empty.
+        let run =
+            run_mix_sharded(&mix, Scale::TINY, &SimConfig::paper_default(), false, 8).unwrap();
+        assert_eq!(run.shards.len(), 8);
+        let nonempty = run.shards.iter().filter(|s| s.range.len > 0).count();
+        assert_eq!(nonempty, 2);
+        assert_eq!(run.merged.accesses, mix.stream_len(Scale::TINY));
+    }
+}

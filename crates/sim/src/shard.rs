@@ -45,6 +45,54 @@ use crate::config::{SimConfig, SimError};
 use crate::engine::Engine;
 use crate::stats::SimStats;
 
+/// Runs `count` index-addressed tasks on a scoped worker pool bounded
+/// by the machine's available parallelism and returns the results in
+/// index order.
+///
+/// This is the execution scaffold shared by the sharded runners
+/// ([`run_app_sharded`], [`run_mix_sharded`](crate::run_mix_sharded)):
+/// workers pull indices from a shared cursor (so absurd task counts
+/// cannot exhaust OS threads), every task's slot is fixed by its index,
+/// and the returned order is the index order — scheduling can never
+/// affect the result.
+pub(crate) fn parallel_indexed<T, F>(count: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(count);
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        (0..count).map(|_| std::sync::Mutex::new(None)).collect();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let slots = &slots;
+            let cursor = &cursor;
+            let task = &task;
+            scope.spawn(move || loop {
+                let index = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if index >= count {
+                    break;
+                }
+                *slots[index].lock().expect("slot lock") = Some(task(index));
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker threads joined")
+                .expect("every task ran to completion")
+        })
+        .collect()
+}
+
 /// One shard's contiguous slice of the access stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardRange {
@@ -192,54 +240,42 @@ pub fn run_app_sharded<S: StreamSpec + ?Sized>(
     drop(Engine::new(config)?);
 
     let plan = ShardPlan::split(app.stream_len(scale), shards);
-    // Bounded worker pool: shard counts beyond the core count gain
-    // nothing from extra OS threads (and absurd counts would exhaust
-    // the thread limit), so workers pull shard indices from a shared
-    // cursor. Each shard's slot is fixed by its index, so scheduling
-    // still cannot affect the result.
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(shards);
-    // (stats, touched pages, resident prefetches) per finished shard.
-    type ShardSlot = std::sync::Mutex<Option<(SimStats, Vec<VirtPage>, u64)>>;
-    let slots: Vec<ShardSlot> = (0..shards).map(|_| std::sync::Mutex::new(None)).collect();
-    let cursor = std::sync::atomic::AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let slots = &slots;
-            let cursor = &cursor;
-            let plan = &plan;
-            scope.spawn(move || loop {
-                let index = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(range) = plan.ranges().get(index) else {
-                    break;
-                };
-                let mut engine = Engine::new(config).expect("configuration validated above");
-                let mut workload = app.workload(scale);
-                let skipped = workload.skip_accesses(range.start);
-                debug_assert_eq!(skipped, range.start, "stream shorter than planned");
-                engine.run_workload_limit(&mut workload, range.len);
-                *slots[index].lock().expect("slot lock") = Some((
-                    *engine.stats(),
-                    engine.touched_pages_snapshot(),
-                    engine.resident_prefetches(),
-                ));
-            });
-        }
+    let harvests = parallel_indexed(shards, |index| {
+        let range = plan.ranges()[index];
+        let mut engine = Engine::new(config).expect("configuration validated above");
+        let mut workload = app.workload(scale);
+        let skipped = workload.skip_accesses(range.start);
+        debug_assert_eq!(skipped, range.start, "stream shorter than planned");
+        engine.run_workload_limit(&mut workload, range.len);
+        (
+            *engine.stats(),
+            engine.touched_pages_snapshot(),
+            engine.resident_prefetches(),
+        )
     });
+    Ok(fold_shards(harvests, plan.ranges()))
+}
 
+/// What one shard worker hands back for merging: its counters, the
+/// pages it touched, and its end-of-slice prefetch-buffer residency.
+pub(crate) type ShardHarvest = (SimStats, Vec<VirtPage>, u64);
+
+/// Folds per-shard harvests — in shard order — into a [`ShardedRun`]:
+/// counters merge via [`SimStats::merge`], the footprint is recomputed
+/// as the exact union of the shard page sets, and non-final residency
+/// sums into the boundary-reconciliation counter.
+///
+/// Shared by [`run_app_sharded`] and the multiprogrammed
+/// [`run_mix_sharded`](crate::run_mix_sharded), whose shard boundaries
+/// are switch-aligned rather than evenly split — the fold is agnostic to
+/// how the ranges were planned.
+pub(crate) fn fold_shards(harvests: Vec<ShardHarvest>, ranges: &[ShardRange]) -> ShardedRun {
     let mut merged = SimStats::default();
     let mut union: Vec<VirtPage> = Vec::new();
-    let mut outcomes = Vec::with_capacity(shards);
+    let mut outcomes = Vec::with_capacity(harvests.len());
     let mut boundary_resident = 0;
-    let last = shards - 1;
-    for (index, (slot, range)) in slots.into_iter().zip(plan.ranges()).enumerate() {
-        let (stats, pages, resident) = slot
-            .into_inner()
-            .expect("worker threads joined")
-            .expect("every shard ran to completion");
+    let last = harvests.len().saturating_sub(1);
+    for (index, ((stats, pages, resident), range)) in harvests.into_iter().zip(ranges).enumerate() {
         merged.merge(&stats);
         union.extend(pages);
         if index != last {
@@ -255,11 +291,11 @@ pub fn run_app_sharded<S: StreamSpec + ?Sized>(
     union.dedup();
     merged.footprint_pages = union.len() as u64;
 
-    Ok(ShardedRun {
+    ShardedRun {
         merged,
         shards: outcomes,
         boundary_resident_prefetches: boundary_resident,
-    })
+    }
 }
 
 #[cfg(test)]

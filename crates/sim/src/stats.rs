@@ -4,6 +4,136 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+/// Maximum number of streams a [`PerStreamStats`] breakdown can
+/// attribute (re-exported bound of
+/// [`tlbsim_workloads::MultiStreamSpec`]).
+///
+/// Keeping the bound small lets the breakdown live *inside* the `Copy`
+/// [`SimStats`] as a fixed-size array, so the zero-allocation engine
+/// surface and the sharded executor's plain-`SimStats` merge pipeline
+/// carry per-stream attribution without any new machinery.
+pub const MAX_STREAMS: usize = tlbsim_workloads::MAX_STREAMS;
+
+/// One stream's share of a multiprogrammed run.
+///
+/// The counters mirror the attribution-relevant subset of [`SimStats`]:
+/// prefetches are attributed to the stream whose *miss* triggered them,
+/// matching the paper's per-application accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Data references the stream issued.
+    pub accesses: u64,
+    /// TLB misses on the stream's references.
+    pub misses: u64,
+    /// The stream's misses satisfied by the prefetch buffer.
+    pub prefetch_buffer_hits: u64,
+    /// The stream's misses that walked the page table.
+    pub demand_walks: u64,
+    /// Prefetches issued while handling the stream's misses.
+    pub prefetches_issued: u64,
+}
+
+impl StreamStats {
+    /// Accumulates another share's counters into `self`.
+    pub fn add(&mut self, other: &StreamStats) {
+        self.accesses += other.accesses;
+        self.misses += other.misses;
+        self.prefetch_buffer_hits += other.prefetch_buffer_hits;
+        self.demand_walks += other.demand_walks;
+        self.prefetches_issued += other.prefetches_issued;
+    }
+
+    /// The stream's TLB miss rate (0 before any access).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// The stream's prediction accuracy (0 when it had no misses).
+    pub fn accuracy(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.prefetch_buffer_hits as f64 / self.misses as f64
+        }
+    }
+}
+
+/// Per-stream attribution of a multiprogrammed (interleaved) run.
+///
+/// Empty (`len() == 0`) for single-stream runs driven through the plain
+/// entry points — the breakdown only materialises when a mix-aware
+/// runner (`run_mix` / `run_mix_sharded`) attributes segments. It is
+/// `Copy` and fixed-capacity on purpose: it rides inside [`SimStats`]
+/// through every existing channel (engine snapshots, sweep results, the
+/// sharded executor's merge) without allocating.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerStreamStats {
+    streams: [StreamStats; MAX_STREAMS],
+    len: usize,
+}
+
+impl PerStreamStats {
+    /// An empty breakdown sized for `streams` streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` exceeds [`MAX_STREAMS`] — the mix constructor
+    /// (`MultiStreamSpec::new`) rejects such mixes before a runner can
+    /// get here.
+    pub fn with_streams(streams: usize) -> Self {
+        assert!(
+            streams <= MAX_STREAMS,
+            "per-stream breakdown supports at most {MAX_STREAMS} streams"
+        );
+        PerStreamStats {
+            streams: [StreamStats::default(); MAX_STREAMS],
+            len: streams,
+        }
+    }
+
+    /// Number of attributed streams (0 = no breakdown).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the run carried no per-stream attribution.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The attributed shares, in mix rotation order.
+    pub fn streams(&self) -> &[StreamStats] {
+        &self.streams[..self.len]
+    }
+
+    /// Adds `share` to stream `index`'s counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not below [`len`](PerStreamStats::len).
+    pub fn record(&mut self, index: usize, share: &StreamStats) {
+        assert!(index < self.len, "stream index {index} out of range");
+        self.streams[index].add(share);
+    }
+
+    /// Merges another breakdown stream-by-stream.
+    ///
+    /// Shares merge positionally (shard `k`'s stream `i` is the same
+    /// stream as shard `k+1`'s stream `i`), and the merged breakdown
+    /// covers the wider of the two — merging an empty breakdown is the
+    /// identity, so single-stream paths stay breakdown-free end to end.
+    pub fn merge(&mut self, other: &PerStreamStats) {
+        self.len = self.len.max(other.len);
+        for (mine, theirs) in self.streams.iter_mut().zip(&other.streams) {
+            mine.add(theirs);
+        }
+    }
+}
+
 /// Counters from a functional (accuracy-oriented) simulation.
 ///
 /// The headline derived metric is [`SimStats::accuracy`] — the paper's
@@ -30,6 +160,9 @@ pub struct SimStats {
     pub maintenance_ops: u64,
     /// Distinct pages touched (process footprint).
     pub footprint_pages: u64,
+    /// Per-stream attribution of a multiprogrammed run (empty for
+    /// single-stream runs; see [`PerStreamStats`]).
+    pub per_stream: PerStreamStats,
 }
 
 impl SimStats {
@@ -58,6 +191,7 @@ impl SimStats {
         self.prefetches_evicted_unused += other.prefetches_evicted_unused;
         self.maintenance_ops += other.maintenance_ops;
         self.footprint_pages += other.footprint_pages;
+        self.per_stream.merge(&other.per_stream);
     }
 
     /// TLB miss rate: misses / accesses (0 before any access).
@@ -208,6 +342,7 @@ mod tests {
             prefetches_evicted_unused: 3,
             maintenance_ops: 7,
             footprint_pages: 50,
+            per_stream: PerStreamStats::default(),
         };
         let b = SimStats {
             accesses: 11,
@@ -219,6 +354,7 @@ mod tests {
             prefetches_evicted_unused: 1,
             maintenance_ops: 3,
             footprint_pages: 9,
+            per_stream: PerStreamStats::default(),
         };
         let mut ab = a;
         ab.merge(&b);
@@ -292,5 +428,91 @@ mod tests {
     fn displays_are_nonempty() {
         assert!(!SimStats::default().to_string().is_empty());
         assert!(!TimingStats::default().to_string().is_empty());
+    }
+
+    fn share(accesses: u64, misses: u64, hits: u64) -> StreamStats {
+        StreamStats {
+            accesses,
+            misses,
+            prefetch_buffer_hits: hits,
+            demand_walks: misses - hits,
+            prefetches_issued: hits,
+        }
+    }
+
+    #[test]
+    fn per_stream_breakdown_records_and_derives() {
+        let mut per = PerStreamStats::with_streams(2);
+        assert_eq!(per.len(), 2);
+        assert!(!per.is_empty());
+        per.record(0, &share(100, 20, 15));
+        per.record(1, &share(50, 10, 2));
+        per.record(1, &share(50, 10, 3));
+        let streams = per.streams();
+        assert_eq!(streams.len(), 2);
+        assert_eq!(streams[0].accesses, 100);
+        assert!((streams[0].accuracy() - 0.75).abs() < 1e-12);
+        assert!((streams[0].miss_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(streams[1].accesses, 100);
+        assert_eq!(streams[1].prefetch_buffer_hits, 5);
+        assert!((streams[1].accuracy() - 0.25).abs() < 1e-12);
+        // Zero denominators stay defined.
+        assert_eq!(StreamStats::default().accuracy(), 0.0);
+        assert_eq!(StreamStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn per_stream_merge_is_positional_and_empty_is_identity() {
+        let mut a = PerStreamStats::with_streams(2);
+        a.record(0, &share(10, 4, 1));
+        let mut b = PerStreamStats::with_streams(2);
+        b.record(0, &share(30, 6, 2));
+        b.record(1, &share(7, 1, 0));
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must commute");
+        assert_eq!(ab.streams()[0].accesses, 40);
+        assert_eq!(ab.streams()[0].prefetch_buffer_hits, 3);
+        assert_eq!(ab.streams()[1].accesses, 7);
+
+        // Empty is the identity and carries no width.
+        let mut merged = ab;
+        merged.merge(&PerStreamStats::default());
+        assert_eq!(merged, ab);
+        let mut from_empty = PerStreamStats::default();
+        from_empty.merge(&ab);
+        assert_eq!(from_empty, ab);
+    }
+
+    #[test]
+    fn sim_stats_merge_carries_the_breakdown() {
+        let mut mixed = SimStats {
+            per_stream: PerStreamStats::with_streams(2),
+            ..Default::default()
+        };
+        mixed.per_stream.record(0, &share(10, 2, 1));
+        let mut other = SimStats {
+            per_stream: PerStreamStats::with_streams(2),
+            ..Default::default()
+        };
+        other.per_stream.record(1, &share(20, 4, 2));
+        mixed.merge(&other);
+        assert_eq!(mixed.per_stream.streams()[0].accesses, 10);
+        assert_eq!(mixed.per_stream.streams()[1].accesses, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn oversized_breakdown_panics() {
+        let _ = PerStreamStats::with_streams(MAX_STREAMS + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_record_panics() {
+        let mut per = PerStreamStats::with_streams(1);
+        per.record(1, &StreamStats::default());
     }
 }

@@ -12,6 +12,11 @@
 //! The format is deliberately dumb: 17 bytes per record, no compression,
 //! so external tracing tools (a Pin/DynamoRIO client, a QEMU plugin, …)
 //! can emit it with a dozen lines of C.
+//!
+//! The **normative** specification — field-by-field layout, truncation
+//! and validation semantics, the versioning policy, and a reference C
+//! writer — is `docs/TRACE_FORMAT.md` at the repository root; this
+//! module and [`crate::MmapTrace`] implement it.
 
 use std::io::{self, BufReader, BufWriter, Read, Write};
 

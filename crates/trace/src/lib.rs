@@ -5,7 +5,8 @@
 //!
 //! * [`BinaryTraceWriter`] / [`BinaryTraceReader`] — a compact 17-byte
 //!   per-record binary format (`TLBT` magic) that external tracers can
-//!   emit trivially;
+//!   emit trivially; the normative byte-level specification is
+//!   `docs/TRACE_FORMAT.md` at the repository root;
 //! * [`MmapTrace`] / [`MmapTraceCursor`] — the same format replayed
 //!   zero-copy from a memory-mapped file: the header is validated once,
 //!   records decode batch-wise into caller-owned buffers, and seeking is
@@ -42,7 +43,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod binary;
 mod error;

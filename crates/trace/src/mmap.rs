@@ -15,6 +15,9 @@
 //! [`MmapTraceCursor::skip_records`] is one bounds-checked add, which is
 //! what lets the sharded executor position workers mid-trace without
 //! replaying the prefix.
+//!
+//! The byte format this module replays is specified normatively in
+//! `docs/TRACE_FORMAT.md` at the repository root.
 
 use std::path::Path;
 use std::sync::Arc;

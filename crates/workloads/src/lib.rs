@@ -34,7 +34,10 @@
 //! registered [`AppSpec`] models *and* by [`TraceWorkload`], which
 //! replays a recorded binary trace zero-copy from a memory-mapped file.
 //! Everything downstream — the engines, the sweep executor, the sharded
-//! runner — accepts either interchangeably.
+//! runner — accepts either interchangeably. [`MultiStreamSpec`] closes
+//! the loop: any mix of models and traces composes into one
+//! deterministic *multiprogrammed* interleave under a pluggable
+//! [`Schedule`], and the composition is itself a [`StreamSpec`].
 //!
 //! ## Quick start
 //!
@@ -47,10 +50,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod class;
 mod gen;
+mod multi;
 mod scale;
 mod spec;
 mod trace;
@@ -61,6 +65,7 @@ pub mod primitives;
 pub use apps::{all_apps, find_app, high_miss_apps, suite_apps, table3_apps, AppSpec, Suite};
 pub use class::ReferenceClass;
 pub use gen::{AccessSource, Emit, Visit, VisitStream, Workload};
+pub use multi::{MixError, MultiStreamSpec, Schedule, Segment, Segments, MAX_STREAMS};
 pub use primitives::{
     phases, Alternation, BlockChase, DistanceCycle, HotSet, Interleave, LoopedScan, Mix,
     PointerChase, RandomWalk, RotatePc, StridedScan,

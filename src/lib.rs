@@ -70,7 +70,23 @@
 //! `xp record` / `xp replay` drive it from the command line, the
 //! differential harness in `tests/trace_replay.rs` pins replayed
 //! statistics bit-identical to generator runs, and the `trace_replay`
-//! bench group gates replay at ≥ 0.8× generator throughput.
+//! bench group gates replay at ≥ 0.8× generator throughput. The byte
+//! format is specified normatively in `docs/TRACE_FORMAT.md`.
+//!
+//! ## Multiprogrammed execution
+//!
+//! [`workloads::MultiStreamSpec`] interleaves up to 8 streams — models
+//! and traces alike — into one deterministic multiprogrammed stream
+//! under a [`workloads::Schedule`] (round-robin, weighted, or
+//! seeded-random quanta). The mix is itself a
+//! [`workloads::StreamSpec`], so the plain runners take it unchanged;
+//! the switch-aware [`sim::run_mix`] / [`sim::run_mix_sharded`]
+//! additionally flush translation + prediction state at context
+//! switches and attribute hits/misses/prefetch outcomes per stream
+//! ([`sim::SimStats::per_stream`]). `xp mix` sweeps the 21-scheme grid
+//! over an interleave, and the `multiprogram` bench group gates
+//! interleaved execution at ≥ 0.8× single-stream throughput. The
+//! architecture is documented in `docs/DESIGN.md`.
 //!
 //! ## Quick start
 //!
@@ -106,10 +122,11 @@ pub mod prelude {
     pub use tlbsim_mem::TimingParams;
     pub use tlbsim_mmu::{PrefetchBuffer, Tlb, TlbConfig};
     pub use tlbsim_sim::{
-        compare_schemes, run_app, run_app_sharded, run_app_timed, Engine, ShardedRun, SimConfig,
-        SimStats, TimingEngine,
+        compare_schemes, run_app, run_app_sharded, run_app_timed, run_mix, run_mix_sharded, Engine,
+        PerStreamStats, ShardedRun, SimConfig, SimStats, StreamStats, TimingEngine,
     };
     pub use tlbsim_workloads::{
-        all_apps, find_app, suite_apps, AppSpec, Scale, StreamSpec, Suite, TraceWorkload, Workload,
+        all_apps, find_app, suite_apps, AppSpec, MultiStreamSpec, Scale, Schedule, StreamSpec,
+        Suite, TraceWorkload, Workload,
     };
 }

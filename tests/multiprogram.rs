@@ -1,0 +1,259 @@
+//! Differential harness for multiprogrammed (interleaved) execution.
+//!
+//! Pins the contracts the `MultiStreamSpec` / `run_mix` /
+//! `run_mix_sharded` stack stands on:
+//!
+//! * **degeneration** — a 1-stream mix is the stream: the composed
+//!   workload replays bit-identically through the plain `run_app` path,
+//!   flush flag or not (one stream never switches);
+//! * **aggregate-path composition** — a mix is an ordinary `StreamSpec`:
+//!   `run_app` and `run_app_sharded` accept it unchanged, with exact
+//!   access conservation and scheduling-independent results;
+//! * **shard determinism** — `run_mix_sharded` is repeatable at every
+//!   shard count, conserves per-stream attribution across shard counts
+//!   1/2/4, and under flush-on-switch is *bit-identical* across all of
+//!   them (switch-aligned boundaries make a shard's cold start exactly
+//!   the sequential run's post-flush state);
+//! * **source-agnosticism** — recording a component stream to a `TLBT`
+//!   trace and mixing the replay back in changes nothing, bit for bit.
+
+use std::sync::Arc;
+
+use tlbsim_core::PrefetcherConfig;
+use tlbsim_sim::{run_app, run_app_sharded, run_mix, run_mix_sharded, PerStreamStats, SimConfig};
+use tlbsim_workloads::{find_app, MultiStreamSpec, Scale, Schedule, StreamSpec, TraceWorkload};
+
+fn mix_of(names: &[&str], schedule: Schedule) -> MultiStreamSpec {
+    let streams: Vec<Arc<dyn StreamSpec>> = names
+        .iter()
+        .map(|n| Arc::new(find_app(n).unwrap()) as Arc<dyn StreamSpec>)
+        .collect();
+    MultiStreamSpec::new(streams, schedule).unwrap()
+}
+
+#[test]
+fn one_stream_mix_replays_bit_identically_through_run_app() {
+    // The acceptance pin: a 1-stream MultiStreamSpec (no flush) is
+    // bit-identical to the plain run_app path — as a StreamSpec (the
+    // composed workload IS the stream) and through the mix-aware runner
+    // (whose only addition is the single stream's own attribution).
+    for (name, prefetcher) in [
+        ("gap", PrefetcherConfig::distance()),
+        ("mcf", PrefetcherConfig::recency()),
+        ("perl4", PrefetcherConfig::markov()),
+    ] {
+        let app = find_app(name).unwrap();
+        let config = SimConfig::paper_default().with_prefetcher(prefetcher);
+        let plain = run_app(app, Scale::TINY, &config).unwrap();
+
+        let mix = mix_of(&[name], Schedule::RoundRobin { quantum: 4096 });
+        let via_stream_spec = run_app(&mix, Scale::TINY, &config).unwrap();
+        assert_eq!(via_stream_spec, plain, "{name}: StreamSpec path diverged");
+
+        let mut via_run_mix = run_mix(&mix, Scale::TINY, &config, false).unwrap();
+        assert_eq!(via_run_mix.per_stream.len(), 1);
+        assert_eq!(via_run_mix.per_stream.streams()[0].accesses, plain.accesses);
+        assert_eq!(via_run_mix.per_stream.streams()[0].misses, plain.misses);
+        via_run_mix.per_stream = PerStreamStats::default();
+        assert_eq!(via_run_mix, plain, "{name}: run_mix path diverged");
+    }
+}
+
+#[test]
+fn mix_is_an_ordinary_stream_spec_for_the_sharded_executor() {
+    // The aggregate path: run_app_sharded partitions the interleave at
+    // arbitrary access positions (no switch awareness) and must still
+    // conserve accesses and stay deterministic.
+    let mix = mix_of(&["gap", "eon"], Schedule::RoundRobin { quantum: 1000 });
+    let config = SimConfig::paper_default();
+    let total = mix.stream_len(Scale::TINY);
+
+    let sequential = run_app(&mix, Scale::TINY, &config).unwrap();
+    assert_eq!(sequential.accesses, total);
+
+    let one = run_app_sharded(&mix, Scale::TINY, &config, 1).unwrap();
+    assert_eq!(one.merged, sequential, "shards=1 must be bit-identical");
+
+    for shards in [2usize, 4] {
+        let first = run_app_sharded(&mix, Scale::TINY, &config, shards).unwrap();
+        assert_eq!(
+            first.merged.accesses, total,
+            "{shards} shards lost accesses"
+        );
+        let again = run_app_sharded(&mix, Scale::TINY, &config, shards).unwrap();
+        assert_eq!(
+            again.merged, first.merged,
+            "{shards} shards not deterministic"
+        );
+    }
+}
+
+#[test]
+fn interleave_is_deterministic_across_shard_counts_including_attribution() {
+    // The acceptance pin, no-flush half: repeated runs agree exactly at
+    // every shard count, and per-stream attribution of *accesses* — the
+    // partition the schedule fixes — is identical across 1/2/4 shards.
+    let mix = mix_of(
+        &["gap", "mcf", "perl4"],
+        Schedule::RoundRobin { quantum: 2000 },
+    );
+    let config = SimConfig::paper_default();
+    let reference = run_mix(&mix, Scale::TINY, &config, false).unwrap();
+    for shards in [1usize, 2, 4] {
+        let first = run_mix_sharded(&mix, Scale::TINY, &config, false, shards).unwrap();
+        let again = run_mix_sharded(&mix, Scale::TINY, &config, false, shards).unwrap();
+        assert_eq!(first.merged, again.merged, "{shards} shards not repeatable");
+        for (a, b) in first.shards.iter().zip(&again.shards) {
+            assert_eq!(a.range, b.range);
+            assert_eq!(a.stats, b.stats);
+        }
+        assert_eq!(first.merged.accesses, reference.accesses);
+        assert_eq!(first.merged.per_stream.len(), 3);
+        for (share, expected) in first
+            .merged
+            .per_stream
+            .streams()
+            .iter()
+            .zip(reference.per_stream.streams())
+        {
+            assert_eq!(
+                share.accesses, expected.accesses,
+                "{shards} shards shifted per-stream accesses"
+            );
+        }
+        if shards == 1 {
+            assert_eq!(first.merged, reference, "one shard must equal sequential");
+        }
+    }
+}
+
+#[test]
+fn flush_on_switch_sharding_is_bit_identical_at_every_shard_count() {
+    // The acceptance pin, flush half: switch-aligned shard boundaries
+    // make a shard's cold start exactly the sequential run's post-flush
+    // state, so the merged statistics — per-stream attribution included
+    // — are bit-identical across shard counts, not merely close.
+    for (names, prefetcher) in [
+        (&["gap", "mcf"][..], PrefetcherConfig::distance()),
+        (&["gap", "mcf", "perl4"][..], PrefetcherConfig::recency()),
+    ] {
+        let mix = mix_of(names, Schedule::RoundRobin { quantum: 1500 });
+        let config = SimConfig::paper_default().with_prefetcher(prefetcher);
+        let sequential = run_mix(&mix, Scale::TINY, &config, true).unwrap();
+        for shards in [1usize, 2, 4] {
+            let sharded = run_mix_sharded(&mix, Scale::TINY, &config, true, shards).unwrap();
+            assert_eq!(
+                sharded.merged, sequential,
+                "{names:?} at {shards} shards diverged under flush-on-switch"
+            );
+        }
+    }
+}
+
+#[test]
+fn attribution_sums_to_the_aggregate_under_every_mechanism() {
+    let mix = mix_of(&["gap", "eon"], Schedule::RoundRobin { quantum: 750 });
+    for prefetcher in [
+        PrefetcherConfig::none(),
+        PrefetcherConfig::sequential(),
+        PrefetcherConfig::stride(),
+        PrefetcherConfig::markov(),
+        PrefetcherConfig::recency(),
+        PrefetcherConfig::distance(),
+    ] {
+        let config = SimConfig::paper_default().with_prefetcher(prefetcher.clone());
+        for flush in [false, true] {
+            let stats = run_mix(&mix, Scale::TINY, &config, flush).unwrap();
+            let shares = stats.per_stream.streams();
+            assert_eq!(
+                shares.iter().map(|s| s.accesses).sum::<u64>(),
+                stats.accesses,
+                "{prefetcher:?} flush={flush}"
+            );
+            assert_eq!(shares.iter().map(|s| s.misses).sum::<u64>(), stats.misses);
+            assert_eq!(
+                shares.iter().map(|s| s.prefetch_buffer_hits).sum::<u64>(),
+                stats.prefetch_buffer_hits
+            );
+            assert_eq!(
+                shares.iter().map(|s| s.demand_walks).sum::<u64>(),
+                stats.demand_walks
+            );
+            assert_eq!(
+                shares.iter().map(|s| s.prefetches_issued).sum::<u64>(),
+                stats.prefetches_issued
+            );
+        }
+    }
+}
+
+#[test]
+fn weighted_and_random_schedules_shard_deterministically_too() {
+    let config = SimConfig::paper_default();
+    for schedule in [
+        Schedule::Weighted {
+            quanta: vec![500, 2000],
+        },
+        Schedule::Random {
+            seed: 7,
+            min_quantum: 128,
+            max_quantum: 2048,
+        },
+    ] {
+        let mix = mix_of(&["gap", "mcf"], schedule.clone());
+        let sequential = run_mix(&mix, Scale::TINY, &config, true).unwrap();
+        for shards in [2usize, 4] {
+            let sharded = run_mix_sharded(&mix, Scale::TINY, &config, true, shards).unwrap();
+            assert_eq!(
+                sharded.merged, sequential,
+                "{schedule:?} diverged at {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn replayed_traces_mix_bit_identically_with_their_generators() {
+    // Record one component to a TLBT trace, then mix the *replay* with a
+    // live model: the interleave must be indistinguishable from mixing
+    // the generator itself — the format, not the source, is the
+    // contract.
+    let app = find_app("gap").unwrap();
+    let path =
+        std::env::temp_dir().join(format!("tlbsim-multiprog-diff-{}.tlbt", std::process::id()));
+    {
+        use tlbsim_trace::BinaryTraceWriter;
+        let mut writer = BinaryTraceWriter::create(std::fs::File::create(&path).unwrap()).unwrap();
+        for access in app.workload(Scale::TINY) {
+            writer.write(&access).unwrap();
+        }
+        writer.finish().unwrap();
+    }
+    let trace = TraceWorkload::open(&path).unwrap();
+    assert_eq!(trace.stream_len(), app.stream_len(Scale::TINY));
+
+    let schedule = Schedule::RoundRobin { quantum: 1024 };
+    let generator_mix = mix_of(&["gap", "mcf"], schedule.clone());
+    let replay_mix = MultiStreamSpec::new(
+        vec![
+            Arc::new(trace) as Arc<dyn StreamSpec>,
+            Arc::new(find_app("mcf").unwrap()),
+        ],
+        schedule,
+    )
+    .unwrap();
+
+    let config = SimConfig::paper_default();
+    for flush in [false, true] {
+        let from_generator = run_mix(&generator_mix, Scale::TINY, &config, flush).unwrap();
+        let from_replay = run_mix(&replay_mix, Scale::TINY, &config, flush).unwrap();
+        assert_eq!(
+            from_replay, from_generator,
+            "trace-backed mix diverged (flush={flush})"
+        );
+    }
+    let sharded = run_mix_sharded(&replay_mix, Scale::TINY, &config, true, 4).unwrap();
+    let sequential = run_mix(&generator_mix, Scale::TINY, &config, true).unwrap();
+    assert_eq!(sharded.merged, sequential);
+    std::fs::remove_file(&path).unwrap();
+}
