@@ -7,9 +7,12 @@
 //!    [--shards <n>]
 //!    [--csv <dir>]
 //! xp record --app <name> [--scale <s>] [--limit <n>] [--out <path>]
-//! xp replay --trace <path> [--shards <n>] [--csv <dir>]
+//! xp replay --trace <path> [--shards <n>] [--quarantine <n|unlimited>] [--csv <dir>]
 //! xp mix --streams <a,b,…> [--quantum <n>] [--flush-on-switch]
-//!        [--scale <s>] [--shards <n>] [--csv <dir>]
+//!        [--scale <s>] [--shards <n>] [--quarantine <n|unlimited>] [--csv <dir>]
+//! xp check --trace <path> [--quarantine <n|unlimited>]
+//! xp chaos --trace <path> --out <path> [--seed <n>] [--corrupt <k>]
+//!          [--wild <k>] [--truncate]
 //! xp bench-json [--out <path>]
 //! ```
 //!
@@ -34,6 +37,18 @@
 //! (the paper's §4 scenario); `--shards` partitions each run across
 //! workers at switch boundaries.
 //!
+//! `--quarantine <n|unlimited>` replays a damaged trace anyway: up to
+//! `n` unparseable records are skipped (and counted in the report)
+//! instead of aborting the run. The default is strict decode — any
+//! damage is a one-line typed error and a nonzero exit.
+//!
+//! `check` censuses a trace's damage (decodable records, bad records,
+//! torn tail) and exits nonzero if the selected policy would reject it
+//! — the CI preflight for trace artifacts. `chaos` bakes a
+//! deterministic seeded fault plan into a copy of a clean trace, so a
+//! corrupt input can be manufactured reproducibly from the command
+//! line.
+//!
 //! `bench-json` measures simulator throughput (accesses/sec per scheme,
 //! the DP miss-path microbench, sharded-vs-sequential scaling of a
 //! figure-scale DP run, and mmap trace replay vs the generator) and
@@ -44,8 +59,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tlbsim_experiments::{
-    extras, figure7, figure8, figure9, mix, replay, table1, table2, table3, throughput,
+    extras, figure7, figure8, figure9, health, mix, replay, table1, table2, table3, throughput,
 };
+use tlbsim_trace::DecodePolicy;
 use tlbsim_workloads::Scale;
 
 struct Args {
@@ -60,15 +76,23 @@ struct Args {
     streams: Vec<String>,
     quantum: u64,
     flush_on_switch: bool,
+    policy: DecodePolicy,
+    seed: u64,
+    corrupt: usize,
+    wild: usize,
+    truncate: bool,
 }
 
 fn usage() -> &'static str {
     "usage: xp <table1|table2|table3|figure7|figure8|figure9|extras|all> \
      [--scale tiny|small|standard|<factor>] [--shards <n>] [--csv <dir>]\n       \
      xp record --app <name> [--scale <s>] [--limit <n>] [--out <path>]\n       \
-     xp replay --trace <path> [--shards <n>] [--csv <dir>]\n       \
+     xp replay --trace <path> [--shards <n>] [--quarantine <n|unlimited>] [--csv <dir>]\n       \
      xp mix --streams <a,b,...> [--quantum <n>] [--flush-on-switch] \
-     [--scale <s>] [--shards <n>] [--csv <dir>]\n       \
+     [--scale <s>] [--shards <n>] [--quarantine <n|unlimited>] [--csv <dir>]\n       \
+     xp check --trace <path> [--quarantine <n|unlimited>]\n       \
+     xp chaos --trace <path> --out <path> [--seed <n>] [--corrupt <k>] \
+     [--wild <k>] [--truncate]\n       \
      xp bench-json [--out <path>]"
 }
 
@@ -84,6 +108,11 @@ fn parse_args() -> Result<Args, String> {
     let mut streams = Vec::new();
     let mut quantum = 50_000u64;
     let mut flush_on_switch = false;
+    let mut policy = DecodePolicy::Strict;
+    let mut seed = 1u64;
+    let mut corrupt = 0usize;
+    let mut wild = 0usize;
+    let mut truncate = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -114,6 +143,36 @@ fn parse_args() -> Result<Args, String> {
             }
             "--flush-on-switch" => {
                 flush_on_switch = true;
+            }
+            "--quarantine" => {
+                let value = argv.next().ok_or("--quarantine needs <n|unlimited>")?;
+                policy = match value.as_str() {
+                    "unlimited" => DecodePolicy::lenient(),
+                    n => DecodePolicy::quarantine(n.parse::<u64>().map_err(|_| {
+                        format!("bad quarantine budget {n:?} (want an integer or \"unlimited\")")
+                    })?),
+                };
+            }
+            "--seed" => {
+                let value = argv.next().ok_or("--seed needs a value")?;
+                seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad seed {value:?}"))?;
+            }
+            "--corrupt" => {
+                let value = argv.next().ok_or("--corrupt needs a count")?;
+                corrupt = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad corrupt count {value:?}"))?;
+            }
+            "--wild" => {
+                let value = argv.next().ok_or("--wild needs a count")?;
+                wild = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad wild count {value:?}"))?;
+            }
+            "--truncate" => {
+                truncate = true;
             }
             "--trace" => {
                 trace = Some(PathBuf::from(
@@ -176,6 +235,11 @@ fn parse_args() -> Result<Args, String> {
         streams,
         quantum,
         flush_on_switch,
+        policy,
+        seed,
+        corrupt,
+        wild,
+        truncate,
     })
 }
 
@@ -199,7 +263,8 @@ fn run_replay(args: &Args) -> Result<(), String> {
         .trace
         .as_deref()
         .ok_or_else(|| format!("replay needs --trace <path>\n{}", usage()))?;
-    let report = replay::replay(trace, args.shards).map_err(|e| format!("replay: {e}"))?;
+    let report = replay::replay_with_policy(trace, args.shards, args.policy)
+        .map_err(|e| format!("replay: {e}"))?;
     emit("replay", report.render(), report.to_csv(), &args.csv_dir)
 }
 
@@ -207,15 +272,63 @@ fn run_mix(args: &Args) -> Result<(), String> {
     if args.streams.is_empty() {
         return Err(format!("mix needs --streams <a,b,...>\n{}", usage()));
     }
-    let report = mix::mix(
+    let report = mix::mix_with_policy(
         &args.streams,
         args.scale,
         args.quantum,
         args.flush_on_switch,
         args.shards,
+        args.policy,
     )
     .map_err(|e| format!("mix: {e}"))?;
     emit("mix", report.render(), report.to_csv(), &args.csv_dir)
+}
+
+fn run_check(args: &Args) -> Result<(), String> {
+    let trace = args
+        .trace
+        .as_deref()
+        .ok_or_else(|| format!("check needs --trace <path>\n{}", usage()))?;
+    let report = health::check(trace, args.policy).map_err(|e| format!("check: {e}"))?;
+    println!("{}", report.render());
+    if report.admitted {
+        Ok(())
+    } else {
+        Err(format!(
+            "check: {} fails the {} policy ({})",
+            trace.display(),
+            report.policy,
+            report.health
+        ))
+    }
+}
+
+fn run_chaos(args: &Args) -> Result<(), String> {
+    let trace = args
+        .trace
+        .as_deref()
+        .ok_or_else(|| format!("chaos needs --trace <path>\n{}", usage()))?;
+    let out = args
+        .out
+        .as_deref()
+        .ok_or_else(|| format!("chaos needs --out <path>\n{}", usage()))?;
+    if args.corrupt == 0 && args.wild == 0 && !args.truncate {
+        return Err(format!(
+            "chaos needs at least one of --corrupt/--wild/--truncate\n{}",
+            usage()
+        ));
+    }
+    let summary = health::bake(
+        trace,
+        out,
+        args.seed,
+        args.corrupt,
+        args.wild,
+        args.truncate,
+    )
+    .map_err(|e| format!("chaos: {e}"))?;
+    println!("{}", summary.render());
+    Ok(())
 }
 
 fn run_bench_json(out: &Option<PathBuf>) -> Result<(), String> {
@@ -298,6 +411,8 @@ fn main() -> ExitCode {
         "record" => Some(run_record(&args)),
         "replay" => Some(run_replay(&args)),
         "mix" => Some(run_mix(&args)),
+        "check" => Some(run_check(&args)),
+        "chaos" => Some(run_chaos(&args)),
         _ => None,
     } {
         return match outcome {

@@ -14,6 +14,7 @@
 //! | [`extras`] | §3.3 remainder | DP sensitivity to page size and TLB associativity |
 //! | [`replay`] | §3.1 methodology | trace recording (`xp record`) and full-speed mmap replay (`xp replay`) |
 //! | [`mix`] | §4 outlook | multiprogrammed interleaves (`xp mix`): scheme sweep with context switches and per-stream attribution |
+//! | [`health`] | (robustness) | trace damage census (`xp check`) and deterministic fault baking (`xp chaos`) |
 //! | [`throughput`] | (telemetry) | simulator accesses/sec per scheme + DP miss-path microbench + trace replay + multiprogram interleave |
 //!
 //! Every module exposes `run(scale) -> Result<Data, SimError>` plus
@@ -26,6 +27,8 @@
 //! xp record --app galgel --scale small --out galgel.tlbt
 //! xp replay --trace galgel.tlbt --shards 4
 //! xp mix --streams galgel.tlbt,mcf,perl4 --quantum 50000 --flush-on-switch
+//! xp check --trace galgel.tlbt --quarantine 100
+//! xp chaos --trace galgel.tlbt --out damaged.tlbt --seed 42 --corrupt 7
 //! xp bench-json            # writes BENCH_throughput.json
 //! ```
 
@@ -37,6 +40,7 @@ pub mod figure7;
 pub mod figure8;
 pub mod figure9;
 mod grid;
+pub mod health;
 pub mod mix;
 pub mod replay;
 mod report;

@@ -16,6 +16,7 @@ use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 use tlbsim_sim::{run_mix, run_mix_sharded, SimConfig, SimStats, StreamStats};
+use tlbsim_trace::DecodePolicy;
 use tlbsim_workloads::{
     find_app, MixError, MultiStreamSpec, Scale, Schedule, StreamSpec, TraceWorkload,
 };
@@ -36,19 +37,19 @@ impl From<MixError> for ReplayError {
 /// registry first, so a stray local file named after a registered app
 /// (`./gap`) can never shadow the model. An unregistered bare token
 /// falls back to a trace path as a convenience.
-fn resolve_stream(token: &str) -> Result<Arc<dyn StreamSpec>, ReplayError> {
+fn resolve_stream(token: &str, policy: DecodePolicy) -> Result<Arc<dyn StreamSpec>, ReplayError> {
     let path = Path::new(token);
     let looks_like_path = path.extension().is_some_and(|e| e == "tlbt")
         || token.contains(std::path::MAIN_SEPARATOR)
         || token.contains('/');
     if looks_like_path {
-        return Ok(Arc::new(TraceWorkload::open(path)?));
+        return Ok(Arc::new(TraceWorkload::open_with_policy(path, policy)?));
     }
     if let Some(app) = find_app(token) {
         return Ok(Arc::new(app));
     }
     if path.exists() {
-        return Ok(Arc::new(TraceWorkload::open(path)?));
+        return Ok(Arc::new(TraceWorkload::open_with_policy(path, policy)?));
     }
     Err(ReplayError::UnknownApp(token.to_owned()))
 }
@@ -61,9 +62,23 @@ fn resolve_stream(token: &str) -> Result<Arc<dyn StreamSpec>, ReplayError> {
 /// [`ReplayError`] for unknown application names, unreadable traces, or
 /// a malformed mix (no streams, too many, zero quantum).
 pub fn build_mix(tokens: &[String], quantum: u64) -> Result<MultiStreamSpec, ReplayError> {
+    build_mix_with_policy(tokens, quantum, DecodePolicy::Strict)
+}
+
+/// [`build_mix`] with trace members opened under `policy` — quarantine
+/// lets a mix keep running when one tenant's trace is damaged.
+///
+/// # Errors
+///
+/// As [`build_mix`].
+pub fn build_mix_with_policy(
+    tokens: &[String],
+    quantum: u64,
+    policy: DecodePolicy,
+) -> Result<MultiStreamSpec, ReplayError> {
     let streams = tokens
         .iter()
-        .map(|t| resolve_stream(t))
+        .map(|t| resolve_stream(t, policy))
         .collect::<Result<Vec<_>, _>>()?;
     Ok(MultiStreamSpec::new(
         streams,
@@ -100,6 +115,9 @@ pub struct MixReport {
     pub flush_on_switch: bool,
     /// Worker shards per run (1 = sequential).
     pub shards: usize,
+    /// Records the trace members' quarantine decode skipped (0 for
+    /// strict opens and all-model mixes).
+    pub quarantined: u64,
     /// Total interleaved accesses per scheme run.
     pub accesses: u64,
     /// One cell per scheme configuration, in grid order.
@@ -125,7 +143,33 @@ pub fn mix(
     flush_on_switch: bool,
     shards: usize,
 ) -> Result<MixReport, ReplayError> {
-    let spec = build_mix(tokens, quantum)?;
+    mix_with_policy(
+        tokens,
+        scale,
+        quantum,
+        flush_on_switch,
+        shards,
+        DecodePolicy::Strict,
+    )
+}
+
+/// [`mix`] with trace members opened under an explicit
+/// [`DecodePolicy`]; quarantined records are reported in
+/// [`MixReport::quarantined`].
+///
+/// # Errors
+///
+/// As [`mix`]; additionally `TraceError::QuarantineExceeded` when a
+/// member's damage overruns a quarantine budget.
+pub fn mix_with_policy(
+    tokens: &[String],
+    scale: Scale,
+    quantum: u64,
+    flush_on_switch: bool,
+    shards: usize,
+    policy: DecodePolicy,
+) -> Result<MixReport, ReplayError> {
+    let spec = build_mix_with_policy(tokens, quantum, policy)?;
     let schemes = paper_scheme_grid();
     let base = SimConfig::paper_default();
     let configs: Vec<SimConfig> = schemes
@@ -194,6 +238,7 @@ pub fn mix(
         quantum,
         flush_on_switch,
         shards: shards.max(1),
+        quarantined: spec.quarantined_records(),
         accesses: spec.stream_len(scale),
         cells,
     })
@@ -209,9 +254,14 @@ impl MixReport {
             "miss rate".to_owned(),
         ];
         columns.extend(self.streams.iter().map(|s| format!("acc({s})")));
+        let quarantined = if self.quarantined == 0 {
+            String::new()
+        } else {
+            format!(", quarantined {} bad", self.quarantined)
+        };
         let mut table = TextTable::new(
             format!(
-                "Mix: {} ({} accesses, quantum {}, {}, {} shard{})",
+                "Mix: {} ({} accesses, quantum {}, {}, {} shard{}{quarantined})",
                 self.name,
                 self.accesses,
                 self.quantum,
@@ -326,17 +376,23 @@ mod tests {
         std::fs::write(shadow.join("gap"), b"not a trace").unwrap();
         // Bare registered name: the registry wins even while a same-named
         // file exists somewhere (resolution never probes the disk here).
-        assert_eq!(resolve_stream("gap").unwrap().name(), "gap");
+        assert_eq!(
+            resolve_stream("gap", DecodePolicy::Strict).unwrap().name(),
+            "gap"
+        );
         // The same bytes addressed *as a path* are treated as a trace and
         // rejected for what they are.
-        let by_path = resolve_stream(&shadow.join("gap").display().to_string());
+        let by_path = resolve_stream(
+            &shadow.join("gap").display().to_string(),
+            DecodePolicy::Strict,
+        );
         assert!(
             matches!(by_path, Err(ReplayError::Trace(_))),
             "an explicit path must still be treated as a trace"
         );
         // Unregistered and absent: a typed unknown-app error.
         assert!(matches!(
-            resolve_stream("no-such-app-or-file"),
+            resolve_stream("no-such-app-or-file", DecodePolicy::Strict),
             Err(ReplayError::UnknownApp(_))
         ));
         std::fs::remove_dir_all(&shadow).ok();

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use tlbsim_core::MemoryAccess;
 use tlbsim_sim::{run_app_sharded, sweep, SimConfig, SimError, SweepJob};
-use tlbsim_trace::{BinaryTraceWriter, TraceError};
+use tlbsim_trace::{BinaryTraceWriter, DecodePolicy, TraceError, TraceHealth};
 use tlbsim_workloads::{find_app, AppSpec, Scale, TraceWorkload};
 
 use crate::grid::{paper_scheme_grid, GridCell};
@@ -35,6 +35,8 @@ pub enum ReplayError {
     Io(io::Error),
     /// A malformed multiprogrammed mix (see [`crate::mix`]).
     Mix(tlbsim_workloads::MixError),
+    /// An unsatisfiable chaos plan (see [`crate::health::bake`]).
+    Chaos(String),
 }
 
 impl fmt::Display for ReplayError {
@@ -47,6 +49,7 @@ impl fmt::Display for ReplayError {
             ReplayError::Trace(e) => write!(f, "{e}"),
             ReplayError::Io(e) => write!(f, "trace file i/o: {e}"),
             ReplayError::Mix(e) => write!(f, "{e}"),
+            ReplayError::Chaos(why) => write!(f, "unsatisfiable chaos plan: {why}"),
         }
     }
 }
@@ -166,6 +169,9 @@ pub struct ReplayReport {
     pub backend: &'static str,
     /// Worker shards per run (1 = sequential, job-parallel sweep).
     pub shards: usize,
+    /// Decode health of the trace: what quarantine skipped, if
+    /// anything. Clean under [`DecodePolicy::Strict`] by construction.
+    pub health: TraceHealth,
     /// One cell per scheme configuration, in grid order.
     pub cells: Vec<GridCell>,
 }
@@ -184,7 +190,24 @@ pub struct ReplayReport {
 /// Trace errors from opening/validating the file, or [`SimError`] from
 /// an invalid configuration.
 pub fn replay(path: impl AsRef<Path>, shards: usize) -> Result<ReplayReport, ReplayError> {
-    let trace = TraceWorkload::open(path.as_ref())?;
+    replay_with_policy(path, shards, DecodePolicy::Strict)
+}
+
+/// [`replay`] under an explicit [`DecodePolicy`]: strict replay aborts
+/// on the first damaged record, quarantine replay skips up to the
+/// policy's budget and reports what was lost in
+/// [`ReplayReport::health`].
+///
+/// # Errors
+///
+/// As [`replay`]; additionally `TraceError::QuarantineExceeded` when
+/// the damage overruns a quarantine budget.
+pub fn replay_with_policy(
+    path: impl AsRef<Path>,
+    shards: usize,
+    policy: DecodePolicy,
+) -> Result<ReplayReport, ReplayError> {
+    let trace = TraceWorkload::open_with_policy(path.as_ref(), policy)?;
     let schemes = paper_scheme_grid();
     let base = SimConfig::paper_default();
     let scale = Scale::TINY; // ignored by fixed-length traces
@@ -222,6 +245,7 @@ pub fn replay(path: impl AsRef<Path>, shards: usize) -> Result<ReplayReport, Rep
         records: trace.stream_len(),
         backend: trace.backend(),
         shards: shards.max(1),
+        health: trace.health(),
         cells,
     })
 }
@@ -229,9 +253,14 @@ pub fn replay(path: impl AsRef<Path>, shards: usize) -> Result<ReplayReport, Rep
 impl ReplayReport {
     /// The report as a [`TextTable`].
     pub fn to_table(&self) -> TextTable {
+        let quarantined = if self.health.is_clean() {
+            String::new()
+        } else {
+            format!(", quarantined {} bad", self.health.records_bad)
+        };
         let mut table = TextTable::new(
             format!(
-                "Replay: {} ({} records, {} backend, {} shard{})",
+                "Replay: {} ({} records, {} backend, {} shard{}{quarantined})",
                 self.trace,
                 self.records,
                 self.backend,

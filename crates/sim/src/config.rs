@@ -124,6 +124,16 @@ pub enum SimError {
     /// worker to simulate the stream (see
     /// [`run_app_sharded`](crate::run_app_sharded)).
     ZeroShards,
+    /// A shard panicked persistently: its workers exhausted their
+    /// attempt budget *and* the in-line degraded run panicked too, so
+    /// the self-healing executor could not produce this slice's
+    /// statistics (see [`RunHealth`](crate::RunHealth)).
+    ShardPanicked {
+        /// Index of the failing shard.
+        shard: usize,
+        /// The panic's message, for the one-line diagnosis.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -135,6 +145,9 @@ impl fmt::Display for SimError {
                 f.write_str("prefetch buffer must have at least one entry")
             }
             SimError::ZeroShards => f.write_str("sharded run requires at least one shard"),
+            SimError::ShardPanicked { shard, message } => {
+                write!(f, "shard {shard} panicked persistently: {message}")
+            }
         }
     }
 }
@@ -144,7 +157,9 @@ impl std::error::Error for SimError {
         match self {
             SimError::Geometry(e) => Some(e),
             SimError::Prefetcher(e) => Some(e),
-            SimError::ZeroPrefetchBuffer | SimError::ZeroShards => None,
+            SimError::ZeroPrefetchBuffer
+            | SimError::ZeroShards
+            | SimError::ShardPanicked { .. } => None,
         }
     }
 }

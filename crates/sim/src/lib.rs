@@ -27,7 +27,10 @@
 //!   on a private engine shard in parallel, and merges the per-shard
 //!   [`SimStats`] deterministically ([`SimStats::merge`] plus
 //!   footprint-union and prefetch-buffer boundary reconciliation).
-//!   `shards = 1` is bit-identical to the sequential path.
+//!   `shards = 1` is bit-identical to the sequential path. Shard
+//!   workers are *self-healing*: a panicking shard is retried up to
+//!   [`SHARD_ATTEMPTS`] times, then degraded to an in-line sequential
+//!   run; [`RunHealth`] on the result reports what recovery happened.
 //!
 //! ## Multiprogrammed execution
 //!
@@ -96,6 +99,8 @@ pub use multiprog::{run_mix, run_mix_sharded};
 pub use runner::{
     compare_schemes, run_app, run_app_timed, sweep, SweepJob, SweepResult, SweepSpec,
 };
-pub use shard::{run_app_sharded, ShardOutcome, ShardPlan, ShardRange, ShardedRun};
+pub use shard::{
+    run_app_sharded, RunHealth, ShardOutcome, ShardPlan, ShardRange, ShardedRun, SHARD_ATTEMPTS,
+};
 pub use stats::{PerStreamStats, SimStats, StreamStats, TimingStats, MAX_STREAMS};
 pub use timing_engine::TimingEngine;

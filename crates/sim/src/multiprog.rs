@@ -38,7 +38,7 @@ use tlbsim_workloads::{MultiStreamSpec, Scale, StreamSpec, Workload};
 
 use crate::config::{SimConfig, SimError};
 use crate::engine::Engine;
-use crate::shard::{fold_shards, parallel_indexed, ShardHarvest, ShardRange, ShardedRun};
+use crate::shard::{fold_shards, run_shards_recovering, ShardHarvest, ShardRange, ShardedRun};
 use crate::stats::{PerStreamStats, SimStats, StreamStats};
 
 /// The attribution-relevant difference between two engine snapshots —
@@ -247,10 +247,16 @@ fn run_slice_group(
 /// bounded by the schedule: a mix whose tail is one long single-stream
 /// run keeps that run on a single worker.
 ///
+/// Like [`run_app_sharded`](crate::run_app_sharded), the executor is
+/// self-healing: panicking shard workers are retried then degraded to
+/// in-line execution, with recovery (and any quarantined trace records
+/// among the mix's members) reported in [`ShardedRun::health`].
+///
 /// # Errors
 ///
-/// Returns [`SimError::ZeroShards`] for `shards == 0`, or the
-/// configuration's own error if it is invalid.
+/// Returns [`SimError::ZeroShards`] for `shards == 0`, the
+/// configuration's own error if it is invalid, or
+/// [`SimError::ShardPanicked`] for a persistently panicking shard.
 pub fn run_mix_sharded(
     mix: &MultiStreamSpec,
     scale: Scale,
@@ -267,7 +273,7 @@ pub fn run_mix_sharded(
     let slices = switch_slices(mix, scale);
     let (groups, ranges) = plan_slice_groups(&slices, shards);
 
-    let harvests = parallel_indexed(shards, |index| {
+    let (harvests, mut health) = run_shards_recovering(shards, |index| {
         run_slice_group(
             mix,
             scale,
@@ -275,8 +281,9 @@ pub fn run_mix_sharded(
             flush_on_switch,
             &slices[groups[index].clone()],
         )
-    });
-    Ok(fold_shards(harvests, &ranges))
+    })?;
+    health.quarantined_records = mix.quarantined_records();
+    Ok(fold_shards(harvests, &ranges, health))
 }
 
 #[cfg(test)]
@@ -428,6 +435,39 @@ mod tests {
             run_mix(&mix, Scale::TINY, &bad, false),
             Err(SimError::ZeroPrefetchBuffer)
         ));
+    }
+
+    #[test]
+    fn mix_recovery_from_a_transient_panic_is_bit_identical_under_flush() {
+        use tlbsim_trace::{FaultKind, FaultPlan};
+        use tlbsim_workloads::ChaosSpec;
+
+        // One member panics its decoding worker once; under
+        // flush-on-switch, the retried sharded run must still match the
+        // undisturbed sequential interleave bit-for-bit.
+        let gap = Arc::new(find_app("gap").unwrap()) as Arc<dyn StreamSpec>;
+        let chaos = Arc::new(ChaosSpec::new(
+            Arc::new(find_app("mcf").unwrap()),
+            FaultPlan::new().with(3_000, FaultKind::WorkerPanic),
+            1,
+        )) as Arc<dyn StreamSpec>;
+        let faulty = MultiStreamSpec::new(
+            vec![Arc::clone(&gap), chaos],
+            Schedule::RoundRobin { quantum: 800 },
+        )
+        .unwrap();
+        let clean = mix_of(&["gap", "mcf"], Schedule::RoundRobin { quantum: 800 });
+
+        let config = SimConfig::paper_default();
+        let sequential = run_mix(&clean, Scale::TINY, &config, true).unwrap();
+        let recovered = run_mix_sharded(&faulty, Scale::TINY, &config, true, 2).unwrap();
+        assert_eq!(recovered.health.retries, 1);
+        assert_eq!(recovered.health.degraded_shards, 0);
+        assert_eq!(recovered.health.quarantined_records, 0);
+        assert_eq!(
+            recovered.merged, sequential,
+            "recovered mix must match the clean sequential run"
+        );
     }
 
     #[test]

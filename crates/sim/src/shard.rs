@@ -38,6 +38,8 @@
 //! boundary effects vanish at figure scale — but fidelity-critical runs
 //! should use `shards = 1`, which is the default everywhere.
 
+use std::panic::AssertUnwindSafe;
+
 use tlbsim_core::VirtPage;
 use tlbsim_workloads::{Scale, StreamSpec};
 
@@ -45,17 +47,79 @@ use crate::config::{SimConfig, SimError};
 use crate::engine::Engine;
 use crate::stats::SimStats;
 
+/// Worker attempts each shard gets on the pool before its slice is
+/// degraded to in-line execution on the coordinating thread (see
+/// [`RunHealth`]).
+pub const SHARD_ATTEMPTS: usize = 2;
+
+/// What it took to finish a run: the self-healing executor's recovery
+/// counters plus the input damage the workload layer absorbed.
+///
+/// All-zero ([`RunHealth::is_clean`]) on the happy path. The sharded
+/// runners attach it to every [`ShardedRun`], so a result produced
+/// through retries, degraded shards, or a quarantine-decoded trace says
+/// so — the statistics themselves are unchanged by recovery (a retried
+/// or degraded shard re-simulates exactly the slice the plan assigned
+/// it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunHealth {
+    /// Worker attempts that panicked and were retried on the pool.
+    pub retries: u64,
+    /// Shards whose workers exhausted [`SHARD_ATTEMPTS`] and ran
+    /// in-line on the coordinating thread instead.
+    pub degraded_shards: u64,
+    /// Input records the workload layer quarantined at decode (see
+    /// `StreamSpec::quarantined_records`).
+    pub quarantined_records: u64,
+}
+
+impl RunHealth {
+    /// Whether the run needed no recovery and lost no input.
+    pub fn is_clean(&self) -> bool {
+        *self == RunHealth::default()
+    }
+}
+
+impl std::fmt::Display for RunHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            return f.write_str("clean");
+        }
+        write!(
+            f,
+            "{} retries, {} degraded shards, {} quarantined records",
+            self.retries, self.degraded_shards, self.quarantined_records
+        )
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_owned()
+    }
+}
+
 /// Runs `count` index-addressed tasks on a scoped worker pool bounded
-/// by the machine's available parallelism and returns the results in
-/// index order.
+/// by the machine's available parallelism, retrying each panicking task
+/// up to [`SHARD_ATTEMPTS`] times, and returns `(slots, retries)` in
+/// index order — `None` in a slot means every worker attempt panicked
+/// and the caller should degrade that index to in-line execution.
 ///
 /// This is the execution scaffold shared by the sharded runners
 /// ([`run_app_sharded`], [`run_mix_sharded`](crate::run_mix_sharded)):
 /// workers pull indices from a shared cursor (so absurd task counts
 /// cannot exhaust OS threads), every task's slot is fixed by its index,
 /// and the returned order is the index order — scheduling can never
-/// affect the result.
-pub(crate) fn parallel_indexed<T, F>(count: usize, task: F) -> Vec<T>
+/// affect the result. A panic is contained to the attempt that raised
+/// it (`catch_unwind`): the worker thread survives to run other
+/// indices, and determinism is unaffected because a retried task
+/// re-runs the identical slice.
+pub(crate) fn parallel_indexed_recovering<T, F>(count: usize, task: F) -> (Vec<Option<T>>, u64)
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -67,30 +131,83 @@ where
     let slots: Vec<std::sync::Mutex<Option<T>>> =
         (0..count).map(|_| std::sync::Mutex::new(None)).collect();
     let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let retries = std::sync::atomic::AtomicU64::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let slots = &slots;
             let cursor = &cursor;
+            let retries = &retries;
             let task = &task;
             scope.spawn(move || loop {
                 let index = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if index >= count {
                     break;
                 }
-                *slots[index].lock().expect("slot lock") = Some(task(index));
+                for attempt in 1..=SHARD_ATTEMPTS {
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| task(index))) {
+                        Ok(result) => {
+                            *slots[index].lock().expect("slot lock") = Some(result);
+                            break;
+                        }
+                        Err(_) if attempt < SHARD_ATTEMPTS => {
+                            retries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(_) => {} // attempts exhausted: slot stays None
+                    }
+                }
             });
         }
     });
 
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("worker threads joined")
-                .expect("every task ran to completion")
-        })
-        .collect()
+    (
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("worker threads joined"))
+            .collect(),
+        retries.into_inner(),
+    )
+}
+
+/// Drives the self-healing execution protocol for one family of shard
+/// tasks: pool with bounded retries first, then in-line degrade on this
+/// thread for any shard whose workers kept panicking, then a typed
+/// [`SimError::ShardPanicked`] if even the in-line run panics.
+///
+/// Returns the per-index results plus the [`RunHealth`] recovery
+/// counters (`quarantined_records` is left 0 for the caller to fill).
+pub(crate) fn run_shards_recovering<T, F>(
+    count: usize,
+    task: F,
+) -> Result<(Vec<T>, RunHealth), SimError>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let (slots, retries) = parallel_indexed_recovering(count, &task);
+    let mut health = RunHealth {
+        retries,
+        ..RunHealth::default()
+    };
+    let mut results = Vec::with_capacity(count);
+    for (index, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(result) => results.push(result),
+            None => {
+                // Every pooled attempt panicked: degrade this slice to
+                // in-line execution rather than poisoning the run.
+                health.degraded_shards += 1;
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| task(index))).map_err(
+                    |payload| SimError::ShardPanicked {
+                        shard: index,
+                        message: panic_message(payload),
+                    },
+                )?;
+                results.push(result);
+            }
+        }
+    }
+    Ok((results, health))
 }
 
 /// One shard's contiguous slice of the access stream.
@@ -184,6 +301,10 @@ pub struct ShardedRun {
     /// have used; `0` when `shards == 1`, where the run is bit-identical
     /// to the sequential path.
     pub boundary_resident_prefetches: u64,
+    /// What it took to produce this result: worker retries, shards
+    /// degraded to in-line execution, and input records lost to
+    /// quarantine decode. All-zero on the happy path.
+    pub health: RunHealth,
 }
 
 /// Partitions one run — of a registered application model or a recorded
@@ -201,10 +322,20 @@ pub struct ShardedRun {
 /// threads. With `shards = 1` the result is bit-identical to
 /// [`run_app`].
 ///
+/// The executor is self-healing: a worker attempt that panics
+/// mid-slice (a poisoned allocator, a chaos-injected fault) is retried
+/// on the pool up to [`SHARD_ATTEMPTS`] times, then the slice is
+/// degraded to in-line sequential execution on the calling thread;
+/// recovery is reported in [`ShardedRun::health`], and because a
+/// retried or degraded shard re-simulates exactly its planned slice,
+/// the recovered statistics are identical to an undisturbed run's.
+///
 /// # Errors
 ///
-/// Returns [`SimError::ZeroShards`] for `shards == 0`, or the
-/// configuration's own error if it is invalid.
+/// Returns [`SimError::ZeroShards`] for `shards == 0`, the
+/// configuration's own error if it is invalid, or
+/// [`SimError::ShardPanicked`] if a shard keeps panicking even when run
+/// in-line (a persistent fault, not a transient one).
 ///
 /// # Examples
 ///
@@ -240,7 +371,7 @@ pub fn run_app_sharded<S: StreamSpec + ?Sized>(
     drop(Engine::new(config)?);
 
     let plan = ShardPlan::split(app.stream_len(scale), shards);
-    let harvests = parallel_indexed(shards, |index| {
+    let shard_task = |index: usize| -> ShardHarvest {
         let range = plan.ranges()[index];
         let mut engine = Engine::new(config).expect("configuration validated above");
         let mut workload = app.workload(scale);
@@ -252,8 +383,10 @@ pub fn run_app_sharded<S: StreamSpec + ?Sized>(
             engine.touched_pages_snapshot(),
             engine.resident_prefetches(),
         )
-    });
-    Ok(fold_shards(harvests, plan.ranges()))
+    };
+    let (harvests, mut health) = run_shards_recovering(shards, shard_task)?;
+    health.quarantined_records = app.quarantined_records();
+    Ok(fold_shards(harvests, plan.ranges(), health))
 }
 
 /// What one shard worker hands back for merging: its counters, the
@@ -269,7 +402,11 @@ pub(crate) type ShardHarvest = (SimStats, Vec<VirtPage>, u64);
 /// [`run_mix_sharded`](crate::run_mix_sharded), whose shard boundaries
 /// are switch-aligned rather than evenly split — the fold is agnostic to
 /// how the ranges were planned.
-pub(crate) fn fold_shards(harvests: Vec<ShardHarvest>, ranges: &[ShardRange]) -> ShardedRun {
+pub(crate) fn fold_shards(
+    harvests: Vec<ShardHarvest>,
+    ranges: &[ShardRange],
+    health: RunHealth,
+) -> ShardedRun {
     let mut merged = SimStats::default();
     let mut union: Vec<VirtPage> = Vec::new();
     let mut outcomes = Vec::with_capacity(harvests.len());
@@ -295,6 +432,7 @@ pub(crate) fn fold_shards(harvests: Vec<ShardHarvest>, ranges: &[ShardRange]) ->
         merged,
         shards: outcomes,
         boundary_resident_prefetches: boundary_resident,
+        health,
     }
 }
 
@@ -463,6 +601,107 @@ mod tests {
         let lens: Vec<u64> = plan.ranges().iter().map(|r| r.len).collect();
         assert_eq!(lens, [1, 1, 1, 0, 0, 0, 0, 0]);
         assert_eq!(plan.total(), 3);
+    }
+
+    #[test]
+    fn clean_runs_report_clean_health() {
+        let app = find_app("gap").unwrap();
+        let run = run_app_sharded(app, Scale::TINY, &SimConfig::paper_default(), 4).unwrap();
+        assert!(run.health.is_clean());
+        assert_eq!(run.health.to_string(), "clean");
+    }
+
+    mod recovery {
+        use super::*;
+        use std::sync::Arc;
+        use tlbsim_trace::{FaultKind, FaultPlan};
+        use tlbsim_workloads::ChaosSpec;
+
+        /// `gap` wrapped in a chaos spec that panics the worker decoding
+        /// access 5000, at most `budget` times.
+        fn panicky_gap(budget: u64) -> ChaosSpec {
+            let app = Arc::new(find_app("gap").unwrap());
+            let plan = FaultPlan::new().with(5_000, FaultKind::WorkerPanic);
+            ChaosSpec::new(app, plan, budget)
+        }
+
+        #[test]
+        fn transient_panic_is_retried_and_stats_match_the_clean_run() {
+            // One budgeted panic: the first pooled attempt dies, the
+            // retry replays the identical slice cleanly.
+            let chaos = panicky_gap(1);
+            let config = SimConfig::paper_default();
+            let run = run_app_sharded(&chaos, Scale::TINY, &config, 1).unwrap();
+            assert_eq!(run.health.retries, 1);
+            assert_eq!(run.health.degraded_shards, 0);
+            assert!(!run.health.is_clean());
+            assert_eq!(
+                run.health.to_string(),
+                "1 retries, 0 degraded shards, 0 quarantined records"
+            );
+
+            let clean = run_app(find_app("gap").unwrap(), Scale::TINY, &config).unwrap();
+            assert_eq!(run.merged, clean, "recovered stats must be bit-identical");
+        }
+
+        #[test]
+        fn exhausted_workers_degrade_to_inline_and_still_recover() {
+            // Budget = SHARD_ATTEMPTS: every pooled attempt panics, the
+            // in-line degraded run finally replays the slice cleanly.
+            let chaos = panicky_gap(SHARD_ATTEMPTS as u64);
+            let config = SimConfig::paper_default();
+            let run = run_app_sharded(&chaos, Scale::TINY, &config, 1).unwrap();
+            assert_eq!(run.health.retries, (SHARD_ATTEMPTS - 1) as u64);
+            assert_eq!(run.health.degraded_shards, 1);
+
+            let clean = run_app(find_app("gap").unwrap(), Scale::TINY, &config).unwrap();
+            assert_eq!(run.merged, clean, "degraded stats must be bit-identical");
+        }
+
+        #[test]
+        fn persistent_panic_is_a_typed_error() {
+            // Budget outlasts every recovery tier: pooled attempts and
+            // the in-line run all panic, so the run errors typed.
+            let chaos = panicky_gap(SHARD_ATTEMPTS as u64 + 1);
+            let err =
+                run_app_sharded(&chaos, Scale::TINY, &SimConfig::paper_default(), 1).unwrap_err();
+            match &err {
+                SimError::ShardPanicked { shard, message } => {
+                    assert_eq!(*shard, 0);
+                    assert!(message.contains("chaos"), "payload surfaced: {message}");
+                }
+                other => panic!("expected ShardPanicked, got {other:?}"),
+            }
+            assert!(err.to_string().contains("panicked persistently"));
+        }
+
+        #[test]
+        fn recovery_works_under_real_sharding_too() {
+            // Four shards; the fault lives in whichever shard decodes
+            // access 5000. One budget unit → one retry somewhere, and
+            // the merged result matches an undisturbed 4-shard run.
+            let chaos = panicky_gap(1);
+            let config = SimConfig::paper_default();
+            let run = run_app_sharded(&chaos, Scale::TINY, &config, 4).unwrap();
+            assert_eq!(run.health.retries, 1);
+            assert_eq!(run.health.degraded_shards, 0);
+
+            let clean = run_app_sharded(find_app("gap").unwrap(), Scale::TINY, &config, 4).unwrap();
+            assert_eq!(run.merged, clean.merged);
+            assert!(clean.health.is_clean());
+        }
+
+        #[test]
+        fn wild_vaddrs_complete_the_run_without_panicking() {
+            // Out-of-range virtual addresses are absorbed, not fatal:
+            // page arithmetic is total over u64.
+            let app = Arc::new(find_app("gap").unwrap());
+            let plan = FaultPlan::seeded(7, 10_000, &[(FaultKind::WildVaddr, 25)]);
+            let chaos = ChaosSpec::new(app, plan, 0);
+            let run = run_app_sharded(&chaos, Scale::TINY, &SimConfig::paper_default(), 3).unwrap();
+            assert!(run.health.is_clean());
+            assert_eq!(run.merged.accesses, chaos.stream_len(Scale::TINY));
+        }
     }
 
     #[test]

@@ -188,3 +188,87 @@ fn mmap_trace_replay_path_never_allocates_in_steady_state() {
 
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn quarantine_decode_never_allocates_in_steady_state() {
+    use tlbsim_trace::{BinaryTraceWriter, DecodePolicy, MmapTrace, HEADER_BYTES, RECORD_BYTES};
+    use tlbsim_workloads::TraceWorkload;
+
+    // Record the lap stream, then vandalise a handful of kind bytes so
+    // the quarantine walk actually has records to skip — the salvage
+    // path must be as allocation-free as the clean one.
+    let lap = lap_stream();
+    let path = std::env::temp_dir().join(format!(
+        "tlbsim-zero-alloc-quarantine-{}.tlbt",
+        std::process::id()
+    ));
+    {
+        let mut writer = BinaryTraceWriter::create(
+            std::fs::File::create(&path).expect("temp trace file creates"),
+        )
+        .expect("trace header writes");
+        for _ in 0..4 {
+            for access in &lap {
+                writer.write(access).expect("record writes");
+            }
+        }
+        writer.finish().expect("trace flushes");
+    }
+    let mut bytes = std::fs::read(&path).expect("trace reads back");
+    let records = (bytes.len() - HEADER_BYTES) / RECORD_BYTES;
+    for bad in (0..records).step_by(records / 16) {
+        bytes[HEADER_BYTES + bad * RECORD_BYTES + 16] = 0xEE;
+    }
+    std::fs::write(&path, &bytes).expect("damaged trace writes");
+
+    // --- Cursor level under quarantine. ---
+    let trace =
+        MmapTrace::open_with_policy(&path, DecodePolicy::lenient()).expect("header still valid");
+    let config = SimConfig::paper_default();
+    let mut engine = Engine::new(&config).expect("valid configuration");
+    let mut batch = vec![MemoryAccess::read(0, 0); 4096];
+
+    let mut cursor = trace.cursor();
+    loop {
+        let filled = cursor.decode_batch(&mut batch).expect("unbounded budget");
+        if filled == 0 {
+            break;
+        }
+        engine.access_batch(&batch[..filled]);
+    }
+    let skipped = cursor.health().records_bad;
+    assert!(
+        skipped >= 16,
+        "the walk must actually skip bad records, saw {skipped}"
+    );
+
+    let before = allocations_so_far();
+    cursor.seek(0);
+    loop {
+        let filled = cursor.decode_batch(&mut batch).expect("unbounded budget");
+        if filled == 0 {
+            break;
+        }
+        engine.access_batch(&batch[..filled]);
+    }
+    let allocated = allocations_so_far() - before;
+    assert_eq!(
+        allocated, 0,
+        "quarantine cursor replay performed {allocated} heap allocations"
+    );
+
+    // --- Full stack: TraceWorkload opened under quarantine. ---
+    let workload_spec = TraceWorkload::open_with_policy(&path, DecodePolicy::lenient())
+        .expect("damage fits the unbounded budget");
+    engine.run_workload(&mut workload_spec.workload());
+    let mut replay = workload_spec.workload();
+    let before = allocations_so_far();
+    engine.run_workload(&mut replay);
+    let allocated = allocations_so_far() - before;
+    assert_eq!(
+        allocated, 0,
+        "quarantined TraceWorkload replay performed {allocated} heap allocations"
+    );
+
+    std::fs::remove_file(&path).ok();
+}

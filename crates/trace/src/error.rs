@@ -37,6 +37,13 @@ pub enum TraceError {
         /// Description of the problem.
         message: String,
     },
+    /// A quarantine decode skipped more bad records than its budget.
+    QuarantineExceeded {
+        /// Bad records encountered so far.
+        bad: u64,
+        /// The policy's budget.
+        max_bad: u64,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -58,6 +65,12 @@ impl fmt::Display for TraceError {
             }
             TraceError::Parse { line, message } => {
                 write!(f, "trace parse error at line {line}: {message}")
+            }
+            TraceError::QuarantineExceeded { bad, max_bad } => {
+                write!(
+                    f,
+                    "quarantine budget exhausted: {bad} bad records (max_bad {max_bad})"
+                )
             }
         }
     }

@@ -1,0 +1,354 @@
+//! Deterministic, seeded fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] is a reproducible description of *exactly which*
+//! records of a trace (or positions of a synthetic stream) get *exactly
+//! which* fault. Tests and the `xp chaos` driver build a plan — either
+//! explicitly with [`FaultPlan::with`] or pseudo-randomly with
+//! [`FaultPlan::seeded`] — then either bake the byte-level faults into a
+//! TLBT image with [`FaultPlan::apply_to_bytes`], wrap a reader in
+//! [`FaultyRead`] for transient I/O errors, or hand the plan to the
+//! workloads crate's `ChaosSpec` for worker-panic injection. The same
+//! `(seed, record_count, kinds)` triple always produces the same plan,
+//! so every failure CI ever sees is replayable at a desk.
+
+use std::io::{self, Read};
+
+use crate::binary::{HEADER_BYTES, RECORD_BYTES};
+
+/// One injectable failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Overwrite a record's kind byte with an invalid value
+    /// (`Strict` → `TraceError::InvalidKind`, `Quarantine` → skipped).
+    CorruptKind,
+    /// Rewrite a record's vaddr field to a wild out-of-range address
+    /// (decodes fine; the simulator must absorb it, not crash).
+    WildVaddr,
+    /// Cut the file mid-record after this record (`Strict` →
+    /// `TraceError::TruncatedRecord`, `Quarantine` → torn tail).
+    TruncateTail,
+    /// Surface one transient `io::ErrorKind::Interrupted` when a
+    /// streaming read reaches this record (readers must retry).
+    TransientIo,
+    /// Panic the worker thread that decodes this record (exercises the
+    /// sharded runner's retry/degrade path).
+    WorkerPanic,
+}
+
+impl FaultKind {
+    /// Every fault kind, for matrix-style tests.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::CorruptKind,
+        FaultKind::WildVaddr,
+        FaultKind::TruncateTail,
+        FaultKind::TransientIo,
+        FaultKind::WorkerPanic,
+    ];
+}
+
+/// One planned fault: a [`FaultKind`] pinned to a record index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// Record index (on the 17-byte grid) the fault lands on.
+    pub record: u64,
+    /// What goes wrong there.
+    pub kind: FaultKind,
+}
+
+/// A deterministic set of planned faults.
+///
+/// # Examples
+///
+/// ```
+/// use tlbsim_trace::{FaultKind, FaultPlan};
+///
+/// // Seeded plans are reproducible…
+/// let a = FaultPlan::seeded(7, 2000, &[(FaultKind::CorruptKind, 5)]);
+/// let b = FaultPlan::seeded(7, 2000, &[(FaultKind::CorruptKind, 5)]);
+/// assert_eq!(a.faults(), b.faults());
+/// assert_eq!(a.count(FaultKind::CorruptKind), 5);
+///
+/// // …and explicit plans pin exact offsets.
+/// let p = FaultPlan::new().with(42, FaultKind::WorkerPanic);
+/// assert_eq!(p.faults().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (inject nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Draws `count` distinct record offsets per requested kind from a
+    /// seeded xorshift64 stream over `0..record_count`. Distinctness is
+    /// per kind *and* across kinds, so one record never receives two
+    /// faults (which would make expected-survivor arithmetic ambiguous).
+    ///
+    /// # Panics
+    ///
+    /// If the total requested fault count exceeds `record_count` — a
+    /// plan construction bug, not a runtime input.
+    pub fn seeded(seed: u64, record_count: u64, kinds: &[(FaultKind, usize)]) -> Self {
+        let total: usize = kinds.iter().map(|(_, n)| n).sum();
+        assert!(
+            total as u64 <= record_count,
+            "fault plan wants {total} faults over {record_count} records"
+        );
+        // xorshift64: tiny, seedable, and good enough for picking
+        // distinct offsets; state must be nonzero.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut taken = std::collections::HashSet::new();
+        let mut faults = Vec::with_capacity(total);
+        for &(kind, n) in kinds {
+            for _ in 0..n {
+                let record = loop {
+                    let candidate = next() % record_count.max(1);
+                    if taken.insert(candidate) {
+                        break candidate;
+                    }
+                };
+                faults.push(PlannedFault { record, kind });
+            }
+        }
+        faults.sort_by_key(|f| f.record);
+        FaultPlan { faults }
+    }
+
+    /// Adds one explicit fault (builder-style).
+    pub fn with(mut self, record: u64, kind: FaultKind) -> Self {
+        self.faults.push(PlannedFault { record, kind });
+        self.faults.sort_by_key(|f| f.record);
+        self
+    }
+
+    /// All planned faults, sorted by record index.
+    pub fn faults(&self) -> &[PlannedFault] {
+        &self.faults
+    }
+
+    /// How many faults of one kind the plan contains.
+    pub fn count(&self, kind: FaultKind) -> usize {
+        self.faults.iter().filter(|f| f.kind == kind).count()
+    }
+
+    /// Record indices carrying one kind of fault, sorted.
+    pub fn records_with(&self, kind: FaultKind) -> Vec<u64> {
+        self.faults
+            .iter()
+            .filter(|f| f.kind == kind)
+            .map(|f| f.record)
+            .collect()
+    }
+
+    /// Bakes the byte-level faults into a TLBT image in place:
+    /// `CorruptKind` overwrites kind bytes with `0xEE`, `WildVaddr`
+    /// rewrites vaddr fields to `0xFFFF_FFFF_FFF0_0000 + record·4096`,
+    /// and `TruncateTail` (applied last) cuts the buffer 5 bytes into
+    /// the earliest truncation record. `TransientIo` and `WorkerPanic`
+    /// are not byte-level faults and are ignored here.
+    ///
+    /// Faults aimed past the end of the image are ignored — a plan can
+    /// be broader than one particular file.
+    pub fn apply_to_bytes(&self, bytes: &mut Vec<u8>) {
+        let record_base = |r: u64| HEADER_BYTES + (r as usize) * RECORD_BYTES;
+        for fault in &self.faults {
+            let base = record_base(fault.record);
+            if base + RECORD_BYTES > bytes.len() {
+                continue;
+            }
+            match fault.kind {
+                FaultKind::CorruptKind => bytes[base + 16] = 0xEE,
+                FaultKind::WildVaddr => {
+                    let wild = wild_vaddr(fault.record);
+                    bytes[base + 8..base + 16].copy_from_slice(&wild.to_le_bytes());
+                }
+                FaultKind::TruncateTail | FaultKind::TransientIo | FaultKind::WorkerPanic => {}
+            }
+        }
+        if let Some(cut) = self
+            .faults
+            .iter()
+            .filter(|f| f.kind == FaultKind::TruncateTail)
+            .map(|f| record_base(f.record) + 5)
+            .filter(|&at| at < bytes.len())
+            .min()
+        {
+            bytes.truncate(cut);
+        }
+    }
+}
+
+/// The wild out-of-range virtual address a
+/// [`FaultKind::WildVaddr`] fault plants at `record` — top bits set
+/// (far outside any synthetic model's footprint), distinct per record,
+/// and the same whether the fault is baked into bytes here or injected
+/// at replay by the workloads crate's chaos wrapper.
+pub fn wild_vaddr(record: u64) -> u64 {
+    0xFFFF_0000_0000_0000u64 + (record % (1 << 32)) * 4096
+}
+
+/// A [`Read`] adapter that surfaces one transient
+/// [`io::ErrorKind::Interrupted`] error the first time the read
+/// position reaches each planned [`FaultKind::TransientIo`] record,
+/// then serves the underlying bytes untouched.
+///
+/// `BinaryTraceReader` retries `Interrupted` (as any correct `Read`
+/// consumer must), so a stream wrapped in `FaultyRead` decodes to the
+/// identical record sequence — which is exactly the property the chaos
+/// tests pin.
+#[derive(Debug)]
+pub struct FaultyRead<R> {
+    inner: R,
+    position: u64,
+    /// Byte offsets at which to fire, sorted descending (pop from end).
+    pending: Vec<u64>,
+}
+
+impl<R: Read> FaultyRead<R> {
+    /// Wraps `inner`, scheduling one transient error per
+    /// `TransientIo` fault in `plan` (other kinds are ignored).
+    pub fn new(inner: R, plan: &FaultPlan) -> Self {
+        let mut pending: Vec<u64> = plan
+            .faults()
+            .iter()
+            .filter(|f| f.kind == FaultKind::TransientIo)
+            .map(|f| (HEADER_BYTES + f.record as usize * RECORD_BYTES) as u64)
+            .collect();
+        pending.sort_unstable_by(|a, b| b.cmp(a));
+        FaultyRead {
+            inner,
+            position: 0,
+            pending,
+        }
+    }
+
+    /// Transient errors not yet fired.
+    pub fn pending_faults(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl<R: Read> Read for FaultyRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(&at) = self.pending.last() {
+            if self.position >= at {
+                self.pending.pop();
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "chaos: injected transient read fault",
+                ));
+            }
+            // Stop the read short of the fault point so the fault fires
+            // exactly at its planned byte offset.
+            let limit = (at - self.position).min(buf.len() as u64) as usize;
+            let n = self.inner.read(&mut buf[..limit])?;
+            self.position += n as u64;
+            return Ok(n);
+        }
+        let n = self.inner.read(buf)?;
+        self.position += n as u64;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_distinct() {
+        let plan = FaultPlan::seeded(
+            99,
+            1000,
+            &[(FaultKind::CorruptKind, 10), (FaultKind::WildVaddr, 10)],
+        );
+        assert_eq!(plan.faults().len(), 20);
+        let mut records: Vec<u64> = plan.faults().iter().map(|f| f.record).collect();
+        let before = records.len();
+        records.dedup();
+        assert_eq!(records.len(), before, "all fault records distinct");
+        assert!(records.iter().all(|&r| r < 1000));
+        assert_eq!(
+            plan,
+            FaultPlan::seeded(
+                99,
+                1000,
+                &[(FaultKind::CorruptKind, 10), (FaultKind::WildVaddr, 10)],
+            )
+        );
+        assert_ne!(
+            plan,
+            FaultPlan::seeded(
+                100,
+                1000,
+                &[(FaultKind::CorruptKind, 10), (FaultKind::WildVaddr, 10)],
+            )
+        );
+    }
+
+    #[test]
+    fn apply_to_bytes_corrupts_planned_cells_only() {
+        // 4 records of zeros after a fake header.
+        let mut bytes = vec![0u8; HEADER_BYTES + 4 * RECORD_BYTES];
+        let plan = FaultPlan::new()
+            .with(1, FaultKind::CorruptKind)
+            .with(2, FaultKind::WildVaddr);
+        plan.apply_to_bytes(&mut bytes);
+        assert_eq!(bytes[HEADER_BYTES + RECORD_BYTES + 16], 0xEE);
+        assert_eq!(bytes[HEADER_BYTES + 16], 0);
+        let vaddr_bytes = &bytes[HEADER_BYTES + 2 * RECORD_BYTES + 8..][..8];
+        assert_ne!(vaddr_bytes, &[0u8; 8]);
+    }
+
+    #[test]
+    fn truncate_tail_cuts_mid_record() {
+        let mut bytes = vec![0u8; HEADER_BYTES + 4 * RECORD_BYTES];
+        let plan = FaultPlan::new().with(2, FaultKind::TruncateTail);
+        plan.apply_to_bytes(&mut bytes);
+        assert_eq!(bytes.len(), HEADER_BYTES + 2 * RECORD_BYTES + 5);
+        assert_ne!((bytes.len() - HEADER_BYTES) % RECORD_BYTES, 0);
+    }
+
+    #[test]
+    fn faults_past_the_image_are_ignored() {
+        let mut bytes = vec![0u8; HEADER_BYTES + 2 * RECORD_BYTES];
+        let plan = FaultPlan::new()
+            .with(50, FaultKind::CorruptKind)
+            .with(60, FaultKind::TruncateTail);
+        let before = bytes.clone();
+        plan.apply_to_bytes(&mut bytes);
+        assert_eq!(bytes, before);
+    }
+
+    #[test]
+    fn faulty_read_fires_once_per_fault_and_preserves_bytes() {
+        let data: Vec<u8> = (0..200u16).map(|i| (i % 251) as u8).collect();
+        let plan = FaultPlan::new()
+            .with(2, FaultKind::TransientIo)
+            .with(5, FaultKind::TransientIo);
+        let mut reader = FaultyRead::new(&data[..], &plan);
+        assert_eq!(reader.pending_faults(), 2);
+        let mut out = Vec::new();
+        let mut buf = [0u8; 64];
+        loop {
+            match reader.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(out, data);
+        assert_eq!(reader.pending_faults(), 0);
+    }
+}

@@ -12,6 +12,13 @@
 //!   records decode batch-wise into caller-owned buffers, and seeking is
 //!   O(1) — the full-speed input path the simulator's batched engines
 //!   and sharded executor consume;
+//! * [`DecodePolicy`] / [`TraceHealth`] — strict (abort on first fault)
+//!   vs quarantine (skip, count, bound) decode, with a health report of
+//!   what a damaged file lost; see "Corruption & quarantine semantics"
+//!   in `docs/TRACE_FORMAT.md`;
+//! * [`FaultPlan`] / [`FaultyRead`] — deterministic seeded fault
+//!   injection (corrupt kinds, wild vaddrs, torn tails, transient I/O
+//!   errors, worker panics) for chaos testing the whole stack;
 //! * [`TextTraceWriter`] / [`TextTraceReader`] — a `pc R|W vaddr`
 //!   line format with comments for hand-written regression inputs;
 //! * [`TraceStreamExt`] — the skip/take window discipline the paper uses
@@ -47,7 +54,9 @@
 
 mod binary;
 mod error;
+mod fault;
 mod mmap;
+mod policy;
 mod stats;
 mod stream;
 mod text;
@@ -56,7 +65,9 @@ pub use binary::{
     BinaryTraceReader, BinaryTraceWriter, HEADER_BYTES, MAGIC, RECORD_BYTES, VERSION,
 };
 pub use error::TraceError;
+pub use fault::{wild_vaddr, FaultKind, FaultPlan, FaultyRead, PlannedFault};
 pub use mmap::{MmapTrace, MmapTraceCursor};
+pub use policy::{DecodePolicy, TraceHealth};
 pub use stats::TraceStats;
 pub use stream::{Sampled, TraceStreamExt, TraceWindow};
 pub use text::{TextTraceReader, TextTraceWriter};

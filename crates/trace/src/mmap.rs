@@ -27,6 +27,7 @@ use tlbsim_core::{AccessKind, MemoryAccess};
 
 use crate::binary::{HEADER_BYTES, MAGIC, RECORD_BYTES, VERSION};
 use crate::error::TraceError;
+use crate::policy::{DecodePolicy, TraceHealth};
 
 /// A validated, memory-mapped binary trace (`TLBT` format).
 ///
@@ -61,6 +62,8 @@ use crate::error::TraceError;
 pub struct MmapTrace {
     map: Arc<Mmap>,
     records: u64,
+    policy: DecodePolicy,
+    torn_tail: u64,
 }
 
 impl MmapTrace {
@@ -81,6 +84,27 @@ impl MmapTrace {
         Self::from_map(Mmap::open(path)?)
     }
 
+    /// Maps a trace file under an explicit [`DecodePolicy`].
+    ///
+    /// Header validation is policy-independent (a file that cannot
+    /// prove it is a TLBT trace is rejected, never quarantined); the
+    /// policy governs the body. Under quarantine a torn final record is
+    /// accepted — the whole records before it replay and the fragment
+    /// length is reported as [`TraceHealth::torn_tail_bytes`] — and the
+    /// cursors this trace hands out skip bad-kind records instead of
+    /// erroring.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MmapTrace::open`], except `TruncatedRecord` for a torn
+    /// tail, which only strict mode reports.
+    pub fn open_with_policy(
+        path: impl AsRef<Path>,
+        policy: DecodePolicy,
+    ) -> Result<Self, TraceError> {
+        Self::from_map_with_policy(Mmap::open(path)?, policy)
+    }
+
     /// Validates an already-obtained mapping (or any in-memory buffer
     /// wrapped in one — see `Mmap::from_vec`), with the same checks as
     /// [`MmapTrace::open`].
@@ -89,6 +113,16 @@ impl MmapTrace {
     ///
     /// As for [`MmapTrace::open`], minus the I/O.
     pub fn from_map(map: Mmap) -> Result<Self, TraceError> {
+        Self::from_map_with_policy(map, DecodePolicy::Strict)
+    }
+
+    /// [`MmapTrace::from_map`] under an explicit policy (see
+    /// [`MmapTrace::open_with_policy`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`MmapTrace::open_with_policy`].
+    pub fn from_map_with_policy(map: Mmap, policy: DecodePolicy) -> Result<Self, TraceError> {
         let bytes = map.as_bytes();
         if bytes.len() < HEADER_BYTES {
             return Err(TraceError::TruncatedHeader {
@@ -105,12 +139,15 @@ impl MmapTrace {
             return Err(TraceError::UnsupportedVersion { found: version });
         }
         let body = bytes.len() - HEADER_BYTES;
-        if !body.is_multiple_of(RECORD_BYTES) {
+        let torn_tail = (body % RECORD_BYTES) as u64;
+        if torn_tail != 0 && policy.is_strict() {
             return Err(TraceError::TruncatedRecord);
         }
         Ok(MmapTrace {
             map: Arc::new(map),
             records: (body / RECORD_BYTES) as u64,
+            policy,
+            torn_tail,
         })
     }
 
@@ -135,27 +172,71 @@ impl MmapTrace {
         self.map.backend().label()
     }
 
-    /// A fresh cursor positioned at record 0.
+    /// The decode policy this trace was opened under (inherited by its
+    /// cursors).
+    pub fn policy(&self) -> DecodePolicy {
+        self.policy
+    }
+
+    /// Bytes of a torn final record the mapping carries (always 0 under
+    /// the strict policy, which rejects torn files at open).
+    pub fn torn_tail_bytes(&self) -> u64 {
+        self.torn_tail
+    }
+
+    /// A fresh cursor positioned at record 0, decoding under the
+    /// trace's own policy.
     pub fn cursor(&self) -> MmapTraceCursor {
+        self.cursor_with_policy(self.policy)
+    }
+
+    /// A fresh cursor decoding under an explicit policy (e.g. a strict
+    /// validation pass over a quarantine-opened trace).
+    pub fn cursor_with_policy(&self, policy: DecodePolicy) -> MmapTraceCursor {
         MmapTraceCursor {
             map: Arc::clone(&self.map),
             records: self.records,
             next: 0,
+            policy,
+            ok_seen: 0,
+            bad_seen: 0,
+            first_bad: None,
+            torn_tail: self.torn_tail,
         }
     }
 
     /// Decodes every record once, verifying the access-kind bytes, so a
     /// subsequent replay cannot fail mid-stream. Doubles as a sequential
-    /// page-cache warm-up of the mapping.
+    /// page-cache warm-up of the mapping. Always strict, regardless of
+    /// the trace's policy — use [`MmapTrace::scan_health`] for a
+    /// policy-aware pass.
     ///
     /// # Errors
     ///
     /// [`TraceError::InvalidKind`] on the first bad record.
     pub fn validate_records(&self) -> Result<(), TraceError> {
-        let mut cursor = self.cursor();
+        let mut cursor = self.cursor_with_policy(DecodePolicy::Strict);
         let mut buf = [MemoryAccess::read(0, 0); 512];
         while cursor.decode_batch(&mut buf)? != 0 {}
         Ok(())
+    }
+
+    /// Decodes every record once under the trace's policy, returning
+    /// the full [`TraceHealth`] report. Like
+    /// [`MmapTrace::validate_records`], the pass doubles as page-cache
+    /// warm-up; on a clean trace under any policy the report is
+    /// all-zeros except `records_ok`.
+    ///
+    /// # Errors
+    ///
+    /// Strict: [`TraceError::InvalidKind`] on the first bad record.
+    /// Quarantine: [`TraceError::QuarantineExceeded`] once the skip
+    /// count passes the policy's `max_bad`.
+    pub fn scan_health(&self) -> Result<TraceHealth, TraceError> {
+        let mut cursor = self.cursor();
+        let mut buf = [MemoryAccess::read(0, 0); 512];
+        while cursor.decode_batch(&mut buf)? != 0 {}
+        Ok(cursor.health())
     }
 }
 
@@ -173,6 +254,11 @@ pub struct MmapTraceCursor {
     map: Arc<Mmap>,
     records: u64,
     next: u64,
+    policy: DecodePolicy,
+    ok_seen: u64,
+    bad_seen: u64,
+    first_bad: Option<u64>,
+    torn_tail: u64,
 }
 
 impl MmapTraceCursor {
@@ -183,10 +269,15 @@ impl MmapTraceCursor {
     ///
     /// # Errors
     ///
-    /// [`TraceError::InvalidKind`] on a corrupt access-kind byte; the
-    /// cursor is left positioned **at** the offending record (everything
-    /// before it in `buf` is valid but the count is not returned, so
-    /// error recovery should re-seek).
+    /// Strict policy: [`TraceError::InvalidKind`] on a corrupt
+    /// access-kind byte; the cursor is left positioned **at** the
+    /// offending record (everything before it in `buf` is valid but the
+    /// count is not returned, so error recovery should re-seek).
+    /// Quarantine policy: bad records are skipped and tallied instead
+    /// (see [`MmapTraceCursor::health`]);
+    /// [`TraceError::QuarantineExceeded`] once the tally passes the
+    /// policy's `max_bad`, with the cursor positioned just past the
+    /// record that blew the budget.
     ///
     /// # Panics
     ///
@@ -197,6 +288,15 @@ impl MmapTraceCursor {
             !buf.is_empty(),
             "decode_batch requires a non-empty batch buffer"
         );
+        match self.policy {
+            DecodePolicy::Strict => self.decode_batch_strict(buf),
+            DecodePolicy::Quarantine { max_bad } => self.decode_batch_quarantine(buf, max_bad),
+        }
+    }
+
+    /// The pre-quarantine hot path, byte-for-byte: one bounds check,
+    /// then `chunks_exact` over the mapped slice.
+    fn decode_batch_strict(&mut self, buf: &mut [MemoryAccess]) -> Result<usize, TraceError> {
         let want = (buf.len() as u64).min(self.records - self.next) as usize;
         if want == 0 {
             return Ok(0);
@@ -226,17 +326,91 @@ impl MmapTraceCursor {
         Ok(want)
     }
 
-    /// Advances past the next `n` records in O(1), returning how many
-    /// were actually skipped (less than `n` only at end of trace).
+    /// Quarantine decode: per-record walk of the same grid, skipping
+    /// bad-kind cells and tallying them. `Ok(0)` still means exhausted —
+    /// trailing bad records are consumed (and counted) on the way there.
+    fn decode_batch_quarantine(
+        &mut self,
+        buf: &mut [MemoryAccess],
+        max_bad: u64,
+    ) -> Result<usize, TraceError> {
+        // A blown budget is terminal: the error was reported once when
+        // the budget broke; afterwards the cursor reads as exhausted.
+        if self.bad_seen > max_bad {
+            return Ok(0);
+        }
+        let bytes = self.map.as_bytes();
+        let mut filled = 0;
+        while filled < buf.len() && self.next < self.records {
+            let start = HEADER_BYTES + self.next as usize * RECORD_BYTES;
+            let raw = &bytes[start..start + RECORD_BYTES];
+            let kind = match raw[16] {
+                0 => AccessKind::Read,
+                1 => AccessKind::Write,
+                _ => {
+                    if self.first_bad.is_none() {
+                        self.first_bad = Some(self.next);
+                    }
+                    self.bad_seen += 1;
+                    self.next += 1;
+                    if self.bad_seen > max_bad {
+                        return Err(TraceError::QuarantineExceeded {
+                            bad: self.bad_seen,
+                            max_bad,
+                        });
+                    }
+                    continue;
+                }
+            };
+            buf[filled] = MemoryAccess {
+                pc: u64::from_le_bytes(raw[0..8].try_into().expect("8-byte slice")).into(),
+                vaddr: u64::from_le_bytes(raw[8..16].try_into().expect("8-byte slice")).into(),
+                kind,
+            };
+            filled += 1;
+            self.ok_seen += 1;
+            self.next += 1;
+        }
+        Ok(filled)
+    }
+
+    /// Advances past the next `n` *decodable* records, returning how
+    /// many were actually skipped (less than `n` only at end of trace).
     ///
     /// This is the trace counterpart of the generators'
-    /// `skip_accesses`: because records are fixed-width cells, a shard
-    /// positions itself at any mid-trace offset with one add — no
-    /// prefix decode at all.
+    /// `skip_accesses`. Under the strict policy it is O(1) — records are
+    /// fixed-width cells, so a shard positions itself at any mid-trace
+    /// offset with one add, no prefix decode at all. Under quarantine a
+    /// skip must count only records a decode would have yielded, so it
+    /// scans the prefix's kind bytes (one byte per record, no decode,
+    /// no allocation) and tallies quarantined cells exactly as a decode
+    /// would.
     pub fn skip_records(&mut self, n: u64) -> u64 {
-        let skipped = n.min(self.records - self.next);
-        self.next += skipped;
-        skipped
+        match self.policy {
+            DecodePolicy::Strict => {
+                let skipped = n.min(self.records - self.next);
+                self.next += skipped;
+                skipped
+            }
+            DecodePolicy::Quarantine { .. } => {
+                let bytes = self.map.as_bytes();
+                let mut skipped = 0;
+                while skipped < n && self.next < self.records {
+                    let kind = bytes[HEADER_BYTES + self.next as usize * RECORD_BYTES + 16];
+                    if kind <= 1 {
+                        skipped += 1;
+                        self.ok_seen += 1;
+                    } else {
+                        if self.first_bad.is_none() {
+                            self.first_bad = Some(self.next);
+                        }
+                        self.bad_seen += 1;
+                    }
+                    self.next += 1;
+                }
+                skipped
+            }
+        }
     }
 
     /// Repositions the cursor at an absolute record index (clamped to
@@ -245,14 +419,38 @@ impl MmapTraceCursor {
         self.next = record.min(self.records);
     }
 
-    /// The index of the next record to decode.
+    /// The index of the next record to decode (on the raw 17-byte
+    /// grid — under quarantine this counts bad cells too).
     pub fn position(&self) -> u64 {
         self.next
     }
 
-    /// Records left to decode.
+    /// Grid cells left to walk (under quarantine an upper bound on the
+    /// records a decode will yield).
     pub fn remaining(&self) -> u64 {
         self.records - self.next
+    }
+
+    /// The decode policy this cursor runs under.
+    pub fn policy(&self) -> DecodePolicy {
+        self.policy
+    }
+
+    /// Running health tally over everything this cursor has decoded or
+    /// skipped so far (complete once the cursor is exhausted). A strict
+    /// cursor reports every record it passed as ok — it would have
+    /// errored otherwise. The torn-tail byte count is a property of the
+    /// mapping and is reported from the start.
+    pub fn health(&self) -> TraceHealth {
+        TraceHealth {
+            records_ok: match self.policy {
+                DecodePolicy::Strict => self.next,
+                DecodePolicy::Quarantine { .. } => self.ok_seen,
+            },
+            records_bad: self.bad_seen,
+            torn_tail_bytes: self.torn_tail,
+            first_bad_record: self.first_bad,
+        }
     }
 }
 
@@ -435,5 +633,123 @@ mod tests {
     fn empty_decode_buffer_panics() {
         let trace = open_bytes(encode(&sample(1))).unwrap();
         let _ = trace.cursor().decode_batch(&mut []);
+    }
+
+    fn open_quarantine(bytes: Vec<u8>, max_bad: u64) -> MmapTrace {
+        MmapTrace::from_map_with_policy(Mmap::from_vec(bytes), DecodePolicy::quarantine(max_bad))
+            .unwrap()
+    }
+
+    #[test]
+    fn quarantine_cursor_skips_bad_records_and_tallies_health() {
+        let records = sample(100);
+        let mut bytes = encode(&records);
+        for bad in [5usize, 50, 99] {
+            bytes[HEADER_BYTES + bad * RECORD_BYTES + 16] = 0xEE;
+        }
+        let trace = open_quarantine(bytes, 10);
+        let mut cursor = trace.cursor();
+        let mut got = Vec::new();
+        let mut buf = vec![MemoryAccess::read(0, 0); 33];
+        loop {
+            let n = cursor.decode_batch(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        let want: Vec<MemoryAccess> = records
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| ![5usize, 50, 99].contains(i))
+            .map(|(_, r)| *r)
+            .collect();
+        assert_eq!(got, want);
+        let health = cursor.health();
+        assert_eq!(health.records_ok, 97);
+        assert_eq!(health.records_bad, 3);
+        assert_eq!(health.first_bad_record, Some(5));
+        assert_eq!(health.torn_tail_bytes, 0);
+        // scan_health agrees with a manual drain.
+        assert_eq!(trace.scan_health().unwrap(), health);
+    }
+
+    #[test]
+    fn quarantine_accepts_a_torn_tail_strict_rejects_it() {
+        let mut torn = encode(&sample(10));
+        torn.truncate(torn.len() - 4);
+        assert!(matches!(
+            open_bytes(torn.clone()),
+            Err(TraceError::TruncatedRecord)
+        ));
+        let trace = open_quarantine(torn, 0);
+        assert_eq!(trace.record_count(), 9);
+        assert_eq!(trace.torn_tail_bytes(), 13);
+        let health = trace.scan_health().unwrap();
+        assert_eq!(health.records_ok, 9);
+        assert_eq!(health.torn_tail_bytes, 13);
+        assert!(!health.is_clean());
+    }
+
+    #[test]
+    fn quarantine_budget_aborts_the_scan() {
+        let mut bytes = encode(&sample(20));
+        for bad in 0..5usize {
+            bytes[HEADER_BYTES + bad * 3 * RECORD_BYTES + 16] = 7;
+        }
+        let trace = open_quarantine(bytes, 2);
+        assert!(matches!(
+            trace.scan_health(),
+            Err(TraceError::QuarantineExceeded { bad: 3, max_bad: 2 })
+        ));
+    }
+
+    #[test]
+    fn quarantine_skip_counts_only_good_records() {
+        let records = sample(50);
+        let mut bytes = encode(&records);
+        // Corrupt records 2 and 4: skipping 10 good records must land
+        // the cursor on raw grid cell 12.
+        for bad in [2usize, 4] {
+            bytes[HEADER_BYTES + bad * RECORD_BYTES + 16] = 0xEE;
+        }
+        let trace = open_quarantine(bytes, 10);
+        let mut cursor = trace.cursor();
+        assert_eq!(cursor.skip_records(10), 10);
+        assert_eq!(cursor.position(), 12);
+        let tail: Vec<MemoryAccess> = cursor.clone().map(|r| r.unwrap()).collect();
+        assert_eq!(tail, records[12..]);
+        // Skip-then-decode matches decode-from-scratch (seek contract).
+        let mut fresh = trace.cursor();
+        let mut all = Vec::new();
+        let mut buf = vec![MemoryAccess::read(0, 0); 16];
+        loop {
+            let n = fresh.decode_batch(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            all.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(tail, all[10..]);
+        // Health counted the two bad cells the skip walked over.
+        assert_eq!(cursor.health().records_bad, 2);
+    }
+
+    #[test]
+    fn clean_trace_decodes_identically_under_both_policies() {
+        let records = sample(333);
+        let bytes = encode(&records);
+        let strict: Vec<MemoryAccess> = open_bytes(bytes.clone())
+            .unwrap()
+            .cursor()
+            .map(|r| r.unwrap())
+            .collect();
+        let trace = open_quarantine(bytes, 0);
+        let lenient: Vec<MemoryAccess> = trace.cursor().map(|r| r.unwrap()).collect();
+        assert_eq!(strict, lenient);
+        assert_eq!(strict, records);
+        let health = trace.scan_health().unwrap();
+        assert!(health.is_clean());
+        assert_eq!(health.records_ok, 333);
     }
 }

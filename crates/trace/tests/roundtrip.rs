@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 use tlbsim_core::{AccessKind, MemoryAccess};
 use tlbsim_trace::{
-    BinaryTraceReader, BinaryTraceWriter, MmapTrace, TextTraceReader, TextTraceWriter, TraceError,
-    TraceStreamExt, HEADER_BYTES, RECORD_BYTES,
+    BinaryTraceReader, BinaryTraceWriter, DecodePolicy, MmapTrace, TextTraceReader,
+    TextTraceWriter, TraceError, TraceStreamExt, HEADER_BYTES, RECORD_BYTES,
 };
 
 fn encode(records: &[MemoryAccess]) -> Vec<u8> {
@@ -24,13 +24,21 @@ fn encode(records: &[MemoryAccess]) -> Vec<u8> {
 /// actual mapping path (mmap on Linux, buffered elsewhere), not just
 /// the in-memory wrapper.
 fn open_via_file(bytes: &[u8], tag: &str) -> Result<MmapTrace, TraceError> {
+    open_via_file_policy(bytes, tag, DecodePolicy::Strict)
+}
+
+fn open_via_file_policy(
+    bytes: &[u8],
+    tag: &str,
+    policy: DecodePolicy,
+) -> Result<MmapTrace, TraceError> {
     let path = std::env::temp_dir().join(format!(
         "tlbsim-proptest-{}-{tag}-{}.tlbt",
         std::process::id(),
         bytes.len()
     ));
     std::fs::write(&path, bytes).unwrap();
-    let opened = MmapTrace::open(&path);
+    let opened = MmapTrace::open_with_policy(&path, policy);
     std::fs::remove_file(&path).ok();
     opened
 }
@@ -210,6 +218,106 @@ proptest! {
         // The iterator form also surfaces it as an Err, not a panic.
         let first_err = trace.cursor().find_map(|r| r.err());
         prop_assert!(matches!(first_err, Some(TraceError::InvalidKind { .. })));
+    }
+
+    #[test]
+    fn strict_decode_is_total_over_arbitrary_body_byte_flips(
+        records in prop::collection::vec(arb_access(), 1..80),
+        pos in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        // Flip one arbitrary byte anywhere in the body. The only
+        // per-record damage a decoder can detect is a kind byte >= 2;
+        // every other flip must decode as a (different) valid record.
+        // Either way: typed results only, never a panic, and the
+        // cursor always terminates.
+        let mut bytes = encode(&records);
+        let body = pos % (bytes.len() - HEADER_BYTES);
+        let flipped = bytes[HEADER_BYTES + body] ^ xor;
+        bytes[HEADER_BYTES + body] = flipped;
+        let victim = body / RECORD_BYTES;
+        let kind_broken = body % RECORD_BYTES == 16 && flipped >= 2;
+
+        let trace = open_via_file(&bytes, "flip-strict").unwrap();
+        let results: Vec<Result<MemoryAccess, TraceError>> = trace.cursor().collect();
+        prop_assert_eq!(results.len(), records.len());
+        for (i, (got, want)) in results.iter().zip(&records).enumerate() {
+            match got {
+                Ok(r) if i != victim => prop_assert_eq!(r, want),
+                Ok(_) => prop_assert!(!kind_broken),
+                Err(TraceError::InvalidKind { found }) => {
+                    prop_assert!(kind_broken && i == victim);
+                    prop_assert_eq!(*found, flipped);
+                }
+                Err(other) => prop_assert!(false, "unexpected error {other}"),
+            }
+        }
+        prop_assert_eq!(trace.validate_records().is_err(), kind_broken);
+    }
+
+    #[test]
+    fn quarantine_decode_skips_and_counts_arbitrary_byte_flips(
+        records in prop::collection::vec(arb_access(), 1..80),
+        pos in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        // Same flip under an unbounded quarantine: the cursor yields
+        // only good records, the broken one (if any) is skipped and
+        // tallied in TraceHealth, and untouched records survive
+        // bit-identical.
+        let mut bytes = encode(&records);
+        let body = pos % (bytes.len() - HEADER_BYTES);
+        let flipped = bytes[HEADER_BYTES + body] ^ xor;
+        bytes[HEADER_BYTES + body] = flipped;
+        let victim = body / RECORD_BYTES;
+        let kind_broken = body % RECORD_BYTES == 16 && flipped >= 2;
+
+        let trace = open_via_file_policy(&bytes, "flip-salvage", DecodePolicy::lenient()).unwrap();
+        let mut cursor = trace.cursor();
+        let got: Vec<MemoryAccess> = cursor.by_ref().map(|r| r.unwrap()).collect();
+        prop_assert_eq!(got.len(), records.len() - usize::from(kind_broken));
+        let survivors = records
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !(kind_broken && i == victim));
+        for (got, (i, want)) in got.iter().zip(survivors) {
+            if i != victim {
+                prop_assert_eq!(got, want);
+            }
+        }
+        let health = cursor.health();
+        prop_assert_eq!(health.records_bad, u64::from(kind_broken));
+        prop_assert_eq!(health.records_ok, got.len() as u64);
+        if kind_broken {
+            prop_assert_eq!(health.first_bad_record, Some(victim as u64));
+        } else {
+            prop_assert!(health.is_clean());
+        }
+    }
+
+    #[test]
+    fn quarantine_accepts_arbitrary_tail_tears(
+        records in prop::collection::vec(arb_access(), 1..50),
+        cut in 1usize..RECORD_BYTES,
+    ) {
+        // Tear up to a record's worth of bytes off the tail: strict
+        // rejects the file, quarantine replays the whole records before
+        // the tear and reports the fragment length.
+        let bytes = encode(&records);
+        let torn = &bytes[..bytes.len() - cut];
+        prop_assert!(matches!(
+            open_via_file(torn, "tear-strict"),
+            Err(TraceError::TruncatedRecord)
+        ));
+        let trace = open_via_file_policy(torn, "tear-salvage", DecodePolicy::quarantine(0)).unwrap();
+        prop_assert_eq!(trace.record_count(), records.len() as u64 - 1);
+        prop_assert_eq!(trace.torn_tail_bytes() as usize, RECORD_BYTES - cut);
+        let got: Vec<MemoryAccess> = trace.cursor().map(|r| r.unwrap()).collect();
+        prop_assert_eq!(&got[..], &records[..records.len() - 1]);
+        let health = trace.scan_health().unwrap();
+        prop_assert_eq!(health.records_ok, got.len() as u64);
+        prop_assert_eq!(health.records_bad, 0);
+        prop_assert!(!health.is_clean());
     }
 
     #[test]

@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod chaos;
 mod class;
 mod gen;
 mod multi;
@@ -63,6 +64,7 @@ pub mod apps;
 pub mod primitives;
 
 pub use apps::{all_apps, find_app, high_miss_apps, suite_apps, table3_apps, AppSpec, Suite};
+pub use chaos::ChaosSpec;
 pub use class::ReferenceClass;
 pub use gen::{AccessSource, Emit, Visit, VisitStream, Workload};
 pub use multi::{MixError, MultiStreamSpec, Schedule, Segment, Segments, MAX_STREAMS};

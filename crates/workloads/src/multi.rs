@@ -299,6 +299,10 @@ impl StreamSpec for MultiStreamSpec {
     fn stream_len(&self, scale: Scale) -> u64 {
         self.streams.iter().map(|s| s.stream_len(scale)).sum()
     }
+
+    fn quarantined_records(&self) -> u64 {
+        self.streams.iter().map(|s| s.quarantined_records()).sum()
+    }
 }
 
 /// Iterator over the [`Segment`]s of an interleave (see

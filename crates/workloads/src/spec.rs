@@ -37,6 +37,16 @@ pub trait StreamSpec: Send + Sync {
     /// The exact number of accesses [`workload`](StreamSpec::workload)
     /// will emit at `scale`, computed without expanding the stream.
     fn stream_len(&self, scale: Scale) -> u64;
+
+    /// Records the spec's input lost to quarantine decode (see
+    /// `tlbsim_trace::DecodePolicy`): 0 for synthetic models and
+    /// cleanly-decoded traces; a damaged trace opened under quarantine
+    /// reports what was skipped, and a mix sums its members. Runners
+    /// surface the value in their run-health reports, so lossy input is
+    /// visible at the top of the stack, never silent.
+    fn quarantined_records(&self) -> u64 {
+        0
+    }
 }
 
 impl<S: StreamSpec + ?Sized> StreamSpec for &S {
@@ -51,6 +61,10 @@ impl<S: StreamSpec + ?Sized> StreamSpec for &S {
     fn stream_len(&self, scale: Scale) -> u64 {
         (**self).stream_len(scale)
     }
+
+    fn quarantined_records(&self) -> u64 {
+        (**self).quarantined_records()
+    }
 }
 
 impl<S: StreamSpec + ?Sized> StreamSpec for std::sync::Arc<S> {
@@ -64,6 +78,10 @@ impl<S: StreamSpec + ?Sized> StreamSpec for std::sync::Arc<S> {
 
     fn stream_len(&self, scale: Scale) -> u64 {
         (**self).stream_len(scale)
+    }
+
+    fn quarantined_records(&self) -> u64 {
+        (**self).quarantined_records()
     }
 }
 

@@ -12,7 +12,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use tlbsim_core::MemoryAccess;
-use tlbsim_trace::{MmapTrace, MmapTraceCursor, TraceError};
+use tlbsim_trace::{DecodePolicy, MmapTrace, MmapTraceCursor, TraceError, TraceHealth};
 
 use crate::gen::{AccessSource, Workload};
 use crate::scale::Scale;
@@ -68,11 +68,12 @@ use crate::spec::StreamSpec;
 pub struct TraceWorkload {
     name: Arc<str>,
     trace: MmapTrace,
+    health: TraceHealth,
 }
 
 impl TraceWorkload {
-    /// Opens and fully validates a trace file; the workload's name is
-    /// the file stem.
+    /// Opens and fully validates a trace file under the default strict
+    /// policy; the workload's name is the file stem.
     ///
     /// # Errors
     ///
@@ -80,25 +81,51 @@ impl TraceWorkload {
     /// truncated/bad headers, a torn final record, or an invalid
     /// access-kind byte anywhere in the body.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        Self::open_with_policy(path, DecodePolicy::Strict)
+    }
+
+    /// Opens a trace file under an explicit [`DecodePolicy`].
+    ///
+    /// Under [`DecodePolicy::Quarantine`] a damaged body is absorbed at
+    /// open: bad records are counted into [`TraceWorkload::health`] and
+    /// every replay skips them, so [`TraceWorkload::stream_len`] is the
+    /// count of *usable* records and the splittability contract holds
+    /// unchanged. The open-time scan bounds the damage globally — a
+    /// file past the policy's `max_bad` budget is rejected here, which
+    /// is what lets replay itself never fail mid-simulation.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TraceWorkload::open`] in strict mode;
+    /// [`TraceError::QuarantineExceeded`] in quarantine mode when the
+    /// damage exceeds the budget.
+    pub fn open_with_policy(
+        path: impl AsRef<Path>,
+        policy: DecodePolicy,
+    ) -> Result<Self, TraceError> {
         let path = path.as_ref();
         let name = path
             .file_stem()
             .map(|stem| stem.to_string_lossy().into_owned())
             .unwrap_or_else(|| "trace".to_owned());
-        Self::from_trace(name, MmapTrace::open(path)?)
+        Self::from_trace(name, MmapTrace::open_with_policy(path, policy)?)
     }
 
     /// Wraps an already-mapped trace under an explicit name, running
-    /// the same full-body validation as [`TraceWorkload::open`].
+    /// the same full-body scan as [`TraceWorkload::open`] under the
+    /// trace's own decode policy.
     ///
     /// # Errors
     ///
-    /// [`TraceError::InvalidKind`] if any record is corrupt.
+    /// [`TraceError::InvalidKind`] on the first corrupt record (strict
+    /// traces) or [`TraceError::QuarantineExceeded`] past the budget
+    /// (quarantine traces).
     pub fn from_trace(name: impl Into<String>, trace: MmapTrace) -> Result<Self, TraceError> {
-        trace.validate_records()?;
+        let health = trace.scan_health()?;
         Ok(TraceWorkload {
             name: Arc::from(name.into()),
             trace,
+            health,
         })
     }
 
@@ -107,9 +134,19 @@ impl TraceWorkload {
         &self.name
     }
 
-    /// Number of recorded accesses (scale-independent).
+    /// Number of *replayable* accesses (scale-independent). Equal to
+    /// the file's record count for a clean trace; under quarantine,
+    /// skipped records are excluded — the stream-length contract counts
+    /// what a replay actually emits.
     pub fn stream_len(&self) -> u64 {
-        self.trace.record_count()
+        self.health.records_ok
+    }
+
+    /// What the open-time scan found: usable records, quarantined
+    /// records, and torn-tail bytes. Clean (all-ok) for any trace
+    /// opened strictly.
+    pub fn health(&self) -> TraceHealth {
+        self.health
     }
 
     /// Which backend serves the bytes (`"mmap"` or the `"read"`
@@ -146,6 +183,10 @@ impl StreamSpec for TraceWorkload {
     fn stream_len(&self, _scale: Scale) -> u64 {
         TraceWorkload::stream_len(self)
     }
+
+    fn quarantined_records(&self) -> u64 {
+        self.health.records_bad
+    }
 }
 
 /// The [`AccessSource`] driving a trace replay: one cursor, decoded
@@ -156,13 +197,15 @@ struct TraceSource {
 
 impl AccessSource for TraceSource {
     fn fill(&mut self, buf: &mut [MemoryAccess]) -> usize {
-        // Every record was validated when the TraceWorkload was built,
-        // so a decode error here means the bytes changed under the
-        // mapping (the file was modified concurrently) — not a state
+        // Every record was scanned when the TraceWorkload was built —
+        // strict traces proved clean, quarantine traces proved their
+        // damage fits the budget (so a replay cursor can never exceed
+        // it) — so a decode error here means the bytes changed under
+        // the mapping (the file was modified concurrently), not a state
         // this process can recover from mid-simulation.
         self.cursor
             .decode_batch(buf)
-            .expect("trace records were validated at open")
+            .expect("trace records were scanned at open")
     }
 
     fn skip(&mut self, n: u64) -> u64 {
@@ -262,6 +305,59 @@ mod tests {
             TraceWorkload::open(&path),
             Err(TraceError::InvalidKind { found: 42 })
         ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn quarantine_open_replays_only_the_good_records() {
+        let recorded: Vec<MemoryAccess> = (0..40u64)
+            .map(|i| MemoryAccess::read(0x40 + i, i * 4096))
+            .collect();
+        let path = write_trace("quarantine", &recorded);
+        let mut bytes = std::fs::read(&path).unwrap();
+        for bad in [3usize, 20] {
+            bytes[tlbsim_trace::HEADER_BYTES + bad * tlbsim_trace::RECORD_BYTES + 16] = 0xEE;
+        }
+        std::fs::write(&path, bytes).unwrap();
+
+        // Strict rejects; quarantine absorbs and reports.
+        assert!(TraceWorkload::open(&path).is_err());
+        let trace =
+            TraceWorkload::open_with_policy(&path, tlbsim_trace::DecodePolicy::quarantine(5))
+                .unwrap();
+        assert_eq!(trace.stream_len(), 38);
+        assert_eq!(trace.health().records_bad, 2);
+        assert_eq!(StreamSpec::quarantined_records(&trace), 2);
+        let want: Vec<MemoryAccess> = recorded
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| ![3usize, 20].contains(i))
+            .map(|(_, r)| *r)
+            .collect();
+        let got: Vec<MemoryAccess> = trace.workload().collect();
+        assert_eq!(got, want);
+        // skip_accesses counts usable records, so splitting still works.
+        let mut w = trace.workload();
+        assert_eq!(w.skip_accesses(19), 19);
+        let tail: Vec<MemoryAccess> = w.collect();
+        assert_eq!(tail, want[19..]);
+        // Budget too small: typed error at open, not a mid-replay panic.
+        assert!(matches!(
+            TraceWorkload::open_with_policy(&path, tlbsim_trace::DecodePolicy::quarantine(1)),
+            Err(TraceError::QuarantineExceeded { bad: 2, max_bad: 1 })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_trace_is_a_valid_zero_length_stream() {
+        let path = write_trace("empty", &[]);
+        let trace = TraceWorkload::open(&path).unwrap();
+        assert_eq!(trace.stream_len(), 0);
+        assert!(trace.health().is_clean());
+        assert_eq!(trace.workload().count(), 0);
+        let mut w = trace.workload();
+        assert_eq!(w.skip_accesses(5), 0);
         std::fs::remove_file(&path).unwrap();
     }
 }

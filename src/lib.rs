@@ -88,6 +88,26 @@
 //! interleaved execution at ≥ 0.8× single-stream throughput. The
 //! architecture is documented in `docs/DESIGN.md`.
 //!
+//! ## Fault-tolerant execution
+//!
+//! Damaged inputs and crashing workers are first-class, tested
+//! scenarios, not undefined behaviour. [`trace::DecodePolicy`] selects
+//! between strict decode (any damage is a typed error — the default
+//! everywhere) and quarantine decode (skip unparseable records up to a
+//! budget, resync on the 17-byte grid, report the loss in a
+//! [`trace::TraceHealth`]); [`trace::FaultPlan`] bakes deterministic
+//! seeded faults — corrupt kind bytes, wild vaddrs, torn tails,
+//! transient I/O errors, worker panics — into trace images, readers
+//! ([`trace::FaultyRead`]) or live streams ([`workloads::ChaosSpec`])
+//! for chaos testing; and the sharded executors self-heal: a panicking
+//! shard worker is retried, then degraded to in-line sequential
+//! execution, with recovery reported in [`sim::RunHealth`] and the
+//! recovered statistics bit-identical to an undisturbed run. The fault
+//! matrix in `tests/fault_matrix.rs` pins every fault kind × policy ×
+//! execution mode; `xp check` / `xp chaos` drive the same machinery
+//! from the command line. The failure model is documented in
+//! `docs/DESIGN.md`.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -123,10 +143,12 @@ pub mod prelude {
     pub use tlbsim_mmu::{PrefetchBuffer, Tlb, TlbConfig};
     pub use tlbsim_sim::{
         compare_schemes, run_app, run_app_sharded, run_app_timed, run_mix, run_mix_sharded, Engine,
-        PerStreamStats, ShardedRun, SimConfig, SimStats, StreamStats, TimingEngine,
+        PerStreamStats, RunHealth, ShardedRun, SimConfig, SimError, SimStats, StreamStats,
+        TimingEngine, SHARD_ATTEMPTS,
     };
+    pub use tlbsim_trace::{DecodePolicy, FaultKind, FaultPlan, TraceHealth};
     pub use tlbsim_workloads::{
-        all_apps, find_app, suite_apps, AppSpec, MultiStreamSpec, Scale, Schedule, StreamSpec,
-        Suite, TraceWorkload, Workload,
+        all_apps, find_app, suite_apps, AppSpec, ChaosSpec, MultiStreamSpec, Scale, Schedule,
+        StreamSpec, Suite, TraceWorkload, Workload,
     };
 }

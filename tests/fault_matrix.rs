@@ -1,0 +1,316 @@
+//! The fault matrix: every injected fault kind, under both decode
+//! policies, through every execution mode.
+//!
+//! The contract this harness pins is *totality*: whatever a
+//! [`FaultPlan`] does to an input — corrupt kind bytes, wild virtual
+//! addresses, a torn tail, transient I/O errors, worker panics — the
+//! stack either completes the run (skipping and counting under
+//! quarantine, retrying and degrading in the sharded executor) or
+//! returns a typed error. It never panics out of the runner and never
+//! silently mis-replays. Strict decode stays the default and rejects
+//! any byte-level damage; quarantine admits it up to a budget and
+//! reports exactly what was lost.
+
+use std::sync::Arc;
+
+use tlb_distance::prelude::*;
+use tlb_distance::trace::{wild_vaddr, BinaryTraceReader, BinaryTraceWriter, FaultyRead};
+
+const RECORDS: u64 = 2000;
+
+fn temp(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("tlbsim-matrix-{}-{tag}.tlbt", std::process::id()))
+}
+
+/// Records 2000 accesses of gap to a fresh temp trace.
+fn record_gap(tag: &str) -> std::path::PathBuf {
+    let path = temp(tag);
+    tlb_distance::experiments::replay::record("gap", Scale::TINY, Some(RECORDS), &path).unwrap();
+    path
+}
+
+/// A copy of `clean` with `plan` baked into its bytes.
+fn bake(clean: &std::path::Path, tag: &str, plan: &FaultPlan) -> std::path::PathBuf {
+    let mut bytes = std::fs::read(clean).unwrap();
+    plan.apply_to_bytes(&mut bytes);
+    let path = temp(tag);
+    std::fs::write(&path, bytes).unwrap();
+    path
+}
+
+/// Runs one trace through all three execution modes and asserts each
+/// completes with the expected number of accesses.
+fn run_all_modes(trace: &TraceWorkload, expected_accesses: u64, context: &str) {
+    let config = SimConfig::paper_default();
+
+    let sequential = run_app_sharded(trace, Scale::TINY, &config, 1).unwrap();
+    assert_eq!(
+        sequential.merged.accesses, expected_accesses,
+        "{context}: sequential"
+    );
+
+    let sharded = run_app_sharded(trace, Scale::TINY, &config, 4).unwrap();
+    assert_eq!(
+        sharded.merged.accesses, expected_accesses,
+        "{context}: sharded"
+    );
+    // Sharding approximates around boundaries but conserves the event
+    // totals exactly.
+    assert_eq!(
+        sharded.merged.misses,
+        sharded.merged.prefetch_buffer_hits + sharded.merged.demand_walks,
+        "{context}: sharded counters inconsistent"
+    );
+    drop(sequential);
+
+    let mix = MultiStreamSpec::new(
+        vec![
+            Arc::new(trace.clone()) as Arc<dyn StreamSpec>,
+            Arc::new(find_app("mcf").unwrap()),
+        ],
+        Schedule::RoundRobin { quantum: 500 },
+    )
+    .unwrap();
+    let mixed = run_mix_sharded(&mix, Scale::TINY, &config, true, 2).unwrap();
+    assert_eq!(
+        mixed.merged.per_stream.streams()[0].accesses,
+        expected_accesses,
+        "{context}: mix attribution"
+    );
+    assert_eq!(
+        mixed.health.quarantined_records,
+        trace.health().records_bad,
+        "{context}: mix health"
+    );
+}
+
+#[test]
+fn corrupt_kind_bytes_fail_strict_and_quarantine_under_every_mode() {
+    let clean = record_gap("corrupt-clean");
+    let plan = FaultPlan::seeded(11, RECORDS, &[(FaultKind::CorruptKind, 6)]);
+    let dirty = bake(&clean, "corrupt-dirty", &plan);
+
+    // Strict: a typed error, not a panic, from the open-time scan.
+    let strict = TraceWorkload::open(&dirty);
+    assert!(
+        matches!(strict, Err(ref e) if e.to_string().contains("kind")),
+        "strict open must fail typed: {strict:?}"
+    );
+
+    // Quarantine: all three execution modes replay the surviving
+    // records, and the loss is visible in the health report.
+    let trace = TraceWorkload::open_with_policy(&dirty, DecodePolicy::quarantine(6)).unwrap();
+    assert_eq!(trace.stream_len(), RECORDS - 6);
+    assert_eq!(trace.health().records_bad, 6);
+    run_all_modes(&trace, RECORDS - 6, "corrupt-kind");
+
+    // An insufficient budget is a typed error too.
+    assert!(TraceWorkload::open_with_policy(&dirty, DecodePolicy::quarantine(5)).is_err());
+
+    std::fs::remove_file(&clean).unwrap();
+    std::fs::remove_file(&dirty).unwrap();
+}
+
+#[test]
+fn wild_vaddrs_decode_fine_and_simulate_under_both_policies() {
+    // A wild vaddr is a *valid* record with an absurd address: decode
+    // accepts it under either policy, and the simulator's page
+    // arithmetic absorbs it.
+    let clean = record_gap("wild-clean");
+    let plan = FaultPlan::seeded(13, RECORDS, &[(FaultKind::WildVaddr, 8)]);
+    let dirty = bake(&clean, "wild-dirty", &plan);
+
+    for policy in [DecodePolicy::Strict, DecodePolicy::quarantine(8)] {
+        let trace = TraceWorkload::open_with_policy(&dirty, policy).unwrap();
+        assert_eq!(trace.stream_len(), RECORDS, "{policy}");
+        assert!(trace.health().is_clean(), "{policy}: wild vaddrs decode ok");
+        run_all_modes(&trace, RECORDS, "wild-vaddr");
+    }
+
+    // The rewrites really are in the file where the plan put them.
+    let trace = TraceWorkload::open(&dirty).unwrap();
+    let accesses: Vec<MemoryAccess> = trace.workload().collect();
+    for record in plan.records_with(FaultKind::WildVaddr) {
+        assert_eq!(accesses[record as usize].vaddr.raw(), wild_vaddr(record));
+    }
+
+    std::fs::remove_file(&clean).unwrap();
+    std::fs::remove_file(&dirty).unwrap();
+}
+
+#[test]
+fn a_torn_tail_fails_strict_and_replays_the_whole_records_under_quarantine() {
+    let clean = record_gap("tear-clean");
+    let plan = FaultPlan::new().with(RECORDS - 1, FaultKind::TruncateTail);
+    let dirty = bake(&clean, "tear-dirty", &plan);
+
+    assert!(
+        matches!(TraceWorkload::open(&dirty), Err(ref e) if e.to_string().contains("mid-record")),
+        "strict must reject the torn tail"
+    );
+
+    let trace = TraceWorkload::open_with_policy(&dirty, DecodePolicy::quarantine(0)).unwrap();
+    assert_eq!(trace.stream_len(), RECORDS - 1);
+    assert!(trace.health().torn_tail_bytes > 0);
+    run_all_modes(&trace, RECORDS - 1, "torn-tail");
+
+    std::fs::remove_file(&clean).unwrap();
+    std::fs::remove_file(&dirty).unwrap();
+}
+
+#[test]
+fn transient_io_errors_are_absorbed_and_the_decoded_stream_still_simulates() {
+    let clean = record_gap("io-clean");
+    let plan = FaultPlan::seeded(17, RECORDS, &[(FaultKind::TransientIo, 5)]);
+
+    for policy in [DecodePolicy::Strict, DecodePolicy::quarantine(0)] {
+        // The streaming reader retries through every injected
+        // `Interrupted` and decodes the full stream...
+        let file = std::fs::File::open(&clean).unwrap();
+        let reader =
+            BinaryTraceReader::open_with_policy(FaultyRead::new(file, &plan), policy).unwrap();
+        let decoded: Vec<MemoryAccess> = reader.map(|r| r.unwrap()).collect();
+        assert_eq!(decoded.len() as u64, RECORDS, "{policy}");
+
+        // ...and what it decoded drives every execution mode: re-encode
+        // and run, proving the recovered stream is the clean stream.
+        let rewritten = temp("io-rewritten");
+        let mut writer =
+            BinaryTraceWriter::create(std::fs::File::create(&rewritten).unwrap()).unwrap();
+        for access in &decoded {
+            writer.write(access).unwrap();
+        }
+        writer.finish().unwrap();
+        let trace = TraceWorkload::open(&rewritten).unwrap();
+        run_all_modes(&trace, RECORDS, "transient-io");
+        std::fs::remove_file(&rewritten).unwrap();
+    }
+
+    std::fs::remove_file(&clean).unwrap();
+}
+
+#[test]
+fn worker_panics_recover_in_every_mode_and_under_both_policies() {
+    let clean = record_gap("panic-clean");
+    let config = SimConfig::paper_default();
+    let baseline = run_app(&TraceWorkload::open(&clean).unwrap(), Scale::TINY, &config).unwrap();
+
+    for policy in [DecodePolicy::Strict, DecodePolicy::quarantine(4)] {
+        let trace = TraceWorkload::open_with_policy(&clean, policy).unwrap();
+        let plan = FaultPlan::new().with(700, FaultKind::WorkerPanic);
+
+        // Sequential (1 shard) and sharded (4): one budgeted panic is
+        // retried away and the stats come back bit-identical.
+        for shards in [1usize, 4] {
+            let chaos = ChaosSpec::new(Arc::new(trace.clone()), plan.clone(), 1);
+            let run = run_app_sharded(&chaos, Scale::TINY, &config, shards).unwrap();
+            assert_eq!(run.health.retries, 1, "{policy}@{shards}");
+            if shards == 1 {
+                assert_eq!(run.merged, baseline, "{policy}: recovery changed stats");
+            }
+        }
+
+        // Mix: the panicking member heals inside the interleave too.
+        let chaos = ChaosSpec::new(Arc::new(trace.clone()), plan.clone(), 1);
+        let mix = MultiStreamSpec::new(
+            vec![
+                Arc::new(chaos) as Arc<dyn StreamSpec>,
+                Arc::new(find_app("mcf").unwrap()),
+            ],
+            Schedule::RoundRobin { quantum: 500 },
+        )
+        .unwrap();
+        let mixed = run_mix_sharded(&mix, Scale::TINY, &config, true, 2).unwrap();
+        assert_eq!(mixed.health.retries, 1, "{policy}: mix retry");
+        assert_eq!(
+            mixed.merged.per_stream.streams()[0].accesses,
+            RECORDS,
+            "{policy}: mix replayed the panicking member fully"
+        );
+
+        // Persistent panics surface typed, never unwinding the caller.
+        let stubborn = ChaosSpec::new(
+            Arc::new(trace.clone()),
+            plan.clone(),
+            SHARD_ATTEMPTS as u64 + 1,
+        );
+        let err = run_app_sharded(&stubborn, Scale::TINY, &config, 1).unwrap_err();
+        assert!(matches!(err, SimError::ShardPanicked { .. }), "{policy}");
+    }
+
+    std::fs::remove_file(&clean).unwrap();
+}
+
+/// The checked-in regression trace with K planted corruptions recovers
+/// exactly 2000 − K records — quarantine's resync is pinned against
+/// bytes this build did not write.
+#[test]
+fn checked_in_trace_with_planted_corruptions_recovers_all_but_k_records() {
+    const K: usize = 7;
+    let source = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/gap-tiny-2k.tlbt");
+    let plan = FaultPlan::seeded(2002, 2000, &[(FaultKind::CorruptKind, K)]);
+    let mut bytes = std::fs::read(source).unwrap();
+    plan.apply_to_bytes(&mut bytes);
+    let dirty = temp("regression-k");
+    std::fs::write(&dirty, bytes).unwrap();
+
+    let trace =
+        TraceWorkload::open_with_policy(&dirty, DecodePolicy::quarantine(K as u64)).unwrap();
+    assert_eq!(trace.stream_len(), 2000 - K as u64);
+    assert_eq!(trace.health().records_bad, K as u64);
+
+    // The surviving records are exactly the clean trace minus the
+    // corrupted positions, in order.
+    let clean: Vec<MemoryAccess> = TraceWorkload::open(source).unwrap().workload().collect();
+    let corrupted = plan.records_with(FaultKind::CorruptKind);
+    let expected: Vec<MemoryAccess> = clean
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !corrupted.contains(&(*i as u64)))
+        .map(|(_, a)| *a)
+        .collect();
+    let survived: Vec<MemoryAccess> = trace.workload().collect();
+    assert_eq!(survived, expected);
+
+    let stats = run_app(&trace, Scale::TINY, &SimConfig::paper_default()).unwrap();
+    assert_eq!(stats.accesses, 2000 - K as u64);
+    std::fs::remove_file(&dirty).unwrap();
+}
+
+#[test]
+fn empty_and_zero_length_inputs_never_panic() {
+    // A header-only trace is a valid zero-length stream everywhere.
+    let empty = temp("empty");
+    BinaryTraceWriter::create(std::fs::File::create(&empty).unwrap())
+        .unwrap()
+        .finish()
+        .unwrap();
+    let trace = TraceWorkload::open(&empty).unwrap();
+    assert_eq!(trace.stream_len(), 0);
+
+    let config = SimConfig::paper_default();
+    // More shards than accesses: trailing shards own empty ranges.
+    let run = run_app_sharded(&trace, Scale::TINY, &config, 4).unwrap();
+    assert_eq!(run.merged.accesses, 0);
+    assert_eq!(run.shards.len(), 4);
+    assert!(run.health.is_clean());
+
+    // A zero-access mix member contributes an empty share, typed and
+    // attributed, not a crash.
+    let mix = MultiStreamSpec::new(
+        vec![
+            Arc::new(trace.clone()) as Arc<dyn StreamSpec>,
+            Arc::new(find_app("gap").unwrap()),
+        ],
+        Schedule::RoundRobin { quantum: 1000 },
+    )
+    .unwrap();
+    let mixed = run_mix_sharded(&mix, Scale::TINY, &config, true, 2).unwrap();
+    assert_eq!(mixed.merged.per_stream.streams()[0].accesses, 0);
+    assert_eq!(
+        mixed.merged.per_stream.streams()[1].accesses,
+        find_app("gap").unwrap().stream_len(Scale::TINY)
+    );
+
+    std::fs::remove_file(&empty).unwrap();
+}

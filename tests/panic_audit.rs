@@ -1,0 +1,120 @@
+//! Panic audit: the fault-tolerance work replaced runtime-path
+//! `unwrap`/`expect` with typed errors, and this gate keeps it that
+//! way. It walks every workspace crate's `src/` tree, ignores test
+//! modules (everything from the first `#[cfg(test)]` down — tests at
+//! the bottom of the file is the workspace convention) and comment
+//! lines, and enforces two invariants:
+//!
+//! * **no bare `.unwrap()` at all** — a runtime invariant strong
+//!   enough to panic on deserves a message, so `expect` is the floor;
+//! * **per-crate `.expect(` ceilings** pinned at today's counts — a
+//!   new `expect` is allowed only by consciously raising the ceiling
+//!   here, which is exactly the review conversation we want.
+
+use std::path::{Path, PathBuf};
+
+/// Per-crate ceilings for `.expect(` occurrences on non-test lines.
+/// Every one of today's sites carries an invariant message
+/// ("worker threads joined", "8-byte slice", ...); lowering a ceiling
+/// after removing sites is encouraged, raising one is a review event.
+const EXPECT_CEILINGS: &[(&str, usize)] = &[
+    ("crates/core", 3),
+    ("crates/mmu", 1),
+    ("crates/mem", 0),
+    ("crates/trace", 10),
+    ("crates/workloads", 14),
+    ("crates/sim", 9),
+    ("crates/experiments", 19),
+    ("src", 0),
+];
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("source dir readable") {
+        let path = entry.expect("dir entry readable").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Counts `.unwrap()` / `.expect(` on lines that are neither comments
+/// nor inside the file's test module.
+fn census(path: &Path) -> (usize, usize) {
+    let text = std::fs::read_to_string(path).expect("source file readable");
+    let (mut unwraps, mut expects) = (0, 0);
+    for line in text.lines() {
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            continue; // doc examples and prose don't run in release
+        }
+        unwraps += trimmed.matches(".unwrap()").count();
+        expects += trimmed.matches(".expect(").count();
+    }
+    (unwraps, expects)
+}
+
+#[test]
+fn runtime_paths_have_no_bare_unwraps_and_expects_stay_under_ceiling() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut failures = Vec::new();
+    for &(crate_dir, ceiling) in EXPECT_CEILINGS {
+        let src = if crate_dir == "src" {
+            root.join("src")
+        } else {
+            root.join(crate_dir).join("src")
+        };
+        let mut files = Vec::new();
+        rust_sources(&src, &mut files);
+        assert!(!files.is_empty(), "no sources under {}", src.display());
+        let (mut unwraps, mut expects) = (0, 0);
+        for file in &files {
+            let (u, e) = census(file);
+            if u > 0 {
+                failures.push(format!(
+                    "{}: {u} bare .unwrap() on a runtime path — use a typed error or .expect with an invariant message",
+                    file.display()
+                ));
+            }
+            unwraps += u;
+            expects += e;
+        }
+        let _ = unwraps;
+        if expects > ceiling {
+            failures.push(format!(
+                "{crate_dir}: {expects} .expect( sites exceed the audited ceiling of {ceiling} — prefer a typed error, or raise the ceiling in tests/panic_audit.rs with review"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "panic audit failed:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn shim_crates_are_audited_too() {
+    // The unsafe-bearing mmap shim is the one place a panic would be
+    // hardest to debug; hold it to the same standard.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let shims = root.join("crates").join("shims");
+    if !shims.is_dir() {
+        return;
+    }
+    let mut files = Vec::new();
+    rust_sources(&shims, &mut files);
+    for file in &files {
+        let (unwraps, _) = census(file);
+        assert_eq!(
+            unwraps,
+            0,
+            "{}: bare .unwrap() in a shim crate's runtime path",
+            file.display()
+        );
+    }
+}
