@@ -14,15 +14,36 @@
 //! xp chaos --trace <path> --out <path> [--seed <n>] [--corrupt <k>]
 //!          [--wild <k>] [--truncate]
 //! xp bench-json [--out <path>]
+//! xp serve [--socket <path>] [--workers <n>] [--queue-depth <n>]
+//! xp submit (--trace <path> | --app <name>) [--socket <path>]
+//!           [--scheme none|sp|asp|mp|rp|dp] [--scale <s>] [--shards <n|auto>]
+//!           [--quarantine <n|unlimited>] [--snapshot-every <n>]
+//! xp shutdown [--socket <path>] [--no-drain]
+//! xp convert --trace <path> --out <path>
 //! ```
 //!
-//! `--shards <n>` switches the accuracy-grid drivers (figure7, figure8,
-//! table2) — and `replay` — from job-level parallelism to intra-run
-//! sharding: jobs run one at a time, each partitioned across `n` worker
-//! shards (`tlbsim_sim::run_app_sharded`) — the mode for very large
-//! `--scale` runs where a single job should own the whole machine. The
-//! other experiments ignore the flag. `--shards 1` is bit-identical to
-//! the default.
+//! `--shards <n|auto>` switches the accuracy-grid drivers (figure7,
+//! figure8, table2) — and `replay`/`mix` — from job-level parallelism to
+//! intra-run sharding: jobs run one at a time, each partitioned across
+//! `n` worker shards (`tlbsim_sim::run_app_sharded`) — the mode for very
+//! large `--scale` runs where a single job should own the whole machine.
+//! `auto` resolves per run from the machine's available parallelism,
+//! clamped so no shard's slice falls below a useful minimum
+//! (`tlbsim_sim::auto_shard_count`). The other experiments ignore the
+//! flag. `--shards 1` is bit-identical to the default.
+//!
+//! `serve` runs the simulation daemon (`tlbsim_service::Server`) on a
+//! Unix-domain socket until a client asks it to shut down; `submit`
+//! connects as a client, runs one job (a recorded trace or a registered
+//! application under the chosen scheme) and prints the final statistics
+//! plus any incremental snapshots; `shutdown` stops a running daemon,
+//! draining queued jobs unless `--no-drain`. The framing and job model
+//! are specified normatively in `docs/PROTOCOL.md`.
+//!
+//! `convert` translates traces between the two on-disk formats: a
+//! `TLBT` binary input becomes the line-oriented text format, and a
+//! text input becomes `TLBT`. The direction is sniffed from the input
+//! file's magic bytes, so the command is its own inverse.
 //!
 //! `record` dumps a registered application model's reference stream to
 //! the binary `TLBT` trace format; `replay` runs the figure grids'
@@ -51,17 +72,22 @@
 //!
 //! `bench-json` measures simulator throughput (accesses/sec per scheme,
 //! the DP miss-path microbench, sharded-vs-sequential scaling of a
-//! figure-scale DP run, and mmap trace replay vs the generator) and
-//! writes `BENCH_throughput.json` — the perf-trajectory telemetry
-//! successive PRs compare against.
+//! figure-scale DP run, mmap trace replay vs the generator, and
+//! daemon-served trace ingest vs in-process batch replay) and writes
+//! `BENCH_throughput.json` — the perf-trajectory telemetry successive
+//! PRs compare against.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use tlbsim_core::PrefetcherConfig;
 use tlbsim_experiments::{
     extras, figure7, figure8, figure9, health, mix, replay, table1, table2, table3, throughput,
 };
-use tlbsim_trace::DecodePolicy;
+use tlbsim_service::{Client, JobSpec, Server, ServerConfig};
+use tlbsim_trace::{
+    BinaryTraceReader, BinaryTraceWriter, DecodePolicy, TextTraceReader, TextTraceWriter, MAGIC,
+};
 use tlbsim_workloads::Scale;
 
 struct Args {
@@ -81,19 +107,36 @@ struct Args {
     corrupt: usize,
     wild: usize,
     truncate: bool,
+    socket: PathBuf,
+    workers: usize,
+    queue_depth: usize,
+    scheme: String,
+    snapshot_every: u64,
+    no_drain: bool,
 }
 
 fn usage() -> &'static str {
     "usage: xp <table1|table2|table3|figure7|figure8|figure9|extras|all> \
-     [--scale tiny|small|standard|<factor>] [--shards <n>] [--csv <dir>]\n       \
+     [--scale tiny|small|standard|<factor>] [--shards <n|auto>] [--csv <dir>]\n       \
      xp record --app <name> [--scale <s>] [--limit <n>] [--out <path>]\n       \
-     xp replay --trace <path> [--shards <n>] [--quarantine <n|unlimited>] [--csv <dir>]\n       \
+     xp replay --trace <path> [--shards <n|auto>] [--quarantine <n|unlimited>] [--csv <dir>]\n       \
      xp mix --streams <a,b,...> [--quantum <n>] [--flush-on-switch] \
-     [--scale <s>] [--shards <n>] [--quarantine <n|unlimited>] [--csv <dir>]\n       \
+     [--scale <s>] [--shards <n|auto>] [--quarantine <n|unlimited>] [--csv <dir>]\n       \
      xp check --trace <path> [--quarantine <n|unlimited>]\n       \
      xp chaos --trace <path> --out <path> [--seed <n>] [--corrupt <k>] \
      [--wild <k>] [--truncate]\n       \
-     xp bench-json [--out <path>]"
+     xp bench-json [--out <path>]\n       \
+     xp serve [--socket <path>] [--workers <n>] [--queue-depth <n>]\n       \
+     xp submit (--trace <path> | --app <name>) [--socket <path>] \
+     [--scheme none|sp|asp|mp|rp|dp] [--scale <s>] [--shards <n|auto>] \
+     [--quarantine <n|unlimited>] [--snapshot-every <n>]\n       \
+     xp shutdown [--socket <path>] [--no-drain]\n       \
+     xp convert --trace <path> --out <path>"
+}
+
+/// Default daemon socket: stable per user+machine, in the temp dir.
+fn default_socket() -> PathBuf {
+    std::env::temp_dir().join("tlbsim.sock")
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -113,6 +156,12 @@ fn parse_args() -> Result<Args, String> {
     let mut corrupt = 0usize;
     let mut wild = 0usize;
     let mut truncate = false;
+    let mut socket = default_socket();
+    let mut workers = 0usize;
+    let mut queue_depth = 64usize;
+    let mut scheme = "dp".to_owned();
+    let mut snapshot_every = 0u64;
+    let mut no_drain = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -203,12 +252,44 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--shards" => {
-                let value = argv.next().ok_or("--shards needs a value")?;
-                shards = value
+                let value = argv.next().ok_or("--shards needs <n|auto>")?;
+                // 0 is the internal "auto" sentinel (resolved per run by
+                // `tlbsim_sim::resolve_shards`); only the word spells it.
+                shards = match value.as_str() {
+                    "auto" => 0,
+                    n => n.parse::<usize>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                        format!("bad shard count {n:?} (want an integer >= 1, or \"auto\")")
+                    })?,
+                };
+            }
+            "--socket" => {
+                socket = PathBuf::from(argv.next().ok_or("--socket needs a path")?);
+            }
+            "--workers" => {
+                let value = argv.next().ok_or("--workers needs a count")?;
+                workers = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad worker count {value:?}"))?;
+            }
+            "--queue-depth" => {
+                let value = argv.next().ok_or("--queue-depth needs a count")?;
+                queue_depth = value
                     .parse::<usize>()
                     .ok()
                     .filter(|n| *n >= 1)
-                    .ok_or_else(|| format!("bad shard count {value:?} (want an integer >= 1)"))?;
+                    .ok_or_else(|| format!("bad queue depth {value:?} (want an integer >= 1)"))?;
+            }
+            "--scheme" => {
+                scheme = argv.next().ok_or("--scheme needs a scheme name")?;
+            }
+            "--snapshot-every" => {
+                let value = argv.next().ok_or("--snapshot-every needs a cadence")?;
+                snapshot_every = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad snapshot cadence {value:?}"))?;
+            }
+            "--no-drain" => {
+                no_drain = true;
             }
             "--csv" => {
                 csv_dir = Some(PathBuf::from(argv.next().ok_or("--csv needs a directory")?));
@@ -240,6 +321,12 @@ fn parse_args() -> Result<Args, String> {
         corrupt,
         wild,
         truncate,
+        socket,
+        workers,
+        queue_depth,
+        scheme,
+        snapshot_every,
+        no_drain,
     })
 }
 
@@ -342,6 +429,180 @@ fn run_bench_json(out: &Option<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_scheme(name: &str) -> Result<PrefetcherConfig, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "none" => Ok(PrefetcherConfig::none()),
+        "sp" | "sequential" => Ok(PrefetcherConfig::sequential()),
+        "asp" | "stride" => Ok(PrefetcherConfig::stride()),
+        "mp" | "markov" => Ok(PrefetcherConfig::markov()),
+        "rp" | "recency" => Ok(PrefetcherConfig::recency()),
+        "dp" | "distance" => Ok(PrefetcherConfig::distance()),
+        other => Err(format!(
+            "unknown scheme {other:?} (want none|sp|asp|mp|rp|dp)"
+        )),
+    }
+}
+
+fn run_serve(args: &Args) -> Result<(), String> {
+    let server = Server::bind(
+        &args.socket,
+        ServerConfig {
+            workers: args.workers,
+            queue_depth: args.queue_depth,
+        },
+    )
+    .map_err(|e| format!("serve: binding {}: {e}", args.socket.display()))?;
+    let workers = if args.workers == 0 {
+        "auto".to_owned()
+    } else {
+        args.workers.to_string()
+    };
+    eprintln!(
+        "tlbsim daemon listening on {} (workers {workers}, queue depth {})",
+        server.path().display(),
+        args.queue_depth
+    );
+    server.run().map_err(|e| format!("serve: {e}"))
+}
+
+fn run_submit(args: &Args) -> Result<(), String> {
+    let mut job = match (&args.trace, &args.app) {
+        (Some(trace), None) => JobSpec::trace(trace.display().to_string()),
+        (None, Some(app)) => JobSpec::app(app.clone()),
+        _ => {
+            return Err(format!(
+                "submit needs exactly one of --trace <path> / --app <name>\n{}",
+                usage()
+            ))
+        }
+    };
+    job.scheme = parse_scheme(&args.scheme)?;
+    job.scale = args.scale;
+    job.shards = u32::try_from(args.shards).map_err(|_| "shard count overflows u32".to_owned())?;
+    job.policy = args.policy;
+    job.snapshot_every = args.snapshot_every;
+    let mut client = Client::connect(&args.socket)
+        .map_err(|e| format!("submit: connecting {}: {e}", args.socket.display()))?;
+    let outcome = client
+        .run_job(1, &job)
+        .map_err(|e| format!("submit: {e}"))?;
+    println!(
+        "job done: {} accesses across {} shard(s), scheme {}",
+        outcome.stream_len,
+        outcome.shards,
+        job.scheme.label()
+    );
+    println!(
+        "accuracy {:.3}  miss rate {:.4}  (misses {}, prefetch buffer hits {})",
+        outcome.stats.accuracy(),
+        outcome.stats.miss_rate(),
+        outcome.stats.misses,
+        outcome.stats.prefetch_buffer_hits
+    );
+    if !outcome.snapshots.is_empty() {
+        println!(
+            "snapshots: {} (cadence {})",
+            outcome.snapshots.len(),
+            job.snapshot_every
+        );
+    }
+    let health = &outcome.health;
+    if health.retries != 0 || health.degraded_shards != 0 || health.quarantined_records != 0 {
+        println!(
+            "health: {} retries, {} degraded shards, {} quarantined records",
+            health.retries, health.degraded_shards, health.quarantined_records
+        );
+    }
+    Ok(())
+}
+
+fn run_shutdown(args: &Args) -> Result<(), String> {
+    let mut client = Client::connect(&args.socket)
+        .map_err(|e| format!("shutdown: connecting {}: {e}", args.socket.display()))?;
+    client
+        .shutdown(!args.no_drain)
+        .map_err(|e| format!("shutdown: {e}"))?;
+    eprintln!(
+        "daemon at {} shutting down ({})",
+        args.socket.display(),
+        if args.no_drain {
+            "queued jobs failed"
+        } else {
+            "draining queued jobs"
+        }
+    );
+    Ok(())
+}
+
+fn run_convert(args: &Args) -> Result<(), String> {
+    use std::io::{BufWriter, Read as _};
+
+    let input = args
+        .trace
+        .as_deref()
+        .ok_or_else(|| format!("convert needs --trace <path>\n{}", usage()))?;
+    let out = args
+        .out
+        .as_deref()
+        .ok_or_else(|| format!("convert needs --out <path>\n{}", usage()))?;
+    let open = |path: &std::path::Path| {
+        std::fs::File::open(path).map_err(|e| format!("convert: opening {}: {e}", path.display()))
+    };
+    let create = |path: &std::path::Path| {
+        std::fs::File::create(path)
+            .map_err(|e| format!("convert: creating {}: {e}", path.display()))
+    };
+    // Sniff the direction from the input's magic bytes: anything that
+    // does not start with the TLBT magic is treated as text.
+    let mut head = [0u8; 4];
+    let is_binary = {
+        let mut file = open(input)?;
+        file.read_exact(&mut head).is_ok() && head == MAGIC
+    };
+    let (records, direction) = if is_binary {
+        let reader = BinaryTraceReader::open(open(input)?)
+            .map_err(|e| format!("convert: reading {}: {e}", input.display()))?;
+        let mut writer = TextTraceWriter::create(BufWriter::new(create(out)?));
+        writer
+            .comment(&format!("converted from {}", input.display()))
+            .map_err(|e| format!("convert: writing {}: {e}", out.display()))?;
+        for record in reader {
+            let record =
+                record.map_err(|e| format!("convert: reading {}: {e}", input.display()))?;
+            writer
+                .write(&record)
+                .map_err(|e| format!("convert: writing {}: {e}", out.display()))?;
+        }
+        let records = writer.records_written();
+        writer
+            .finish()
+            .map_err(|e| format!("convert: writing {}: {e}", out.display()))?;
+        (records, "TLBT -> text")
+    } else {
+        let reader = TextTraceReader::open(open(input)?);
+        let mut writer = BinaryTraceWriter::create(BufWriter::new(create(out)?))
+            .map_err(|e| format!("convert: writing {}: {e}", out.display()))?;
+        for record in reader {
+            let record =
+                record.map_err(|e| format!("convert: reading {}: {e}", input.display()))?;
+            writer
+                .write(&record)
+                .map_err(|e| format!("convert: writing {}: {e}", out.display()))?;
+        }
+        let records = writer.records_written();
+        writer
+            .finish()
+            .map_err(|e| format!("convert: writing {}: {e}", out.display()))?;
+        (records, "text -> TLBT")
+    };
+    println!(
+        "converted {} -> {} ({direction}, {records} records)",
+        input.display(),
+        out.display()
+    );
+    Ok(())
+}
+
 fn emit(
     name: &str,
     rendered: String,
@@ -365,6 +626,9 @@ fn run_one(
     csv_dir: &Option<PathBuf>,
 ) -> Result<(), String> {
     let fail = |e: tlbsim_sim::SimError| format!("{name}: {e}");
+    // Grid streams at any real --scale sit far past the auto clamp's
+    // minimum slice, so "auto" resolves to the machine's parallelism.
+    let shards = tlbsim_sim::resolve_shards(shards, u64::MAX);
     match name {
         "table1" => {
             let t = table1::run();
@@ -413,6 +677,10 @@ fn main() -> ExitCode {
         "mix" => Some(run_mix(&args)),
         "check" => Some(run_check(&args)),
         "chaos" => Some(run_chaos(&args)),
+        "serve" => Some(run_serve(&args)),
+        "submit" => Some(run_submit(&args)),
+        "shutdown" => Some(run_shutdown(&args)),
+        "convert" => Some(run_convert(&args)),
         _ => None,
     } {
         return match outcome {
@@ -430,10 +698,10 @@ fn main() -> ExitCode {
     } else {
         vec![args.experiment.as_str()]
     };
-    let sharding = if args.shards > 1 {
-        format!(" with {} shards per run", args.shards)
-    } else {
-        String::new()
+    let sharding = match args.shards {
+        0 => " with auto worker shards per run".to_owned(),
+        1 => String::new(),
+        n => format!(" with {n} shards per run"),
     };
     eprintln!(
         "running {} at scale {}{sharding} …",

@@ -15,7 +15,7 @@
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
-use tlbsim_sim::{run_mix, run_mix_sharded, SimConfig, SimStats, StreamStats};
+use tlbsim_sim::{resolve_shards, run_mix, run_mix_sharded, SimConfig, SimStats, StreamStats};
 use tlbsim_trace::DecodePolicy;
 use tlbsim_workloads::{
     find_app, MixError, MultiStreamSpec, Scale, Schedule, StreamSpec, TraceWorkload,
@@ -170,6 +170,7 @@ pub fn mix_with_policy(
     policy: DecodePolicy,
 ) -> Result<MixReport, ReplayError> {
     let spec = build_mix_with_policy(tokens, quantum, policy)?;
+    let shards = resolve_shards(shards, spec.stream_len(scale));
     let schemes = paper_scheme_grid();
     let base = SimConfig::paper_default();
     let configs: Vec<SimConfig> = schemes

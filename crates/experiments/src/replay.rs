@@ -15,7 +15,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use tlbsim_core::MemoryAccess;
-use tlbsim_sim::{run_app_sharded, sweep, SimConfig, SimError, SweepJob};
+use tlbsim_sim::{resolve_shards, run_app_sharded, sweep, SimConfig, SimError, SweepJob};
 use tlbsim_trace::{BinaryTraceWriter, DecodePolicy, TraceError, TraceHealth};
 use tlbsim_workloads::{find_app, AppSpec, Scale, TraceWorkload};
 
@@ -183,7 +183,8 @@ pub struct ReplayReport {
 /// [`sweep`], all sharing one mapping of the trace. With more, each run
 /// is itself partitioned across `shards` workers via
 /// [`run_app_sharded`] — sharded trace replay seeks each worker's
-/// cursor in O(1).
+/// cursor in O(1). `shards == 0` means auto: resolved against the
+/// trace's record count via [`resolve_shards`].
 ///
 /// # Errors
 ///
@@ -211,6 +212,7 @@ pub fn replay_with_policy(
     let schemes = paper_scheme_grid();
     let base = SimConfig::paper_default();
     let scale = Scale::TINY; // ignored by fixed-length traces
+    let shards = resolve_shards(shards, trace.stream_len());
     let mut cells = Vec::with_capacity(schemes.len());
     if shards <= 1 {
         let jobs: Vec<SweepJob> = schemes
@@ -244,7 +246,7 @@ pub fn replay_with_policy(
         trace: trace.name().to_owned(),
         records: trace.stream_len(),
         backend: trace.backend(),
-        shards: shards.max(1),
+        shards,
         health: trace.health(),
         cells,
     })

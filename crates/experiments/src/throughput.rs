@@ -4,7 +4,8 @@
 //! scheme on a deterministic miss-heavy stream, the DP miss-path
 //! microbenchmark comparing the reusable-sink hot path against the
 //! allocating legacy `decide()` path, sharded-vs-sequential scaling,
-//! and mmap trace replay against the generator that recorded it. The
+//! mmap trace replay against the generator that recorded it, and
+//! daemon-served trace ingest against in-process batch replay. The
 //! results serialise to `BENCH_throughput.json`, giving successive PRs
 //! a machine-readable performance trajectory for the hot loop.
 //!
@@ -22,6 +23,7 @@ use std::time::{Duration, Instant};
 use std::sync::Arc;
 
 use tlbsim_core::{CandidateBuf, MemoryAccess, MissContext, Pc, PrefetcherConfig, VirtPage};
+use tlbsim_service::{Client, JobSpec, Server, ServerConfig};
 use tlbsim_sim::{run_app, run_app_sharded, run_mix, Engine, SimConfig, SimError};
 use tlbsim_workloads::{
     find_app, AppSpec, MultiStreamSpec, Scale, Schedule, StreamSpec, TraceWorkload,
@@ -154,6 +156,37 @@ impl MultiprogramThroughput {
     }
 }
 
+/// Served-versus-batch throughput of the same recorded trace through
+/// the same DP engine.
+///
+/// The batch path opens the trace in-process and replays it
+/// ([`tlbsim_sim::run_app`]); the served path submits the identical
+/// trace as a job to a real daemon over its Unix-domain socket and
+/// waits for the result — so the served time prices the whole service
+/// round trip: framing, admission, the per-job trace open, sequential
+/// execution and result marshalling. Both runs produce bit-identical
+/// statistics; the ratio is the cost of serving itself.
+#[derive(Debug, Clone)]
+pub struct ServiceThroughput {
+    /// Application whose recorded stream was served (the trace-replay
+    /// fixture).
+    pub app: &'static str,
+    /// Accesses per job (= records in the trace).
+    pub accesses: u64,
+    /// Best in-process batch-replay nanoseconds per access.
+    pub batch_ns_per_access: f64,
+    /// Best daemon-served nanoseconds per access, submit to `Done`.
+    pub served_ns_per_access: f64,
+}
+
+impl ServiceThroughput {
+    /// Served ingest throughput as a fraction of batch-replay
+    /// throughput (1.0 = parity).
+    pub fn served_vs_batch(&self) -> f64 {
+        self.batch_ns_per_access / self.served_ns_per_access
+    }
+}
+
 /// The full telemetry snapshot.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
@@ -167,6 +200,8 @@ pub struct ThroughputReport {
     pub trace_replay: TraceReplayThroughput,
     /// Single-stream vs multiprogrammed-interleave throughput.
     pub multiprogram: MultiprogramThroughput,
+    /// Daemon-served vs in-process batch trace ingest throughput.
+    pub service: ServiceThroughput,
 }
 
 /// A deterministic synthetic miss stream mixing strided runs with
@@ -272,6 +307,7 @@ pub fn run() -> Result<ThroughputReport, SimError> {
     let shard_scaling = measure_shard_scaling()?;
     let trace_replay = measure_trace_replay()?;
     let multiprogram = measure_multiprogram()?;
+    let service = measure_service()?;
 
     let misses = mixed_miss_stream(10_000);
     let mut dp = PrefetcherConfig::distance().build()?;
@@ -300,6 +336,7 @@ pub fn run() -> Result<ThroughputReport, SimError> {
         shard_scaling,
         trace_replay,
         multiprogram,
+        service,
     })
 }
 
@@ -423,6 +460,77 @@ fn measure_multiprogram() -> Result<MultiprogramThroughput, SimError> {
     })
 }
 
+/// Times an in-process batch replay of the trace-replay fixture against
+/// the identical trace served as jobs by a real daemon over a
+/// Unix-domain socket.
+///
+/// Environmental failures (recording the temp trace, binding the
+/// socket, a client-visible protocol error) panic with context, as in
+/// [`measure_trace_replay`] — [`SimError`] cannot carry them and the
+/// bench host is answerable for its own temp dir.
+fn measure_service() -> Result<ServiceThroughput, SimError> {
+    let (app, scale, config) = trace_replay_fixture();
+    let path = std::env::temp_dir().join(format!(
+        "tlbsim-bench-service-{}-{}.tlbt",
+        std::process::id(),
+        app.name
+    ));
+    let guard = TempFileGuard(path.clone());
+    let summary = crate::replay::record_spec(app, scale, None, &path)
+        .unwrap_or_else(|e| panic!("recording {} to {}: {e}", app.name, path.display()));
+    let trace = TraceWorkload::open(&path)
+        .unwrap_or_else(|e| panic!("opening just-recorded {}: {e}", path.display()));
+
+    run_app(&trace, scale, &config)?;
+    let batch = best_time(|| {
+        std::hint::black_box(run_app(&trace, scale, &config).expect("validated"));
+    });
+    drop(trace);
+
+    let socket = std::env::temp_dir().join(format!("tlbsim-bench-{}.sock", std::process::id()));
+    let server = Server::bind(
+        &socket,
+        ServerConfig {
+            workers: 1,
+            queue_depth: 4,
+        },
+    )
+    .unwrap_or_else(|e| panic!("binding bench daemon at {}: {e}", socket.display()));
+    let daemon = std::thread::spawn(move || server.run());
+
+    let mut client =
+        Client::connect(&socket).unwrap_or_else(|e| panic!("connecting bench daemon: {e}"));
+    // Sequential service jobs, so the ratio against the sequential
+    // batch path isolates service overhead from shard parallelism.
+    let mut job = JobSpec::trace(path.display().to_string());
+    job.shards = 1;
+    let outcome = client
+        .run_job(1, &job)
+        .unwrap_or_else(|e| panic!("bench job failed: {e}"));
+    assert_eq!(
+        outcome.stream_len, summary.records,
+        "daemon served the fixture"
+    );
+    let served = best_time(|| {
+        std::hint::black_box(client.run_job(1, &job).expect("validated"));
+    });
+    client
+        .shutdown(true)
+        .unwrap_or_else(|e| panic!("bench daemon shutdown failed: {e}"));
+    daemon
+        .join()
+        .expect("bench daemon thread panicked")
+        .unwrap_or_else(|e| panic!("bench daemon failed: {e}"));
+    drop(guard);
+
+    Ok(ServiceThroughput {
+        app: app.name,
+        accesses: summary.records,
+        batch_ns_per_access: batch.as_nanos() as f64 / summary.records as f64,
+        served_ns_per_access: served.as_nanos() as f64 / summary.records as f64,
+    })
+}
+
 /// Times the sequential path against sharded runs at 2 and 4 shards on
 /// the figure-scale DP fixture.
 fn measure_shard_scaling() -> Result<ShardScaling, SimError> {
@@ -516,6 +624,17 @@ impl ThroughputReport {
             mp.interleave_vs_single_stream(),
             mp.flush_interleaved_ns_per_access
         );
+        let sv = &self.service;
+        let _ = writeln!(
+            out,
+            "Service ({}, {} accesses): batch {:.2} ns/access, served {:.2} ns/access \
+             ({:.2}x of batch throughput)",
+            sv.app,
+            sv.accesses,
+            sv.batch_ns_per_access,
+            sv.served_ns_per_access,
+            sv.served_vs_batch()
+        );
         out
     }
 
@@ -586,7 +705,7 @@ impl ThroughputReport {
             "  \"multiprogram\": {{\"streams\": [{}], \"accesses\": {}, \"quantum\": {}, \
              \"single_stream_ns_per_access\": {:.3}, \"interleaved_ns_per_access\": {:.3}, \
              \"flush_interleaved_ns_per_access\": {:.3}, \
-             \"interleave_vs_single_stream\": {:.3}}}",
+             \"interleave_vs_single_stream\": {:.3}}},",
             streams.join(", "),
             mp.accesses,
             mp.quantum,
@@ -594,6 +713,18 @@ impl ThroughputReport {
             mp.interleaved_ns_per_access,
             mp.flush_interleaved_ns_per_access,
             mp.interleave_vs_single_stream()
+        );
+        let sv = &self.service;
+        let _ = writeln!(
+            out,
+            "  \"service\": {{\"app\": \"{}\", \"accesses\": {}, \
+             \"batch_ns_per_access\": {:.3}, \"served_ns_per_access\": {:.3}, \
+             \"served_vs_batch\": {:.3}}}",
+            sv.app,
+            sv.accesses,
+            sv.batch_ns_per_access,
+            sv.served_ns_per_access,
+            sv.served_vs_batch()
         );
         out.push_str("}\n");
         out
@@ -640,6 +771,10 @@ mod tests {
         assert!(mp.accesses > 0);
         assert!(mp.interleave_vs_single_stream() > 0.0);
         assert!(mp.flush_interleaved_ns_per_access > 0.0);
+        let sv = &report.service;
+        assert_eq!(sv.app, "galgel");
+        assert_eq!(sv.accesses, report.trace_replay.accesses);
+        assert!(sv.served_vs_batch() > 0.0);
         let json = report.to_json();
         assert!(json.contains("\"scheme\": \"DP\""));
         assert!(json.contains("dp_miss_path"));
@@ -649,6 +784,8 @@ mod tests {
         assert!(json.contains("\"replay_vs_generator\""));
         assert!(json.contains("\"multiprogram\""));
         assert!(json.contains("\"interleave_vs_single_stream\""));
+        assert!(json.contains("\"service\""));
+        assert!(json.contains("\"served_vs_batch\""));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -656,5 +793,6 @@ mod tests {
         assert!(rendered.contains("DP miss path"));
         assert!(rendered.contains("Trace replay"));
         assert!(rendered.contains("Multiprogram"));
+        assert!(rendered.contains("Service"));
     }
 }

@@ -1,0 +1,293 @@
+//! The client side: connect, submit, follow a job to its result.
+//!
+//! [`Client`] wraps one connection with the handshake done and the
+//! frame codec's scratch buffers owned, exposing both a high-level
+//! driver ([`Client::run_job`]: submit → snapshots → final result) and
+//! the raw frame stream ([`Client::next_frame`]) for callers that
+//! multiplex several jobs over one connection.
+
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use tlbsim_sim::{RunHealth, SimStats};
+
+use crate::job::{ErrorCode, JobSpec};
+use crate::wire::{read_frame, write_frame, Frame, WireError, PROTOCOL_VERSION};
+
+/// A client-visible service failure.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Connecting or talking to the socket failed.
+    Io(std::io::Error),
+    /// The byte stream violated the frame protocol.
+    Wire(WireError),
+    /// The daemon speaks a different protocol version.
+    VersionMismatch {
+        /// The version the daemon announced.
+        server: u16,
+    },
+    /// The daemon rejected or failed the job (typed, with diagnosis).
+    Job {
+        /// Failure class.
+        code: ErrorCode,
+        /// One-line diagnosis from the daemon.
+        message: String,
+    },
+    /// The daemon sent a frame that makes no sense at this point in
+    /// the exchange.
+    UnexpectedFrame {
+        /// What arrived, summarised.
+        got: &'static str,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "service i/o: {e}"),
+            ServiceError::Wire(e) => write!(f, "service protocol: {e}"),
+            ServiceError::VersionMismatch { server } => write!(
+                f,
+                "daemon speaks protocol v{server}, this client speaks v{PROTOCOL_VERSION}"
+            ),
+            ServiceError::Job { code, message } => write!(f, "job failed ({code}): {message}"),
+            ServiceError::UnexpectedFrame { got } => {
+                write!(f, "unexpected frame from daemon: {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Io(e) => Some(e),
+            ServiceError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+impl From<WireError> for ServiceError {
+    fn from(e: WireError) -> Self {
+        ServiceError::Wire(e)
+    }
+}
+
+/// One incremental checkpoint observed while a job ran.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotEvent {
+    /// Checkpoint sequence number (restarts from 1 after a retried
+    /// panic — a fresh run of the same stream).
+    pub seq: u64,
+    /// Accesses simulated so far.
+    pub accesses_done: u64,
+    /// Cumulative statistics at this point.
+    pub stats: SimStats,
+}
+
+/// Everything a completed job produced.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Final statistics — bit-identical to the equivalent batch run.
+    pub stats: SimStats,
+    /// What recovery the run needed (all-zero on the happy path).
+    pub health: RunHealth,
+    /// Incremental checkpoints, in arrival order (empty unless the job
+    /// set a snapshot cadence).
+    pub snapshots: Vec<SnapshotEvent>,
+    /// Worker shards the daemon actually used.
+    pub shards: u32,
+    /// Accesses the daemon simulated.
+    pub stream_len: u64,
+}
+
+/// A connected, handshaken client.
+///
+/// The embedded scratch buffers are reused across frames, so a
+/// long-lived client's steady-state send/receive path does not
+/// allocate. [`Client::run_job`] drives one job at a time; interleave
+/// jobs by hand with [`Client::submit`] + [`Client::next_frame`] if
+/// you need more.
+pub struct Client {
+    stream: UnixStream,
+    scratch: Vec<u8>,
+    payload: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a daemon at `path` and performs the version
+    /// handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] if connecting fails,
+    /// [`ServiceError::VersionMismatch`] if the daemon speaks another
+    /// protocol version, [`ServiceError::Wire`] on a malformed reply.
+    pub fn connect(path: impl AsRef<Path>) -> Result<Self, ServiceError> {
+        let stream = UnixStream::connect(path)?;
+        let mut client = Client {
+            stream,
+            scratch: Vec::with_capacity(1024),
+            payload: Vec::with_capacity(1024),
+        };
+        client.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        match client.next_frame()? {
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+            } => Ok(client),
+            Frame::Hello { version } => Err(ServiceError::VersionMismatch { server: version }),
+            _ => Err(ServiceError::UnexpectedFrame {
+                got: "non-Hello during handshake",
+            }),
+        }
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), ServiceError> {
+        write_frame(&mut self.stream, frame, &mut self.scratch)?;
+        Ok(())
+    }
+
+    /// Sends a raw frame without waiting for any reply — the low-level
+    /// escape hatch for callers that interleave frames by hand (e.g. a
+    /// shutdown racing in-flight jobs); [`Client::run_job`] and friends
+    /// cover the common paths.
+    ///
+    /// # Errors
+    ///
+    /// Transport or encoding failures.
+    pub fn send_frame(&mut self, frame: &Frame) -> Result<(), ServiceError> {
+        self.send(frame)
+    }
+
+    /// Reads the next frame from the daemon (blocking).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Wire`] for transport or protocol failures
+    /// (including disconnect).
+    pub fn next_frame(&mut self) -> Result<Frame, ServiceError> {
+        Ok(read_frame(&mut self.stream, &mut self.payload)?)
+    }
+
+    /// Submits a job and waits for admission.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Job`] if the daemon rejected it (bad spec,
+    /// queue full, shutting down); transport errors as usual.
+    pub fn submit(&mut self, job_id: u64, job: &JobSpec) -> Result<(u32, u64), ServiceError> {
+        self.send(&Frame::Submit {
+            job_id,
+            job: job.clone(),
+        })?;
+        match self.next_frame()? {
+            Frame::Accepted {
+                job_id: id,
+                shards,
+                stream_len,
+            } if id == job_id => Ok((shards, stream_len)),
+            Frame::JobError {
+                job_id: id,
+                code,
+                message,
+            } if id == job_id => Err(ServiceError::Job { code, message }),
+            _ => Err(ServiceError::UnexpectedFrame {
+                got: "neither Accepted nor JobError after Submit",
+            }),
+        }
+    }
+
+    /// Submits a job and follows it to completion, collecting
+    /// snapshots along the way.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Job`] carrying the daemon's typed failure if
+    /// the job was rejected or failed; transport errors as usual.
+    pub fn run_job(&mut self, job_id: u64, job: &JobSpec) -> Result<JobOutcome, ServiceError> {
+        let (shards, stream_len) = self.submit(job_id, job)?;
+        let mut snapshots = Vec::new();
+        loop {
+            match self.next_frame()? {
+                Frame::Snapshot {
+                    job_id: id,
+                    seq,
+                    accesses_done,
+                    stats,
+                } if id == job_id => {
+                    // A retried attempt restarts the sequence; discard
+                    // the abandoned attempt's checkpoints.
+                    if seq == 1 {
+                        snapshots.clear();
+                    }
+                    snapshots.push(SnapshotEvent {
+                        seq,
+                        accesses_done,
+                        stats,
+                    });
+                }
+                Frame::Done {
+                    job_id: id,
+                    stats,
+                    health,
+                } if id == job_id => {
+                    return Ok(JobOutcome {
+                        stats,
+                        health,
+                        snapshots,
+                        shards,
+                        stream_len,
+                    });
+                }
+                Frame::JobError {
+                    job_id: id,
+                    code,
+                    message,
+                } if id == job_id => return Err(ServiceError::Job { code, message }),
+                _ => {
+                    return Err(ServiceError::UnexpectedFrame {
+                        got: "frame for a different job while following one job",
+                    })
+                }
+            }
+        }
+    }
+
+    /// Asks the daemon to stop `job_id` at its next checkpoint. The
+    /// job's terminal frame (a `cancelled` `JobError`, or `Done` if it
+    /// finished first) still arrives on this connection.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only; cancelling an unknown job is a no-op.
+    pub fn cancel(&mut self, job_id: u64) -> Result<(), ServiceError> {
+        self.send(&Frame::Cancel { job_id })
+    }
+
+    /// Asks the daemon to shut down and waits for the acknowledgement.
+    /// `drain = true` finishes queued jobs first; `false` fails them.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`ServiceError::UnexpectedFrame`] if the
+    /// acknowledgement is interleaved wrong (shut down from a
+    /// connection with no jobs in flight).
+    pub fn shutdown(&mut self, drain: bool) -> Result<(), ServiceError> {
+        self.send(&Frame::Shutdown { drain })?;
+        match self.next_frame()? {
+            Frame::ShuttingDown => Ok(()),
+            _ => Err(ServiceError::UnexpectedFrame {
+                got: "non-ShuttingDown after Shutdown",
+            }),
+        }
+    }
+}

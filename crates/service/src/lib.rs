@@ -1,0 +1,51 @@
+//! # tlbsim-service — the online simulation service
+//!
+//! A long-running daemon that serves simulation jobs over a
+//! Unix-domain socket, turning the batch simulator into an online
+//! system: clients submit traces or application models with a
+//! prefetching scheme, follow incremental statistics snapshots, and
+//! receive a final result **bit-identical** to the equivalent batch
+//! `run_app` / `run_app_sharded` call (the service differential tests
+//! pin this end to end).
+//!
+//! Three layers, std-only (`std::os::unix::net`, no network or
+//! serialization dependencies):
+//!
+//! * `wire` — a length-prefixed, versioned binary frame protocol
+//!   ([`Frame`]); decoding is total (typed [`FrameError`]s, never a
+//!   panic), and encoding into a reusable scratch buffer keeps the
+//!   steady-state path allocation-free. `docs/PROTOCOL.md` is the
+//!   normative byte-level spec.
+//! * `job` — [`JobSpec`] (what to run) → [`resolve`] (validate
+//!   early: open + scan the trace under its [`DecodePolicy`], prove
+//!   the geometry constructible, finalise auto shards) → [`execute`]
+//!   (checkpointed sequential engine with snapshot publishing and
+//!   cancellation, or the self-healing sharded executor). Failures are
+//!   typed [`ErrorCode`]s carried in `JobError` frames.
+//! * `server`/`client` — the daemon ([`Server`]: accept loop,
+//!   bounded run queue with queue-full backpressure, worker pool with
+//!   panic containment, graceful drain/stop shutdown) and the client
+//!   library ([`Client`]: handshake, submit, follow, cancel,
+//!   shutdown).
+//!
+//! Fault tolerance carries over from the sharded executor wholesale: a
+//! panicking job is retried, then degraded, then reported as a typed
+//! per-job error — the daemon keeps serving. Disconnected clients
+//! cancel their own jobs; garbage on a socket drops that client only.
+//!
+//! [`DecodePolicy`]: tlbsim_trace::DecodePolicy
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod client;
+mod job;
+mod server;
+mod wire;
+
+pub use client::{Client, JobOutcome, ServiceError, SnapshotEvent};
+pub use job::{execute, resolve, ErrorCode, JobFailure, JobSource, JobSpec, ResolvedJob};
+pub use server::{Server, ServerConfig};
+pub use wire::{
+    read_frame, write_frame, Frame, FrameError, WireError, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};

@@ -1,0 +1,246 @@
+//! Property tests over the wire protocol: every frame kind round-trips
+//! bit-exactly through the codec, and decoding is *total* — arbitrary
+//! garbage, truncated prefixes, and corrupted kind bytes all surface as
+//! typed [`FrameError`]s, never panics and never silently-wrong values.
+
+use proptest::prelude::*;
+use tlbsim_core::{Associativity, PrefetcherConfig, PrefetcherKind};
+use tlbsim_service::{read_frame, ErrorCode, Frame, JobSpec, WireError, PROTOCOL_VERSION};
+use tlbsim_sim::{PerStreamStats, RunHealth, SimStats, StreamStats};
+use tlbsim_trace::DecodePolicy;
+use tlbsim_workloads::Scale;
+
+fn arb_stats() -> impl Strategy<Value = SimStats> {
+    (
+        prop::collection::vec(any::<u64>(), 9),
+        prop::collection::vec(prop::collection::vec(any::<u64>(), 5), 0..8),
+    )
+        .prop_map(|(counters, streams)| {
+            let mut per_stream = PerStreamStats::default();
+            if !streams.is_empty() {
+                per_stream = PerStreamStats::with_streams(streams.len());
+                for (index, s) in streams.iter().enumerate() {
+                    per_stream.record(
+                        index,
+                        &StreamStats {
+                            accesses: s[0],
+                            misses: s[1],
+                            prefetch_buffer_hits: s[2],
+                            demand_walks: s[3],
+                            prefetches_issued: s[4],
+                        },
+                    );
+                }
+            }
+            SimStats {
+                accesses: counters[0],
+                misses: counters[1],
+                prefetch_buffer_hits: counters[2],
+                demand_walks: counters[3],
+                prefetches_issued: counters[4],
+                prefetches_filtered: counters[5],
+                prefetches_evicted_unused: counters[6],
+                maintenance_ops: counters[7],
+                footprint_pages: counters[8],
+                per_stream,
+            }
+        })
+}
+
+fn arb_health() -> impl Strategy<Value = RunHealth> {
+    (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(retries, degraded, quarantined)| {
+        RunHealth {
+            retries,
+            degraded_shards: degraded,
+            quarantined_records: quarantined,
+        }
+    })
+}
+
+fn arb_scheme() -> impl Strategy<Value = PrefetcherConfig> {
+    (0u8..6, 1u32..5000, 1u32..16, 0u8..3, (0u8..2, 0u8..2)).prop_map(
+        |(kind, rows, slots, assoc, (pc, pair))| {
+            let kind = match kind {
+                0 => PrefetcherKind::None,
+                1 => PrefetcherKind::Sequential,
+                2 => PrefetcherKind::Stride,
+                3 => PrefetcherKind::Markov,
+                4 => PrefetcherKind::Recency,
+                _ => PrefetcherKind::Distance,
+            };
+            let assoc = match assoc {
+                0 => Associativity::Direct,
+                1 => Associativity::Full,
+                _ => Associativity::ways_of(1 + (rows % 8) as usize),
+            };
+            let mut scheme = PrefetcherConfig::new(kind);
+            scheme
+                .rows(rows as usize)
+                .slots(slots as usize)
+                .assoc(assoc)
+                .pc_qualified(pc == 1)
+                .pair_indexed(pair == 1);
+            scheme
+        },
+    )
+}
+
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(32u8..127, 0..60)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii"))
+}
+
+fn arb_job() -> impl Strategy<Value = JobSpec> {
+    (
+        (arb_string(), prop::bool::ANY),
+        arb_scheme(),
+        (1u32..20, any::<u32>()),
+        (0u8..2, any::<u64>()),
+        (any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |((name, is_trace), scheme, (scale, shards), (policy, budget), (every, panics))| {
+                let mut job = if is_trace {
+                    JobSpec::trace(name)
+                } else {
+                    JobSpec::app(name)
+                };
+                job.scheme = scheme;
+                job.scale = Scale::new(scale);
+                job.shards = shards;
+                job.policy = if policy == 0 {
+                    DecodePolicy::Strict
+                } else {
+                    DecodePolicy::quarantine(budget)
+                };
+                job.snapshot_every = every;
+                job.fault_panics = panics;
+                job
+            },
+        )
+}
+
+fn arb_code() -> impl Strategy<Value = ErrorCode> {
+    (0u8..7).prop_map(|tag| ErrorCode::from_u8(tag).expect("assigned tag"))
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        any::<u16>().prop_map(|version| Frame::Hello { version }),
+        (any::<u64>(), arb_job()).prop_map(|(job_id, job)| Frame::Submit { job_id, job }),
+        (any::<u64>(), any::<u32>(), any::<u64>()).prop_map(|(job_id, shards, stream_len)| {
+            Frame::Accepted {
+                job_id,
+                shards,
+                stream_len,
+            }
+        }),
+        ((any::<u64>(), any::<u64>(), any::<u64>()), arb_stats()).prop_map(
+            |((job_id, seq, accesses_done), stats)| Frame::Snapshot {
+                job_id,
+                seq,
+                accesses_done,
+                stats,
+            }
+        ),
+        (any::<u64>(), arb_stats(), arb_health()).prop_map(|(job_id, stats, health)| {
+            Frame::Done {
+                job_id,
+                stats,
+                health,
+            }
+        }),
+        (any::<u64>(), arb_code(), arb_string()).prop_map(|(job_id, code, message)| {
+            Frame::JobError {
+                job_id,
+                code,
+                message,
+            }
+        }),
+        any::<u64>().prop_map(|job_id| Frame::Cancel { job_id }),
+        prop::bool::ANY.prop_map(|drain| Frame::Shutdown { drain }),
+        Just(Frame::ShuttingDown),
+    ]
+}
+
+fn encode(frame: &Frame) -> Vec<u8> {
+    let mut buf = Vec::new();
+    frame.encode_into(&mut buf).expect("encodable test frame");
+    buf
+}
+
+proptest! {
+    #[test]
+    fn every_frame_roundtrips_bit_exactly(frame in arb_frame()) {
+        let buf = encode(&frame);
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        prop_assert_eq!(len, buf.len() - 4);
+        prop_assert_eq!(Frame::decode(&buf[4..]), Ok(frame));
+    }
+
+    #[test]
+    fn garbage_payloads_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        // Totality: any byte soup is either a frame or a typed error.
+        let _ = Frame::decode(&bytes);
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_errors_never_values(frame in arb_frame()) {
+        let buf = encode(&frame);
+        let payload = &buf[4..];
+        for cut in 0..payload.len() {
+            prop_assert!(
+                Frame::decode(&payload[..cut]).is_err(),
+                "a strict prefix (len {cut}) must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(frame in arb_frame(), extra in 1usize..8) {
+        let mut payload = encode(&frame)[4..].to_vec();
+        payload.extend(std::iter::repeat_n(0xAB, extra));
+        prop_assert!(Frame::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn corrupt_kind_bytes_never_yield_the_original(frame in arb_frame(), kind in any::<u8>()) {
+        let mut payload = encode(&frame)[4..].to_vec();
+        if payload[0] != kind {
+            payload[0] = kind;
+            // Another kind may parse the bytes, but never into the
+            // original frame — kinds are not aliases.
+            if let Ok(decoded) = Frame::decode(&payload) {
+                prop_assert_ne!(decoded, frame);
+            }
+        }
+    }
+
+    #[test]
+    fn frame_streams_replay_in_order(frames in prop::collection::vec(arb_frame(), 0..12)) {
+        let mut stream = Vec::new();
+        let mut scratch = Vec::new();
+        for frame in &frames {
+            tlbsim_service::write_frame(&mut stream, frame, &mut scratch)
+                .expect("in-memory write");
+        }
+        let mut reader = stream.as_slice();
+        let mut payload = Vec::new();
+        for frame in &frames {
+            let got = read_frame(&mut reader, &mut payload).expect("stream replays");
+            prop_assert_eq!(&got, frame);
+        }
+        prop_assert!(matches!(
+            read_frame(&mut reader, &mut payload),
+            Err(WireError::Disconnected)
+        ));
+    }
+}
+
+#[test]
+fn handshake_version_is_stable() {
+    // The version constant participates in every handshake; changing it
+    // is a protocol revision and must be deliberate (update
+    // docs/PROTOCOL.md alongside).
+    assert_eq!(PROTOCOL_VERSION, 1);
+}

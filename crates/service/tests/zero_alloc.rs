@@ -1,0 +1,153 @@
+//! The zero-allocation guarantee of the service's steady-state frame
+//! path.
+//!
+//! The daemon's hot loop — encode a `Snapshot`/`Done` frame into the
+//! connection's scratch buffer, and decode incoming frames into a
+//! reusable payload buffer — must stay off the heap once buffers have
+//! reached their high-water capacity, matching the engine's own
+//! steady-state discipline. A counting global allocator pins it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use tlbsim_service::{read_frame, Frame};
+use tlbsim_sim::{PerStreamStats, RunHealth, SimStats, StreamStats};
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+// SAFETY: delegates directly to `System`; the only addition is a
+// non-allocating thread-local counter bump.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|count| count.set(count.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|count| count.set(count.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations_so_far() -> u64 {
+    ALLOCATIONS.with(|count| count.get())
+}
+
+fn busy_stats(seed: u64) -> SimStats {
+    let mut per_stream = PerStreamStats::with_streams(4);
+    for index in 0..4 {
+        per_stream.record(
+            index,
+            &StreamStats {
+                accesses: seed + index as u64,
+                misses: seed / 2,
+                prefetch_buffer_hits: seed / 3,
+                demand_walks: seed / 4,
+                prefetches_issued: seed / 5,
+            },
+        );
+    }
+    SimStats {
+        accesses: seed,
+        misses: seed / 2,
+        prefetch_buffer_hits: seed / 3,
+        demand_walks: seed / 4,
+        prefetches_issued: seed / 5,
+        prefetches_filtered: seed / 6,
+        prefetches_evicted_unused: seed / 7,
+        maintenance_ops: seed / 8,
+        footprint_pages: seed / 9,
+        per_stream,
+    }
+}
+
+#[test]
+fn steady_state_snapshot_publishing_never_allocates() {
+    let mut scratch: Vec<u8> = Vec::new();
+
+    // Warm-up: the first encode sizes the scratch buffer.
+    Frame::Snapshot {
+        job_id: 1,
+        seq: 1,
+        accesses_done: 1000,
+        stats: busy_stats(1),
+    }
+    .encode_into(&mut scratch)
+    .expect("snapshot encodes");
+
+    let before = allocations_so_far();
+    for seq in 2..2002u64 {
+        let frame = Frame::Snapshot {
+            job_id: 1,
+            seq,
+            accesses_done: seq * 1000,
+            stats: busy_stats(seq),
+        };
+        frame.encode_into(&mut scratch).expect("snapshot encodes");
+    }
+    let done = Frame::Done {
+        job_id: 1,
+        stats: busy_stats(9999),
+        health: RunHealth {
+            retries: 0,
+            degraded_shards: 0,
+            quarantined_records: 0,
+        },
+    };
+    done.encode_into(&mut scratch).expect("done encodes");
+    let allocated = allocations_so_far() - before;
+    assert_eq!(
+        allocated, 0,
+        "steady-state snapshot encoding performed {allocated} heap allocations"
+    );
+}
+
+#[test]
+fn steady_state_frame_ingest_never_allocates() {
+    // Pre-build a stream of 500 snapshot frames plus a terminal Done.
+    let mut stream: Vec<u8> = Vec::new();
+    let mut scratch: Vec<u8> = Vec::new();
+    for seq in 1..=500u64 {
+        let frame = Frame::Snapshot {
+            job_id: 7,
+            seq,
+            accesses_done: seq * 4096,
+            stats: busy_stats(seq),
+        };
+        frame.encode_into(&mut scratch).expect("snapshot encodes");
+        stream.extend_from_slice(&scratch);
+    }
+
+    // Warm-up pass sizes the payload buffer.
+    let mut payload: Vec<u8> = Vec::new();
+    let mut reader = stream.as_slice();
+    while let Ok(frame) = read_frame(&mut reader, &mut payload) {
+        assert!(matches!(frame, Frame::Snapshot { job_id: 7, .. }));
+    }
+
+    // Steady state: re-read the whole stream with warm buffers.
+    let mut reader = stream.as_slice();
+    let before = allocations_so_far();
+    let mut frames = 0u64;
+    while let Ok(frame) = read_frame(&mut reader, &mut payload) {
+        assert!(matches!(frame, Frame::Snapshot { job_id: 7, .. }));
+        frames += 1;
+    }
+    let allocated = allocations_so_far() - before;
+    assert_eq!(frames, 500);
+    assert_eq!(
+        allocated, 0,
+        "steady-state frame ingest performed {allocated} heap allocations"
+    );
+}

@@ -97,10 +97,12 @@ pub use engine::Engine;
 pub use hierarchy_engine::{HierarchyEngine, HierarchyStats};
 pub use multiprog::{run_mix, run_mix_sharded};
 pub use runner::{
-    compare_schemes, run_app, run_app_timed, sweep, SweepJob, SweepResult, SweepSpec,
+    compare_schemes, run_app, run_app_checkpointed, run_app_timed, sweep, SweepJob, SweepResult,
+    SweepSpec,
 };
 pub use shard::{
-    run_app_sharded, RunHealth, ShardOutcome, ShardPlan, ShardRange, ShardedRun, SHARD_ATTEMPTS,
+    auto_shard_count, resolve_shards, run_app_sharded, RunHealth, ShardOutcome, ShardPlan,
+    ShardRange, ShardedRun, AUTO_SHARD_MIN_SLICE, SHARD_ATTEMPTS,
 };
 pub use stats::{PerStreamStats, SimStats, StreamStats, TimingStats, MAX_STREAMS};
 pub use timing_engine::TimingEngine;

@@ -53,6 +53,78 @@ pub fn run_app<S: StreamSpec + ?Sized>(
     Ok(*engine.stats())
 }
 
+/// Runs one reference stream like [`run_app`], publishing cumulative
+/// statistics to `observer` at a fixed checkpoint cadence.
+///
+/// The stream is driven through **one** engine in chunks of `every`
+/// accesses (`Engine::run_workload_limit`), and after each chunk the
+/// observer receives `(accesses_done, &cumulative_stats)` — the
+/// engine's live counters, not a delta. Chunked driving is bit-identical
+/// to a single `run_workload` call (pinned by the engine tests), so the
+/// returned final statistics are **bit-identical to [`run_app`]** — the
+/// contract the serving layer's incremental snapshots rest on: the last
+/// checkpoint *is* the batch result.
+///
+/// `every == 0` disables checkpointing entirely (no observer calls); an
+/// observer returning [`ControlFlow::Break`](std::ops::ControlFlow::Break)
+/// stops the run at that
+/// checkpoint boundary, and the partial cumulative statistics are
+/// returned (the cancellation path of the serving layer).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the configuration is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use std::ops::ControlFlow;
+/// use tlbsim_sim::{run_app, run_app_checkpointed, SimConfig};
+/// use tlbsim_workloads::{find_app, Scale};
+///
+/// let app = find_app("gap").expect("registered");
+/// let config = SimConfig::paper_default();
+/// let mut checkpoints = 0u64;
+/// let stats = run_app_checkpointed(app, Scale::TINY, &config, 5000, |done, cum| {
+///     checkpoints += 1;
+///     assert_eq!(cum.accesses, done);
+///     ControlFlow::Continue(())
+/// })?;
+/// assert!(checkpoints > 0);
+/// // The final checkpointed result is the batch result, bit for bit.
+/// assert_eq!(stats, run_app(app, Scale::TINY, &config)?);
+/// # Ok::<(), tlbsim_sim::SimError>(())
+/// ```
+pub fn run_app_checkpointed<S, F>(
+    app: &S,
+    scale: Scale,
+    config: &SimConfig,
+    every: u64,
+    mut observer: F,
+) -> Result<SimStats, SimError>
+where
+    S: StreamSpec + ?Sized,
+    F: FnMut(u64, &SimStats) -> std::ops::ControlFlow<()>,
+{
+    let mut engine = Engine::new(config)?;
+    let mut workload = app.workload(scale);
+    if every == 0 {
+        engine.run_workload(&mut workload);
+        return Ok(*engine.stats());
+    }
+    let total = app.stream_len(scale);
+    let mut done = 0u64;
+    while done < total {
+        let chunk = every.min(total - done);
+        engine.run_workload_limit(&mut workload, chunk);
+        done += chunk;
+        if observer(done, engine.stats()).is_break() {
+            break;
+        }
+    }
+    Ok(*engine.stats())
+}
+
 /// Runs one reference stream through the timing engine.
 ///
 /// # Errors
@@ -325,6 +397,60 @@ mod tests {
     #[test]
     fn empty_sweep_is_ok() {
         assert!(sweep(Vec::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn checkpointed_run_is_bit_identical_to_batch_at_odd_cadences() {
+        let app = find_app("gap").unwrap();
+        let config = SimConfig::paper_default();
+        let batch = run_app(app, Scale::TINY, &config).unwrap();
+        let total = app.stream_len(Scale::TINY);
+        for every in [1777u64, 5000, total, total + 99] {
+            let mut checkpoints = Vec::new();
+            let finished = run_app_checkpointed(app, Scale::TINY, &config, every, |done, cum| {
+                checkpoints.push((done, *cum));
+                std::ops::ControlFlow::Continue(())
+            })
+            .unwrap();
+            assert_eq!(finished, batch, "every={every}: final stats drifted");
+            assert_eq!(checkpoints.len() as u64, total.div_ceil(every));
+            // Cumulative checkpoints are exact and monotone, and the
+            // last one IS the batch result.
+            for (done, cum) in &checkpoints {
+                assert_eq!(cum.accesses, *done);
+            }
+            let (last_done, last) = checkpoints.last().unwrap();
+            assert_eq!(*last_done, total);
+            assert_eq!(*last, batch, "every={every}: last checkpoint != final");
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_without_cadence_never_calls_the_observer() {
+        let app = find_app("gap").unwrap();
+        let config = SimConfig::paper_default();
+        let mut calls = 0;
+        let stats = run_app_checkpointed(app, Scale::TINY, &config, 0, |_, _| {
+            calls += 1;
+            std::ops::ControlFlow::Continue(())
+        })
+        .unwrap();
+        assert_eq!(calls, 0);
+        assert_eq!(stats, run_app(app, Scale::TINY, &config).unwrap());
+    }
+
+    #[test]
+    fn checkpoint_break_cancels_at_the_chunk_boundary() {
+        let app = find_app("gap").unwrap();
+        let config = SimConfig::paper_default();
+        let stats = run_app_checkpointed(app, Scale::TINY, &config, 4096, |_, _| {
+            std::ops::ControlFlow::Break(())
+        })
+        .unwrap();
+        assert_eq!(
+            stats.accesses, 4096,
+            "run must stop at the first checkpoint"
+        );
     }
 
     #[test]

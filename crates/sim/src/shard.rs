@@ -52,6 +52,39 @@ use crate::stats::SimStats;
 /// [`RunHealth`]).
 pub const SHARD_ATTEMPTS: usize = 2;
 
+/// The smallest slice the automatic shard planner will hand a worker.
+///
+/// Below this, per-shard cold-start (empty TLB, unlearned tables) and
+/// thread bring-up dominate the slice itself, so [`auto_shard_count`]
+/// caps the shard count at `stream_len / AUTO_SHARD_MIN_SLICE` even on
+/// very wide machines.
+pub const AUTO_SHARD_MIN_SLICE: u64 = 8192;
+
+/// Picks a shard count for a stream of `stream_len` accesses: the
+/// machine's available parallelism, clamped so no shard's slice falls
+/// below [`AUTO_SHARD_MIN_SLICE`], and always at least 1.
+///
+/// This is what `--shards auto` and the serving layer's default resolve
+/// to — a hardcoded shard count models one machine, while the fleet
+/// this daemon runs on varies from laptops to many-core servers.
+pub fn auto_shard_count(stream_len: u64) -> usize {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let by_length = usize::try_from((stream_len / AUTO_SHARD_MIN_SLICE).max(1)).unwrap_or(cpus);
+    cpus.min(by_length).max(1)
+}
+
+/// Resolves a user-facing shard request: `0` means "auto" (see
+/// [`auto_shard_count`]), any other value is taken literally.
+pub fn resolve_shards(requested: usize, stream_len: u64) -> usize {
+    if requested == 0 {
+        auto_shard_count(stream_len)
+    } else {
+        requested
+    }
+}
+
 /// What it took to finish a run: the self-healing executor's recovery
 /// counters plus the input damage the workload layer absorbed.
 ///
@@ -601,6 +634,35 @@ mod tests {
         let lens: Vec<u64> = plan.ranges().iter().map(|r| r.len).collect();
         assert_eq!(lens, [1, 1, 1, 0, 0, 0, 0, 0]);
         assert_eq!(plan.total(), 3);
+    }
+
+    #[test]
+    fn auto_shard_count_respects_both_clamps() {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // Tiny streams never fan out; huge streams use the whole host.
+        assert_eq!(auto_shard_count(0), 1);
+        assert_eq!(auto_shard_count(AUTO_SHARD_MIN_SLICE - 1), 1);
+        assert_eq!(auto_shard_count(u64::MAX), cpus);
+        // No auto plan hands a worker less than the minimum slice.
+        for len in [1u64, 10_000, 100_000, 10_000_000] {
+            let shards = auto_shard_count(len) as u64;
+            assert!(shards >= 1);
+            if shards > 1 {
+                assert!(
+                    len / shards >= AUTO_SHARD_MIN_SLICE,
+                    "len {len}: {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_shards_treats_zero_as_auto() {
+        assert_eq!(resolve_shards(3, u64::MAX), 3);
+        assert_eq!(resolve_shards(1, 0), 1);
+        assert_eq!(resolve_shards(0, 100_000), auto_shard_count(100_000));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`trace`] | `tlbsim-trace` | binary/text trace formats and statistics |
 //! | [`workloads`] | `tlbsim-workloads` | the 56-application synthetic suite |
 //! | [`sim`] | `tlbsim-sim` | functional and timing simulation engines |
+//! | [`service`] | `tlbsim-service` | simulation daemon, wire protocol and client |
 //! | [`experiments`] | `tlbsim-experiments` | Table 1–3 / Figure 7–9 regeneration + throughput telemetry |
 //!
 //! ## The zero-allocation miss path
@@ -108,6 +109,24 @@
 //! from the command line. The failure model is documented in
 //! `docs/DESIGN.md`.
 //!
+//! ## Serving layer
+//!
+//! The simulator also runs as a long-lived daemon:
+//! [`service::Server`] listens on a Unix-domain socket, speaks a
+//! length-prefixed versioned binary protocol (specified normatively in
+//! `docs/PROTOCOL.md`), and multiplexes submitted jobs — recorded
+//! traces or registered application models under any scheme — onto a
+//! bounded-queue worker pool. Every fault-tolerance guarantee carries
+//! over per job: [`service::JobSpec`] selects the
+//! [`trace::DecodePolicy`], worker panics are retried and then surfaced
+//! as typed [`service::ErrorCode`]s while the daemon keeps serving, and
+//! a snapshot cadence streams incremental [`sim::SimStats`] checkpoints
+//! that finish bit-identical to the equivalent batch run.
+//! [`service::Client`] is the in-process client; `xp serve` /
+//! `xp submit` / `xp shutdown` drive it from the command line, and
+//! `xp bench-json`'s `service` section tracks served-vs-batch ingest
+//! throughput.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -129,6 +148,7 @@ pub use tlbsim_core as core;
 pub use tlbsim_experiments as experiments;
 pub use tlbsim_mem as mem;
 pub use tlbsim_mmu as mmu;
+pub use tlbsim_service as service;
 pub use tlbsim_sim as sim;
 pub use tlbsim_trace as trace;
 pub use tlbsim_workloads as workloads;
@@ -141,6 +161,7 @@ pub mod prelude {
     };
     pub use tlbsim_mem::TimingParams;
     pub use tlbsim_mmu::{PrefetchBuffer, Tlb, TlbConfig};
+    pub use tlbsim_service::{Client, JobOutcome, JobSpec, Server, ServerConfig, ServiceError};
     pub use tlbsim_sim::{
         compare_schemes, run_app, run_app_sharded, run_app_timed, run_mix, run_mix_sharded, Engine,
         PerStreamStats, RunHealth, ShardedRun, SimConfig, SimError, SimStats, StreamStats,

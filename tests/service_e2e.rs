@@ -1,0 +1,425 @@
+//! End-to-end differential harness for the online simulation service.
+//!
+//! The central claim of the serving layer is that putting a daemon, a
+//! socket, and a wire protocol between the caller and the engines
+//! changes *nothing* about the results: a job replayed through the
+//! daemon yields [`SimStats`] **bit-identical** to the equivalent batch
+//! `run_app` call — per client, even with concurrent clients sharing
+//! one daemon — and intermediate snapshots are cumulative prefixes of
+//! the final result, with the last snapshot equal to it exactly.
+//!
+//! The harness also pins the operational envelope: bounded-queue
+//! backpressure (`queue-full` is a typed per-job error, not a hang),
+//! cancellation at checkpoint boundaries, quarantine decode policies
+//! travelling through the protocol, chaos jobs (injected worker
+//! panics) being retried or reported without taking the daemon down,
+//! raw-garbage clients being dropped while the daemon keeps serving,
+//! and both shutdown modes (drain and stop) releasing the daemon
+//! thread cleanly.
+//!
+//! Everything runs against the checked-in `tests/data/gap-tiny-2k.tlbt`
+//! trace or TINY-scale application models, in-process, on temp sockets.
+
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+
+use tlb_distance::prelude::*;
+use tlbsim_service::{Client, ErrorCode, Frame, JobSpec, Server, ServerConfig, ServiceError};
+
+const TRACE: &str = "tests/data/gap-tiny-2k.tlbt";
+
+fn start_daemon(tag: &str, config: ServerConfig) -> (PathBuf, JoinHandle<std::io::Result<()>>) {
+    let path = std::env::temp_dir().join(format!("tlbsim-e2e-{tag}-{}.sock", std::process::id()));
+    let server = Server::bind(&path, config).expect("daemon binds its socket");
+    let handle = std::thread::spawn(move || server.run());
+    (path, handle)
+}
+
+fn batch_stats(prefetcher: PrefetcherConfig) -> SimStats {
+    let trace = TraceWorkload::open(TRACE).expect("checked-in trace opens");
+    let config = SimConfig::paper_default().with_prefetcher(prefetcher);
+    run_app(&trace, Scale::TINY, &config).expect("batch replay runs")
+}
+
+#[test]
+fn served_trace_job_is_bit_identical_to_batch_replay() {
+    let (path, daemon) = start_daemon("differential", ServerConfig::default());
+    let mut client = Client::connect(&path).expect("client connects");
+
+    let mut job = JobSpec::trace(TRACE);
+    job.snapshot_every = 256;
+    let outcome = client.run_job(1, &job).expect("job completes");
+
+    // Bit-identical to the batch run of the same trace + scheme.
+    assert_eq!(outcome.stats, batch_stats(PrefetcherConfig::distance()));
+    assert_eq!(outcome.health.retries, 0);
+    assert_eq!(outcome.health.quarantined_records, 0);
+    assert_eq!(outcome.shards, 1, "snapshot cadence pins one shard");
+    assert_eq!(outcome.stream_len, 2000);
+
+    // Snapshot stream: one per cadence chunk, cumulative and monotone,
+    // terminating exactly at the final result.
+    assert_eq!(outcome.snapshots.len() as u64, 2000u64.div_ceil(256));
+    let mut prev_done = 0;
+    let mut prev_accesses = 0;
+    for (i, snap) in outcome.snapshots.iter().enumerate() {
+        assert_eq!(snap.seq, i as u64 + 1);
+        assert!(snap.accesses_done > prev_done, "progress is monotone");
+        assert!(
+            snap.stats.accesses >= prev_accesses,
+            "statistics are cumulative"
+        );
+        assert_eq!(
+            snap.stats.accesses, snap.accesses_done,
+            "reported progress equals simulated accesses"
+        );
+        prev_done = snap.accesses_done;
+        prev_accesses = snap.stats.accesses;
+    }
+    let last = outcome.snapshots.last().expect("at least one snapshot");
+    assert_eq!(
+        last.stats, outcome.stats,
+        "the final snapshot equals the final result bit for bit"
+    );
+
+    client.shutdown(true).expect("clean shutdown");
+    daemon.join().expect("daemon thread").expect("clean exit");
+}
+
+#[test]
+fn concurrent_clients_are_each_individually_bit_identical() {
+    let (path, daemon) = start_daemon("concurrent", ServerConfig::default());
+    let schemes = [
+        PrefetcherConfig::distance(),
+        PrefetcherConfig::stride(),
+        PrefetcherConfig::markov(),
+    ];
+
+    let results: Vec<(PrefetcherConfig, SimStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = schemes
+            .iter()
+            .enumerate()
+            .map(|(i, scheme)| {
+                let path = path.clone();
+                let scheme = scheme.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&path).expect("client connects");
+                    let mut job = JobSpec::trace(TRACE);
+                    job.scheme = scheme.clone();
+                    job.snapshot_every = 512;
+                    let outcome = client.run_job(i as u64 + 1, &job).expect("job completes");
+                    (scheme, outcome.stats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    for (scheme, stats) in results {
+        assert_eq!(
+            stats,
+            batch_stats(scheme.clone()),
+            "{}: concurrent serving changed the result",
+            scheme.label()
+        );
+    }
+
+    let mut closer = Client::connect(&path).expect("closer connects");
+    closer.shutdown(true).expect("clean shutdown");
+    daemon.join().expect("daemon thread").expect("clean exit");
+}
+
+#[test]
+fn bounded_queue_rejects_with_queue_full_not_a_hang() {
+    let (path, daemon) = start_daemon(
+        "backpressure",
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+        },
+    );
+    // Job 1 (separate connection) occupies the single worker — its
+    // first snapshot frame proves the worker has picked it up, which
+    // makes the backpressure sequence deterministic even on one CPU.
+    let mut holder = Client::connect(&path).expect("holder connects");
+    let mut slow = JobSpec::app("gap");
+    slow.scale = Scale::STANDARD;
+    slow.snapshot_every = 100;
+    holder.submit(1, &slow).expect("job 1 admitted");
+    match holder.next_frame().expect("job 1 progress") {
+        Frame::Snapshot { job_id: 1, .. } => {}
+        other => panic!("expected job 1's first snapshot, got {other:?}"),
+    }
+
+    // With the worker busy, job 2 fills the depth-1 queue and job 3
+    // must bounce with a typed queue-full error — not a hang.
+    let mut client = Client::connect(&path).expect("client connects");
+    let mut quick = JobSpec::app("gap");
+    quick.scale = Scale::TINY;
+    quick.shards = 1;
+    client.submit(2, &quick).expect("job 2 queued");
+    match client.submit(3, &quick) {
+        Err(ServiceError::Job { code, message }) => {
+            assert_eq!(code, ErrorCode::QueueFull);
+            assert!(message.contains("depth 1"), "diagnosis names the depth");
+        }
+        other => panic!("expected queue-full, got {other:?}"),
+    }
+
+    // Release the worker; the queued job still completes.
+    holder.cancel(1).expect("cancel sends");
+    loop {
+        match holder.next_frame().expect("job 1 terminal frame") {
+            Frame::Snapshot { job_id: 1, .. } => continue,
+            Frame::JobError {
+                job_id: 1, code, ..
+            } => {
+                assert_eq!(code, ErrorCode::Cancelled);
+                break;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    match client.next_frame().expect("job 2 completes") {
+        Frame::Done { job_id: 2, .. } => {}
+        other => panic!("expected Done for job 2, got {other:?}"),
+    }
+
+    client.shutdown(true).expect("clean shutdown");
+    daemon.join().expect("daemon thread").expect("clean exit");
+}
+
+#[test]
+fn cancellation_stops_a_running_job_at_a_checkpoint() {
+    let (path, daemon) = start_daemon("cancel", ServerConfig::default());
+    let mut client = Client::connect(&path).expect("client connects");
+
+    let mut job = JobSpec::app("gap");
+    job.scale = Scale::SMALL;
+    job.snapshot_every = 100;
+    client.submit(9, &job).expect("job admitted");
+
+    // Let it make some progress, then cancel and drain to the typed
+    // terminal frame.
+    let mut snapshots_seen = 0u64;
+    let mut cancelled = false;
+    loop {
+        match client.next_frame().expect("job frames") {
+            Frame::Snapshot { job_id: 9, .. } => {
+                snapshots_seen += 1;
+                if snapshots_seen == 3 {
+                    client.cancel(9).expect("cancel sends");
+                    cancelled = true;
+                }
+            }
+            Frame::JobError {
+                job_id: 9,
+                code,
+                message,
+            } => {
+                assert!(cancelled, "no error before we cancelled");
+                assert_eq!(code, ErrorCode::Cancelled);
+                assert!(message.contains("snapshot"), "diagnosis: {message}");
+                break;
+            }
+            Frame::Done { job_id: 9, .. } => {
+                panic!(
+                    "job finished before the cancel took effect (saw {snapshots_seen} snapshots)"
+                )
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    client.shutdown(true).expect("clean shutdown");
+    daemon.join().expect("daemon thread").expect("clean exit");
+}
+
+#[test]
+fn decode_policies_travel_through_the_protocol() {
+    // Vandalise two kind bytes in a copy of the checked-in trace.
+    let bytes = std::fs::read(TRACE).expect("checked-in trace reads");
+    let mut bad = bytes.clone();
+    use tlb_distance::trace::{HEADER_BYTES, RECORD_BYTES};
+    for record in [5usize, 1200] {
+        bad[HEADER_BYTES + record * RECORD_BYTES + 16] = 0xEE;
+    }
+    let bad_path =
+        std::env::temp_dir().join(format!("tlbsim-e2e-quarantine-{}.tlbt", std::process::id()));
+    std::fs::write(&bad_path, &bad).expect("damaged trace writes");
+
+    let (path, daemon) = start_daemon("quarantine", ServerConfig::default());
+    let mut client = Client::connect(&path).expect("client connects");
+
+    // Strict decode: the submit itself fails typed.
+    let strict = JobSpec::trace(bad_path.to_string_lossy().into_owned());
+    match client.run_job(1, &strict) {
+        Err(ServiceError::Job { code, .. }) => assert_eq!(code, ErrorCode::Trace),
+        other => panic!("expected a trace error, got {other:?}"),
+    }
+
+    // Quarantine decode: the job runs on the surviving records and
+    // reports the loss — identically to the batch quarantine run.
+    let mut lenient = JobSpec::trace(bad_path.to_string_lossy().into_owned());
+    lenient.policy = DecodePolicy::quarantine(16);
+    let outcome = client.run_job(2, &lenient).expect("quarantined job runs");
+    assert_eq!(outcome.health.quarantined_records, 2);
+    assert_eq!(outcome.stream_len, 1998);
+    let trace = TraceWorkload::open_with_policy(&bad_path, DecodePolicy::quarantine(16))
+        .expect("quarantine open");
+    let config = SimConfig::paper_default();
+    let batch = run_app(&trace, Scale::TINY, &config).expect("batch quarantine replay");
+    assert_eq!(outcome.stats, batch, "quarantine replay diverged");
+
+    // The same daemon still serves clean jobs.
+    let clean = client
+        .run_job(3, &JobSpec::trace(TRACE))
+        .expect("clean job");
+    assert_eq!(clean.stats, batch_stats(PrefetcherConfig::distance()));
+
+    client.shutdown(true).expect("clean shutdown");
+    daemon.join().expect("daemon thread").expect("clean exit");
+    std::fs::remove_file(&bad_path).ok();
+}
+
+#[test]
+fn chaos_jobs_are_retried_then_reported_and_the_daemon_survives() {
+    let (path, daemon) = start_daemon("chaos", ServerConfig::default());
+    let mut client = Client::connect(&path).expect("client connects");
+
+    // One budgeted panic: absorbed by a retry, result unchanged.
+    let mut glitch = JobSpec::trace(TRACE);
+    glitch.fault_panics = 1;
+    glitch.shards = 1;
+    let outcome = client.run_job(1, &glitch).expect("retried job completes");
+    assert_eq!(outcome.health.retries, 1, "the retry is observable");
+    assert_eq!(outcome.stats, batch_stats(PrefetcherConfig::distance()));
+
+    // A persistent panic: typed per-job error, daemon unharmed.
+    let mut broken = JobSpec::trace(TRACE);
+    broken.fault_panics = SHARD_ATTEMPTS as u64 + 1;
+    broken.shards = 1;
+    match client.run_job(2, &broken) {
+        Err(ServiceError::Job { code, message }) => {
+            assert_eq!(code, ErrorCode::Panicked);
+            assert!(message.contains("chaos"), "diagnosis: {message}");
+        }
+        other => panic!("expected a panicked job error, got {other:?}"),
+    }
+
+    // Proof of life: the same daemon serves a clean job afterwards.
+    let clean = client
+        .run_job(3, &JobSpec::trace(TRACE))
+        .expect("clean job");
+    assert_eq!(clean.stats, batch_stats(PrefetcherConfig::distance()));
+
+    client.shutdown(true).expect("clean shutdown");
+    daemon.join().expect("daemon thread").expect("clean exit");
+}
+
+#[test]
+fn garbage_clients_are_dropped_while_the_daemon_keeps_serving() {
+    use std::io::{Read, Write};
+
+    let (path, daemon) = start_daemon("garbage", ServerConfig::default());
+
+    // A client that speaks pure noise is disconnected...
+    let mut vandal = std::os::unix::net::UnixStream::connect(&path).expect("vandal connects");
+    vandal
+        .write_all(&[0xFF; 64])
+        .expect("garbage writes before the server hangs up");
+    let mut sink = Vec::new();
+    let _ = vandal.read_to_end(&mut sink); // EOF once the server drops us
+
+    // ...and a client announcing the wrong protocol version learns the
+    // server's version before the connection closes.
+    let mut relic = std::os::unix::net::UnixStream::connect(&path).expect("relic connects");
+    let mut scratch = Vec::new();
+    tlbsim_service::write_frame(&mut relic, &Frame::Hello { version: 999 }, &mut scratch)
+        .expect("hello writes");
+    let mut payload = Vec::new();
+    match tlbsim_service::read_frame(&mut relic, &mut payload) {
+        Ok(Frame::Hello { version }) => assert_eq!(version, 1),
+        other => panic!("expected the server's version, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    let _ = relic.read_to_end(&mut rest);
+    assert!(rest.is_empty(), "server hangs up after the version reply");
+
+    // Honest clients are unaffected.
+    let mut client = Client::connect(&path).expect("client connects");
+    let outcome = client.run_job(1, &JobSpec::trace(TRACE)).expect("job runs");
+    assert_eq!(outcome.stats, batch_stats(PrefetcherConfig::distance()));
+
+    client.shutdown(true).expect("clean shutdown");
+    daemon.join().expect("daemon thread").expect("clean exit");
+}
+
+#[test]
+fn non_drain_shutdown_fails_queued_jobs_and_finishes_running_ones() {
+    let (path, daemon) = start_daemon(
+        "stop",
+        ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+        },
+    );
+    // Job 1 (separate connection) occupies the single worker; its
+    // first snapshot proves it is in flight, not queued.
+    let mut holder = Client::connect(&path).expect("holder connects");
+    let mut slow = JobSpec::app("gap");
+    slow.scale = Scale::STANDARD;
+    slow.snapshot_every = 100;
+    holder.submit(1, &slow).expect("job 1 admitted");
+    match holder.next_frame().expect("job 1 progress") {
+        Frame::Snapshot { job_id: 1, .. } => {}
+        other => panic!("expected job 1's first snapshot, got {other:?}"),
+    }
+
+    // Job 2 sits in the queue; a non-drain shutdown must drop it typed
+    // while the in-flight job 1 runs to its own terminal frame.
+    let mut client = Client::connect(&path).expect("client connects");
+    let mut quick = JobSpec::app("gap");
+    quick.scale = Scale::TINY;
+    quick.shards = 1;
+    client.submit(2, &quick).expect("job 2 queued");
+
+    client
+        .send_frame(&Frame::Shutdown { drain: false })
+        .expect("shutdown sends");
+
+    // On the shutdown connection: job 2 dropped, then the ack (both
+    // sent by the same handler, in order).
+    match client.next_frame().expect("dropped-job frame") {
+        Frame::JobError {
+            job_id: 2, code, ..
+        } => assert_eq!(code, ErrorCode::ShuttingDown),
+        other => panic!("expected job 2 dropped, got {other:?}"),
+    }
+    match client.next_frame().expect("shutdown ack") {
+        Frame::ShuttingDown => {}
+        other => panic!("expected the shutdown ack, got {other:?}"),
+    }
+
+    // Job 1 is in flight, so it finishes on its own terms — here we
+    // cancel to keep the test fast; a natural Done is equally valid.
+    holder.cancel(1).expect("cancel sends");
+    loop {
+        match holder.next_frame().expect("job 1 terminal frame") {
+            Frame::Snapshot { job_id: 1, .. } => continue,
+            Frame::JobError {
+                job_id: 1,
+                code: ErrorCode::Cancelled,
+                ..
+            }
+            | Frame::Done { job_id: 1, .. } => break,
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    daemon.join().expect("daemon thread").expect("clean exit");
+    assert!(!path.exists(), "socket file is removed on exit");
+}
