@@ -20,7 +20,7 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use tlbsim_experiments::throughput::multiprogram_fixture;
-use tlbsim_sim::{run_app, run_mix};
+use tlbsim_sim::{run_app, run_mix, SwitchPolicy, TablePolicy};
 
 /// The gate: interleaved throughput must be at least this fraction of
 /// the back-to-back single-stream path.
@@ -54,14 +54,25 @@ fn bench_multiprogram(c: &mut Criterion) {
     });
     group.bench_function("interleaved", |b| {
         b.iter(|| {
-            run_mix(&mix, scale, &config, false)
+            run_mix(&mix, scale, &config, SwitchPolicy::None)
                 .expect("valid config")
                 .misses
         });
     });
     group.bench_function("interleaved_flush_on_switch", |b| {
         b.iter(|| {
-            run_mix(&mix, scale, &config, true)
+            run_mix(&mix, scale, &config, SwitchPolicy::FlushOnSwitch)
+                .expect("valid config")
+                .misses
+        });
+    });
+    group.bench_function("interleaved_asid", |b| {
+        let policy = SwitchPolicy::Asid {
+            contexts: mix.streams().len(),
+            tables: TablePolicy::Shared,
+        };
+        b.iter(|| {
+            run_mix(&mix, scale, &config, policy)
                 .expect("valid config")
                 .misses
         });
@@ -110,7 +121,9 @@ fn measure_ratio_once() -> f64 {
         }
         best[0] = best[0].min(start.elapsed().as_secs_f64());
         let start = Instant::now();
-        std::hint::black_box(run_mix(&mix, scale, &config, false).expect("valid config"));
+        std::hint::black_box(
+            run_mix(&mix, scale, &config, SwitchPolicy::None).expect("valid config"),
+        );
         best[1] = best[1].min(start.elapsed().as_secs_f64());
     }
     best[0] / best[1]

@@ -27,7 +27,7 @@ pub use tlbsim_experiments::throughput::{looping_access_stream, mixed_miss_strea
 pub fn run_functional(app: &AppSpec, config: &SimConfig) -> SimStats {
     let mut engine = Engine::new(config).expect("valid bench configuration");
     engine.run(app.workload(Scale::TINY));
-    *engine.stats()
+    engine.stats().clone()
 }
 
 #[cfg(test)]

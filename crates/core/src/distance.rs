@@ -25,7 +25,7 @@ use crate::prefetcher::{
 use crate::sink::CandidateBuf;
 use crate::slots::SlotList;
 use crate::table::PredictionTable;
-use crate::types::{Distance, Pc, VirtPage};
+use crate::types::{Asid, Distance, Pc, VirtPage};
 
 /// How the distance table is indexed.
 ///
@@ -57,6 +57,17 @@ impl crate::table::TableKey for DistanceKey {
     }
 }
 
+/// The per-context register file of the distance predictor: everything
+/// Figure 6 carries between misses.
+#[derive(Debug, Clone, Copy, Default)]
+struct DistanceRegs {
+    prev_page: Option<VirtPage>,
+    prev_distance: Option<Distance>,
+    /// The full key used at the previous miss — where the current
+    /// distance gets recorded as a follower (Figure 6, step 4).
+    prev_key: Option<DistanceKey>,
+}
+
 /// The distance prefetcher.
 ///
 /// # Examples
@@ -80,11 +91,11 @@ pub struct DistancePrefetcher {
     table: PredictionTable<DistanceKey, SlotList<Distance>>,
     slots: usize,
     mode: IndexMode,
-    prev_page: Option<VirtPage>,
-    prev_distance: Option<Distance>,
-    /// The full key used at the previous miss — where the current
-    /// distance gets recorded as a follower (Figure 6, step 4).
-    prev_key: Option<DistanceKey>,
+    regs: DistanceRegs,
+    asid: Asid,
+    // Parked register files of non-current contexts, indexed by ASID.
+    // Grown only at switch time, keeping the miss path allocation-free.
+    banked_regs: Vec<DistanceRegs>,
 }
 
 impl DistancePrefetcher {
@@ -104,9 +115,9 @@ impl DistancePrefetcher {
             table: PredictionTable::new(rows, assoc)?,
             slots,
             mode: IndexMode::DistanceOnly,
-            prev_page: None,
-            prev_distance: None,
-            prev_key: None,
+            regs: DistanceRegs::default(),
+            asid: Asid::DEFAULT,
+            banked_regs: Vec::new(),
         })
     }
 
@@ -157,6 +168,7 @@ impl DistancePrefetcher {
             IndexMode::DistanceOnly => 0,
             IndexMode::PcQualified => pc_fold,
             IndexMode::DistancePair => self
+                .regs
                 .prev_distance
                 .map(|d| (d.value() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
                 .unwrap_or(0),
@@ -187,10 +199,10 @@ impl TlbPrefetcher for DistancePrefetcher {
         let page = ctx.page;
         let pc_fold = self.fold_pc(ctx.pc);
 
-        let Some(prev_page) = self.prev_page else {
+        let Some(prev_page) = self.regs.prev_page else {
             // Very first miss: no distance to compute yet (step 1 needs a
             // previous address).
-            self.prev_page = Some(page);
+            self.regs.prev_page = Some(page);
             return;
         };
 
@@ -216,7 +228,7 @@ impl TlbPrefetcher for DistancePrefetcher {
 
         // Step 4: the current distance becomes a predicted follower of
         // the previous miss's key.
-        if let Some(prev_key) = self.prev_key {
+        if let Some(prev_key) = self.regs.prev_key {
             let slots = self.slots;
             self.table
                 .get_or_insert_with(prev_key, || SlotList::new(slots))
@@ -225,16 +237,38 @@ impl TlbPrefetcher for DistancePrefetcher {
 
         // Step 5: overwrite the previous distance (and page) with the
         // current one.
-        self.prev_distance = Some(distance);
-        self.prev_page = Some(page);
-        self.prev_key = Some(key);
+        self.regs.prev_distance = Some(distance);
+        self.regs.prev_page = Some(page);
+        self.regs.prev_key = Some(key);
     }
 
     fn flush(&mut self) {
         self.table.clear();
-        self.prev_page = None;
-        self.prev_distance = None;
-        self.prev_key = None;
+        self.regs = DistanceRegs::default();
+        self.banked_regs.fill(DistanceRegs::default());
+    }
+
+    fn set_asid(&mut self, asid: Asid) {
+        self.table.set_asid(asid);
+        if asid == self.asid {
+            return;
+        }
+        let needed = self.asid.index().max(asid.index()) + 1;
+        if self.banked_regs.len() < needed {
+            self.banked_regs.resize(needed, DistanceRegs::default());
+        }
+        self.banked_regs[self.asid.index()] = self.regs;
+        self.regs = std::mem::take(&mut self.banked_regs[asid.index()]);
+        self.asid = asid;
+    }
+
+    fn evict_asid(&mut self, asid: Asid) {
+        self.table.evict_asid(asid);
+        if asid == self.asid {
+            self.regs = DistanceRegs::default();
+        } else if let Some(slot) = self.banked_regs.get_mut(asid.index()) {
+            *slot = DistanceRegs::default();
+        }
     }
 
     fn profile(&self) -> HardwareProfile {
@@ -459,6 +493,64 @@ mod tests {
         }
         let d = miss(&mut p, 50);
         assert_eq!(d.pages, vec![VirtPage::new(51)]);
+    }
+
+    #[test]
+    fn contexts_keep_independent_distance_registers() {
+        let mut p = DistancePrefetcher::new(64, 2, Associativity::Full).unwrap();
+        // Context 0 walks stride +1.
+        miss(&mut p, 0);
+        miss(&mut p, 1);
+        miss(&mut p, 2);
+        p.set_asid(Asid::new(1));
+        // Context 1 starts from scratch: its first miss computes no
+        // distance, so nothing is predicted and nothing from context 0's
+        // registers leaks in.
+        assert!(miss(&mut p, 1000).is_none());
+        miss(&mut p, 1003);
+        miss(&mut p, 1006);
+        // Context 1 learned +3 -> +3 in its own tagged rows.
+        let d = miss(&mut p, 1009);
+        assert_eq!(d.pages, vec![VirtPage::new(1012)]);
+        // Switching back restores context 0's +1 chain exactly.
+        p.set_asid(Asid::DEFAULT);
+        let d = miss(&mut p, 3);
+        assert_eq!(d.pages, vec![VirtPage::new(4)]);
+    }
+
+    #[test]
+    fn evict_asid_clears_registers_and_rows_of_one_context() {
+        let mut p = DistancePrefetcher::new(64, 2, Associativity::Full).unwrap();
+        miss(&mut p, 0);
+        miss(&mut p, 1);
+        miss(&mut p, 2);
+        p.evict_asid(Asid::DEFAULT);
+        // Fully evicted current context behaves like a fresh machine.
+        assert_eq!(p.occupancy(), 0);
+        assert!(miss(&mut p, 10).is_none());
+        assert!(miss(&mut p, 11).is_none());
+    }
+
+    #[test]
+    fn pair_mode_previous_distance_is_banked_per_context() {
+        // In pair mode the key folds in prev_distance; a context switch
+        // mid-pattern must not contaminate the other context's keys.
+        let mut p = DistancePrefetcher::new(256, 2, Associativity::Full)
+            .unwrap()
+            .pair_indexed();
+        for page in [1u64, 2, 4, 5, 7, 8] {
+            miss(&mut p, page);
+        }
+        p.set_asid(Asid::new(1));
+        for page in [500u64, 510, 520] {
+            miss(&mut p, page);
+        }
+        p.set_asid(Asid::DEFAULT);
+        // Context 0 resumes its (+2 after +1) alternation: from page 8
+        // with prev_distance +1, the next distance +2 lands on 10 and
+        // predicts +1 => 11.
+        let d = miss(&mut p, 10);
+        assert_eq!(d.pages, vec![VirtPage::new(11)]);
     }
 
     #[test]

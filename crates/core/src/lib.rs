@@ -90,5 +90,6 @@ pub use slots::SlotList;
 pub use stride::{RptEntry, RptState, StridePrefetcher};
 pub use table::{PredictionTable, TableKey};
 pub use types::{
-    AccessKind, Distance, InvalidPageSize, MemoryAccess, PageSize, Pc, PhysPage, VirtAddr, VirtPage,
+    AccessKind, Asid, Distance, InvalidPageSize, MemoryAccess, PageSize, Pc, PhysPage, VirtAddr,
+    VirtPage,
 };

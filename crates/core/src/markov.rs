@@ -16,7 +16,7 @@ use crate::prefetcher::{
 use crate::sink::CandidateBuf;
 use crate::slots::SlotList;
 use crate::table::PredictionTable;
-use crate::types::VirtPage;
+use crate::types::{Asid, VirtPage};
 
 /// The Markov prefetcher.
 ///
@@ -39,6 +39,11 @@ pub struct MarkovPrefetcher {
     table: PredictionTable<VirtPage, SlotList<VirtPage>>,
     slots: usize,
     prev_miss: Option<VirtPage>,
+    asid: Asid,
+    // Parked `prev_miss` registers of non-current contexts, indexed by
+    // ASID. Grown only at switch time, so the miss path stays
+    // allocation-free.
+    banked_prev: Vec<Option<VirtPage>>,
 }
 
 impl MarkovPrefetcher {
@@ -58,6 +63,8 @@ impl MarkovPrefetcher {
             table: PredictionTable::new(rows, assoc)?,
             slots,
             prev_miss: None,
+            asid: Asid::DEFAULT,
+            banked_prev: Vec::new(),
         })
     }
 
@@ -120,6 +127,30 @@ impl TlbPrefetcher for MarkovPrefetcher {
     fn flush(&mut self) {
         self.table.clear();
         self.prev_miss = None;
+        self.banked_prev.fill(None);
+    }
+
+    fn set_asid(&mut self, asid: Asid) {
+        self.table.set_asid(asid);
+        if asid == self.asid {
+            return;
+        }
+        let needed = self.asid.index().max(asid.index()) + 1;
+        if self.banked_prev.len() < needed {
+            self.banked_prev.resize(needed, None);
+        }
+        self.banked_prev[self.asid.index()] = self.prev_miss.take();
+        self.prev_miss = self.banked_prev[asid.index()].take();
+        self.asid = asid;
+    }
+
+    fn evict_asid(&mut self, asid: Asid) {
+        self.table.evict_asid(asid);
+        if asid == self.asid {
+            self.prev_miss = None;
+        } else if let Some(slot) = self.banked_prev.get_mut(asid.index()) {
+            *slot = None;
+        }
     }
 
     fn profile(&self) -> HardwareProfile {
@@ -263,6 +294,44 @@ mod tests {
         p.flush();
         assert!(miss(&mut p, 1).is_none());
         assert_eq!(p.occupancy(), 1);
+    }
+
+    #[test]
+    fn contexts_learn_independent_transition_graphs() {
+        let mut p = MarkovPrefetcher::new(64, 2, Associativity::Full).unwrap();
+        miss(&mut p, 1);
+        miss(&mut p, 2);
+        p.set_asid(Asid::new(1));
+        // The other context sees nothing and must not link its first
+        // miss to context 0's prev_miss register.
+        assert!(miss(&mut p, 9).is_none());
+        miss(&mut p, 8);
+        p.set_asid(Asid::DEFAULT);
+        // Context 0's graph (1 -> 2) and its register survive intact.
+        let d = miss(&mut p, 1);
+        assert_eq!(d.pages, vec![VirtPage::new(2)]);
+        assert!(p
+            .successors_snapshot(VirtPage::new(2))
+            .contains(&VirtPage::new(1)));
+        p.set_asid(Asid::new(1));
+        let d = miss(&mut p, 9);
+        assert_eq!(d.pages, vec![VirtPage::new(8)]);
+    }
+
+    #[test]
+    fn evict_asid_resets_one_context_only() {
+        let mut p = MarkovPrefetcher::new(64, 2, Associativity::Full).unwrap();
+        miss(&mut p, 1);
+        miss(&mut p, 2);
+        p.set_asid(Asid::new(1));
+        miss(&mut p, 9);
+        p.evict_asid(Asid::new(1));
+        // Current context was evicted: no stale prev register.
+        miss(&mut p, 8);
+        assert!(p.successors_snapshot(VirtPage::new(9)).is_empty());
+        p.evict_asid(Asid::DEFAULT);
+        p.set_asid(Asid::DEFAULT);
+        assert!(miss(&mut p, 1).is_none());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use std::fmt;
 
 use crate::sink::CandidateBuf;
-use crate::types::{Pc, VirtPage};
+use crate::types::{Asid, Pc, VirtPage};
 
 /// Everything a mechanism may inspect about one TLB miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -239,9 +239,25 @@ pub trait TlbPrefetcher {
         sink.take_decision()
     }
 
-    /// Drops all learned state (e.g. on a context switch). Geometry is
-    /// preserved.
+    /// Drops all learned state (e.g. on a flushing context switch).
+    /// Geometry is preserved.
     fn flush(&mut self);
+
+    /// Switches the mechanism to context `asid` without dropping state
+    /// (flush-free context switch): prediction-table rows are tagged and
+    /// any per-context registers (previous miss, distance registers, the
+    /// recency stack) are banked and swapped. Stateless mechanisms
+    /// ignore this.
+    ///
+    /// May allocate (growing the register bank for a new context) —
+    /// switch time is not the zero-alloc miss path.
+    fn set_asid(&mut self, _asid: Asid) {}
+
+    /// Drops every piece of state learned under `asid` — the targeted
+    /// analogue of [`flush`](Self::flush), used when an ASID is recycled
+    /// for a new context. With only one context ever used, this is
+    /// exactly `flush`.
+    fn evict_asid(&mut self, _asid: Asid) {}
 
     /// The mechanism's hardware budget (its row of the paper's Table 1).
     fn profile(&self) -> HardwareProfile;

@@ -18,7 +18,7 @@ use crate::prefetcher::{
     HardwareProfile, IndexSource, MissContext, RowBudget, StateLocation, TlbPrefetcher,
 };
 use crate::sink::CandidateBuf;
-use crate::types::VirtPage;
+use crate::types::{Asid, VirtPage};
 
 #[derive(Debug, Clone, Copy, Default)]
 struct StackNode {
@@ -26,6 +26,15 @@ struct StackNode {
     above: Option<VirtPage>,
     /// Neighbour toward the bottom of the stack (less recently evicted).
     below: Option<VirtPage>,
+}
+
+/// One context's parked LRU stack. RP's pointers live in page-table
+/// entries, which are per address space — so the whole stack banks per
+/// ASID, not per row.
+#[derive(Debug, Clone, Default)]
+struct RecencyBank {
+    nodes: HashMap<VirtPage, StackNode>,
+    top: Option<VirtPage>,
 }
 
 /// The recency prefetcher.
@@ -63,6 +72,11 @@ struct StackNode {
 pub struct RecencyPrefetcher {
     nodes: HashMap<VirtPage, StackNode>,
     top: Option<VirtPage>,
+    asid: Asid,
+    // Parked stacks of non-current contexts, indexed by ASID; the
+    // current context's slot holds an empty (checked-out) bank. Swapped
+    // wholesale at switch time — the miss path never indexes it.
+    banks: Vec<RecencyBank>,
 }
 
 impl RecencyPrefetcher {
@@ -169,6 +183,38 @@ impl TlbPrefetcher for RecencyPrefetcher {
     fn flush(&mut self) {
         self.nodes.clear();
         self.top = None;
+        for bank in &mut self.banks {
+            bank.nodes.clear();
+            bank.top = None;
+        }
+    }
+
+    fn set_asid(&mut self, asid: Asid) {
+        if asid == self.asid {
+            return;
+        }
+        let needed = self.asid.index().max(asid.index()) + 1;
+        if self.banks.len() < needed {
+            self.banks.resize_with(needed, RecencyBank::default);
+        }
+        // Park the live stack, then check out the new context's.
+        let old = self.asid.index();
+        std::mem::swap(&mut self.banks[old].nodes, &mut self.nodes);
+        self.banks[old].top = self.top;
+        let new = asid.index();
+        std::mem::swap(&mut self.banks[new].nodes, &mut self.nodes);
+        self.top = self.banks[new].top.take();
+        self.asid = asid;
+    }
+
+    fn evict_asid(&mut self, asid: Asid) {
+        if asid == self.asid {
+            self.nodes.clear();
+            self.top = None;
+        } else if let Some(bank) = self.banks.get_mut(asid.index()) {
+            bank.nodes.clear();
+            bank.top = None;
+        }
     }
 
     fn profile(&self) -> HardwareProfile {
@@ -293,6 +339,40 @@ mod tests {
         p.flush();
         assert_eq!(p.stack_len(), 0);
         assert!(p.stack_snapshot().is_empty());
+    }
+
+    #[test]
+    fn stacks_are_banked_per_context() {
+        let mut p = RecencyPrefetcher::new();
+        miss(&mut p, 100, Some(1));
+        miss(&mut p, 101, Some(2));
+        p.set_asid(Asid::new(1));
+        // The new context starts with an empty stack.
+        assert_eq!(p.stack_len(), 0);
+        miss(&mut p, 200, Some(70));
+        miss(&mut p, 201, Some(71));
+        assert_eq!(
+            p.stack_snapshot(),
+            vec![VirtPage::new(71), VirtPage::new(70)]
+        );
+        // Switching back restores context 0's stack untouched.
+        p.set_asid(Asid::DEFAULT);
+        assert_eq!(p.stack_snapshot(), vec![VirtPage::new(2), VirtPage::new(1)]);
+        let d = miss(&mut p, 2, None);
+        assert_eq!(d.pages, vec![VirtPage::new(1)]);
+    }
+
+    #[test]
+    fn evict_asid_drops_one_stack() {
+        let mut p = RecencyPrefetcher::new();
+        miss(&mut p, 100, Some(1));
+        p.set_asid(Asid::new(1));
+        miss(&mut p, 200, Some(70));
+        p.evict_asid(Asid::DEFAULT);
+        p.evict_asid(Asid::new(1)); // current context
+        assert_eq!(p.stack_len(), 0);
+        p.set_asid(Asid::DEFAULT);
+        assert_eq!(p.stack_len(), 0);
     }
 
     #[test]

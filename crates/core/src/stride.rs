@@ -166,6 +166,17 @@ impl TlbPrefetcher for StridePrefetcher {
         self.table.clear();
     }
 
+    fn set_asid(&mut self, asid: crate::types::Asid) {
+        // All of ASP's state lives in tagged RPT rows (prev_page and
+        // stride are per-row, not global registers), so the context
+        // switch is just the table's tag register.
+        self.table.set_asid(asid);
+    }
+
+    fn evict_asid(&mut self, asid: crate::types::Asid) {
+        self.table.evict_asid(asid);
+    }
+
     fn profile(&self) -> HardwareProfile {
         HardwareProfile {
             name: "ASP",

@@ -11,6 +11,7 @@
 use std::fmt;
 
 use crate::assoc::{Associativity, InvalidGeometry};
+use crate::types::Asid;
 
 /// A key usable to index a [`PredictionTable`].
 ///
@@ -46,6 +47,7 @@ impl TableKey for crate::types::Distance {
 
 #[derive(Debug, Clone)]
 struct Row<K, V> {
+    asid: Asid,
     tag: K,
     value: V,
     last_used: u64,
@@ -53,6 +55,13 @@ struct Row<K, V> {
 
 /// A fixed-capacity, set-associative, tagged prediction table with LRU
 /// replacement inside each set.
+///
+/// Rows carry the [`Asid`] current at install time and lookups match on
+/// `(asid, tag)` against the table's context register
+/// ([`set_asid`](PredictionTable::set_asid)), so several contexts can
+/// learn patterns in one shared-competitive table without reading each
+/// other's rows. Set selection stays a pure function of the key — the
+/// context lives only in the tag comparison.
 ///
 /// # Examples
 ///
@@ -74,6 +83,7 @@ pub struct PredictionTable<K, V> {
     assoc: Associativity,
     tick: u64,
     evictions: u64,
+    asid: Asid,
 }
 
 impl<K: TableKey, V> PredictionTable<K, V> {
@@ -97,6 +107,7 @@ impl<K: TableKey, V> PredictionTable<K, V> {
             assoc,
             tick: 0,
             evictions: 0,
+            asid: Asid::DEFAULT,
         })
     }
 
@@ -104,26 +115,53 @@ impl<K: TableKey, V> PredictionTable<K, V> {
         (key.index_value() % self.sets.len() as u64) as usize
     }
 
+    /// Switches the current context: subsequent lookups and inserts are
+    /// tagged with `asid`. No row is touched.
+    pub fn set_asid(&mut self, asid: Asid) {
+        self.asid = asid;
+    }
+
+    /// The current context tag.
+    pub fn asid(&self) -> Asid {
+        self.asid
+    }
+
+    /// Drops every row tagged with `asid` without counting conflict
+    /// evictions — the targeted analogue of
+    /// [`clear`](PredictionTable::clear).
+    pub fn evict_asid(&mut self, asid: Asid) {
+        for set in &mut self.sets {
+            set.retain(|row| row.asid != asid);
+        }
+    }
+
     fn bump(&mut self) -> u64 {
         self.tick += 1;
         self.tick
     }
 
-    /// Looks up `key` without updating recency ("peek").
+    /// Looks up `key` in the current context without updating recency
+    /// ("peek").
     pub fn get(&self, key: K) -> Option<&V> {
         let set = &self.sets[self.set_index(key)];
-        set.iter().find(|row| row.tag == key).map(|row| &row.value)
+        set.iter()
+            .find(|row| row.tag == key && row.asid == self.asid)
+            .map(|row| &row.value)
     }
 
-    /// Looks up `key`, marking the row most recently used on a hit.
+    /// Looks up `key` in the current context, marking the row most
+    /// recently used on a hit.
     pub fn get_mut(&mut self, key: K) -> Option<&mut V> {
         let tick = self.bump();
+        let asid = self.asid;
         let idx = self.set_index(key);
         let set = &mut self.sets[idx];
-        set.iter_mut().find(|row| row.tag == key).map(|row| {
-            row.last_used = tick;
-            &mut row.value
-        })
+        set.iter_mut()
+            .find(|row| row.tag == key && row.asid == asid)
+            .map(|row| {
+                row.last_used = tick;
+                &mut row.value
+            })
     }
 
     /// Inserts `key -> value`, replacing an existing row with the same tag
@@ -134,9 +172,13 @@ impl<K: TableKey, V> PredictionTable<K, V> {
     pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
         let tick = self.bump();
         let ways = self.ways;
+        let asid = self.asid;
         let idx = self.set_index(key);
         let set = &mut self.sets[idx];
-        if let Some(row) = set.iter_mut().find(|row| row.tag == key) {
+        if let Some(row) = set
+            .iter_mut()
+            .find(|row| row.tag == key && row.asid == asid)
+        {
             row.last_used = tick;
             let old = std::mem::replace(&mut row.value, value);
             return Some((key, old));
@@ -154,6 +196,7 @@ impl<K: TableKey, V> PredictionTable<K, V> {
             displaced = Some((row.tag, row.value));
         }
         set.push(Row {
+            asid,
             tag: key,
             value,
             last_used: tick,
@@ -169,9 +212,13 @@ impl<K: TableKey, V> PredictionTable<K, V> {
     pub fn get_or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V {
         let tick = self.bump();
         let ways = self.ways;
+        let asid = self.asid;
         let idx = self.set_index(key);
         let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|row| row.tag == key) {
+        if let Some(pos) = set
+            .iter()
+            .position(|row| row.tag == key && row.asid == asid)
+        {
             let row = &mut set[pos];
             row.last_used = tick;
             return &mut row.value;
@@ -187,6 +234,7 @@ impl<K: TableKey, V> PredictionTable<K, V> {
             self.evictions += 1;
         }
         set.push(Row {
+            asid,
             tag: key,
             value: default(),
             last_used: tick,
@@ -366,6 +414,48 @@ mod tests {
         let mut keys: Vec<u64> = t.iter().map(|(k, _)| k.number()).collect();
         keys.sort_unstable();
         assert_eq!(keys, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn contexts_keep_separate_rows_under_one_tag() {
+        let mut t = direct(4);
+        t.insert(VirtPage::new(1), 10);
+        t.set_asid(Asid::new(2));
+        assert_eq!(t.get(VirtPage::new(1)), None);
+        // Same key, other context: evicts the direct-mapped way (a
+        // genuine cross-context conflict), then reads back its own row.
+        t.insert(VirtPage::new(1), 20);
+        assert_eq!(t.get(VirtPage::new(1)), Some(&20));
+        assert_eq!(t.evictions(), 1);
+        t.set_asid(Asid::DEFAULT);
+        assert_eq!(t.get(VirtPage::new(1)), None);
+    }
+
+    #[test]
+    fn evict_asid_drops_only_that_context_without_counting() {
+        let mut t: PredictionTable<VirtPage, u32> =
+            PredictionTable::new(8, Associativity::Full).unwrap();
+        t.insert(VirtPage::new(1), 1);
+        t.set_asid(Asid::new(1));
+        t.insert(VirtPage::new(2), 2);
+        t.insert(VirtPage::new(3), 3);
+        t.evict_asid(Asid::new(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.evictions(), 0);
+        t.set_asid(Asid::DEFAULT);
+        assert_eq!(t.get(VirtPage::new(1)), Some(&1));
+    }
+
+    #[test]
+    fn get_or_insert_with_is_context_scoped() {
+        let mut t: PredictionTable<VirtPage, u32> =
+            PredictionTable::new(8, Associativity::Full).unwrap();
+        *t.get_or_insert_with(VirtPage::new(3), || 0) += 5;
+        t.set_asid(Asid::new(7));
+        *t.get_or_insert_with(VirtPage::new(3), || 100) += 1;
+        assert_eq!(t.get(VirtPage::new(3)), Some(&101));
+        t.set_asid(Asid::DEFAULT);
+        assert_eq!(t.get(VirtPage::new(3)), Some(&5));
     }
 
     #[test]

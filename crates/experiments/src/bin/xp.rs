@@ -8,7 +8,8 @@
 //!    [--csv <dir>]
 //! xp record --app <name> [--scale <s>] [--limit <n>] [--out <path>]
 //! xp replay --trace <path> [--shards <n>] [--quarantine <n|unlimited>] [--csv <dir>]
-//! xp mix --streams <a,b,…> [--quantum <n>] [--flush-on-switch]
+//! xp mix --streams <a,b,…> [--quantum <n>] [--switch-policy none|flush|asid]
+//!        [--asid-contexts <n>] [--table-policy shared|partitioned]
 //!        [--scale <s>] [--shards <n>] [--quarantine <n|unlimited>] [--csv <dir>]
 //! xp check --trace <path> [--quarantine <n|unlimited>]
 //! xp chaos --trace <path> --out <path> [--seed <n>] [--corrupt <k>]
@@ -53,10 +54,16 @@
 //! and/or `TLBT` trace paths, comma-separated — into one multiprogrammed
 //! stream under a round-robin `--quantum` (default 50000 accesses) and
 //! runs the same 21-scheme sweep over the interleave, printing aggregate
-//! and per-stream prediction accuracy. `--flush-on-switch` flushes the
-//! TLB, prefetch buffer and prediction tables at every context switch
-//! (the paper's §4 scenario); `--shards` partitions each run across
-//! workers at switch boundaries.
+//! and per-stream prediction accuracy. `--switch-policy` picks the
+//! context-switch semantics: `none` keeps all state across switches,
+//! `flush` empties the TLB, prefetch buffer and prediction tables at
+//! every switch (the paper's §4 scenario; `--flush-on-switch` is the
+//! older spelling), and `asid` retags state per stream so switches are
+//! flush-free — `--asid-contexts <n>` caps the live contexts (default:
+//! all streams) and `--table-policy partitioned` gives each stream
+//! private prediction tables instead of shared competitive ones.
+//! `--shards` partitions each run across workers at switch boundaries
+//! (or whole streams, for eviction-free partitioned ASID runs).
 //!
 //! `--quarantine <n|unlimited>` replays a damaged trace anyway: up to
 //! `n` unparseable records are skipped (and counted in the report)
@@ -85,6 +92,7 @@ use tlbsim_experiments::{
     extras, figure7, figure8, figure9, health, mix, replay, table1, table2, table3, throughput,
 };
 use tlbsim_service::{Client, JobSpec, Server, ServerConfig};
+use tlbsim_sim::{SwitchPolicy, TablePolicy};
 use tlbsim_trace::{
     BinaryTraceReader, BinaryTraceWriter, DecodePolicy, TextTraceReader, TextTraceWriter, MAGIC,
 };
@@ -101,7 +109,9 @@ struct Args {
     limit: Option<u64>,
     streams: Vec<String>,
     quantum: u64,
-    flush_on_switch: bool,
+    switch_policy: String,
+    asid_contexts: usize,
+    table_policy: String,
     policy: DecodePolicy,
     seed: u64,
     corrupt: usize,
@@ -120,7 +130,8 @@ fn usage() -> &'static str {
      [--scale tiny|small|standard|<factor>] [--shards <n|auto>] [--csv <dir>]\n       \
      xp record --app <name> [--scale <s>] [--limit <n>] [--out <path>]\n       \
      xp replay --trace <path> [--shards <n|auto>] [--quarantine <n|unlimited>] [--csv <dir>]\n       \
-     xp mix --streams <a,b,...> [--quantum <n>] [--flush-on-switch] \
+     xp mix --streams <a,b,...> [--quantum <n>] [--switch-policy none|flush|asid] \
+     [--asid-contexts <n>] [--table-policy shared|partitioned] \
      [--scale <s>] [--shards <n|auto>] [--quarantine <n|unlimited>] [--csv <dir>]\n       \
      xp check --trace <path> [--quarantine <n|unlimited>]\n       \
      xp chaos --trace <path> --out <path> [--seed <n>] [--corrupt <k>] \
@@ -150,7 +161,9 @@ fn parse_args() -> Result<Args, String> {
     let mut limit = None;
     let mut streams = Vec::new();
     let mut quantum = 50_000u64;
-    let mut flush_on_switch = false;
+    let mut switch_policy = "none".to_owned();
+    let mut asid_contexts = 0usize;
+    let mut table_policy = "shared".to_owned();
     let mut policy = DecodePolicy::Strict;
     let mut seed = 1u64;
     let mut corrupt = 0usize;
@@ -190,8 +203,43 @@ fn parse_args() -> Result<Args, String> {
                     .filter(|n| *n >= 1)
                     .ok_or_else(|| format!("bad quantum {value:?} (want an integer >= 1)"))?;
             }
+            "--switch-policy" => {
+                let value = argv
+                    .next()
+                    .ok_or("--switch-policy needs <none|flush|asid>")?;
+                match value.as_str() {
+                    "none" | "flush" | "asid" => switch_policy = value,
+                    other => {
+                        return Err(format!(
+                            "bad switch policy {other:?} (want \"none\", \"flush\" or \"asid\")"
+                        ))
+                    }
+                }
+            }
+            // Older spelling of `--switch-policy flush`, kept for scripts.
             "--flush-on-switch" => {
-                flush_on_switch = true;
+                switch_policy = "flush".to_owned();
+            }
+            "--asid-contexts" => {
+                let value = argv.next().ok_or("--asid-contexts needs a count")?;
+                asid_contexts = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("bad context count {value:?} (want an integer >= 1)"))?;
+            }
+            "--table-policy" => {
+                let value = argv
+                    .next()
+                    .ok_or("--table-policy needs <shared|partitioned>")?;
+                match value.as_str() {
+                    "shared" | "partitioned" => table_policy = value,
+                    other => {
+                        return Err(format!(
+                            "bad table policy {other:?} (want \"shared\" or \"partitioned\")"
+                        ))
+                    }
+                }
             }
             "--quarantine" => {
                 let value = argv.next().ok_or("--quarantine needs <n|unlimited>")?;
@@ -315,7 +363,9 @@ fn parse_args() -> Result<Args, String> {
         limit,
         streams,
         quantum,
-        flush_on_switch,
+        switch_policy,
+        asid_contexts,
+        table_policy,
         policy,
         seed,
         corrupt,
@@ -359,11 +409,29 @@ fn run_mix(args: &Args) -> Result<(), String> {
     if args.streams.is_empty() {
         return Err(format!("mix needs --streams <a,b,...>\n{}", usage()));
     }
+    let switch_policy = match args.switch_policy.as_str() {
+        "none" => SwitchPolicy::None,
+        "flush" => SwitchPolicy::FlushOnSwitch,
+        "asid" => SwitchPolicy::Asid {
+            // Default: every stream keeps a live context — fully
+            // flush-free. `--asid-contexts` squeezes that down.
+            contexts: if args.asid_contexts == 0 {
+                args.streams.len()
+            } else {
+                args.asid_contexts
+            },
+            tables: match args.table_policy.as_str() {
+                "partitioned" => TablePolicy::Partitioned,
+                _ => TablePolicy::Shared,
+            },
+        },
+        other => return Err(format!("bad switch policy {other:?}\n{}", usage())),
+    };
     let report = mix::mix_with_policy(
         &args.streams,
         args.scale,
         args.quantum,
-        args.flush_on_switch,
+        switch_policy,
         args.shards,
         args.policy,
     )

@@ -15,7 +15,9 @@
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
-use tlbsim_sim::{resolve_shards, run_mix, run_mix_sharded, SimConfig, SimStats, StreamStats};
+use tlbsim_sim::{
+    resolve_shards, run_mix, run_mix_sharded, SimConfig, SimStats, StreamStats, SwitchPolicy,
+};
 use tlbsim_trace::DecodePolicy;
 use tlbsim_workloads::{
     find_app, MixError, MultiStreamSpec, Scale, Schedule, StreamSpec, TraceWorkload,
@@ -111,8 +113,8 @@ pub struct MixReport {
     pub stream_lens: Vec<u64>,
     /// Round-robin quantum, in accesses.
     pub quantum: u64,
-    /// Whether translation + prediction state flushed at every switch.
-    pub flush_on_switch: bool,
+    /// Context-switch semantics each scheme ran under.
+    pub switch_policy: SwitchPolicy,
     /// Worker shards per run (1 = sequential).
     pub shards: usize,
     /// Records the trace members' quarantine decode skipped (0 for
@@ -140,14 +142,14 @@ pub fn mix(
     tokens: &[String],
     scale: Scale,
     quantum: u64,
-    flush_on_switch: bool,
+    switch_policy: SwitchPolicy,
     shards: usize,
 ) -> Result<MixReport, ReplayError> {
     mix_with_policy(
         tokens,
         scale,
         quantum,
-        flush_on_switch,
+        switch_policy,
         shards,
         DecodePolicy::Strict,
     )
@@ -165,7 +167,7 @@ pub fn mix_with_policy(
     tokens: &[String],
     scale: Scale,
     quantum: u64,
-    flush_on_switch: bool,
+    switch_policy: SwitchPolicy,
     shards: usize,
     policy: DecodePolicy,
 ) -> Result<MixReport, ReplayError> {
@@ -200,7 +202,7 @@ pub fn mix_with_policy(
                     let Some(config) = configs.get(index) else {
                         break;
                     };
-                    let outcome = run_mix(spec, scale, config, flush_on_switch);
+                    let outcome = run_mix(spec, scale, config, switch_policy);
                     *results[index].lock().expect("result lock") = Some(outcome);
                 });
             }
@@ -216,7 +218,7 @@ pub fn mix_with_policy(
     } else {
         let mut runs = Vec::with_capacity(configs.len());
         for config in &configs {
-            runs.push(run_mix_sharded(&spec, scale, config, flush_on_switch, shards)?.merged);
+            runs.push(run_mix_sharded(&spec, scale, config, switch_policy, shards)?.merged);
         }
         runs
     };
@@ -237,7 +239,7 @@ pub fn mix_with_policy(
         streams: spec.stream_names().iter().map(|s| s.to_string()).collect(),
         stream_lens: spec.streams().iter().map(|s| s.stream_len(scale)).collect(),
         quantum,
-        flush_on_switch,
+        switch_policy,
         shards: shards.max(1),
         quarantined: spec.quarantined_records(),
         accesses: spec.stream_len(scale),
@@ -266,11 +268,7 @@ impl MixReport {
                 self.name,
                 self.accesses,
                 self.quantum,
-                if self.flush_on_switch {
-                    "flush on switch"
-                } else {
-                    "no flush"
-                },
+                self.switch_policy,
                 self.shards,
                 if self.shards == 1 { "" } else { "s" }
             ),
@@ -310,7 +308,14 @@ mod tests {
 
     #[test]
     fn mix_sweep_covers_the_grid_with_per_stream_columns() {
-        let report = mix(&strings(&["gap", "mcf"]), Scale::TINY, 1000, false, 1).unwrap();
+        let report = mix(
+            &strings(&["gap", "mcf"]),
+            Scale::TINY,
+            1000,
+            SwitchPolicy::None,
+            1,
+        )
+        .unwrap();
         assert_eq!(report.cells.len(), paper_scheme_grid().len());
         assert_eq!(report.streams, vec!["gap", "mcf"]);
         assert_eq!(report.accesses, report.stream_lens.iter().sum::<u64>());
@@ -330,9 +335,22 @@ mod tests {
 
     #[test]
     fn mix_sweep_matches_direct_run_mix() {
-        let report = mix(&strings(&["gap", "eon"]), Scale::TINY, 500, true, 1).unwrap();
+        let report = mix(
+            &strings(&["gap", "eon"]),
+            Scale::TINY,
+            500,
+            SwitchPolicy::FlushOnSwitch,
+            1,
+        )
+        .unwrap();
         let spec = build_mix(&strings(&["gap", "eon"]), 500).unwrap();
-        let direct = run_mix(&spec, Scale::TINY, &SimConfig::paper_default(), true).unwrap();
+        let direct = run_mix(
+            &spec,
+            Scale::TINY,
+            &SimConfig::paper_default(),
+            SwitchPolicy::FlushOnSwitch,
+        )
+        .unwrap();
         let cell = report
             .cells
             .iter()
@@ -348,7 +366,7 @@ mod tests {
         let path = std::env::temp_dir().join(format!("tlbsim-mix-{}.tlbt", std::process::id()));
         record("gap", Scale::TINY, Some(5000), &path).unwrap();
         let tokens = vec![path.display().to_string(), "mcf".to_owned()];
-        let report = mix(&tokens, Scale::TINY, 700, false, 2).unwrap();
+        let report = mix(&tokens, Scale::TINY, 700, SwitchPolicy::None, 2).unwrap();
         assert_eq!(report.stream_lens[0], 5000);
         assert_eq!(report.shards, 2);
         assert!(report.streams[0].starts_with("tlbsim-mix-"));
@@ -358,10 +376,16 @@ mod tests {
     #[test]
     fn unknown_streams_and_bad_quanta_are_typed_errors() {
         assert!(matches!(
-            mix(&strings(&["not-an-app"]), Scale::TINY, 100, false, 1),
+            mix(
+                &strings(&["not-an-app"]),
+                Scale::TINY,
+                100,
+                SwitchPolicy::None,
+                1
+            ),
             Err(ReplayError::UnknownApp(_))
         ));
-        let err = mix(&strings(&["gap"]), Scale::TINY, 0, false, 1).unwrap_err();
+        let err = mix(&strings(&["gap"]), Scale::TINY, 0, SwitchPolicy::None, 1).unwrap_err();
         assert!(matches!(err, ReplayError::Mix(MixError::ZeroQuantum)));
         assert!(err.to_string().contains("quantum"));
     }

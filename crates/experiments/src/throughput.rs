@@ -24,7 +24,9 @@ use std::sync::Arc;
 
 use tlbsim_core::{CandidateBuf, MemoryAccess, MissContext, Pc, PrefetcherConfig, VirtPage};
 use tlbsim_service::{Client, JobSpec, Server, ServerConfig};
-use tlbsim_sim::{run_app, run_app_sharded, run_mix, Engine, SimConfig, SimError};
+use tlbsim_sim::{
+    run_app, run_app_sharded, run_mix, Engine, SimConfig, SimError, SwitchPolicy, TablePolicy,
+};
 use tlbsim_workloads::{
     find_app, AppSpec, MultiStreamSpec, Scale, Schedule, StreamSpec, TraceWorkload,
 };
@@ -146,6 +148,9 @@ pub struct MultiprogramThroughput {
     pub interleaved_ns_per_access: f64,
     /// Best interleaved nanoseconds per access with flush-on-switch.
     pub flush_interleaved_ns_per_access: f64,
+    /// Best interleaved nanoseconds per access with flush-free ASID
+    /// switching (shared tables, one live context per stream).
+    pub asid_interleaved_ns_per_access: f64,
 }
 
 impl MultiprogramThroughput {
@@ -436,18 +441,27 @@ fn measure_multiprogram() -> Result<MultiprogramThroughput, SimError> {
         unreachable!("the multiprogram fixture is round-robin");
     };
 
+    let asid_policy = SwitchPolicy::Asid {
+        contexts: mix.streams().len(),
+        tables: TablePolicy::Shared,
+    };
     // Validate once so the timed kernels can unwrap.
-    run_mix(&mix, scale, &config, false)?;
+    run_mix(&mix, scale, &config, SwitchPolicy::None)?;
     let single = best_time(|| {
         for stream in mix.streams() {
             std::hint::black_box(run_app(stream, scale, &config).expect("validated"));
         }
     });
     let interleaved = best_time(|| {
-        std::hint::black_box(run_mix(&mix, scale, &config, false).expect("validated"));
+        std::hint::black_box(run_mix(&mix, scale, &config, SwitchPolicy::None).expect("validated"));
     });
     let flushed = best_time(|| {
-        std::hint::black_box(run_mix(&mix, scale, &config, true).expect("validated"));
+        std::hint::black_box(
+            run_mix(&mix, scale, &config, SwitchPolicy::FlushOnSwitch).expect("validated"),
+        );
+    });
+    let asid = best_time(|| {
+        std::hint::black_box(run_mix(&mix, scale, &config, asid_policy).expect("validated"));
     });
 
     Ok(MultiprogramThroughput {
@@ -457,6 +471,7 @@ fn measure_multiprogram() -> Result<MultiprogramThroughput, SimError> {
         single_stream_ns_per_access: single.as_nanos() as f64 / accesses as f64,
         interleaved_ns_per_access: interleaved.as_nanos() as f64 / accesses as f64,
         flush_interleaved_ns_per_access: flushed.as_nanos() as f64 / accesses as f64,
+        asid_interleaved_ns_per_access: asid.as_nanos() as f64 / accesses as f64,
     })
 }
 
@@ -615,14 +630,15 @@ impl ThroughputReport {
             out,
             "Multiprogram ({}, {} accesses, quantum {}): single-stream {:.2} ns/access, \
              interleaved {:.2} ns/access ({:.2}x of single-stream throughput), \
-             flush-on-switch {:.2} ns/access",
+             flush-on-switch {:.2} ns/access, asid {:.2} ns/access",
             mp.streams.join("+"),
             mp.accesses,
             mp.quantum,
             mp.single_stream_ns_per_access,
             mp.interleaved_ns_per_access,
             mp.interleave_vs_single_stream(),
-            mp.flush_interleaved_ns_per_access
+            mp.flush_interleaved_ns_per_access,
+            mp.asid_interleaved_ns_per_access
         );
         let sv = &self.service;
         let _ = writeln!(
@@ -705,6 +721,7 @@ impl ThroughputReport {
             "  \"multiprogram\": {{\"streams\": [{}], \"accesses\": {}, \"quantum\": {}, \
              \"single_stream_ns_per_access\": {:.3}, \"interleaved_ns_per_access\": {:.3}, \
              \"flush_interleaved_ns_per_access\": {:.3}, \
+             \"asid_interleaved_ns_per_access\": {:.3}, \
              \"interleave_vs_single_stream\": {:.3}}},",
             streams.join(", "),
             mp.accesses,
@@ -712,6 +729,7 @@ impl ThroughputReport {
             mp.single_stream_ns_per_access,
             mp.interleaved_ns_per_access,
             mp.flush_interleaved_ns_per_access,
+            mp.asid_interleaved_ns_per_access,
             mp.interleave_vs_single_stream()
         );
         let sv = &self.service;
@@ -771,6 +789,7 @@ mod tests {
         assert!(mp.accesses > 0);
         assert!(mp.interleave_vs_single_stream() > 0.0);
         assert!(mp.flush_interleaved_ns_per_access > 0.0);
+        assert!(mp.asid_interleaved_ns_per_access > 0.0);
         let sv = &report.service;
         assert_eq!(sv.app, "galgel");
         assert_eq!(sv.accesses, report.trace_replay.accesses);

@@ -6,17 +6,42 @@
 //! implementation keeps their replacement semantics identical, which the
 //! paper assumes implicitly by giving a single LRU description for both.
 
-use tlbsim_core::{Associativity, InvalidGeometry, VirtPage};
+use tlbsim_core::{Asid, Associativity, InvalidGeometry, VirtPage};
 
 #[derive(Debug, Clone)]
 struct Way<V> {
+    asid: Asid,
     page: VirtPage,
     value: V,
     last_used: u64,
 }
 
+/// What [`AssocCache::insert`] displaced.
+///
+/// `same_asid` distinguishes a victim belonging to the inserting context
+/// from one stolen across contexts: a mechanism that tracks evicted TLB
+/// entries (recency prefetching) must only see its own context's
+/// victims, while capacity accounting wants both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted<V> {
+    /// The displaced entry's page.
+    pub page: VirtPage,
+    /// The displaced entry's value.
+    pub value: V,
+    /// `true` if the victim was tagged with the inserting context's ASID.
+    pub same_asid: bool,
+}
+
 /// A fixed-capacity set-associative cache mapping [`VirtPage`] to `V`
 /// with true-LRU replacement per set.
+///
+/// Every entry carries the [`Asid`] that was current when it was
+/// installed; lookups match on `(asid, page)` against the cache's
+/// current-context register ([`set_asid`](AssocCache::set_asid)), so two
+/// contexts can hold the same virtual page side by side. The set index
+/// stays a pure function of the page — like hardware ASID-tagged TLBs,
+/// the context lives in the tag, not the index — which is what makes a
+/// fully evicted context indistinguishable from a flushed cache.
 ///
 /// # Examples
 ///
@@ -30,7 +55,7 @@ struct Way<V> {
 /// cache.touch(VirtPage::new(1));
 /// // 2 is now least recently used and gets evicted.
 /// let evicted = cache.insert(VirtPage::new(3), 30);
-/// assert_eq!(evicted.map(|(p, _)| p), Some(VirtPage::new(2)));
+/// assert_eq!(evicted.map(|e| e.page), Some(VirtPage::new(2)));
 /// # Ok::<(), tlbsim_core::InvalidGeometry>(())
 /// ```
 #[derive(Debug, Clone)]
@@ -40,6 +65,7 @@ pub struct AssocCache<V> {
     capacity: usize,
     assoc: Associativity,
     tick: u64,
+    asid: Asid,
 }
 
 impl<V> AssocCache<V> {
@@ -62,6 +88,7 @@ impl<V> AssocCache<V> {
             capacity,
             assoc,
             tick: 0,
+            asid: Asid::DEFAULT,
         })
     }
 
@@ -69,25 +96,51 @@ impl<V> AssocCache<V> {
         (page.number() % self.sets.len() as u64) as usize
     }
 
+    /// Switches the current context: subsequent lookups and installs are
+    /// tagged with `asid`. A pure register write — no entry is touched.
+    pub fn set_asid(&mut self, asid: Asid) {
+        self.asid = asid;
+    }
+
+    /// The current context tag.
+    pub fn asid(&self) -> Asid {
+        self.asid
+    }
+
+    /// Invalidates every entry tagged with `asid`, leaving other
+    /// contexts' entries (and the LRU clock) untouched.
+    pub fn evict_asid(&mut self, asid: Asid) {
+        for set in &mut self.sets {
+            set.retain(|w| w.asid != asid);
+        }
+    }
+
     fn bump(&mut self) -> u64 {
         self.tick += 1;
         self.tick
     }
 
-    /// Looks up `page`, marking it most recently used on a hit.
+    /// Looks up `page` in the current context, marking it most recently
+    /// used on a hit.
     pub fn touch(&mut self, page: VirtPage) -> Option<&mut V> {
         let tick = self.bump();
+        let asid = self.asid;
         let idx = self.set_index(page);
-        self.sets[idx].iter_mut().find(|w| w.page == page).map(|w| {
-            w.last_used = tick;
-            &mut w.value
-        })
+        self.sets[idx]
+            .iter_mut()
+            .find(|w| w.page == page && w.asid == asid)
+            .map(|w| {
+                w.last_used = tick;
+                &mut w.value
+            })
     }
 
-    /// Looks up `page` without changing recency.
+    /// Looks up `page` in the current context without changing recency.
     pub fn peek(&self, page: VirtPage) -> Option<&V> {
         let set = &self.sets[self.set_index(page)];
-        set.iter().find(|w| w.page == page).map(|w| &w.value)
+        set.iter()
+            .find(|w| w.page == page && w.asid == self.asid)
+            .map(|w| &w.value)
     }
 
     /// Returns `true` if `page` is resident (no recency update).
@@ -95,19 +148,26 @@ impl<V> AssocCache<V> {
         self.peek(page).is_some()
     }
 
-    /// Inserts `page -> value` as most recently used.
+    /// Inserts `page -> value` under the current context as most
+    /// recently used.
     ///
-    /// Returns the evicted `(page, value)` if the set was full, or the
-    /// previous value under the same page if it was already resident.
-    pub fn insert(&mut self, page: VirtPage, value: V) -> Option<(VirtPage, V)> {
+    /// Returns the [`Evicted`] entry if the set was full (LRU across all
+    /// contexts in the set), or the previous value under the same
+    /// `(asid, page)` if it was already resident.
+    pub fn insert(&mut self, page: VirtPage, value: V) -> Option<Evicted<V>> {
         let tick = self.bump();
         let ways = self.ways;
+        let asid = self.asid;
         let idx = self.set_index(page);
         let set = &mut self.sets[idx];
-        if let Some(w) = set.iter_mut().find(|w| w.page == page) {
+        if let Some(w) = set.iter_mut().find(|w| w.page == page && w.asid == asid) {
             w.last_used = tick;
             let old = std::mem::replace(&mut w.value, value);
-            return Some((page, old));
+            return Some(Evicted {
+                page,
+                value: old,
+                same_asid: true,
+            });
         }
         let mut evicted = None;
         if set.len() == ways {
@@ -118,9 +178,14 @@ impl<V> AssocCache<V> {
                 .map(|(i, _)| i)
                 .expect("full set is non-empty");
             let w = set.swap_remove(victim);
-            evicted = Some((w.page, w.value));
+            evicted = Some(Evicted {
+                page: w.page,
+                value: w.value,
+                same_asid: w.asid == asid,
+            });
         }
         set.push(Way {
+            asid,
             page,
             value,
             last_used: tick,
@@ -128,11 +193,12 @@ impl<V> AssocCache<V> {
         evicted
     }
 
-    /// Removes `page`, returning its value.
+    /// Removes `page` from the current context, returning its value.
     pub fn remove(&mut self, page: VirtPage) -> Option<V> {
+        let asid = self.asid;
         let idx = self.set_index(page);
         let set = &mut self.sets[idx];
-        let pos = set.iter().position(|w| w.page == page)?;
+        let pos = set.iter().position(|w| w.page == page && w.asid == asid)?;
         Some(set.swap_remove(pos).value)
     }
 
@@ -206,7 +272,14 @@ mod tests {
         // LRU order now: 3, 1, 2.
         assert_eq!(c.victim_for(VirtPage::new(9)), Some(VirtPage::new(3)));
         let ev = c.insert(VirtPage::new(4), 4);
-        assert_eq!(ev, Some((VirtPage::new(3), 3)));
+        assert_eq!(
+            ev,
+            Some(Evicted {
+                page: VirtPage::new(3),
+                value: 3,
+                same_asid: true
+            })
+        );
     }
 
     #[test]
@@ -214,7 +287,14 @@ mod tests {
         let mut c = full(2);
         c.insert(VirtPage::new(1), 10);
         let old = c.insert(VirtPage::new(1), 20);
-        assert_eq!(old, Some((VirtPage::new(1), 10)));
+        assert_eq!(
+            old,
+            Some(Evicted {
+                page: VirtPage::new(1),
+                value: 10,
+                same_asid: true
+            })
+        );
         assert_eq!(c.len(), 1);
         assert_eq!(c.peek(VirtPage::new(1)), Some(&20));
     }
@@ -227,7 +307,7 @@ mod tests {
         let _ = c.peek(VirtPage::new(1));
         // 1 is still LRU despite the peek.
         let ev = c.insert(VirtPage::new(3), 3);
-        assert_eq!(ev, Some((VirtPage::new(1), 1)));
+        assert_eq!(ev.map(|e| (e.page, e.value)), Some((VirtPage::new(1), 1)));
     }
 
     #[test]
@@ -258,7 +338,7 @@ mod tests {
         let mut c: AssocCache<u64> = AssocCache::new(4, Associativity::Direct).unwrap();
         c.insert(VirtPage::new(0), 0);
         let ev = c.insert(VirtPage::new(4), 4);
-        assert_eq!(ev, Some((VirtPage::new(0), 0)));
+        assert_eq!(ev.map(|e| (e.page, e.value)), Some((VirtPage::new(0), 0)));
     }
 
     #[test]
@@ -277,6 +357,53 @@ mod tests {
             c.insert(VirtPage::new(i * 7 % 333), i);
             assert!(c.len() <= 8);
         }
+    }
+
+    #[test]
+    fn contexts_are_isolated_but_share_capacity() {
+        let mut c = full(3);
+        c.insert(VirtPage::new(1), 10);
+        c.set_asid(Asid::new(1));
+        // Same page, different context: a distinct entry, not a replace.
+        c.insert(VirtPage::new(1), 11);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.peek(VirtPage::new(1)), Some(&11));
+        assert!(c.touch(VirtPage::new(1)).is_some());
+        c.set_asid(Asid::DEFAULT);
+        assert_eq!(c.peek(VirtPage::new(1)), Some(&10));
+        // Capacity is shared: filling from context 0 can steal context
+        // 1's way, and the eviction is flagged cross-context.
+        c.insert(VirtPage::new(2), 20);
+        c.insert(VirtPage::new(3), 30);
+        let ev = c.insert(VirtPage::new(4), 40).unwrap();
+        assert!(!ev.same_asid);
+        assert_eq!(ev.page, VirtPage::new(1));
+        assert_eq!(ev.value, 11);
+    }
+
+    #[test]
+    fn evict_asid_is_a_targeted_flush() {
+        let mut c = full(4);
+        c.insert(VirtPage::new(1), 1);
+        c.set_asid(Asid::new(2));
+        c.insert(VirtPage::new(1), 2);
+        c.insert(VirtPage::new(9), 9);
+        c.evict_asid(Asid::new(2));
+        assert!(!c.contains(VirtPage::new(1)));
+        assert!(!c.contains(VirtPage::new(9)));
+        c.set_asid(Asid::DEFAULT);
+        assert_eq!(c.peek(VirtPage::new(1)), Some(&1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove_is_scoped_to_the_current_context() {
+        let mut c = full(2);
+        c.insert(VirtPage::new(5), 50);
+        c.set_asid(Asid::new(1));
+        assert_eq!(c.remove(VirtPage::new(5)), None);
+        c.set_asid(Asid::DEFAULT);
+        assert_eq!(c.remove(VirtPage::new(5)), Some(50));
     }
 
     #[test]

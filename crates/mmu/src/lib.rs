@@ -43,7 +43,7 @@ mod page_table;
 mod prefetch_buffer;
 mod tlb;
 
-pub use cache::AssocCache;
+pub use cache::{AssocCache, Evicted};
 pub use data_cache::{CacheAccess, DataCache, DataCacheConfig};
 pub use hierarchy::{HierarchyConfig, HierarchyHit, TlbHierarchy};
 pub use page_table::PageTable;

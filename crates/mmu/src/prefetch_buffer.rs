@@ -8,7 +8,7 @@
 //! can evict its own not-yet-used prefetches from the buffer, which is
 //! exactly the effect that degrades ASP at `r = 1024` in Figure 7.
 
-use tlbsim_core::{Associativity, InvalidGeometry, PhysPage, VirtPage};
+use tlbsim_core::{Asid, Associativity, InvalidGeometry, PhysPage, VirtPage};
 
 use crate::cache::AssocCache;
 
@@ -64,8 +64,13 @@ impl PrefetchBuffer {
     /// (used entries leave through [`PrefetchBuffer::promote`]).
     pub fn insert(&mut self, page: VirtPage, frame: PhysPage) -> Option<VirtPage> {
         self.inserted += 1;
-        let evicted = self.cache.insert(page, PbEntry { frame }).map(|(p, _)| p);
-        let evicted = evicted.filter(|p| *p != page);
+        // A capacity victim is wasted traffic whichever context owned
+        // it; only a same-(asid, page) overwrite is not an eviction.
+        let evicted = self
+            .cache
+            .insert(page, PbEntry { frame })
+            .filter(|e| !(e.same_asid && e.page == page))
+            .map(|e| e.page);
         if evicted.is_some() {
             self.evicted_unused += 1;
         }
@@ -88,6 +93,24 @@ impl PrefetchBuffer {
     /// Invalidates every buffered translation.
     pub fn flush(&mut self) {
         self.cache.flush();
+    }
+
+    /// Switches the current context tag (flush-free context switch).
+    pub fn set_asid(&mut self, asid: Asid) {
+        self.cache.set_asid(asid);
+    }
+
+    /// The current context tag.
+    pub fn asid(&self) -> Asid {
+        self.cache.asid()
+    }
+
+    /// Invalidates every buffered translation tagged with `asid` without
+    /// counting the drops as wasted prefetches — mirroring
+    /// [`flush`](PrefetchBuffer::flush), which the degeneration argument
+    /// (one live context ⇒ flush semantics) depends on.
+    pub fn evict_asid(&mut self, asid: Asid) {
+        self.cache.evict_asid(asid);
     }
 
     /// Resident entry count.
@@ -185,6 +208,28 @@ mod tests {
         b.flush();
         assert!(b.is_empty());
         assert_eq!(b.capacity(), 2);
+    }
+
+    #[test]
+    fn contexts_buffer_independently() {
+        let mut b = pb(4);
+        b.insert(VirtPage::new(1), PhysPage::new(10));
+        b.set_asid(Asid::new(3));
+        assert!(!b.contains(VirtPage::new(1)));
+        assert_eq!(b.promote(VirtPage::new(1)), None);
+        b.insert(VirtPage::new(1), PhysPage::new(30));
+        assert_eq!(b.promote(VirtPage::new(1)), Some(PhysPage::new(30)));
+        b.set_asid(Asid::DEFAULT);
+        assert_eq!(b.promote(VirtPage::new(1)), Some(PhysPage::new(10)));
+    }
+
+    #[test]
+    fn evict_asid_does_not_count_waste() {
+        let mut b = pb(2);
+        b.insert(VirtPage::new(1), PhysPage::new(1));
+        b.evict_asid(Asid::DEFAULT);
+        assert!(b.is_empty());
+        assert_eq!(b.evicted_unused(), 0);
     }
 
     #[test]

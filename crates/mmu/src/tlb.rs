@@ -6,7 +6,7 @@
 //! and 256 entries and 2-/4-way organisations.
 
 use serde::{Deserialize, Serialize};
-use tlbsim_core::{Associativity, InvalidGeometry, PhysPage, VirtPage};
+use tlbsim_core::{Asid, Associativity, InvalidGeometry, PhysPage, VirtPage};
 
 use crate::cache::AssocCache;
 
@@ -56,7 +56,9 @@ impl Default for TlbConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlbFill {
     /// The translation displaced by the fill, if the set was full. This
-    /// is what recency prefetching pushes onto its LRU stack.
+    /// is what recency prefetching pushes onto its LRU stack. Victims
+    /// belonging to *another* context are reported as `None`: the
+    /// mechanism tracking this context must not learn foreign pages.
     pub evicted: Option<VirtPage>,
 }
 
@@ -119,15 +121,36 @@ impl Tlb {
 
     /// Installs a translation as most recently used.
     pub fn fill(&mut self, page: VirtPage, frame: PhysPage) -> TlbFill {
-        let evicted = self.cache.insert(page, frame).map(|(p, _)| p);
-        // Overwriting an already-resident page is not an eviction.
-        let evicted = evicted.filter(|p| *p != page);
+        // Overwriting an already-resident page is not an eviction, and a
+        // cross-context victim is invisible to this context's mechanism.
+        let evicted = self
+            .cache
+            .insert(page, frame)
+            .filter(|e| e.same_asid && e.page != page)
+            .map(|e| e.page);
         TlbFill { evicted }
     }
 
-    /// Invalidates all entries (context switch), keeping counters.
+    /// Invalidates all entries (flushing context switch), keeping
+    /// counters.
     pub fn flush(&mut self) {
         self.cache.flush();
+    }
+
+    /// Switches the current context tag (flush-free context switch).
+    pub fn set_asid(&mut self, asid: Asid) {
+        self.cache.set_asid(asid);
+    }
+
+    /// The current context tag.
+    pub fn asid(&self) -> Asid {
+        self.cache.asid()
+    }
+
+    /// Invalidates every translation tagged with `asid`, keeping
+    /// counters and other contexts' entries.
+    pub fn evict_asid(&mut self, asid: Asid) {
+        self.cache.evict_asid(asid);
     }
 
     /// Number of resident translations.
@@ -250,6 +273,48 @@ mod tests {
         let t = Tlb::new(TlbConfig::paper_default()).unwrap();
         assert_eq!(t.config().entries, 128);
         assert_eq!(t.config().assoc, Associativity::Full);
+    }
+
+    #[test]
+    fn asid_switch_hides_translations_without_flushing() {
+        let mut t = tlb(4);
+        t.fill(VirtPage::new(1), PhysPage::new(10));
+        t.set_asid(Asid::new(1));
+        // The other context's translation is invisible...
+        assert!(t.lookup(VirtPage::new(1)).is_none());
+        t.fill(VirtPage::new(1), PhysPage::new(20));
+        assert_eq!(t.lookup(VirtPage::new(1)), Some(PhysPage::new(20)));
+        // ...and comes straight back on switch-back: no flush happened.
+        t.set_asid(Asid::DEFAULT);
+        assert_eq!(t.lookup(VirtPage::new(1)), Some(PhysPage::new(10)));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn cross_context_victim_is_not_reported() {
+        let mut t = tlb(2);
+        t.fill(VirtPage::new(1), PhysPage::new(1));
+        t.fill(VirtPage::new(2), PhysPage::new(2));
+        t.set_asid(Asid::new(1));
+        // The fill steals context 0's LRU way, but this context's
+        // mechanism must not see a page it never referenced.
+        let fill = t.fill(VirtPage::new(9), PhysPage::new(9));
+        assert_eq!(fill.evicted, None);
+        // A same-context victim is still reported.
+        t.fill(VirtPage::new(10), PhysPage::new(10));
+        let fill = t.fill(VirtPage::new(11), PhysPage::new(11));
+        assert_eq!(fill.evicted, Some(VirtPage::new(9)));
+    }
+
+    #[test]
+    fn evict_asid_equals_flush_when_one_context_is_live() {
+        let mut t = tlb(4);
+        t.fill(VirtPage::new(1), PhysPage::new(1));
+        t.fill(VirtPage::new(2), PhysPage::new(2));
+        t.lookup(VirtPage::new(1));
+        t.evict_asid(Asid::DEFAULT);
+        assert!(t.is_empty());
+        assert_eq!(t.hits(), 1, "counters survive like flush()");
     }
 
     #[test]

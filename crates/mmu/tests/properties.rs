@@ -96,7 +96,7 @@ proptest! {
             let hit = cache.touch(vp).is_some();
             prop_assert_eq!(hit, models[set].lookup(page));
             if !hit {
-                let evicted = cache.insert(vp, page).map(|(p, _)| p.number());
+                let evicted = cache.insert(vp, page).map(|e| e.page.number());
                 prop_assert_eq!(evicted, models[set].fill(page));
             }
         }

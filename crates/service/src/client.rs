@@ -81,7 +81,7 @@ impl From<WireError> for ServiceError {
 }
 
 /// One incremental checkpoint observed while a job ran.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SnapshotEvent {
     /// Checkpoint sequence number (restarts from 1 after a retried
     /// panic — a fresh run of the same stream).

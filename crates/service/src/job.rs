@@ -17,11 +17,13 @@ use std::sync::Arc;
 
 use tlbsim_core::PrefetcherConfig;
 use tlbsim_sim::{
-    resolve_shards, run_app_checkpointed, run_app_sharded, Engine, RunHealth, SimConfig, SimError,
-    SimStats, SHARD_ATTEMPTS,
+    resolve_shards, run_app_checkpointed, run_app_sharded, run_mix_sharded, Engine, RunHealth,
+    SimConfig, SimError, SimStats, SwitchPolicy, SHARD_ATTEMPTS,
 };
 use tlbsim_trace::{DecodePolicy, FaultKind, FaultPlan};
-use tlbsim_workloads::{find_app, ChaosSpec, Scale, StreamSpec, TraceWorkload};
+use tlbsim_workloads::{
+    find_app, ChaosSpec, MultiStreamSpec, Scale, Schedule, StreamSpec, TraceWorkload,
+};
 
 /// Where a job's reference stream comes from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +38,15 @@ pub enum JobSource {
     App {
         /// Registered model name.
         name: String,
+    },
+    /// A multiprogrammed mix of registered application models,
+    /// round-robin interleaved and run under the job's
+    /// [`switch_policy`](JobSpec::switch_policy).
+    Mix {
+        /// Registered model names, one per stream (at least two).
+        apps: Vec<String>,
+        /// Round-robin quantum in accesses.
+        quantum: u64,
     },
 }
 
@@ -69,6 +80,10 @@ pub struct JobSpec {
     /// more than [`SHARD_ATTEMPTS`] makes the failure persistent and
     /// the job errors typed while the daemon keeps serving.
     pub fault_panics: u64,
+    /// Context-switch semantics for [`JobSource::Mix`] jobs (ignored by
+    /// single-stream sources, which never switch). Defaults to the
+    /// flush-on-switch oracle.
+    pub switch_policy: SwitchPolicy,
 }
 
 impl JobSpec {
@@ -81,6 +96,7 @@ impl JobSpec {
             policy: DecodePolicy::Strict,
             snapshot_every: 0,
             fault_panics: 0,
+            switch_policy: SwitchPolicy::FlushOnSwitch,
         }
     }
 
@@ -93,6 +109,16 @@ impl JobSpec {
     /// default knobs.
     pub fn app(name: impl Into<String>) -> Self {
         Self::defaults(JobSource::App { name: name.into() })
+    }
+
+    /// A job interleaving the registered models `apps` round-robin with
+    /// `quantum` accesses per turn, switched under the flush oracle
+    /// until [`switch_policy`](JobSpec::switch_policy) says otherwise.
+    pub fn mix(apps: impl IntoIterator<Item = impl Into<String>>, quantum: u64) -> Self {
+        Self::defaults(JobSource::Mix {
+            apps: apps.into_iter().map(Into::into).collect(),
+            quantum,
+        })
     }
 }
 
@@ -171,6 +197,13 @@ pub type JobFailure = (ErrorCode, String);
 pub struct ResolvedJob {
     /// The stream to drive (possibly chaos-wrapped).
     pub spec: Arc<dyn StreamSpec>,
+    /// For [`JobSource::Mix`] jobs, the interleave itself — executed
+    /// switch-aware through `run_mix_sharded` instead of the
+    /// single-stream runners.
+    pub mix: Option<Arc<MultiStreamSpec>>,
+    /// Context-switch semantics for the mix (carried even for
+    /// single-stream jobs, where it is inert).
+    pub switch_policy: SwitchPolicy,
     /// Workload scale to instantiate the stream at.
     pub scale: Scale,
     /// The full simulation configuration (paper defaults around the
@@ -216,6 +249,7 @@ pub fn resolve(job: &JobSpec) -> Result<ResolvedJob, JobFailure> {
     let config = SimConfig::paper_default().with_prefetcher(job.scheme.clone());
     Engine::new(&config).map_err(|e| (ErrorCode::Sim, e.to_string()))?;
 
+    let mut mix = None;
     let spec: Arc<dyn StreamSpec> = match &job.source {
         JobSource::Trace { path } => Arc::new(
             TraceWorkload::open_with_policy(path, job.policy)
@@ -227,6 +261,39 @@ pub fn resolve(job: &JobSpec) -> Result<ResolvedJob, JobFailure> {
                 format!("no registered application model named {name:?}"),
             )
         })?),
+        JobSource::Mix { apps, quantum } => {
+            if job.snapshot_every > 0 {
+                return Err((
+                    ErrorCode::Sim,
+                    "snapshots are not supported for mix sources".to_owned(),
+                ));
+            }
+            if job.fault_panics > 0 {
+                return Err((
+                    ErrorCode::Sim,
+                    "chaos injection is not supported for mix sources".to_owned(),
+                ));
+            }
+            if matches!(job.switch_policy, SwitchPolicy::Asid { contexts: 0, .. }) {
+                return Err((ErrorCode::Sim, SimError::ZeroAsidContexts.to_string()));
+            }
+            let streams = apps
+                .iter()
+                .map(|name| {
+                    find_app(name)
+                        .map(|app| Arc::new(app) as Arc<dyn StreamSpec>)
+                        .ok_or_else(|| {
+                            (
+                                ErrorCode::UnknownApp,
+                                format!("no registered application model named {name:?}"),
+                            )
+                        })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let spec = MultiStreamSpec::new(streams, Schedule::RoundRobin { quantum: *quantum })
+                .map_err(|e| (ErrorCode::Sim, e.to_string()))?;
+            mix.insert(Arc::new(spec)).clone()
+        }
     };
     let quarantined_records = spec.quarantined_records();
 
@@ -253,6 +320,8 @@ pub fn resolve(job: &JobSpec) -> Result<ResolvedJob, JobFailure> {
     };
     Ok(ResolvedJob {
         spec,
+        mix,
+        switch_policy: job.switch_policy,
         scale: job.scale,
         config,
         shards,
@@ -311,6 +380,14 @@ pub fn execute(
             ErrorCode::Cancelled,
             "cancelled before the run started".to_owned(),
         ));
+    }
+
+    if let Some(mix) = &job.mix {
+        // Mix jobs always run switch-aware (shards = 1 degenerates to
+        // the sequential interleave, bit-identically).
+        let run = run_mix_sharded(mix, job.scale, &job.config, job.switch_policy, job.shards)
+            .map_err(map_sim_error)?;
+        return Ok((run.merged, run.health));
     }
 
     if job.shards > 1 {
@@ -416,7 +493,7 @@ mod tests {
         let resolved = resolve(&job).unwrap();
         let mut snapshots = Vec::new();
         let (stats, health) = execute(&resolved, &AtomicBool::new(false), |seq, done, s| {
-            snapshots.push((seq, done, *s));
+            snapshots.push((seq, done, s.clone()));
         })
         .unwrap();
         let app = find_app("gap").unwrap();
@@ -425,7 +502,7 @@ mod tests {
         assert_eq!(health.retries, 0);
         let expected = resolved.stream_len.div_ceil(3000);
         assert_eq!(snapshots.len() as u64, expected);
-        let (last_seq, last_done, last_stats) = snapshots.last().copied().unwrap();
+        let (last_seq, last_done, last_stats) = snapshots.last().cloned().unwrap();
         assert_eq!(last_seq, expected);
         assert_eq!(last_done, resolved.stream_len);
         assert_eq!(last_stats, batch, "final snapshot equals the final result");

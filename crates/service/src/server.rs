@@ -292,7 +292,7 @@ fn run_one(shared: &Shared, job: QueuedJob) {
             job_id,
             seq,
             accesses_done,
-            stats: *stats,
+            stats: stats.clone(),
         });
     });
     match result {

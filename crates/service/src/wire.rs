@@ -16,14 +16,20 @@
 use std::io::{Read, Write};
 
 use tlbsim_core::{Associativity, PrefetcherConfig, PrefetcherKind};
-use tlbsim_sim::{PerStreamStats, RunHealth, SimStats, StreamStats, MAX_STREAMS};
+use tlbsim_sim::{
+    PerStreamStats, RunHealth, SimStats, StreamStats, SwitchPolicy, TablePolicy, MAX_STREAMS,
+};
 use tlbsim_trace::DecodePolicy;
 use tlbsim_workloads::Scale;
 
 use crate::job::{ErrorCode, JobSource, JobSpec};
 
 /// Protocol version spoken by this build; exchanged in [`Frame::Hello`].
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// v2 widened the per-stream breakdown count to a `u16` (mixes of
+/// hundreds of streams), added `footprint_pages` to each per-stream
+/// record, and grew `JobSpec` with a mix source and a switch policy.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on one frame's payload, in bytes. A length prefix above
 /// this is rejected before any allocation, so garbage on the socket
@@ -308,13 +314,14 @@ fn encode_stats(buf: &mut Vec<u8>, stats: &SimStats) {
     put_u64(buf, stats.maintenance_ops);
     put_u64(buf, stats.footprint_pages);
     let streams = stats.per_stream.streams();
-    buf.push(streams.len() as u8);
+    put_u16(buf, streams.len() as u16);
     for s in streams {
         put_u64(buf, s.accesses);
         put_u64(buf, s.misses);
         put_u64(buf, s.prefetch_buffer_hits);
         put_u64(buf, s.demand_walks);
         put_u64(buf, s.prefetches_issued);
+        put_u64(buf, s.footprint_pages);
     }
 }
 
@@ -331,7 +338,7 @@ fn decode_stats(r: &mut Reader<'_>) -> Result<SimStats, FrameError> {
         footprint_pages: r.u64("stats.footprint_pages")?,
         per_stream: PerStreamStats::default(),
     };
-    let width = r.u8("stats.per_stream.len")? as usize;
+    let width = r.u16("stats.per_stream.len")? as usize;
     if width > MAX_STREAMS {
         return Err(FrameError::BadValue {
             field: "stats.per_stream.len",
@@ -346,12 +353,65 @@ fn decode_stats(r: &mut Reader<'_>) -> Result<SimStats, FrameError> {
                 prefetch_buffer_hits: r.u64("stats.per_stream.prefetch_buffer_hits")?,
                 demand_walks: r.u64("stats.per_stream.demand_walks")?,
                 prefetches_issued: r.u64("stats.per_stream.prefetches_issued")?,
+                footprint_pages: r.u64("stats.per_stream.footprint_pages")?,
             };
             per.record(index, &share);
         }
         stats.per_stream = per;
     }
     Ok(stats)
+}
+
+fn encode_switch_policy(buf: &mut Vec<u8>, policy: &SwitchPolicy) {
+    match policy {
+        SwitchPolicy::None => {
+            buf.push(0);
+            put_u64(buf, 0);
+            buf.push(0);
+        }
+        SwitchPolicy::FlushOnSwitch => {
+            buf.push(1);
+            put_u64(buf, 0);
+            buf.push(0);
+        }
+        SwitchPolicy::Asid { contexts, tables } => {
+            buf.push(2);
+            put_u64(buf, *contexts as u64);
+            buf.push(match tables {
+                TablePolicy::Shared => 0,
+                TablePolicy::Partitioned => 1,
+            });
+        }
+    }
+}
+
+fn decode_switch_policy(r: &mut Reader<'_>) -> Result<SwitchPolicy, FrameError> {
+    let tag = r.u8("job.switch_policy")?;
+    let contexts = r.u64("job.switch_policy.contexts")?;
+    let tables = match r.u8("job.switch_policy.tables")? {
+        0 => TablePolicy::Shared,
+        1 => TablePolicy::Partitioned,
+        tag => {
+            return Err(FrameError::UnknownTag {
+                field: "job.switch_policy.tables",
+                tag,
+            })
+        }
+    };
+    match tag {
+        0 => Ok(SwitchPolicy::None),
+        1 => Ok(SwitchPolicy::FlushOnSwitch),
+        2 => {
+            let contexts = usize::try_from(contexts).map_err(|_| FrameError::BadValue {
+                field: "job.switch_policy.contexts",
+            })?;
+            Ok(SwitchPolicy::Asid { contexts, tables })
+        }
+        tag => Err(FrameError::UnknownTag {
+            field: "job.switch_policy",
+            tag,
+        }),
+    }
 }
 
 fn encode_health(buf: &mut Vec<u8>, health: &RunHealth) {
@@ -464,6 +524,17 @@ fn encode_job(buf: &mut Vec<u8>, job: &JobSpec) -> Result<(), FrameError> {
             buf.push(1);
             put_string(buf, name)?;
         }
+        JobSource::Mix { apps, quantum } => {
+            buf.push(2);
+            let count = u16::try_from(apps.len()).map_err(|_| FrameError::BadValue {
+                field: "job.source.mix.count",
+            })?;
+            put_u16(buf, count);
+            for name in apps {
+                put_string(buf, name)?;
+            }
+            put_u64(buf, *quantum);
+        }
     }
     encode_scheme(buf, &job.scheme)?;
     put_u32(buf, job.scale.factor());
@@ -480,6 +551,7 @@ fn encode_job(buf: &mut Vec<u8>, job: &JobSpec) -> Result<(), FrameError> {
     }
     put_u64(buf, job.snapshot_every);
     put_u64(buf, job.fault_panics);
+    encode_switch_policy(buf, &job.switch_policy);
     Ok(())
 }
 
@@ -491,6 +563,17 @@ fn decode_job(r: &mut Reader<'_>) -> Result<JobSpec, FrameError> {
         1 => JobSource::App {
             name: r.string("job.source.app")?,
         },
+        2 => {
+            let count = r.u16("job.source.mix.count")? as usize;
+            let mut apps = Vec::with_capacity(count.min(MAX_STREAMS));
+            for _ in 0..count {
+                apps.push(r.string("job.source.mix.app")?);
+            }
+            JobSource::Mix {
+                apps,
+                quantum: r.u64("job.source.mix.quantum")?,
+            }
+        }
         tag => {
             return Err(FrameError::UnknownTag {
                 field: "job.source",
@@ -522,6 +605,7 @@ fn decode_job(r: &mut Reader<'_>) -> Result<JobSpec, FrameError> {
     };
     let snapshot_every = r.u64("job.snapshot_every")?;
     let fault_panics = r.u64("job.fault_panics")?;
+    let switch_policy = decode_switch_policy(r)?;
     Ok(JobSpec {
         source,
         scheme,
@@ -530,6 +614,7 @@ fn decode_job(r: &mut Reader<'_>) -> Result<JobSpec, FrameError> {
         policy,
         snapshot_every,
         fault_panics,
+        switch_policy,
     })
 }
 
@@ -760,6 +845,17 @@ mod tests {
                 job
             },
         });
+        roundtrip(Frame::Submit {
+            job_id: 11,
+            job: {
+                let mut job = JobSpec::mix(["gap", "mcf", "eon"], 4096);
+                job.switch_policy = SwitchPolicy::Asid {
+                    contexts: 64,
+                    tables: TablePolicy::Partitioned,
+                };
+                job
+            },
+        });
         roundtrip(Frame::Accepted {
             job_id: 1,
             shards: 4,
@@ -785,13 +881,14 @@ mod tests {
                 prefetch_buffer_hits: 12,
                 demand_walks: 13,
                 prefetches_issued: 14,
+                footprint_pages: 15,
             },
         );
         roundtrip(Frame::Snapshot {
             job_id: 2,
             seq: 3,
             accesses_done: 4096,
-            stats,
+            stats: stats.clone(),
         });
         roundtrip(Frame::Done {
             job_id: 3,

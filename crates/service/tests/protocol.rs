@@ -6,14 +6,14 @@
 use proptest::prelude::*;
 use tlbsim_core::{Associativity, PrefetcherConfig, PrefetcherKind};
 use tlbsim_service::{read_frame, ErrorCode, Frame, JobSpec, WireError, PROTOCOL_VERSION};
-use tlbsim_sim::{PerStreamStats, RunHealth, SimStats, StreamStats};
+use tlbsim_sim::{PerStreamStats, RunHealth, SimStats, StreamStats, SwitchPolicy, TablePolicy};
 use tlbsim_trace::DecodePolicy;
 use tlbsim_workloads::Scale;
 
 fn arb_stats() -> impl Strategy<Value = SimStats> {
     (
         prop::collection::vec(any::<u64>(), 9),
-        prop::collection::vec(prop::collection::vec(any::<u64>(), 5), 0..8),
+        prop::collection::vec(prop::collection::vec(any::<u64>(), 6), 0..8),
     )
         .prop_map(|(counters, streams)| {
             let mut per_stream = PerStreamStats::default();
@@ -28,6 +28,7 @@ fn arb_stats() -> impl Strategy<Value = SimStats> {
                             prefetch_buffer_hits: s[2],
                             demand_walks: s[3],
                             prefetches_issued: s[4],
+                            footprint_pages: s[5],
                         },
                     );
                 }
@@ -90,20 +91,47 @@ fn arb_string() -> impl Strategy<Value = String> {
         .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii"))
 }
 
+fn arb_switch_policy() -> impl Strategy<Value = SwitchPolicy> {
+    prop_oneof![
+        Just(SwitchPolicy::None),
+        Just(SwitchPolicy::FlushOnSwitch),
+        (any::<u16>(), prop::bool::ANY).prop_map(|(contexts, partitioned)| SwitchPolicy::Asid {
+            contexts: contexts as usize,
+            tables: if partitioned {
+                TablePolicy::Partitioned
+            } else {
+                TablePolicy::Shared
+            },
+        }),
+    ]
+}
+
 fn arb_job() -> impl Strategy<Value = JobSpec> {
     (
-        (arb_string(), prop::bool::ANY),
+        (
+            arb_string(),
+            0u8..3,
+            prop::collection::vec(arb_string(), 1..5),
+        ),
         arb_scheme(),
         (1u32..20, any::<u32>()),
         (0u8..2, any::<u64>()),
         (any::<u64>(), any::<u64>()),
+        (1u64..100_000, arb_switch_policy()),
     )
         .prop_map(
-            |((name, is_trace), scheme, (scale, shards), (policy, budget), (every, panics))| {
-                let mut job = if is_trace {
-                    JobSpec::trace(name)
-                } else {
-                    JobSpec::app(name)
+            |(
+                (name, source, members),
+                scheme,
+                (scale, shards),
+                (policy, budget),
+                (every, panics),
+                (quantum, switch_policy),
+            )| {
+                let mut job = match source {
+                    0 => JobSpec::trace(name),
+                    1 => JobSpec::app(name),
+                    _ => JobSpec::mix(members, quantum),
                 };
                 job.scheme = scheme;
                 job.scale = Scale::new(scale);
@@ -115,6 +143,7 @@ fn arb_job() -> impl Strategy<Value = JobSpec> {
                 };
                 job.snapshot_every = every;
                 job.fault_panics = panics;
+                job.switch_policy = switch_policy;
                 job
             },
         )
@@ -242,5 +271,5 @@ fn handshake_version_is_stable() {
     // The version constant participates in every handshake; changing it
     // is a protocol revision and must be deliberate (update
     // docs/PROTOCOL.md alongside).
-    assert_eq!(PROTOCOL_VERSION, 1);
+    assert_eq!(PROTOCOL_VERSION, 2);
 }

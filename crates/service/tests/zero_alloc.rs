@@ -1,11 +1,17 @@
-//! The zero-allocation guarantee of the service's steady-state frame
-//! path.
+//! The allocation discipline of the service's steady-state frame path.
 //!
 //! The daemon's hot loop — encode a `Snapshot`/`Done` frame into the
 //! connection's scratch buffer, and decode incoming frames into a
 //! reusable payload buffer — must stay off the heap once buffers have
 //! reached their high-water capacity, matching the engine's own
 //! steady-state discipline. A counting global allocator pins it.
+//!
+//! One carve-out, pinned exactly: a decoded frame whose statistics carry
+//! per-stream rows materialises those rows into the returned `SimStats`
+//! (its `PerStreamStats` is `Vec`-backed since ASIDs widened the stream
+//! axis to 1024), which is one heap allocation per such frame. Encoding
+//! per-stream rows is still allocation-free, and so is ingesting
+//! aggregate-only frames.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -55,6 +61,7 @@ fn busy_stats(seed: u64) -> SimStats {
                 prefetch_buffer_hits: seed / 3,
                 demand_walks: seed / 4,
                 prefetches_issued: seed / 5,
+                footprint_pages: seed / 6,
             },
         );
     }
@@ -72,9 +79,40 @@ fn busy_stats(seed: u64) -> SimStats {
     }
 }
 
+/// Aggregate-only statistics: no per-stream rows, so neither encoding
+/// nor decoding touches the heap.
+fn aggregate_stats(seed: u64) -> SimStats {
+    SimStats {
+        per_stream: PerStreamStats::default(),
+        ..busy_stats(seed)
+    }
+}
+
 #[test]
 fn steady_state_snapshot_publishing_never_allocates() {
     let mut scratch: Vec<u8> = Vec::new();
+
+    // Build every frame up front: constructing a `SimStats` with
+    // per-stream rows allocates its row vector, and that construction
+    // belongs to the simulation side, not the publishing path under
+    // test.
+    let frames: Vec<Frame> = (2..2002u64)
+        .map(|seq| Frame::Snapshot {
+            job_id: 1,
+            seq,
+            accesses_done: seq * 1000,
+            stats: busy_stats(seq),
+        })
+        .collect();
+    let done = Frame::Done {
+        job_id: 1,
+        stats: busy_stats(9999),
+        health: RunHealth {
+            retries: 0,
+            degraded_shards: 0,
+            quarantined_records: 0,
+        },
+    };
 
     // Warm-up: the first encode sizes the scratch buffer.
     Frame::Snapshot {
@@ -87,24 +125,9 @@ fn steady_state_snapshot_publishing_never_allocates() {
     .expect("snapshot encodes");
 
     let before = allocations_so_far();
-    for seq in 2..2002u64 {
-        let frame = Frame::Snapshot {
-            job_id: 1,
-            seq,
-            accesses_done: seq * 1000,
-            stats: busy_stats(seq),
-        };
+    for frame in &frames {
         frame.encode_into(&mut scratch).expect("snapshot encodes");
     }
-    let done = Frame::Done {
-        job_id: 1,
-        stats: busy_stats(9999),
-        health: RunHealth {
-            retries: 0,
-            degraded_shards: 0,
-            quarantined_records: 0,
-        },
-    };
     done.encode_into(&mut scratch).expect("done encodes");
     let allocated = allocations_so_far() - before;
     assert_eq!(
@@ -115,7 +138,7 @@ fn steady_state_snapshot_publishing_never_allocates() {
 
 #[test]
 fn steady_state_frame_ingest_never_allocates() {
-    // Pre-build a stream of 500 snapshot frames plus a terminal Done.
+    // Pre-build a stream of 500 aggregate-only snapshot frames.
     let mut stream: Vec<u8> = Vec::new();
     let mut scratch: Vec<u8> = Vec::new();
     for seq in 1..=500u64 {
@@ -123,7 +146,7 @@ fn steady_state_frame_ingest_never_allocates() {
             job_id: 7,
             seq,
             accesses_done: seq * 4096,
-            stats: busy_stats(seq),
+            stats: aggregate_stats(seq),
         };
         frame.encode_into(&mut scratch).expect("snapshot encodes");
         stream.extend_from_slice(&scratch);
@@ -149,5 +172,51 @@ fn steady_state_frame_ingest_never_allocates() {
     assert_eq!(
         allocated, 0,
         "steady-state frame ingest performed {allocated} heap allocations"
+    );
+}
+
+#[test]
+fn per_stream_ingest_allocates_exactly_one_row_vector_per_frame() {
+    // Frames carrying per-stream rows: decoding must materialise the
+    // rows into the returned `SimStats`, which is exactly one `Vec`
+    // allocation per frame — no more (no reallocation, no per-row
+    // boxing), pinned so a regression in either direction is loud.
+    let mut stream: Vec<u8> = Vec::new();
+    let mut scratch: Vec<u8> = Vec::new();
+    for seq in 1..=500u64 {
+        let frame = Frame::Snapshot {
+            job_id: 7,
+            seq,
+            accesses_done: seq * 4096,
+            stats: busy_stats(seq),
+        };
+        frame.encode_into(&mut scratch).expect("snapshot encodes");
+        stream.extend_from_slice(&scratch);
+    }
+
+    let mut payload: Vec<u8> = Vec::new();
+    let mut reader = stream.as_slice();
+    while let Ok(_frame) = read_frame(&mut reader, &mut payload) {}
+
+    let mut reader = stream.as_slice();
+    let before = allocations_so_far();
+    let mut frames = 0u64;
+    while let Ok(frame) = read_frame(&mut reader, &mut payload) {
+        match frame {
+            Frame::Snapshot {
+                job_id: 7, stats, ..
+            } => {
+                assert_eq!(stats.per_stream.streams().len(), 4);
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+        frames += 1;
+    }
+    let allocated = allocations_so_far() - before;
+    assert_eq!(frames, 500);
+    assert_eq!(
+        allocated, frames,
+        "per-stream frame ingest should allocate exactly one row vector per frame, \
+         measured {allocated} over {frames} frames"
     );
 }

@@ -17,7 +17,9 @@
 //!
 //! [`observe_and_install`]: PrefetchCore::observe_and_install
 
-use tlbsim_core::{CandidateBuf, MemoryAccess, MissContext, PhysPage, TlbPrefetcher, VirtPage};
+use tlbsim_core::{
+    Asid, CandidateBuf, MemoryAccess, MissContext, PhysPage, TlbPrefetcher, VirtPage,
+};
 use tlbsim_mmu::{PageTable, PrefetchBuffer};
 
 use crate::config::{SimConfig, SimError};
@@ -152,6 +154,27 @@ impl PrefetchCore {
     pub fn flush(&mut self) {
         self.buffer.flush();
         self.prefetcher.flush();
+    }
+
+    /// Retags the miss path to `asid` — the flush-free context switch.
+    /// The buffer's subsequent fills and the mechanism's tagged rows and
+    /// banked registers move to the new context; the page table is
+    /// shared across contexts (it is the global translation oracle, and
+    /// keeping it untagged is what makes footprints comparable between
+    /// flush and ASID switching).
+    pub fn set_asid(&mut self, asid: Asid) {
+        self.buffer.set_asid(asid);
+        self.prefetcher.set_asid(asid);
+    }
+
+    /// Drops every buffered entry, tagged row and banked register
+    /// belonging to `asid` — the targeted analogue of
+    /// [`flush`](Self::flush), used when an ASID slot is recycled. When
+    /// the evicted context is the only one that ever ran, this is
+    /// exactly a flush (no waste counters move in either path).
+    pub fn evict_asid(&mut self, asid: Asid) {
+        self.buffer.evict_asid(asid);
+        self.prefetcher.evict_asid(asid);
     }
 
     /// Returns the core to its just-built state so an engine can be

@@ -124,6 +124,10 @@ pub enum SimError {
     /// worker to simulate the stream (see
     /// [`run_app_sharded`](crate::run_app_sharded)).
     ZeroShards,
+    /// An ASID switch policy was requested with zero live contexts —
+    /// there would be no tag for any stream to run under (see
+    /// [`SwitchPolicy::Asid`](crate::SwitchPolicy::Asid)).
+    ZeroAsidContexts,
     /// A shard panicked persistently: its workers exhausted their
     /// attempt budget *and* the in-line degraded run panicked too, so
     /// the self-healing executor could not produce this slice's
@@ -145,6 +149,9 @@ impl fmt::Display for SimError {
                 f.write_str("prefetch buffer must have at least one entry")
             }
             SimError::ZeroShards => f.write_str("sharded run requires at least one shard"),
+            SimError::ZeroAsidContexts => {
+                f.write_str("ASID switch policy requires at least one live context")
+            }
             SimError::ShardPanicked { shard, message } => {
                 write!(f, "shard {shard} panicked persistently: {message}")
             }
@@ -159,6 +166,7 @@ impl std::error::Error for SimError {
             SimError::Prefetcher(e) => Some(e),
             SimError::ZeroPrefetchBuffer
             | SimError::ZeroShards
+            | SimError::ZeroAsidContexts
             | SimError::ShardPanicked { .. } => None,
         }
     }

@@ -21,7 +21,9 @@
 //! the same buffer via `Workload::fill_batch` without ever materialising
 //! the reference stream.
 
-use tlbsim_core::{MemoryAccess, MissContext, Pc, VirtPage};
+use std::collections::HashSet;
+
+use tlbsim_core::{Asid, MemoryAccess, MissContext, Pc, VirtPage};
 use tlbsim_mmu::Tlb;
 use tlbsim_workloads::Workload;
 
@@ -49,6 +51,15 @@ pub struct Engine {
     config: SimConfig,
     stats: SimStats,
     batch: Vec<MemoryAccess>,
+    /// Stream index demand-missed pages are attributed to (mix runners
+    /// set this per segment; `None` — the single-stream default — skips
+    /// attribution entirely).
+    current_stream: Option<usize>,
+    /// Per-stream sets of demand-missed pages, indexed by stream. Grown
+    /// only by [`attribute_to`](Engine::attribute_to), never on the
+    /// miss path; re-inserting an already-recorded page (the steady
+    /// state) does not allocate.
+    stream_pages: Vec<HashSet<VirtPage>>,
 }
 
 impl Engine {
@@ -66,6 +77,8 @@ impl Engine {
             config: config.clone(),
             stats: SimStats::default(),
             batch: Vec::new(),
+            current_stream: None,
+            stream_pages: Vec::new(),
         })
     }
 
@@ -83,6 +96,13 @@ impl Engine {
         }
         self.tlb.flush();
         self.core.reset();
+        // Flush clears entries of every context but leaves the tag
+        // registers; rewind them (and drop the attribution state) so a
+        // recycled engine is indistinguishable from a fresh one.
+        self.tlb.set_asid(Asid::DEFAULT);
+        self.core.set_asid(Asid::DEFAULT);
+        self.current_stream = None;
+        self.stream_pages.clear();
         self.stats = SimStats::default();
         true
     }
@@ -114,6 +134,13 @@ impl Engine {
     /// install its candidates. Never allocates in steady state.
     fn miss(&mut self, page: VirtPage, pc: Pc) {
         self.stats.misses += 1;
+        if let Some(stream) = self.current_stream {
+            // Every page a stream references demand-misses at least once
+            // while attributed (shard/segment starts are cold or the
+            // page already missed for this stream earlier), so the set
+            // converges to the stream's demand footprint.
+            self.stream_pages[stream].insert(page);
+        }
 
         // The prefetch buffer is probed concurrently with the TLB; a hit
         // promotes the translation into the TLB.
@@ -228,6 +255,62 @@ impl Engine {
     pub fn context_switch(&mut self) {
         self.tlb.flush();
         self.core.flush();
+    }
+
+    /// Retags the whole machine — TLB, prefetch buffer, prediction
+    /// tables and banked registers — to `asid`: the flush-free context
+    /// switch. Entries of other contexts stay resident (competing for
+    /// capacity) but invisible, and the shared page table keeps
+    /// translating for everyone.
+    ///
+    /// Growing a mechanism's register bank may allocate; switches are
+    /// off the per-access hot path, and re-activating a context that
+    /// already ran does not allocate (pinned by the `zero_alloc` test).
+    pub fn set_asid(&mut self, asid: Asid) {
+        self.tlb.set_asid(asid);
+        self.core.set_asid(asid);
+    }
+
+    /// Drops every TLB entry, buffered prefetch, tagged table row and
+    /// banked register belonging to `asid` — what recycling an ASID slot
+    /// for a new tenant does. Targets one context where
+    /// [`context_switch`](Engine::context_switch) drops all of them;
+    /// when the evicted context is the only one that ever ran, the two
+    /// leave bit-identical machine state (the degeneration rule the
+    /// flush-oracle tests pin).
+    pub fn evict_asid(&mut self, asid: Asid) {
+        self.tlb.evict_asid(asid);
+        self.core.evict_asid(asid);
+    }
+
+    /// Directs per-stream footprint attribution: until the next call,
+    /// demand-missed pages are recorded against stream `stream`. Grows
+    /// the per-stream set vector on first sight of an index — switch
+    /// time, not miss time.
+    pub fn attribute_to(&mut self, stream: usize) {
+        if self.stream_pages.len() <= stream {
+            self.stream_pages.resize_with(stream + 1, HashSet::new);
+        }
+        self.current_stream = Some(stream);
+    }
+
+    /// Distinct pages recorded for `stream` by attribution (0 for a
+    /// stream that never ran attributed).
+    pub fn stream_footprint(&self, stream: usize) -> u64 {
+        self.stream_pages.get(stream).map_or(0, |s| s.len() as u64)
+    }
+
+    /// Allocating snapshot of the pages attributed to `stream`, sorted —
+    /// the sharded mix runner unions these across shards for exact
+    /// per-stream footprints. Off the hot path.
+    pub fn stream_pages_snapshot(&self, stream: usize) -> Vec<VirtPage> {
+        let mut pages: Vec<VirtPage> = self
+            .stream_pages
+            .get(stream)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        pages.sort_unstable();
+        pages
     }
 
     /// Refreshes derived counters and returns the statistics — called by
@@ -489,16 +572,90 @@ mod tests {
         let stream: Vec<MemoryAccess> = seq_stream(1500, 2).collect();
         let mut engine = Engine::new(&SimConfig::paper_default()).unwrap();
         engine.run(stream.iter().copied());
-        let dirty = *engine.stats();
+        let dirty = engine.stats().clone();
 
         assert!(engine.try_recycle(&SimConfig::paper_default()));
         engine.run(stream.iter().copied());
-        assert_eq!(*engine.stats(), dirty, "recycled run must be bit-identical");
+        assert_eq!(engine.stats(), &dirty, "recycled run must be bit-identical");
 
         assert!(
             !engine.try_recycle(&SimConfig::baseline()),
             "config mismatch must refuse recycling"
         );
+    }
+
+    #[test]
+    fn asid_switch_preserves_each_contexts_machine_state() {
+        let mut e = Engine::new(&SimConfig::paper_default()).unwrap();
+        let lap = |e: &mut Engine, base: u64| {
+            for page in 0..32u64 {
+                e.access(&MemoryAccess::read(0x40, (base + page) * 4096));
+            }
+        };
+        lap(&mut e, 0); // context 0 warms pages 0..32
+        let before = e.stats().misses;
+        e.set_asid(Asid::new(1));
+        lap(&mut e, 1000); // context 1: all cold, its own misses
+        e.set_asid(Asid::DEFAULT);
+        let after_switch_back = e.stats().misses;
+        lap(&mut e, 0); // context 0's entries survived the excursion
+        assert_eq!(
+            e.stats().misses,
+            after_switch_back,
+            "context 0 must hit on its preserved translations"
+        );
+        assert!(e.stats().misses > before, "context 1 missed cold");
+    }
+
+    #[test]
+    fn evicting_the_sole_context_equals_a_context_switch() {
+        let stream: Vec<MemoryAccess> = seq_stream(300, 2).collect();
+        let mut flushed = Engine::new(&SimConfig::paper_default()).unwrap();
+        flushed.run(stream.iter().copied());
+        flushed.context_switch();
+        flushed.run(stream.iter().copied());
+
+        let mut evicted = Engine::new(&SimConfig::paper_default()).unwrap();
+        evicted.run(stream.iter().copied());
+        evicted.evict_asid(Asid::DEFAULT);
+        evicted.run(stream.iter().copied());
+
+        assert_eq!(flushed.stats(), evicted.stats());
+    }
+
+    #[test]
+    fn attribution_records_demand_footprints_per_stream() {
+        let mut e = Engine::new(&SimConfig::baseline()).unwrap();
+        e.attribute_to(0);
+        for page in 0..50u64 {
+            e.access(&MemoryAccess::read(0, page * 4096));
+        }
+        e.attribute_to(1);
+        for page in 500..530u64 {
+            e.access(&MemoryAccess::read(0, page * 4096));
+        }
+        assert_eq!(e.stream_footprint(0), 50);
+        assert_eq!(e.stream_footprint(1), 30);
+        assert_eq!(e.stream_footprint(7), 0, "unknown streams report zero");
+        let pages = e.stream_pages_snapshot(1);
+        assert_eq!(pages.len(), 30);
+        assert!(pages.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn recycling_resets_asid_and_attribution_state() {
+        let stream: Vec<MemoryAccess> = seq_stream(400, 2).collect();
+        let mut fresh = Engine::new(&SimConfig::paper_default()).unwrap();
+        fresh.run(stream.iter().copied());
+
+        let mut dirty = Engine::new(&SimConfig::paper_default()).unwrap();
+        dirty.attribute_to(3);
+        dirty.set_asid(Asid::new(5));
+        dirty.run(stream.iter().copied());
+        assert!(dirty.try_recycle(&SimConfig::paper_default()));
+        dirty.run(stream.iter().copied());
+        assert_eq!(dirty.stats(), fresh.stats());
+        assert_eq!(dirty.stream_footprint(3), 0);
     }
 
     #[test]

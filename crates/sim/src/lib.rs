@@ -35,13 +35,16 @@
 //! ## Multiprogrammed execution
 //!
 //! A `tlbsim_workloads::MultiStreamSpec` interleaves several streams as
-//! one machine's reference stream. [`run_mix`] executes it with
-//! context-switch semantics — optional flush of TLB + prediction state
-//! at every stream switch — and attributes hits/misses/prefetch
-//! outcomes per stream ([`SimStats::per_stream`], a fixed-capacity
-//! [`PerStreamStats`] that rides every existing `SimStats` channel);
-//! [`run_mix_sharded`] partitions the interleave at switch boundaries,
-//! which makes flush-on-switch sharding *bit-identical* to the
+//! one machine's reference stream. [`run_mix`] executes it under a
+//! [`SwitchPolicy`] — keep state across switches, flush TLB +
+//! prediction state at every switch, or retag it with per-stream ASIDs
+//! so switches are flush-free ([`SwitchPolicy::Asid`], with shared or
+//! per-stream partitioned tables via [`TablePolicy`]) — and attributes
+//! hits/misses/prefetch outcomes *and demand footprints* per stream
+//! ([`SimStats::per_stream`]); [`run_mix_sharded`] partitions the
+//! interleave at switch boundaries (or whole streams, for eviction-free
+//! partitioned ASID runs), which makes flush-on-switch sharding — and
+//! its degenerate ASID twin `contexts = 1` — *bit-identical* to the
 //! sequential run at any shard count.
 //!
 //! ## Batching contract
@@ -95,7 +98,7 @@ pub use cache_engine::{CacheEngine, CacheStats};
 pub use config::{SimConfig, SimError};
 pub use engine::Engine;
 pub use hierarchy_engine::{HierarchyEngine, HierarchyStats};
-pub use multiprog::{run_mix, run_mix_sharded};
+pub use multiprog::{run_mix, run_mix_sharded, SwitchPolicy, TablePolicy};
 pub use runner::{
     compare_schemes, run_app, run_app_checkpointed, run_app_timed, sweep, SweepJob, SweepResult,
     SweepSpec,

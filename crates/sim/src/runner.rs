@@ -50,7 +50,7 @@ pub fn run_app<S: StreamSpec + ?Sized>(
 ) -> Result<SimStats, SimError> {
     let mut engine = Engine::new(config)?;
     engine.run_workload(&mut app.workload(scale));
-    Ok(*engine.stats())
+    Ok(engine.stats().clone())
 }
 
 /// Runs one reference stream like [`run_app`], publishing cumulative
@@ -110,7 +110,7 @@ where
     let mut workload = app.workload(scale);
     if every == 0 {
         engine.run_workload(&mut workload);
-        return Ok(*engine.stats());
+        return Ok(engine.stats().clone());
     }
     let total = app.stream_len(scale);
     let mut done = 0u64;
@@ -122,7 +122,7 @@ where
             break;
         }
     }
-    Ok(*engine.stats())
+    Ok(engine.stats().clone())
 }
 
 /// Runs one reference stream through the timing engine.
@@ -231,7 +231,9 @@ impl WorkerScratch {
         } else {
             self.engine.insert(Engine::new(&job.config)?)
         };
-        Ok(*engine.run_workload(&mut job.spec.workload(job.scale)))
+        Ok(engine
+            .run_workload(&mut job.spec.workload(job.scale))
+            .clone())
     }
 }
 
@@ -408,7 +410,7 @@ mod tests {
         for every in [1777u64, 5000, total, total + 99] {
             let mut checkpoints = Vec::new();
             let finished = run_app_checkpointed(app, Scale::TINY, &config, every, |done, cum| {
-                checkpoints.push((done, *cum));
+                checkpoints.push((done, cum.clone()));
                 std::ops::ControlFlow::Continue(())
             })
             .unwrap();

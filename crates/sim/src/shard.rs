@@ -411,11 +411,12 @@ pub fn run_app_sharded<S: StreamSpec + ?Sized>(
         let skipped = workload.skip_accesses(range.start);
         debug_assert_eq!(skipped, range.start, "stream shorter than planned");
         engine.run_workload_limit(&mut workload, range.len);
-        (
-            *engine.stats(),
-            engine.touched_pages_snapshot(),
-            engine.resident_prefetches(),
-        )
+        ShardHarvest {
+            stats: engine.stats().clone(),
+            pages: engine.touched_pages_snapshot(),
+            resident: engine.resident_prefetches(),
+            stream_pages: Vec::new(),
+        }
     };
     let (harvests, mut health) = run_shards_recovering(shards, shard_task)?;
     health.quarantined_records = app.quarantined_records();
@@ -423,13 +424,24 @@ pub fn run_app_sharded<S: StreamSpec + ?Sized>(
 }
 
 /// What one shard worker hands back for merging: its counters, the
-/// pages it touched, and its end-of-slice prefetch-buffer residency.
-pub(crate) type ShardHarvest = (SimStats, Vec<VirtPage>, u64);
+/// pages it touched, its end-of-slice prefetch-buffer residency, and —
+/// for multiprogrammed runs — the per-stream demand page sets backing
+/// footprint attribution (empty for single-stream runs).
+#[derive(Debug, Clone)]
+pub(crate) struct ShardHarvest {
+    pub stats: SimStats,
+    pub pages: Vec<VirtPage>,
+    pub resident: u64,
+    pub stream_pages: Vec<Vec<VirtPage>>,
+}
 
 /// Folds per-shard harvests — in shard order — into a [`ShardedRun`]:
 /// counters merge via [`SimStats::merge`], the footprint is recomputed
-/// as the exact union of the shard page sets, and non-final residency
-/// sums into the boundary-reconciliation counter.
+/// as the exact union of the shard page sets, non-final residency sums
+/// into the boundary-reconciliation counter, and any per-stream page
+/// sets union positionally into the merged per-stream footprints
+/// (overwriting the summed attributions, for the same count-once reason
+/// as the aggregate).
 ///
 /// Shared by [`run_app_sharded`] and the multiprogrammed
 /// [`run_mix_sharded`](crate::run_mix_sharded), whose shard boundaries
@@ -442,24 +454,40 @@ pub(crate) fn fold_shards(
 ) -> ShardedRun {
     let mut merged = SimStats::default();
     let mut union: Vec<VirtPage> = Vec::new();
+    let streams = harvests
+        .iter()
+        .map(|h| h.stream_pages.len())
+        .max()
+        .unwrap_or(0);
+    let mut stream_unions: Vec<Vec<VirtPage>> = vec![Vec::new(); streams];
     let mut outcomes = Vec::with_capacity(harvests.len());
     let mut boundary_resident = 0;
     let last = harvests.len().saturating_sub(1);
-    for (index, ((stats, pages, resident), range)) in harvests.into_iter().zip(ranges).enumerate() {
-        merged.merge(&stats);
-        union.extend(pages);
+    for (index, (harvest, range)) in harvests.into_iter().zip(ranges).enumerate() {
+        merged.merge(&harvest.stats);
+        union.extend(harvest.pages);
+        for (stream, pages) in harvest.stream_pages.into_iter().enumerate() {
+            stream_unions[stream].extend(pages);
+        }
         if index != last {
-            boundary_resident += resident;
+            boundary_resident += harvest.resident;
         }
         outcomes.push(ShardOutcome {
             range: *range,
-            stats,
-            resident_prefetches: resident,
+            stats: harvest.stats,
+            resident_prefetches: harvest.resident,
         });
     }
     union.sort_unstable();
     union.dedup();
     merged.footprint_pages = union.len() as u64;
+    for (stream, mut pages) in stream_unions.into_iter().enumerate() {
+        pages.sort_unstable();
+        pages.dedup();
+        if stream < merged.per_stream.len() {
+            merged.per_stream.set_footprint(stream, pages.len() as u64);
+        }
+    }
 
     ShardedRun {
         merged,

@@ -8,10 +8,10 @@ use serde::{Deserialize, Serialize};
 /// attribute (re-exported bound of
 /// [`tlbsim_workloads::MultiStreamSpec`]).
 ///
-/// Keeping the bound small lets the breakdown live *inside* the `Copy`
-/// [`SimStats`] as a fixed-size array, so the zero-allocation engine
-/// surface and the sharded executor's plain-`SimStats` merge pipeline
-/// carry per-stream attribution without any new machinery.
+/// The breakdown is heap-backed (one `StreamStats` per stream), so the
+/// bound is a sanity limit on mix width, not a storage constraint; it
+/// also keeps every stream index representable as a 16-bit
+/// `tlbsim_core::Asid` tag with room to spare.
 pub const MAX_STREAMS: usize = tlbsim_workloads::MAX_STREAMS;
 
 /// One stream's share of a multiprogrammed run.
@@ -31,16 +31,29 @@ pub struct StreamStats {
     pub demand_walks: u64,
     /// Prefetches issued while handling the stream's misses.
     pub prefetches_issued: u64,
+    /// Distinct pages the stream demand-missed on while it was the
+    /// attributed stream — its slice of the aggregate footprint. Unlike
+    /// the aggregate [`SimStats::footprint_pages`], prefetched-but-
+    /// never-referenced pages are not included, so the per-stream sum is
+    /// a lower bound on the aggregate (exact when no prefetcher runs and
+    /// the streams' address regions are disjoint).
+    pub footprint_pages: u64,
 }
 
 impl StreamStats {
     /// Accumulates another share's counters into `self`.
+    ///
+    /// `footprint_pages` sums like the rest — exact only for disjoint
+    /// page sets. The sharded mix runner replaces merged per-stream
+    /// footprints with exact per-stream unions after folding, the same
+    /// reconciliation the aggregate footprint gets.
     pub fn add(&mut self, other: &StreamStats) {
         self.accesses += other.accesses;
         self.misses += other.misses;
         self.prefetch_buffer_hits += other.prefetch_buffer_hits;
         self.demand_walks += other.demand_walks;
         self.prefetches_issued += other.prefetches_issued;
+        self.footprint_pages += other.footprint_pages;
     }
 
     /// The stream's TLB miss rate (0 before any access).
@@ -66,14 +79,15 @@ impl StreamStats {
 ///
 /// Empty (`len() == 0`) for single-stream runs driven through the plain
 /// entry points — the breakdown only materialises when a mix-aware
-/// runner (`run_mix` / `run_mix_sharded`) attributes segments. It is
-/// `Copy` and fixed-capacity on purpose: it rides inside [`SimStats`]
-/// through every existing channel (engine snapshots, sweep results, the
-/// sharded executor's merge) without allocating.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// runner (`run_mix` / `run_mix_sharded`) attributes segments. Storage
+/// is one heap-backed `StreamStats` per stream, sized at mix width, so
+/// hundreds of streams cost hundreds of rows — not a fixed inline
+/// array. The breakdown is built and resized only at run setup and
+/// merge time, never on the per-access hot path, which preserves the
+/// engines' zero-allocation steady state.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PerStreamStats {
-    streams: [StreamStats; MAX_STREAMS],
-    len: usize,
+    streams: Vec<StreamStats>,
 }
 
 impl PerStreamStats {
@@ -90,24 +104,23 @@ impl PerStreamStats {
             "per-stream breakdown supports at most {MAX_STREAMS} streams"
         );
         PerStreamStats {
-            streams: [StreamStats::default(); MAX_STREAMS],
-            len: streams,
+            streams: vec![StreamStats::default(); streams],
         }
     }
 
     /// Number of attributed streams (0 = no breakdown).
     pub fn len(&self) -> usize {
-        self.len
+        self.streams.len()
     }
 
     /// Whether the run carried no per-stream attribution.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.streams.is_empty()
     }
 
     /// The attributed shares, in mix rotation order.
     pub fn streams(&self) -> &[StreamStats] {
-        &self.streams[..self.len]
+        &self.streams
     }
 
     /// Adds `share` to stream `index`'s counters.
@@ -116,8 +129,27 @@ impl PerStreamStats {
     ///
     /// Panics if `index` is not below [`len`](PerStreamStats::len).
     pub fn record(&mut self, index: usize, share: &StreamStats) {
-        assert!(index < self.len, "stream index {index} out of range");
+        assert!(
+            index < self.streams.len(),
+            "stream index {index} out of range"
+        );
         self.streams[index].add(share);
+    }
+
+    /// Overwrites stream `index`'s attributed footprint with an exactly
+    /// computed page count — the reconciliation hook the mix runners use
+    /// after unioning per-stream page sets (summing shard-local
+    /// footprints would double-count pages shards share).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not below [`len`](PerStreamStats::len).
+    pub fn set_footprint(&mut self, index: usize, pages: u64) {
+        assert!(
+            index < self.streams.len(),
+            "stream index {index} out of range"
+        );
+        self.streams[index].footprint_pages = pages;
     }
 
     /// Merges another breakdown stream-by-stream.
@@ -127,7 +159,10 @@ impl PerStreamStats {
     /// covers the wider of the two — merging an empty breakdown is the
     /// identity, so single-stream paths stay breakdown-free end to end.
     pub fn merge(&mut self, other: &PerStreamStats) {
-        self.len = self.len.max(other.len);
+        if other.streams.len() > self.streams.len() {
+            self.streams
+                .resize(other.streams.len(), StreamStats::default());
+        }
         for (mine, theirs) in self.streams.iter_mut().zip(&other.streams) {
             mine.add(theirs);
         }
@@ -139,7 +174,7 @@ impl PerStreamStats {
 /// The headline derived metric is [`SimStats::accuracy`] — the paper's
 /// *prediction accuracy*, "the percentage of TLB misses that hit in the
 /// prefetch buffer at the time of the reference" (§3.2).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimStats {
     /// Data references simulated.
     pub accesses: u64,
@@ -356,9 +391,9 @@ mod tests {
             footprint_pages: 9,
             per_stream: PerStreamStats::default(),
         };
-        let mut ab = a;
+        let mut ab = a.clone();
         ab.merge(&b);
-        let mut ba = b;
+        let mut ba = b.clone();
         ba.merge(&a);
         assert_eq!(ab, ba, "merge must commute");
         assert_eq!(ab.accesses, 111);
@@ -379,7 +414,7 @@ mod tests {
             misses: 7,
             ..Default::default()
         };
-        let mut merged = s;
+        let mut merged = s.clone();
         merged.merge(&SimStats::default());
         assert_eq!(merged, s);
         let mut from_zero = SimStats::default();
@@ -437,6 +472,7 @@ mod tests {
             prefetch_buffer_hits: hits,
             demand_walks: misses - hits,
             prefetches_issued: hits,
+            footprint_pages: 0,
         }
     }
 
@@ -468,9 +504,9 @@ mod tests {
         let mut b = PerStreamStats::with_streams(2);
         b.record(0, &share(30, 6, 2));
         b.record(1, &share(7, 1, 0));
-        let mut ab = a;
+        let mut ab = a.clone();
         ab.merge(&b);
-        let mut ba = b;
+        let mut ba = b.clone();
         ba.merge(&a);
         assert_eq!(ab, ba, "merge must commute");
         assert_eq!(ab.streams()[0].accesses, 40);
@@ -478,7 +514,7 @@ mod tests {
         assert_eq!(ab.streams()[1].accesses, 7);
 
         // Empty is the identity and carries no width.
-        let mut merged = ab;
+        let mut merged = ab.clone();
         merged.merge(&PerStreamStats::default());
         assert_eq!(merged, ab);
         let mut from_empty = PerStreamStats::default();
@@ -501,6 +537,28 @@ mod tests {
         mixed.merge(&other);
         assert_eq!(mixed.per_stream.streams()[0].accesses, 10);
         assert_eq!(mixed.per_stream.streams()[1].accesses, 20);
+    }
+
+    #[test]
+    fn set_footprint_overwrites_rather_than_sums() {
+        let mut per = PerStreamStats::with_streams(2);
+        per.record(0, &share(10, 4, 1));
+        per.set_footprint(0, 123);
+        per.set_footprint(0, 77);
+        assert_eq!(per.streams()[0].footprint_pages, 77);
+        assert_eq!(per.streams()[1].footprint_pages, 0);
+    }
+
+    #[test]
+    fn merge_widens_to_the_wider_breakdown() {
+        let mut narrow = PerStreamStats::with_streams(1);
+        narrow.record(0, &share(5, 2, 1));
+        let mut wide = PerStreamStats::with_streams(3);
+        wide.record(2, &share(9, 3, 0));
+        narrow.merge(&wide);
+        assert_eq!(narrow.len(), 3);
+        assert_eq!(narrow.streams()[0].accesses, 5);
+        assert_eq!(narrow.streams()[2].accesses, 9);
     }
 
     #[test]

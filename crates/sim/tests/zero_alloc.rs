@@ -109,6 +109,59 @@ fn steady_state_miss_path_never_allocates() {
 }
 
 #[test]
+fn asid_switching_steady_state_never_allocates() {
+    // Flush-free multiprogramming in miniature: two address spaces
+    // alternate on one engine via `set_asid` retagging — no flush, both
+    // contexts' state stays resident and tagged. Once both spaces are
+    // warm (page table, tagged TLB/buffer/table rows, per-ASID banked
+    // registers, attribution slots), the switch + lap loop must stay
+    // entirely off the heap: a context switch is a tag swap, not an
+    // allocation.
+    use tlbsim_core::Asid;
+
+    let lap = lap_stream();
+    for kind in [
+        PrefetcherKind::Sequential,
+        PrefetcherKind::Markov,
+        PrefetcherKind::Recency,
+        PrefetcherKind::Distance,
+    ] {
+        let config = SimConfig::paper_default().with_prefetcher(PrefetcherConfig::new(kind));
+        let mut engine = Engine::new(&config).expect("valid configuration");
+
+        // Warm-up: both ASIDs populate their tagged state and the
+        // per-stream attribution table reaches its high-water width.
+        for _ in 0..4 {
+            for stream in 0..2usize {
+                engine.set_asid(Asid::new(stream as u16));
+                engine.attribute_to(stream);
+                engine.access_batch(&lap);
+            }
+        }
+
+        let before = allocations_so_far();
+        for _ in 0..4 {
+            for stream in 0..2usize {
+                engine.set_asid(Asid::new(stream as u16));
+                engine.attribute_to(stream);
+                engine.access_batch(&lap);
+            }
+        }
+        let allocated = allocations_so_far() - before;
+
+        assert!(
+            engine.stats().misses >= 8 * 600,
+            "{kind:?}: the switching workload must stress the miss path, saw {} misses",
+            engine.stats().misses
+        );
+        assert_eq!(
+            allocated, 0,
+            "{kind:?}: ASID-switching steady state performed {allocated} heap allocations"
+        );
+    }
+}
+
+#[test]
 fn mmap_trace_replay_path_never_allocates_in_steady_state() {
     use tlbsim_trace::{BinaryTraceWriter, MmapTrace};
     use tlbsim_workloads::TraceWorkload;

@@ -33,10 +33,13 @@ use crate::spec::StreamSpec;
 
 /// Maximum number of streams one [`MultiStreamSpec`] may interleave.
 ///
-/// The bound is what lets `tlbsim-sim` keep its per-stream statistics
-/// breakdown (`PerStreamStats`) a fixed-size `Copy` structure inside
-/// `SimStats`, preserving the zero-allocation engine surface.
-pub const MAX_STREAMS: usize = 8;
+/// The per-stream statistics breakdown (`PerStreamStats` in
+/// `tlbsim-sim`) and the ASID tag space (`tlbsim_core::Asid` is 16
+/// bits) both scale past this comfortably; the bound exists so a typo'd
+/// stream count fails loudly instead of planning a million-segment
+/// interleave. Consolidation studies at hundreds of streams are in
+/// range — per-stream state is boxed, not inline.
+pub const MAX_STREAMS: usize = 1024;
 
 /// How the interleave rotates between streams.
 ///

@@ -165,7 +165,7 @@ pub mod prelude {
     pub use tlbsim_sim::{
         compare_schemes, run_app, run_app_sharded, run_app_timed, run_mix, run_mix_sharded, Engine,
         PerStreamStats, RunHealth, ShardedRun, SimConfig, SimError, SimStats, StreamStats,
-        TimingEngine, SHARD_ATTEMPTS,
+        SwitchPolicy, TablePolicy, TimingEngine, SHARD_ATTEMPTS,
     };
     pub use tlbsim_trace::{DecodePolicy, FaultKind, FaultPlan, TraceHealth};
     pub use tlbsim_workloads::{

@@ -123,7 +123,7 @@ fn multiprogrammed_flushing_degrades_but_does_not_break() {
     let app = find_app("gap").unwrap();
     let mut engine = Engine::new(&SimConfig::paper_default()).unwrap();
     engine.run_with_flush_interval(app.workload(Scale::TINY), 20_000);
-    let flushed = *engine.stats();
+    let flushed = engine.stats().clone();
     let plain = run_app(app, Scale::TINY, &SimConfig::paper_default()).unwrap();
     assert!(flushed.misses >= plain.misses);
     assert!(flushed.accuracy() > 0.0);

@@ -71,17 +71,28 @@ fn run_all_modes(trace: &TraceWorkload, expected_accesses: u64, context: &str) {
         Schedule::RoundRobin { quantum: 500 },
     )
     .unwrap();
-    let mixed = run_mix_sharded(&mix, Scale::TINY, &config, true, 2).unwrap();
-    assert_eq!(
-        mixed.merged.per_stream.streams()[0].accesses,
-        expected_accesses,
-        "{context}: mix attribution"
-    );
-    assert_eq!(
-        mixed.health.quarantined_records,
-        trace.health().records_bad,
-        "{context}: mix health"
-    );
+    // Both switch policies run the damaged interleave: the flush
+    // oracle and flush-free ASID retagging must agree on attribution
+    // and on what quarantine lost.
+    for policy in [
+        SwitchPolicy::FlushOnSwitch,
+        SwitchPolicy::Asid {
+            contexts: 2,
+            tables: TablePolicy::Shared,
+        },
+    ] {
+        let mixed = run_mix_sharded(&mix, Scale::TINY, &config, policy, 2).unwrap();
+        assert_eq!(
+            mixed.merged.per_stream.streams()[0].accesses,
+            expected_accesses,
+            "{context}: mix attribution ({policy})"
+        );
+        assert_eq!(
+            mixed.health.quarantined_records,
+            trace.health().records_bad,
+            "{context}: mix health ({policy})"
+        );
+    }
 }
 
 #[test]
@@ -210,23 +221,37 @@ fn worker_panics_recover_in_every_mode_and_under_both_policies() {
             }
         }
 
-        // Mix: the panicking member heals inside the interleave too.
-        let chaos = ChaosSpec::new(Arc::new(trace.clone()), plan.clone(), 1);
-        let mix = MultiStreamSpec::new(
-            vec![
-                Arc::new(chaos) as Arc<dyn StreamSpec>,
-                Arc::new(find_app("mcf").unwrap()),
-            ],
-            Schedule::RoundRobin { quantum: 500 },
-        )
-        .unwrap();
-        let mixed = run_mix_sharded(&mix, Scale::TINY, &config, true, 2).unwrap();
-        assert_eq!(mixed.health.retries, 1, "{policy}: mix retry");
-        assert_eq!(
-            mixed.merged.per_stream.streams()[0].accesses,
-            RECORDS,
-            "{policy}: mix replayed the panicking member fully"
-        );
+        // Mix: the panicking member heals inside the interleave too —
+        // under the flush oracle, flush-free ASID retagging, and the
+        // eviction-free partitioned-ASID by-stream shard planner alike.
+        for switch in [
+            SwitchPolicy::FlushOnSwitch,
+            SwitchPolicy::Asid {
+                contexts: 2,
+                tables: TablePolicy::Shared,
+            },
+            SwitchPolicy::Asid {
+                contexts: 2,
+                tables: TablePolicy::Partitioned,
+            },
+        ] {
+            let chaos = ChaosSpec::new(Arc::new(trace.clone()), plan.clone(), 1);
+            let mix = MultiStreamSpec::new(
+                vec![
+                    Arc::new(chaos) as Arc<dyn StreamSpec>,
+                    Arc::new(find_app("mcf").unwrap()),
+                ],
+                Schedule::RoundRobin { quantum: 500 },
+            )
+            .unwrap();
+            let mixed = run_mix_sharded(&mix, Scale::TINY, &config, switch, 2).unwrap();
+            assert_eq!(mixed.health.retries, 1, "{policy}/{switch}: mix retry");
+            assert_eq!(
+                mixed.merged.per_stream.streams()[0].accesses,
+                RECORDS,
+                "{policy}/{switch}: mix replayed the panicking member fully"
+            );
+        }
 
         // Persistent panics surface typed, never unwinding the caller.
         let stubborn = ChaosSpec::new(
@@ -305,7 +330,8 @@ fn empty_and_zero_length_inputs_never_panic() {
         Schedule::RoundRobin { quantum: 1000 },
     )
     .unwrap();
-    let mixed = run_mix_sharded(&mix, Scale::TINY, &config, true, 2).unwrap();
+    let mixed =
+        run_mix_sharded(&mix, Scale::TINY, &config, SwitchPolicy::FlushOnSwitch, 2).unwrap();
     assert_eq!(mixed.merged.per_stream.streams()[0].accesses, 0);
     assert_eq!(
         mixed.merged.per_stream.streams()[1].accesses,

@@ -4,24 +4,39 @@
 //! `run_mix_sharded` stack stands on:
 //!
 //! * **degeneration** — a 1-stream mix is the stream: the composed
-//!   workload replays bit-identically through the plain `run_app` path,
-//!   flush flag or not (one stream never switches);
+//!   workload replays bit-identically through the plain `run_app` path
+//!   under every switch policy (one stream never evicts anything), and
+//!   an ASID run squeezed to a single live context is *bit-identical*
+//!   to the flush-on-switch oracle — every switch fully evicts the sole
+//!   context, which is exactly a flush;
 //! * **aggregate-path composition** — a mix is an ordinary `StreamSpec`:
 //!   `run_app` and `run_app_sharded` accept it unchanged, with exact
 //!   access conservation and scheduling-independent results;
 //! * **shard determinism** — `run_mix_sharded` is repeatable at every
 //!   shard count, conserves per-stream attribution across shard counts
-//!   1/2/4, and under flush-on-switch is *bit-identical* across all of
-//!   them (switch-aligned boundaries make a shard's cold start exactly
-//!   the sequential run's post-flush state);
+//!   1/2/4, and under flush-on-switch (and its degenerate ASID twin)
+//!   is *bit-identical* across all of them (switch-aligned boundaries
+//!   make a shard's cold start exactly the sequential run's post-flush
+//!   state); fully-provisioned partitioned ASID runs shard by whole
+//!   streams and are bit-identical too (no cross-stream state to cut);
+//! * **attribution** — per-stream accesses/misses/prefetch counters sum
+//!   to the aggregate under every mechanism and policy, and with no
+//!   prefetcher over disjoint regions the per-stream demand footprints
+//!   *partition* the aggregate page union exactly;
 //! * **source-agnosticism** — recording a component stream to a `TLBT`
 //!   trace and mixing the replay back in changes nothing, bit for bit.
 
 use std::sync::Arc;
 
+use proptest::prelude::*;
 use tlbsim_core::PrefetcherConfig;
-use tlbsim_sim::{run_app, run_app_sharded, run_mix, run_mix_sharded, PerStreamStats, SimConfig};
-use tlbsim_workloads::{find_app, MultiStreamSpec, Scale, Schedule, StreamSpec, TraceWorkload};
+use tlbsim_sim::{
+    run_app, run_app_sharded, run_mix, run_mix_sharded, PerStreamStats, SimConfig, SwitchPolicy,
+    TablePolicy,
+};
+use tlbsim_workloads::{
+    find_app, LoopedScan, MultiStreamSpec, Scale, Schedule, StreamSpec, TraceWorkload, Workload,
+};
 
 fn mix_of(names: &[&str], schedule: Schedule) -> MultiStreamSpec {
     let streams: Vec<Arc<dyn StreamSpec>> = names
@@ -31,12 +46,69 @@ fn mix_of(names: &[&str], schedule: Schedule) -> MultiStreamSpec {
     MultiStreamSpec::new(streams, schedule).unwrap()
 }
 
+/// A tiny synthetic stream over its own page region — `laps` strided
+/// passes over `pages` pages starting at `base`, one access per page
+/// visit. Disjoint bases give disjoint demand footprints, the setup the
+/// footprint-partition properties need.
+struct Region {
+    name: String,
+    base: u64,
+    pages: u64,
+    laps: u64,
+}
+
+impl Region {
+    fn new(index: usize, base: u64, pages: u64, laps: u64) -> Self {
+        Region {
+            name: format!("region-{index}"),
+            base,
+            pages,
+            laps,
+        }
+    }
+}
+
+impl StreamSpec for Region {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn workload(&self, _scale: Scale) -> Workload {
+        Workload::from_visits(
+            self.name.clone(),
+            Box::new(LoopedScan::new(
+                self.base, 1, self.pages, self.laps, 1, 0x40,
+            )),
+        )
+    }
+
+    fn stream_len(&self, _scale: Scale) -> u64 {
+        self.pages * self.laps
+    }
+}
+
+/// `count` region streams with pairwise-disjoint page ranges.
+fn disjoint_regions(count: usize, pages: u64, laps: u64) -> Vec<Arc<dyn StreamSpec>> {
+    (0..count)
+        .map(|i| {
+            Arc::new(Region::new(i, 1 + i as u64 * 1_000_000, pages, laps)) as Arc<dyn StreamSpec>
+        })
+        .collect()
+}
+
+const ASID_ALL: fn(usize) -> SwitchPolicy = |n| SwitchPolicy::Asid {
+    contexts: n,
+    tables: TablePolicy::Shared,
+};
+
 #[test]
 fn one_stream_mix_replays_bit_identically_through_run_app() {
-    // The acceptance pin: a 1-stream MultiStreamSpec (no flush) is
-    // bit-identical to the plain run_app path — as a StreamSpec (the
-    // composed workload IS the stream) and through the mix-aware runner
-    // (whose only addition is the single stream's own attribution).
+    // The acceptance pin: a 1-stream MultiStreamSpec is bit-identical
+    // to the plain run_app path — as a StreamSpec (the composed
+    // workload IS the stream) and through the mix-aware runner under
+    // every switch policy (whose only addition is the single stream's
+    // own attribution; one stream never switches, and a sole ASID
+    // context is never evicted).
     for (name, prefetcher) in [
         ("gap", PrefetcherConfig::distance()),
         ("mcf", PrefetcherConfig::recency()),
@@ -50,12 +122,25 @@ fn one_stream_mix_replays_bit_identically_through_run_app() {
         let via_stream_spec = run_app(&mix, Scale::TINY, &config).unwrap();
         assert_eq!(via_stream_spec, plain, "{name}: StreamSpec path diverged");
 
-        let mut via_run_mix = run_mix(&mix, Scale::TINY, &config, false).unwrap();
-        assert_eq!(via_run_mix.per_stream.len(), 1);
-        assert_eq!(via_run_mix.per_stream.streams()[0].accesses, plain.accesses);
-        assert_eq!(via_run_mix.per_stream.streams()[0].misses, plain.misses);
-        via_run_mix.per_stream = PerStreamStats::default();
-        assert_eq!(via_run_mix, plain, "{name}: run_mix path diverged");
+        for policy in [
+            SwitchPolicy::None,
+            SwitchPolicy::FlushOnSwitch,
+            SwitchPolicy::Asid {
+                contexts: 1,
+                tables: TablePolicy::Shared,
+            },
+            SwitchPolicy::Asid {
+                contexts: 1,
+                tables: TablePolicy::Partitioned,
+            },
+        ] {
+            let mut via_run_mix = run_mix(&mix, Scale::TINY, &config, policy).unwrap();
+            assert_eq!(via_run_mix.per_stream.len(), 1);
+            assert_eq!(via_run_mix.per_stream.streams()[0].accesses, plain.accesses);
+            assert_eq!(via_run_mix.per_stream.streams()[0].misses, plain.misses);
+            via_run_mix.per_stream = PerStreamStats::default();
+            assert_eq!(via_run_mix, plain, "{name}: run_mix({policy}) diverged");
+        }
     }
 }
 
@@ -90,18 +175,20 @@ fn mix_is_an_ordinary_stream_spec_for_the_sharded_executor() {
 
 #[test]
 fn interleave_is_deterministic_across_shard_counts_including_attribution() {
-    // The acceptance pin, no-flush half: repeated runs agree exactly at
-    // every shard count, and per-stream attribution of *accesses* — the
-    // partition the schedule fixes — is identical across 1/2/4 shards.
+    // The no-flush half: repeated runs agree exactly at every shard
+    // count, and per-stream attribution of *accesses* — the partition
+    // the schedule fixes — is identical across 1/2/4 shards.
     let mix = mix_of(
         &["gap", "mcf", "perl4"],
         Schedule::RoundRobin { quantum: 2000 },
     );
     let config = SimConfig::paper_default();
-    let reference = run_mix(&mix, Scale::TINY, &config, false).unwrap();
+    let reference = run_mix(&mix, Scale::TINY, &config, SwitchPolicy::None).unwrap();
     for shards in [1usize, 2, 4] {
-        let first = run_mix_sharded(&mix, Scale::TINY, &config, false, shards).unwrap();
-        let again = run_mix_sharded(&mix, Scale::TINY, &config, false, shards).unwrap();
+        let first =
+            run_mix_sharded(&mix, Scale::TINY, &config, SwitchPolicy::None, shards).unwrap();
+        let again =
+            run_mix_sharded(&mix, Scale::TINY, &config, SwitchPolicy::None, shards).unwrap();
         assert_eq!(first.merged, again.merged, "{shards} shards not repeatable");
         for (a, b) in first.shards.iter().zip(&again.shards) {
             assert_eq!(a.range, b.range);
@@ -129,25 +216,171 @@ fn interleave_is_deterministic_across_shard_counts_including_attribution() {
 
 #[test]
 fn flush_on_switch_sharding_is_bit_identical_at_every_shard_count() {
-    // The acceptance pin, flush half: switch-aligned shard boundaries
-    // make a shard's cold start exactly the sequential run's post-flush
-    // state, so the merged statistics — per-stream attribution included
-    // — are bit-identical across shard counts, not merely close.
+    // The flush half: switch-aligned shard boundaries make a shard's
+    // cold start exactly the sequential run's post-flush state, so the
+    // merged statistics — per-stream attribution included — are
+    // bit-identical across shard counts, not merely close.
     for (names, prefetcher) in [
         (&["gap", "mcf"][..], PrefetcherConfig::distance()),
         (&["gap", "mcf", "perl4"][..], PrefetcherConfig::recency()),
     ] {
         let mix = mix_of(names, Schedule::RoundRobin { quantum: 1500 });
         let config = SimConfig::paper_default().with_prefetcher(prefetcher);
-        let sequential = run_mix(&mix, Scale::TINY, &config, true).unwrap();
+        let sequential = run_mix(&mix, Scale::TINY, &config, SwitchPolicy::FlushOnSwitch).unwrap();
         for shards in [1usize, 2, 4] {
-            let sharded = run_mix_sharded(&mix, Scale::TINY, &config, true, shards).unwrap();
+            let sharded = run_mix_sharded(
+                &mix,
+                Scale::TINY,
+                &config,
+                SwitchPolicy::FlushOnSwitch,
+                shards,
+            )
+            .unwrap();
             assert_eq!(
                 sharded.merged, sequential,
                 "{names:?} at {shards} shards diverged under flush-on-switch"
             );
         }
     }
+}
+
+#[test]
+fn degenerate_asid_is_bit_identical_to_the_flush_oracle() {
+    // THE equivalence pin of the ASID model: squeeze the live-context
+    // budget to 1 and every context switch must fully evict the sole
+    // context — TLB, prefetch buffer, prediction state, banked
+    // registers — which is exactly what the flush oracle does. The two
+    // policies must then be *bit-identical*, per-stream attribution and
+    // footprints included, for both table policies, under history-,
+    // recency- and markov-based mechanisms alike.
+    for (names, prefetcher) in [
+        (&["gap", "mcf"][..], PrefetcherConfig::distance()),
+        (&["gap", "mcf", "perl4"][..], PrefetcherConfig::recency()),
+        (&["eon", "perl4"][..], PrefetcherConfig::markov()),
+    ] {
+        let mix = mix_of(names, Schedule::RoundRobin { quantum: 1500 });
+        let config = SimConfig::paper_default().with_prefetcher(prefetcher.clone());
+        let oracle = run_mix(&mix, Scale::TINY, &config, SwitchPolicy::FlushOnSwitch).unwrap();
+        for tables in [TablePolicy::Shared, TablePolicy::Partitioned] {
+            let squeezed = SwitchPolicy::Asid {
+                contexts: 1,
+                tables,
+            };
+            let asid = run_mix(&mix, Scale::TINY, &config, squeezed).unwrap();
+            assert_eq!(
+                asid, oracle,
+                "{names:?} {prefetcher:?}: contexts=1 ASID ({tables:?} tables) \
+                 diverged from the flush oracle"
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_asid_sharding_matches_the_flush_oracle_at_every_shard_count() {
+    // The sharded leg of the equivalence: a contexts=1 ASID run rides
+    // the same switch-aligned shard planner as flush-on-switch, so the
+    // degenerate twin must stay bit-identical to the *sequential* flush
+    // oracle at any shard count — and under weighted and random
+    // schedules, not just round-robin.
+    let config = SimConfig::paper_default();
+    for schedule in [
+        Schedule::RoundRobin { quantum: 1500 },
+        Schedule::Weighted {
+            quanta: vec![500, 2000],
+        },
+        Schedule::Random {
+            seed: 7,
+            min_quantum: 128,
+            max_quantum: 2048,
+        },
+    ] {
+        let mix = mix_of(&["gap", "mcf"], schedule.clone());
+        let oracle = run_mix(&mix, Scale::TINY, &config, SwitchPolicy::FlushOnSwitch).unwrap();
+        let squeezed = SwitchPolicy::Asid {
+            contexts: 1,
+            tables: TablePolicy::Shared,
+        };
+        assert_eq!(
+            run_mix(&mix, Scale::TINY, &config, squeezed).unwrap(),
+            oracle,
+            "{schedule:?}: sequential degenerate ASID diverged"
+        );
+        for shards in [2usize, 4] {
+            let sharded = run_mix_sharded(&mix, Scale::TINY, &config, squeezed, shards).unwrap();
+            assert_eq!(
+                sharded.merged, oracle,
+                "{schedule:?}: degenerate ASID diverged at {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_partitioned_asid_is_bit_identical_to_sequential() {
+    // Fully-provisioned partitioned ASID runs have no cross-stream
+    // state at all (private tables, a live context per stream), so the
+    // by-stream shard planner must reproduce the sequential run bit for
+    // bit at every shard count — footprints and attribution included.
+    let mix = mix_of(
+        &["gap", "mcf", "perl4"],
+        Schedule::RoundRobin { quantum: 1500 },
+    );
+    let config = SimConfig::paper_default();
+    let policy = SwitchPolicy::Asid {
+        contexts: 3,
+        tables: TablePolicy::Partitioned,
+    };
+    let sequential = run_mix(&mix, Scale::TINY, &config, policy).unwrap();
+    for shards in [1usize, 2, 4] {
+        let sharded = run_mix_sharded(&mix, Scale::TINY, &config, policy, shards).unwrap();
+        assert_eq!(
+            sharded.merged, sequential,
+            "partitioned ASID diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn sixty_four_asid_streams_run_flush_free_with_full_attribution() {
+    // The scale pin: 64 streams, each its own live context, interleaved
+    // flush-free — every stream gets attributed statistics and a
+    // non-empty demand footprint, and with disjoint regions and no
+    // prefetcher the footprints partition the aggregate page union
+    // exactly. The same mix under partitioned tables shards by whole
+    // streams, bit-identically to its own sequential run.
+    let streams = disjoint_regions(64, 40, 3);
+    let mix = MultiStreamSpec::new(streams, Schedule::RoundRobin { quantum: 32 }).unwrap();
+    let config = SimConfig::paper_default().with_prefetcher(PrefetcherConfig::none());
+    let stats = run_mix(&mix, Scale::TINY, &config, ASID_ALL(64)).unwrap();
+
+    assert_eq!(stats.per_stream.len(), 64);
+    let shares = stats.per_stream.streams();
+    assert_eq!(
+        shares.iter().map(|s| s.accesses).sum::<u64>(),
+        stats.accesses
+    );
+    assert_eq!(shares.iter().map(|s| s.misses).sum::<u64>(), stats.misses);
+    for (i, share) in shares.iter().enumerate() {
+        assert_eq!(share.accesses, 120, "stream {i} lost accesses");
+        assert_eq!(share.footprint_pages, 40, "stream {i} footprint wrong");
+    }
+    assert_eq!(
+        shares.iter().map(|s| s.footprint_pages).sum::<u64>(),
+        stats.footprint_pages,
+        "disjoint footprints must partition the aggregate"
+    );
+
+    let partitioned = SwitchPolicy::Asid {
+        contexts: 64,
+        tables: TablePolicy::Partitioned,
+    };
+    let sequential = run_mix(&mix, Scale::TINY, &config, partitioned).unwrap();
+    let sharded = run_mix_sharded(&mix, Scale::TINY, &config, partitioned, 2).unwrap();
+    assert_eq!(
+        sharded.merged, sequential,
+        "sharding the 64-stream mix diverged"
+    );
 }
 
 #[test]
@@ -162,13 +395,24 @@ fn attribution_sums_to_the_aggregate_under_every_mechanism() {
         PrefetcherConfig::distance(),
     ] {
         let config = SimConfig::paper_default().with_prefetcher(prefetcher.clone());
-        for flush in [false, true] {
-            let stats = run_mix(&mix, Scale::TINY, &config, flush).unwrap();
+        for policy in [
+            SwitchPolicy::None,
+            SwitchPolicy::FlushOnSwitch,
+            SwitchPolicy::Asid {
+                contexts: 2,
+                tables: TablePolicy::Shared,
+            },
+            SwitchPolicy::Asid {
+                contexts: 2,
+                tables: TablePolicy::Partitioned,
+            },
+        ] {
+            let stats = run_mix(&mix, Scale::TINY, &config, policy).unwrap();
             let shares = stats.per_stream.streams();
             assert_eq!(
                 shares.iter().map(|s| s.accesses).sum::<u64>(),
                 stats.accesses,
-                "{prefetcher:?} flush={flush}"
+                "{prefetcher:?} {policy}"
             );
             assert_eq!(shares.iter().map(|s| s.misses).sum::<u64>(), stats.misses);
             assert_eq!(
@@ -183,6 +427,11 @@ fn attribution_sums_to_the_aggregate_under_every_mechanism() {
                 shares.iter().map(|s| s.prefetches_issued).sum::<u64>(),
                 stats.prefetches_issued
             );
+            // Footprints are sets, not deltas: streams can overlap (both
+            // demand-miss a page) or undershoot (a prefetched page's
+            // first touch is never a demand miss), so no summation law
+            // holds here — the exact-partition property lives in the
+            // no-prefetcher, disjoint-region tests.
         }
     }
 }
@@ -201,9 +450,16 @@ fn weighted_and_random_schedules_shard_deterministically_too() {
         },
     ] {
         let mix = mix_of(&["gap", "mcf"], schedule.clone());
-        let sequential = run_mix(&mix, Scale::TINY, &config, true).unwrap();
+        let sequential = run_mix(&mix, Scale::TINY, &config, SwitchPolicy::FlushOnSwitch).unwrap();
         for shards in [2usize, 4] {
-            let sharded = run_mix_sharded(&mix, Scale::TINY, &config, true, shards).unwrap();
+            let sharded = run_mix_sharded(
+                &mix,
+                Scale::TINY,
+                &config,
+                SwitchPolicy::FlushOnSwitch,
+                shards,
+            )
+            .unwrap();
             assert_eq!(
                 sharded.merged, sequential,
                 "{schedule:?} diverged at {shards} shards"
@@ -244,16 +500,131 @@ fn replayed_traces_mix_bit_identically_with_their_generators() {
     .unwrap();
 
     let config = SimConfig::paper_default();
-    for flush in [false, true] {
-        let from_generator = run_mix(&generator_mix, Scale::TINY, &config, flush).unwrap();
-        let from_replay = run_mix(&replay_mix, Scale::TINY, &config, flush).unwrap();
+    for policy in [SwitchPolicy::None, SwitchPolicy::FlushOnSwitch, ASID_ALL(2)] {
+        let from_generator = run_mix(&generator_mix, Scale::TINY, &config, policy).unwrap();
+        let from_replay = run_mix(&replay_mix, Scale::TINY, &config, policy).unwrap();
         assert_eq!(
             from_replay, from_generator,
-            "trace-backed mix diverged (flush={flush})"
+            "trace-backed mix diverged ({policy})"
         );
     }
-    let sharded = run_mix_sharded(&replay_mix, Scale::TINY, &config, true, 4).unwrap();
-    let sequential = run_mix(&generator_mix, Scale::TINY, &config, true).unwrap();
+    let sharded = run_mix_sharded(
+        &replay_mix,
+        Scale::TINY,
+        &config,
+        SwitchPolicy::FlushOnSwitch,
+        4,
+    )
+    .unwrap();
+    let sequential = run_mix(
+        &generator_mix,
+        Scale::TINY,
+        &config,
+        SwitchPolicy::FlushOnSwitch,
+    )
+    .unwrap();
     assert_eq!(sharded.merged, sequential);
     std::fs::remove_file(&path).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A mix's composed length is exactly the sum of its component
+    /// stream lengths, and the runner conserves it as the aggregate
+    /// access count — for any stream count up to 256 and any quantum.
+    #[test]
+    fn mix_length_is_conserved_at_any_stream_count(
+        count in 2usize..=256,
+        pages in 4u64..=24,
+        laps in 1u64..=2,
+        quantum in 1u64..=96,
+    ) {
+        let streams = disjoint_regions(count, pages, laps);
+        let expected: u64 = streams.iter().map(|s| s.stream_len(Scale::TINY)).sum();
+        let mix = MultiStreamSpec::new(streams, Schedule::RoundRobin { quantum }).unwrap();
+        prop_assert_eq!(mix.stream_len(Scale::TINY), expected);
+
+        let config = SimConfig::paper_default().with_prefetcher(PrefetcherConfig::none());
+        let stats = run_mix(&mix, Scale::TINY, &config, ASID_ALL(count)).unwrap();
+        prop_assert_eq!(stats.accesses, expected);
+        prop_assert_eq!(stats.per_stream.len(), count);
+        for (i, share) in stats.per_stream.streams().iter().enumerate() {
+            prop_assert_eq!(share.accesses, pages * laps, "stream {} misattributed", i);
+        }
+    }
+
+    /// Per-stream attribution sums to the aggregate under any switch
+    /// policy, live-context budget and schedule geometry.
+    #[test]
+    fn attribution_partitions_the_aggregate_under_any_policy(
+        count in 2usize..=48,
+        contexts in 1usize..=48,
+        quantum in 1u64..=64,
+        partitioned in proptest::bool::ANY,
+        flavor in 0u8..3,
+    ) {
+        let policy = match flavor {
+            0 => SwitchPolicy::None,
+            1 => SwitchPolicy::FlushOnSwitch,
+            _ => SwitchPolicy::Asid {
+                contexts: contexts.min(count),
+                tables: if partitioned {
+                    TablePolicy::Partitioned
+                } else {
+                    TablePolicy::Shared
+                },
+            },
+        };
+        let mix = MultiStreamSpec::new(
+            disjoint_regions(count, 16, 2),
+            Schedule::RoundRobin { quantum },
+        )
+        .unwrap();
+        let config = SimConfig::paper_default();
+        let stats = run_mix(&mix, Scale::TINY, &config, policy).unwrap();
+        let shares = stats.per_stream.streams();
+        prop_assert_eq!(shares.iter().map(|s| s.accesses).sum::<u64>(), stats.accesses);
+        prop_assert_eq!(shares.iter().map(|s| s.misses).sum::<u64>(), stats.misses);
+        prop_assert_eq!(
+            shares.iter().map(|s| s.demand_walks).sum::<u64>(),
+            stats.demand_walks
+        );
+    }
+
+    /// With no prefetcher and pairwise-disjoint regions, the per-stream
+    /// demand footprints are an exact partition of the aggregate page
+    /// union — each stream owns precisely its own pages, under shared
+    /// and partitioned tables alike.
+    #[test]
+    fn disjoint_footprints_partition_the_aggregate(
+        count in 2usize..=32,
+        pages in 2u64..=32,
+        quantum in 1u64..=48,
+        partitioned in proptest::bool::ANY,
+    ) {
+        let mix = MultiStreamSpec::new(
+            disjoint_regions(count, pages, 2),
+            Schedule::RoundRobin { quantum },
+        )
+        .unwrap();
+        let config = SimConfig::paper_default().with_prefetcher(PrefetcherConfig::none());
+        let policy = SwitchPolicy::Asid {
+            contexts: count,
+            tables: if partitioned {
+                TablePolicy::Partitioned
+            } else {
+                TablePolicy::Shared
+            },
+        };
+        let stats = run_mix(&mix, Scale::TINY, &config, policy).unwrap();
+        let shares = stats.per_stream.streams();
+        for (i, share) in shares.iter().enumerate() {
+            prop_assert_eq!(share.footprint_pages, pages, "stream {} footprint", i);
+        }
+        prop_assert_eq!(
+            shares.iter().map(|s| s.footprint_pages).sum::<u64>(),
+            stats.footprint_pages
+        );
+    }
 }

@@ -342,7 +342,9 @@ fn garbage_clients_are_dropped_while_the_daemon_keeps_serving() {
         .expect("hello writes");
     let mut payload = Vec::new();
     match tlbsim_service::read_frame(&mut relic, &mut payload) {
-        Ok(Frame::Hello { version }) => assert_eq!(version, 1),
+        Ok(Frame::Hello { version }) => {
+            assert_eq!(version, tlbsim_service::PROTOCOL_VERSION)
+        }
         other => panic!("expected the server's version, got {other:?}"),
     }
     let mut rest = Vec::new();
