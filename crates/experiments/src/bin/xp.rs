@@ -7,7 +7,9 @@
 //!    [--shards <n>]
 //!    [--csv <dir>]
 //! xp record --app <name> [--scale <s>] [--limit <n>] [--out <path>]
-//! xp replay --trace <path> [--shards <n>] [--quarantine <n|unlimited>] [--csv <dir>]
+//!           [--format v1|v2] [--block-len <n>]
+//! xp replay --trace <path> [--shards <n>] [--quarantine <n|unlimited>]
+//!           [--stream-window <blocks>] [--csv <dir>]
 //! xp mix --streams <a,b,…> [--quantum <n>] [--switch-policy none|flush|asid]
 //!        [--asid-contexts <n>] [--table-policy shared|partitioned]
 //!        [--scale <s>] [--shards <n>] [--quarantine <n|unlimited>] [--csv <dir>]
@@ -20,7 +22,8 @@
 //!           [--scheme none|sp|asp|mp|rp|dp] [--scale <s>] [--shards <n|auto>]
 //!           [--quarantine <n|unlimited>] [--snapshot-every <n>]
 //! xp shutdown [--socket <path>] [--no-drain]
-//! xp convert --trace <path> --out <path>
+//! xp convert --trace <path> --out <path> [--format v1|v2|text] [--block-len <n>]
+//! xp tracestat <paths...> [--quarantine <n|unlimited>] [--csv <dir>]
 //! ```
 //!
 //! `--shards <n|auto>` switches the accuracy-grid drivers (figure7,
@@ -41,14 +44,25 @@
 //! draining queued jobs unless `--no-drain`. The framing and job model
 //! are specified normatively in `docs/PROTOCOL.md`.
 //!
-//! `convert` translates traces between the two on-disk formats: a
-//! `TLBT` binary input becomes the line-oriented text format, and a
-//! text input becomes `TLBT`. The direction is sniffed from the input
-//! file's magic bytes, so the command is its own inverse.
+//! `convert` translates traces between the three on-disk formats (flat
+//! v1 binary, block-compressed v2 binary, line-oriented text). The
+//! *input* format is sniffed from the file's magic bytes and version;
+//! the *output* format is `--format v1|v2|text`, defaulting to the old
+//! sniffed behaviour (any binary becomes text, text becomes v1) so the
+//! bare command stays its own inverse.
 //!
 //! `record` dumps a registered application model's reference stream to
-//! the binary `TLBT` trace format; `replay` runs the figure grids'
-//! 21-scheme sweep over any such trace, mmap-replayed zero-copy.
+//! the binary `TLBT` trace format — flat v1 by default, or delta-block
+//! v2 with `--format v2 [--block-len <records>]`; `replay` runs the
+//! figure grids' 21-scheme sweep over any such trace, mmap-replayed
+//! zero-copy (v1) or block-decoded (v2, sniffed). `--stream-window
+//! <blocks>` replays a v2 trace through a sliding window of mapped
+//! blocks instead of one whole-file mapping, so traces larger than RAM
+//! replay in bounded memory.
+//!
+//! `tracestat` summarizes a trace corpus file-by-file: records and kind
+//! mix, unique-page footprint, bytes/record against the flat encoding,
+//! and the damage census under the selected `--quarantine` policy.
 //!
 //! `mix` interleaves several streams — registered application names
 //! and/or `TLBT` trace paths, comma-separated — into one multiprogrammed
@@ -90,11 +104,13 @@ use std::process::ExitCode;
 use tlbsim_core::PrefetcherConfig;
 use tlbsim_experiments::{
     extras, figure7, figure8, figure9, health, mix, replay, table1, table2, table3, throughput,
+    tracestat,
 };
 use tlbsim_service::{Client, JobSpec, Server, ServerConfig};
 use tlbsim_sim::{SwitchPolicy, TablePolicy};
 use tlbsim_trace::{
-    BinaryTraceReader, BinaryTraceWriter, DecodePolicy, TextTraceReader, TextTraceWriter, MAGIC,
+    BinaryTraceReader, BinaryTraceWriter, DecodePolicy, TextTraceReader, TextTraceWriter, V2Trace,
+    V2TraceWriter, DEFAULT_BLOCK_LEN, MAGIC, V2_VERSION,
 };
 use tlbsim_workloads::Scale;
 
@@ -123,13 +139,19 @@ struct Args {
     scheme: String,
     snapshot_every: u64,
     no_drain: bool,
+    format: Option<String>,
+    block_len: Option<u32>,
+    stream_window: Option<u64>,
+    paths: Vec<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: xp <table1|table2|table3|figure7|figure8|figure9|extras|all> \
      [--scale tiny|small|standard|<factor>] [--shards <n|auto>] [--csv <dir>]\n       \
-     xp record --app <name> [--scale <s>] [--limit <n>] [--out <path>]\n       \
-     xp replay --trace <path> [--shards <n|auto>] [--quarantine <n|unlimited>] [--csv <dir>]\n       \
+     xp record --app <name> [--scale <s>] [--limit <n>] [--out <path>] \
+     [--format v1|v2] [--block-len <n>]\n       \
+     xp replay --trace <path> [--shards <n|auto>] [--quarantine <n|unlimited>] \
+     [--stream-window <blocks>] [--csv <dir>]\n       \
      xp mix --streams <a,b,...> [--quantum <n>] [--switch-policy none|flush|asid] \
      [--asid-contexts <n>] [--table-policy shared|partitioned] \
      [--scale <s>] [--shards <n|auto>] [--quarantine <n|unlimited>] [--csv <dir>]\n       \
@@ -142,7 +164,8 @@ fn usage() -> &'static str {
      [--scheme none|sp|asp|mp|rp|dp] [--scale <s>] [--shards <n|auto>] \
      [--quarantine <n|unlimited>] [--snapshot-every <n>]\n       \
      xp shutdown [--socket <path>] [--no-drain]\n       \
-     xp convert --trace <path> --out <path>"
+     xp convert --trace <path> --out <path> [--format v1|v2|text] [--block-len <n>]\n       \
+     xp tracestat <paths...> [--quarantine <n|unlimited>] [--csv <dir>]"
 }
 
 /// Default daemon socket: stable per user+machine, in the temp dir.
@@ -175,6 +198,10 @@ fn parse_args() -> Result<Args, String> {
     let mut scheme = "dp".to_owned();
     let mut snapshot_every = 0u64;
     let mut no_drain = false;
+    let mut format = None;
+    let mut block_len = None;
+    let mut stream_window = None;
+    let mut paths = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -339,6 +366,35 @@ fn parse_args() -> Result<Args, String> {
             "--no-drain" => {
                 no_drain = true;
             }
+            "--format" => {
+                let value = argv.next().ok_or("--format needs <v1|v2|text>")?;
+                match value.as_str() {
+                    "v1" | "v2" | "text" => format = Some(value),
+                    other => {
+                        return Err(format!(
+                            "bad format {other:?} (want \"v1\", \"v2\" or \"text\")"
+                        ))
+                    }
+                }
+            }
+            "--block-len" => {
+                let value = argv.next().ok_or("--block-len needs a record count")?;
+                block_len = Some(
+                    value
+                        .parse::<u32>()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or_else(|| {
+                            format!("bad block length {value:?} (want an integer >= 1)")
+                        })?,
+                );
+            }
+            "--stream-window" => {
+                let value = argv.next().ok_or("--stream-window needs a block count")?;
+                stream_window = Some(value.parse::<u64>().ok().filter(|n| *n >= 1).ok_or_else(
+                    || format!("bad stream window {value:?} (want an integer >= 1)"),
+                )?);
+            }
             "--csv" => {
                 csv_dir = Some(PathBuf::from(argv.next().ok_or("--csv needs a directory")?));
             }
@@ -348,6 +404,11 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => return Err(usage().to_owned()),
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_owned());
+            }
+            // `tracestat` takes trailing bare paths: every later
+            // non-flag word is a trace file to summarize.
+            other if experiment.as_deref() == Some("tracestat") && !other.starts_with('-') => {
+                paths.push(PathBuf::from(other));
             }
             other => return Err(format!("unexpected argument {other:?}\n{}", usage())),
         }
@@ -377,7 +438,31 @@ fn parse_args() -> Result<Args, String> {
         scheme,
         snapshot_every,
         no_drain,
+        format,
+        block_len,
+        stream_window,
+        paths,
     })
+}
+
+/// Resolves `--format`/`--block-len` into a [`replay::RecordFormat`]
+/// for the binary-writing commands (`record`, and `convert`'s binary
+/// outputs). `--block-len` without v2 is a contradiction, not a silent
+/// no-op.
+fn parse_record_format(args: &Args) -> Result<replay::RecordFormat, String> {
+    match args.format.as_deref() {
+        Some("v2") => Ok(replay::RecordFormat::V2 {
+            block_len: args.block_len.unwrap_or(DEFAULT_BLOCK_LEN),
+        }),
+        None | Some("v1") => {
+            if args.block_len.is_some() {
+                Err("--block-len only applies to --format v2".to_owned())
+            } else {
+                Ok(replay::RecordFormat::V1)
+            }
+        }
+        Some(other) => Err(format!("--format {other} is not a binary trace format")),
+    }
 }
 
 fn run_record(args: &Args) -> Result<(), String> {
@@ -389,8 +474,15 @@ fn run_record(args: &Args) -> Result<(), String> {
         .out
         .clone()
         .unwrap_or_else(|| PathBuf::from(format!("{app}.tlbt")));
-    let summary =
-        replay::record(app, args.scale, args.limit, &path).map_err(|e| format!("record: {e}"))?;
+    if args.format.as_deref() == Some("text") {
+        return Err(format!(
+            "record writes binary traces (use `xp convert` for text)\n{}",
+            usage()
+        ));
+    }
+    let format = parse_record_format(args)?;
+    let summary = replay::record_with_format(app, args.scale, args.limit, &path, format)
+        .map_err(|e| format!("record: {e}"))?;
     println!("{}", summary.render());
     Ok(())
 }
@@ -400,9 +492,31 @@ fn run_replay(args: &Args) -> Result<(), String> {
         .trace
         .as_deref()
         .ok_or_else(|| format!("replay needs --trace <path>\n{}", usage()))?;
-    let report = replay::replay_with_policy(trace, args.shards, args.policy)
+    let report = replay::replay_with_options(trace, args.shards, args.policy, args.stream_window)
         .map_err(|e| format!("replay: {e}"))?;
     emit("replay", report.render(), report.to_csv(), &args.csv_dir)
+}
+
+fn run_tracestat(args: &Args) -> Result<(), String> {
+    if args.paths.is_empty() {
+        return Err(format!("tracestat needs at least one path\n{}", usage()));
+    }
+    let mut rows = vec![tracestat::csv_header().to_owned()];
+    for path in &args.paths {
+        let stat = tracestat::stat(path, args.policy)
+            .map_err(|e| format!("tracestat: {}: {e}", path.display()))?;
+        println!("{}", stat.render());
+        rows.push(stat.to_csv_row());
+    }
+    if let Some(dir) = &args.csv_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir:?}: {e}"))?;
+        let path = dir.join("tracestat.csv");
+        let mut csv = rows.join("\n");
+        csv.push('\n');
+        std::fs::write(&path, csv).map_err(|e| format!("writing {path:?}: {e}"))?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
 }
 
 fn run_mix(args: &Args) -> Result<(), String> {
@@ -604,6 +718,14 @@ fn run_shutdown(args: &Args) -> Result<(), String> {
 
 fn run_convert(args: &Args) -> Result<(), String> {
     use std::io::{BufWriter, Read as _};
+    use tlbsim_core::MemoryAccess;
+    use tlbsim_trace::TraceError;
+
+    enum Sink {
+        Text(TextTraceWriter<BufWriter<std::fs::File>>),
+        V1(BinaryTraceWriter<BufWriter<std::fs::File>>),
+        V2(V2TraceWriter<std::fs::File>),
+    }
 
     let input = args
         .trace
@@ -620,51 +742,96 @@ fn run_convert(args: &Args) -> Result<(), String> {
         std::fs::File::create(path)
             .map_err(|e| format!("convert: creating {}: {e}", path.display()))
     };
-    // Sniff the direction from the input's magic bytes: anything that
-    // does not start with the TLBT magic is treated as text.
-    let mut head = [0u8; 4];
-    let is_binary = {
+    let read_fail = |e: TraceError| format!("convert: reading {}: {e}", input.display());
+    let write_fail = |e: TraceError| format!("convert: writing {}: {e}", out.display());
+
+    // Sniff the input: the TLBT magic plus its version word, anything
+    // else is text (version 0 stands for "text" below — no binary
+    // format ever used it).
+    let mut head = [0u8; 6];
+    let sniffed: u16 = {
         let mut file = open(input)?;
-        file.read_exact(&mut head).is_ok() && head == MAGIC
+        if file.read_exact(&mut head).is_ok() && head[0..4] == MAGIC {
+            u16::from_le_bytes([head[4], head[5]])
+        } else {
+            0
+        }
     };
-    let (records, direction) = if is_binary {
-        let reader = BinaryTraceReader::open(open(input)?)
-            .map_err(|e| format!("convert: reading {}: {e}", input.display()))?;
-        let mut writer = TextTraceWriter::create(BufWriter::new(create(out)?));
-        writer
-            .comment(&format!("converted from {}", input.display()))
-            .map_err(|e| format!("convert: writing {}: {e}", out.display()))?;
-        for record in reader {
-            let record =
-                record.map_err(|e| format!("convert: reading {}: {e}", input.display()))?;
+    let src_label = match sniffed {
+        0 => "text",
+        1 => "TLBT v1",
+        V2_VERSION => "TLBT v2",
+        _ => "TLBT",
+    };
+
+    // Output format: explicit --format, else the legacy sniffed
+    // default (binary -> text, text -> v1) that keeps the bare command
+    // its own inverse.
+    let target = match args.format.as_deref() {
+        Some(f) => f,
+        None if sniffed == 0 => "v1",
+        None => "text",
+    };
+    if target != "v2" && args.block_len.is_some() {
+        return Err("--block-len only applies to --format v2".to_owned());
+    }
+
+    let source: Box<dyn Iterator<Item = Result<MemoryAccess, TraceError>>> = match sniffed {
+        0 => Box::new(TextTraceReader::open(open(input)?)),
+        V2_VERSION => Box::new(V2Trace::open(input).map_err(read_fail)?.cursor()),
+        // v1 — and any future version, which the reader rejects with a
+        // typed "unsupported trace version" instead of us guessing.
+        _ => Box::new(BinaryTraceReader::open(open(input)?).map_err(read_fail)?),
+    };
+
+    let mut sink = match target {
+        "text" => {
+            let mut writer = TextTraceWriter::create(BufWriter::new(create(out)?));
             writer
-                .write(&record)
-                .map_err(|e| format!("convert: writing {}: {e}", out.display()))?;
+                .comment(&format!("converted from {}", input.display()))
+                .map_err(write_fail)?;
+            Sink::Text(writer)
         }
-        let records = writer.records_written();
-        writer
-            .finish()
-            .map_err(|e| format!("convert: writing {}: {e}", out.display()))?;
-        (records, "TLBT -> text")
-    } else {
-        let reader = TextTraceReader::open(open(input)?);
-        let mut writer = BinaryTraceWriter::create(BufWriter::new(create(out)?))
-            .map_err(|e| format!("convert: writing {}: {e}", out.display()))?;
-        for record in reader {
-            let record =
-                record.map_err(|e| format!("convert: reading {}: {e}", input.display()))?;
-            writer
-                .write(&record)
-                .map_err(|e| format!("convert: writing {}: {e}", out.display()))?;
+        "v1" => {
+            Sink::V1(BinaryTraceWriter::create(BufWriter::new(create(out)?)).map_err(write_fail)?)
         }
-        let records = writer.records_written();
-        writer
-            .finish()
-            .map_err(|e| format!("convert: writing {}: {e}", out.display()))?;
-        (records, "text -> TLBT")
+        "v2" => Sink::V2(
+            V2TraceWriter::create_with_block_len(
+                create(out)?,
+                args.block_len.unwrap_or(DEFAULT_BLOCK_LEN),
+            )
+            .map_err(write_fail)?,
+        ),
+        other => return Err(format!("bad format {other:?}\n{}", usage())),
+    };
+
+    for record in source {
+        let record = record.map_err(read_fail)?;
+        match &mut sink {
+            Sink::Text(w) => w.write(&record).map_err(write_fail)?,
+            Sink::V1(w) => w.write(&record).map_err(write_fail)?,
+            Sink::V2(w) => w.write(&record).map_err(write_fail)?,
+        }
+    }
+    let records = match sink {
+        Sink::Text(w) => {
+            let records = w.records_written();
+            w.finish().map_err(write_fail)?;
+            records
+        }
+        Sink::V1(w) => {
+            let records = w.records_written();
+            w.finish().map_err(write_fail)?;
+            records
+        }
+        Sink::V2(w) => {
+            let records = w.records_written();
+            w.finish().map_err(write_fail)?;
+            records
+        }
     };
     println!(
-        "converted {} -> {} ({direction}, {records} records)",
+        "converted {} -> {} ({src_label} -> {target}, {records} records)",
         input.display(),
         out.display()
     );
@@ -749,6 +916,7 @@ fn main() -> ExitCode {
         "submit" => Some(run_submit(&args)),
         "shutdown" => Some(run_shutdown(&args)),
         "convert" => Some(run_convert(&args)),
+        "tracestat" => Some(run_tracestat(&args)),
         _ => None,
     } {
         return match outcome {

@@ -11,7 +11,9 @@
 
 use std::path::{Path, PathBuf};
 
-use tlbsim_trace::{DecodePolicy, FaultKind, FaultPlan, MmapTrace, TraceHealth};
+use tlbsim_trace::{
+    DecodePolicy, FaultKind, FaultPlan, MmapTrace, TraceError, TraceHealth, V2Trace,
+};
 
 use crate::replay::ReplayError;
 
@@ -59,11 +61,19 @@ impl CheckReport {
 /// census).
 pub fn check(path: impl AsRef<Path>, policy: DecodePolicy) -> Result<CheckReport, ReplayError> {
     let path = path.as_ref();
-    let trace = MmapTrace::open_with_policy(path, DecodePolicy::lenient())?;
-    let health = trace.scan_health()?;
+    let (grid_records, health) = match MmapTrace::open_with_policy(path, DecodePolicy::lenient()) {
+        Ok(trace) => (trace.record_count(), trace.scan_health()?),
+        // Version sniffing: a v2 header censuses through the block
+        // decoder instead (bad records tally in whole blocks there).
+        Err(TraceError::UnsupportedVersion { found: 2 }) => {
+            let trace = V2Trace::open_with_policy(path, DecodePolicy::lenient())?;
+            (trace.record_count(), trace.scan_health()?)
+        }
+        Err(e) => return Err(e.into()),
+    };
     Ok(CheckReport {
         path: path.to_owned(),
-        grid_records: trace.record_count(),
+        grid_records,
         health,
         policy,
         admitted: policy.admits(&health),
@@ -132,10 +142,30 @@ pub fn bake(
 ) -> Result<ChaosSummary, ReplayError> {
     let trace = trace.as_ref();
     let out = out.as_ref();
-    let source = MmapTrace::open(trace)?;
-    source.validate_records()?;
-    let records = source.record_count();
-    drop(source);
+    let records = match MmapTrace::open(trace) {
+        Ok(source) => {
+            source.validate_records()?;
+            source.record_count()
+        }
+        Err(TraceError::UnsupportedVersion { found: 2 }) => {
+            // A torn tail cannot be baked into a v2 trace: the block
+            // index and footer live at the end of the file, so cutting
+            // bytes there destroys the whole layout (a fatal torn
+            // index, not a quarantinable record) — refuse the plan
+            // instead of baking an unreplayable file.
+            if truncate {
+                return Err(ReplayError::Chaos(
+                    "--truncate tears the v2 block index (fatal under every policy); \
+                     use --corrupt/--wild on v2 traces"
+                        .to_owned(),
+                ));
+            }
+            let source = V2Trace::open(trace)?;
+            source.validate_records()?;
+            source.record_count()
+        }
+        Err(e) => return Err(e.into()),
+    };
 
     let planned: Vec<(FaultKind, usize)> = [
         (FaultKind::CorruptKind, corrupt),
@@ -226,6 +256,49 @@ mod tests {
         assert!(!report.admitted);
         assert!(report.health.torn_tail_bytes > 0);
         assert!(check(&dirty, DecodePolicy::lenient()).unwrap().admitted);
+        std::fs::remove_file(&clean).unwrap();
+        std::fs::remove_file(&dirty).unwrap();
+    }
+
+    #[test]
+    fn v2_traces_check_and_bake_block_granular() {
+        use crate::replay::{record_with_format, RecordFormat};
+        let clean = temp("v2-src");
+        let dirty = temp("v2-dst");
+        record_with_format(
+            "gap",
+            Scale::TINY,
+            Some(2000),
+            &clean,
+            RecordFormat::V2 { block_len: 16 },
+        )
+        .unwrap();
+
+        // Tearing the tail of a v2 trace would destroy the block index,
+        // so the plan is refused outright.
+        let err = bake(&clean, &dirty, 1, 0, 0, true).unwrap_err();
+        assert!(matches!(err, ReplayError::Chaos(_)));
+        assert!(err.to_string().contains("block index"));
+
+        let summary = bake(&clean, &dirty, 42, 2, 1, false).unwrap();
+        assert_eq!(summary.records, 2000);
+
+        let strict = check(&dirty, DecodePolicy::Strict).unwrap();
+        assert!(!strict.admitted);
+        assert_eq!(strict.grid_records, 2000);
+        // v2 quarantine is block-granular: each corrupted record costs
+        // its whole 16-record block.
+        assert!(strict.health.blocks_bad >= 1 && strict.health.blocks_bad <= 3);
+        assert_eq!(strict.health.records_bad, strict.health.blocks_bad * 16);
+
+        let salvage = check(&dirty, DecodePolicy::quarantine(strict.health.records_bad)).unwrap();
+        assert!(salvage.admitted);
+        let replayed = TraceWorkload::open_with_policy(
+            &dirty,
+            DecodePolicy::quarantine(strict.health.records_bad),
+        )
+        .unwrap();
+        assert_eq!(replayed.stream_len(), 2000 - strict.health.records_bad);
         std::fs::remove_file(&clean).unwrap();
         std::fs::remove_file(&dirty).unwrap();
     }

@@ -15,6 +15,7 @@
 //! | [`replay`] | §3.1 methodology | trace recording (`xp record`) and full-speed mmap replay (`xp replay`) |
 //! | [`mix`] | §4 outlook | multiprogrammed interleaves (`xp mix`): scheme sweep with context switches and per-stream attribution |
 //! | [`health`] | (robustness) | trace damage census (`xp check`) and deterministic fault baking (`xp chaos`) |
+//! | [`tracestat`] | (corpus tooling) | per-file trace summary (`xp tracestat`): records, kind mix, page footprint, v2 compression, damage census |
 //! | [`throughput`] | (telemetry) | simulator accesses/sec per scheme + DP miss-path microbench + trace replay + multiprogram interleave |
 //!
 //! Every module exposes `run(scale) -> Result<Data, SimError>` plus
@@ -48,6 +49,7 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod throughput;
+pub mod tracestat;
 
 pub use grid::{
     accuracy_grid, accuracy_grid_sharded, paper_scheme_grid, table2_schemes, GridCell, GridRow,

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use tlbsim_core::MemoryAccess;
 use tlbsim_sim::{resolve_shards, run_app_sharded, sweep, SimConfig, SimError, SweepJob};
-use tlbsim_trace::{BinaryTraceWriter, DecodePolicy, TraceError, TraceHealth};
+use tlbsim_trace::{BinaryTraceWriter, DecodePolicy, TraceError, TraceHealth, V2TraceWriter};
 use tlbsim_workloads::{find_app, AppSpec, Scale, TraceWorkload};
 
 use crate::grid::{paper_scheme_grid, GridCell};
@@ -74,6 +74,29 @@ impl From<io::Error> for ReplayError {
     }
 }
 
+/// On-disk format selector for [`record`] (`xp record --format`) and
+/// `xp convert --format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordFormat {
+    /// Flat v1 `TLBT`: 17 bytes per record, byte-addressable.
+    V1,
+    /// Block-compressed v2 `TLBT` with the given records per block.
+    V2 {
+        /// Records per block (restart cadence). ≥ 1.
+        block_len: u32,
+    },
+}
+
+impl RecordFormat {
+    /// The default v2 selector ([`tlbsim_trace::DEFAULT_BLOCK_LEN`]
+    /// records per block).
+    pub fn v2_default() -> Self {
+        RecordFormat::V2 {
+            block_len: tlbsim_trace::DEFAULT_BLOCK_LEN,
+        }
+    }
+}
+
 /// What [`record`] wrote.
 #[derive(Debug, Clone)]
 pub struct RecordSummary {
@@ -83,7 +106,8 @@ pub struct RecordSummary {
     pub scale: Scale,
     /// Records written.
     pub records: u64,
-    /// File size in bytes (8-byte header + 17 bytes per record).
+    /// File size in bytes (for v1, 8-byte header + 17 bytes per
+    /// record; for v2, whatever the delta blocks compressed to).
     pub bytes: u64,
     /// Destination path.
     pub path: PathBuf,
@@ -116,9 +140,24 @@ pub fn record(
     limit: Option<u64>,
     path: impl AsRef<Path>,
 ) -> Result<RecordSummary, ReplayError> {
+    record_with_format(app, scale, limit, path, RecordFormat::V1)
+}
+
+/// [`record`] with an explicit on-disk format (`xp record --format`).
+///
+/// # Errors
+///
+/// As [`record`].
+pub fn record_with_format(
+    app: &str,
+    scale: Scale,
+    limit: Option<u64>,
+    path: impl AsRef<Path>,
+    format: RecordFormat,
+) -> Result<RecordSummary, ReplayError> {
     let spec = find_app(app).ok_or_else(|| ReplayError::UnknownApp(app.to_owned()))?;
     let path = path.as_ref();
-    let summary = record_spec(spec, scale, limit, path)?;
+    let summary = record_spec_with_format(spec, scale, limit, path, format)?;
     Ok(summary)
 }
 
@@ -130,8 +169,28 @@ pub fn record_spec(
     limit: Option<u64>,
     path: &Path,
 ) -> Result<RecordSummary, ReplayError> {
+    record_spec_with_format(spec, scale, limit, path, RecordFormat::V1)
+}
+
+/// [`record_spec`] with an explicit on-disk format.
+pub fn record_spec_with_format(
+    spec: &AppSpec,
+    scale: Scale,
+    limit: Option<u64>,
+    path: &Path,
+    format: RecordFormat,
+) -> Result<RecordSummary, ReplayError> {
+    enum Sink {
+        V1(BinaryTraceWriter<std::fs::File>),
+        V2(V2TraceWriter<std::fs::File>),
+    }
     let file = std::fs::File::create(path)?;
-    let mut writer = BinaryTraceWriter::create(file)?;
+    let mut sink = match format {
+        RecordFormat::V1 => Sink::V1(BinaryTraceWriter::create(file)?),
+        RecordFormat::V2 { block_len } => {
+            Sink::V2(V2TraceWriter::create_with_block_len(file, block_len)?)
+        }
+    };
     let mut workload = spec.workload(scale);
     let mut remaining = limit.unwrap_or(u64::MAX);
     let mut buf = vec![MemoryAccess::read(0, 0); 4096];
@@ -142,17 +201,30 @@ pub fn record_spec(
             break;
         }
         for access in &buf[..filled] {
-            writer.write(access)?;
+            match &mut sink {
+                Sink::V1(w) => w.write(access)?,
+                Sink::V2(w) => w.write(access)?,
+            }
         }
         remaining -= filled as u64;
     }
-    let records = writer.records_written();
-    writer.finish()?;
+    let records = match sink {
+        Sink::V1(w) => {
+            let records = w.records_written();
+            w.finish()?;
+            records
+        }
+        Sink::V2(w) => {
+            let records = w.records_written();
+            w.finish()?;
+            records
+        }
+    };
     Ok(RecordSummary {
         app: spec.name,
         scale,
         records,
-        bytes: tlbsim_trace::HEADER_BYTES as u64 + records * tlbsim_trace::RECORD_BYTES as u64,
+        bytes: std::fs::metadata(path)?.len(),
         path: path.to_owned(),
     })
 }
@@ -208,7 +280,29 @@ pub fn replay_with_policy(
     shards: usize,
     policy: DecodePolicy,
 ) -> Result<ReplayReport, ReplayError> {
-    let trace = TraceWorkload::open_with_policy(path.as_ref(), policy)?;
+    replay_with_options(path, shards, policy, None)
+}
+
+/// [`replay_with_policy`] with an optional streaming window (`xp replay
+/// --stream-window <blocks>`): instead of mapping the whole trace, each
+/// replay cursor holds a sliding `window` of v2 blocks mapped at a
+/// time, so traces larger than RAM replay in bounded memory. `None`
+/// (and any v1 trace) maps the whole file. The window size never
+/// changes *what* is replayed — only how many bytes are resident.
+///
+/// # Errors
+///
+/// As [`replay_with_policy`].
+pub fn replay_with_options(
+    path: impl AsRef<Path>,
+    shards: usize,
+    policy: DecodePolicy,
+    stream_window: Option<u64>,
+) -> Result<ReplayReport, ReplayError> {
+    let trace = match stream_window {
+        Some(window) => TraceWorkload::open_streaming(path.as_ref(), policy, window)?,
+        None => TraceWorkload::open_with_policy(path.as_ref(), policy)?,
+    };
     let schemes = paper_scheme_grid();
     let base = SimConfig::paper_default();
     let scale = Scale::TINY; // ignored by fixed-length traces

@@ -4,7 +4,8 @@
 //! scheme on a deterministic miss-heavy stream, the DP miss-path
 //! microbenchmark comparing the reusable-sink hot path against the
 //! allocating legacy `decide()` path, sharded-vs-sequential scaling,
-//! mmap trace replay against the generator that recorded it, and
+//! mmap trace replay against the generator that recorded it, flat-v1
+//! against block-compressed-v2 replay of the same stream, and
 //! daemon-served trace ingest against in-process batch replay. The
 //! results serialise to `BENCH_throughput.json`, giving successive PRs
 //! a machine-readable performance trajectory for the hot loop.
@@ -122,6 +123,49 @@ impl TraceReplayThroughput {
     }
 }
 
+/// Flat-v1 versus block-compressed-v2 replay of the same recorded
+/// stream through the same DP engine, plus the size the v2 delta
+/// blocks compressed the trace to.
+///
+/// The gate (compressed replay ≥ 1/1.2× of raw-mmap replay, ≤ 6
+/// bytes/record on the fixture) lives in `cargo bench`'s `trace_v2`
+/// group (`tlbsim-bench`, `benches/trace_v2.rs`); this snapshot records
+/// what the host measured.
+#[derive(Debug, Clone)]
+pub struct TraceV2Throughput {
+    /// Application whose stream was recorded (the trace-replay
+    /// fixture).
+    pub app: &'static str,
+    /// Accesses per replay (= records in either trace).
+    pub accesses: u64,
+    /// Flat v1 file size in bytes.
+    pub v1_bytes: u64,
+    /// Block-compressed v2 file size in bytes.
+    pub v2_bytes: u64,
+    /// Best raw (v1 mmap) replay nanoseconds per access.
+    pub raw_replay_ns_per_access: f64,
+    /// Best compressed (v2 block-decode) replay nanoseconds per access.
+    pub compressed_replay_ns_per_access: f64,
+}
+
+impl TraceV2Throughput {
+    /// Stored bytes per record in the v2 encoding (17.0 flat).
+    pub fn bytes_per_record(&self) -> f64 {
+        self.v2_bytes as f64 / self.accesses as f64
+    }
+
+    /// v1 size over v2 size (> 1 means v2 is smaller).
+    pub fn compression_ratio(&self) -> f64 {
+        self.v1_bytes as f64 / self.v2_bytes as f64
+    }
+
+    /// Compressed-replay throughput as a fraction of raw-replay
+    /// throughput (1.0 = parity; the bench gate requires ≥ 1/1.2).
+    pub fn compressed_vs_raw(&self) -> f64 {
+        self.raw_replay_ns_per_access / self.compressed_replay_ns_per_access
+    }
+}
+
 /// Single-stream versus multiprogrammed-interleave throughput of the
 /// same two reference streams through the same DP engine.
 ///
@@ -203,6 +247,8 @@ pub struct ThroughputReport {
     pub shard_scaling: ShardScaling,
     /// Generator vs mmap-trace-replay throughput.
     pub trace_replay: TraceReplayThroughput,
+    /// Flat-v1 vs block-compressed-v2 replay throughput and size.
+    pub trace_v2: TraceV2Throughput,
     /// Single-stream vs multiprogrammed-interleave throughput.
     pub multiprogram: MultiprogramThroughput,
     /// Daemon-served vs in-process batch trace ingest throughput.
@@ -311,6 +357,7 @@ pub fn run() -> Result<ThroughputReport, SimError> {
 
     let shard_scaling = measure_shard_scaling()?;
     let trace_replay = measure_trace_replay()?;
+    let trace_v2 = measure_trace_v2()?;
     let multiprogram = measure_multiprogram()?;
     let service = measure_service()?;
 
@@ -340,6 +387,7 @@ pub fn run() -> Result<ThroughputReport, SimError> {
         },
         shard_scaling,
         trace_replay,
+        trace_v2,
         multiprogram,
         service,
     })
@@ -410,6 +458,66 @@ fn measure_trace_replay() -> Result<TraceReplayThroughput, SimError> {
         backend,
         generator_ns_per_access: generator.as_nanos() as f64 / summary.records as f64,
         replay_ns_per_access: replay.as_nanos() as f64 / summary.records as f64,
+    })
+}
+
+/// Times a flat-v1 mmap replay against a block-compressed-v2 replay of
+/// the identical recorded stream (same accesses, same engine
+/// configuration), and records what the delta blocks compressed the
+/// trace to.
+///
+/// Environmental failures panic with context, as in
+/// [`measure_trace_replay`].
+fn measure_trace_v2() -> Result<TraceV2Throughput, SimError> {
+    let (app, scale, config) = trace_replay_fixture();
+    let v1_path = std::env::temp_dir().join(format!(
+        "tlbsim-bench-v1-{}-{}.tlbt",
+        std::process::id(),
+        app.name
+    ));
+    let v2_path = std::env::temp_dir().join(format!(
+        "tlbsim-bench-v2-{}-{}.tlbt",
+        std::process::id(),
+        app.name
+    ));
+    let v1_guard = TempFileGuard(v1_path.clone());
+    let v2_guard = TempFileGuard(v2_path.clone());
+    let v1 = crate::replay::record_spec(app, scale, None, &v1_path)
+        .unwrap_or_else(|e| panic!("recording {} to {}: {e}", app.name, v1_path.display()));
+    let v2 = crate::replay::record_spec_with_format(
+        app,
+        scale,
+        None,
+        &v2_path,
+        crate::replay::RecordFormat::v2_default(),
+    )
+    .unwrap_or_else(|e| panic!("recording {} to {}: {e}", app.name, v2_path.display()));
+    assert_eq!(v1.records, v2.records, "both formats hold the same stream");
+    let raw_trace = TraceWorkload::open(&v1_path)
+        .unwrap_or_else(|e| panic!("opening just-recorded {}: {e}", v1_path.display()));
+    let v2_trace = TraceWorkload::open(&v2_path)
+        .unwrap_or_else(|e| panic!("opening just-recorded {}: {e}", v2_path.display()));
+
+    run_app(&raw_trace, scale, &config)?;
+    run_app(&v2_trace, scale, &config)?;
+    let raw = best_time(|| {
+        std::hint::black_box(run_app(&raw_trace, scale, &config).expect("validated"));
+    });
+    let compressed = best_time(|| {
+        std::hint::black_box(run_app(&v2_trace, scale, &config).expect("validated"));
+    });
+    drop(raw_trace);
+    drop(v2_trace);
+    drop(v1_guard);
+    drop(v2_guard);
+
+    Ok(TraceV2Throughput {
+        app: app.name,
+        accesses: v1.records,
+        v1_bytes: v1.bytes,
+        v2_bytes: v2.bytes,
+        raw_replay_ns_per_access: raw.as_nanos() as f64 / v1.records as f64,
+        compressed_replay_ns_per_access: compressed.as_nanos() as f64 / v1.records as f64,
     })
 }
 
@@ -625,6 +733,22 @@ impl ThroughputReport {
             tr.replay_ns_per_access,
             tr.replay_vs_generator()
         );
+        let v2 = &self.trace_v2;
+        let _ = writeln!(
+            out,
+            "Trace v2 ({}, {} accesses): {} -> {} bytes ({:.2}x smaller, {:.2} bytes/record), \
+             raw replay {:.2} ns/access, compressed replay {:.2} ns/access \
+             ({:.2}x of raw throughput)",
+            v2.app,
+            v2.accesses,
+            v2.v1_bytes,
+            v2.v2_bytes,
+            v2.compression_ratio(),
+            v2.bytes_per_record(),
+            v2.raw_replay_ns_per_access,
+            v2.compressed_replay_ns_per_access,
+            v2.compressed_vs_raw()
+        );
         let mp = &self.multiprogram;
         let _ = writeln!(
             out,
@@ -714,6 +838,23 @@ impl ThroughputReport {
             tr.replay_ns_per_access,
             tr.replay_vs_generator()
         );
+        let v2 = &self.trace_v2;
+        let _ = writeln!(
+            out,
+            "  \"trace_v2\": {{\"app\": \"{}\", \"accesses\": {}, \"v1_bytes\": {}, \
+             \"v2_bytes\": {}, \"bytes_per_record\": {:.3}, \"compression_ratio\": {:.3}, \
+             \"raw_replay_ns_per_access\": {:.3}, \"compressed_replay_ns_per_access\": {:.3}, \
+             \"compressed_vs_raw\": {:.3}}},",
+            v2.app,
+            v2.accesses,
+            v2.v1_bytes,
+            v2.v2_bytes,
+            v2.bytes_per_record(),
+            v2.compression_ratio(),
+            v2.raw_replay_ns_per_access,
+            v2.compressed_replay_ns_per_access,
+            v2.compressed_vs_raw()
+        );
         let mp = &self.multiprogram;
         let streams: Vec<String> = mp.streams.iter().map(|s| format!("\"{s}\"")).collect();
         let _ = writeln!(
@@ -784,6 +925,14 @@ mod tests {
         );
         assert!(tr.backend == "mmap" || tr.backend == "read");
         assert!(tr.replay_vs_generator() > 0.0);
+        let v2 = &report.trace_v2;
+        assert_eq!(v2.app, "galgel");
+        assert_eq!(v2.accesses, tr.accesses);
+        assert_eq!(v2.v1_bytes, tr.trace_bytes);
+        assert!(v2.v2_bytes < v2.v1_bytes, "v2 must compress the fixture");
+        assert!(v2.bytes_per_record() < 17.0);
+        assert!(v2.compression_ratio() > 1.0);
+        assert!(v2.compressed_vs_raw() > 0.0);
         let mp = &report.multiprogram;
         assert_eq!(mp.streams, vec!["gap", "mcf"]);
         assert!(mp.accesses > 0);
@@ -801,6 +950,8 @@ mod tests {
         assert!(json.contains("\"speedup_vs_sequential\""));
         assert!(json.contains("\"trace_replay\""));
         assert!(json.contains("\"replay_vs_generator\""));
+        assert!(json.contains("\"trace_v2\""));
+        assert!(json.contains("\"compressed_vs_raw\""));
         assert!(json.contains("\"multiprogram\""));
         assert!(json.contains("\"interleave_vs_single_stream\""));
         assert!(json.contains("\"service\""));
@@ -811,6 +962,7 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("DP miss path"));
         assert!(rendered.contains("Trace replay"));
+        assert!(rendered.contains("Trace v2"));
         assert!(rendered.contains("Multiprogram"));
         assert!(rendered.contains("Service"));
     }

@@ -303,7 +303,7 @@ fn put_string(buf: &mut Vec<u8>, s: &str) -> Result<(), FrameError> {
     Ok(())
 }
 
-fn encode_stats(buf: &mut Vec<u8>, stats: &SimStats) {
+fn encode_stats(buf: &mut Vec<u8>, stats: &SimStats) -> Result<(), FrameError> {
     put_u64(buf, stats.accesses);
     put_u64(buf, stats.misses);
     put_u64(buf, stats.prefetch_buffer_hits);
@@ -314,7 +314,13 @@ fn encode_stats(buf: &mut Vec<u8>, stats: &SimStats) {
     put_u64(buf, stats.maintenance_ops);
     put_u64(buf, stats.footprint_pages);
     let streams = stats.per_stream.streams();
-    put_u16(buf, streams.len() as u16);
+    // MAX_STREAMS keeps this unreachable today, but a silent `as u16`
+    // here would truncate quietly if that bound ever grew — every
+    // count on the wire goes through a checked conversion.
+    let count = u16::try_from(streams.len()).map_err(|_| FrameError::BadValue {
+        field: "stats.per_stream.len",
+    })?;
+    put_u16(buf, count);
     for s in streams {
         put_u64(buf, s.accesses);
         put_u64(buf, s.misses);
@@ -323,6 +329,7 @@ fn encode_stats(buf: &mut Vec<u8>, stats: &SimStats) {
         put_u64(buf, s.prefetches_issued);
         put_u64(buf, s.footprint_pages);
     }
+    Ok(())
 }
 
 fn decode_stats(r: &mut Reader<'_>) -> Result<SimStats, FrameError> {
@@ -362,7 +369,7 @@ fn decode_stats(r: &mut Reader<'_>) -> Result<SimStats, FrameError> {
     Ok(stats)
 }
 
-fn encode_switch_policy(buf: &mut Vec<u8>, policy: &SwitchPolicy) {
+fn encode_switch_policy(buf: &mut Vec<u8>, policy: &SwitchPolicy) -> Result<(), FrameError> {
     match policy {
         SwitchPolicy::None => {
             buf.push(0);
@@ -376,13 +383,17 @@ fn encode_switch_policy(buf: &mut Vec<u8>, policy: &SwitchPolicy) {
         }
         SwitchPolicy::Asid { contexts, tables } => {
             buf.push(2);
-            put_u64(buf, *contexts as u64);
+            let contexts = u64::try_from(*contexts).map_err(|_| FrameError::BadValue {
+                field: "job.switch_policy.contexts",
+            })?;
+            put_u64(buf, contexts);
             buf.push(match tables {
                 TablePolicy::Shared => 0,
                 TablePolicy::Partitioned => 1,
             });
         }
     }
+    Ok(())
 }
 
 fn decode_switch_policy(r: &mut Reader<'_>) -> Result<SwitchPolicy, FrameError> {
@@ -551,7 +562,7 @@ fn encode_job(buf: &mut Vec<u8>, job: &JobSpec) -> Result<(), FrameError> {
     }
     put_u64(buf, job.snapshot_every);
     put_u64(buf, job.fault_panics);
-    encode_switch_policy(buf, &job.switch_policy);
+    encode_switch_policy(buf, &job.switch_policy)?;
     Ok(())
 }
 
@@ -662,7 +673,7 @@ impl Frame {
                 put_u64(buf, *job_id);
                 put_u64(buf, *seq);
                 put_u64(buf, *accesses_done);
-                encode_stats(buf, stats);
+                encode_stats(buf, stats)?;
             }
             Frame::Done {
                 job_id,
@@ -671,7 +682,7 @@ impl Frame {
             } => {
                 buf.push(KIND_DONE);
                 put_u64(buf, *job_id);
-                encode_stats(buf, stats);
+                encode_stats(buf, stats)?;
                 encode_health(buf, health);
             }
             Frame::JobError {
@@ -696,7 +707,15 @@ impl Frame {
                 buf.push(KIND_SHUTTING_DOWN);
             }
         }
-        let payload = (buf.len() - 4) as u32;
+        // The prefix is a u32 and readers cap frames at MAX_FRAME_BYTES;
+        // an unrepresentable or unreadable length must fail the encode,
+        // never truncate into a prefix that frames garbage.
+        let payload = u32::try_from(buf.len() - 4)
+            .ok()
+            .filter(|&len| len as usize <= MAX_FRAME_BYTES)
+            .ok_or(FrameError::BadValue {
+                field: "frame length",
+            })?;
         buf[..4].copy_from_slice(&payload.to_le_bytes());
         Ok(())
     }
@@ -908,6 +927,52 @@ mod tests {
         roundtrip(Frame::Shutdown { drain: true });
         roundtrip(Frame::Shutdown { drain: false });
         roundtrip(Frame::ShuttingDown);
+    }
+
+    #[test]
+    fn unrepresentable_counts_fail_the_encode_instead_of_truncating() {
+        let mut buf = Vec::new();
+        // A mix with more members than the u16 count field can carry
+        // must be a typed encode error, not a silently truncated frame.
+        let apps: Vec<String> = (0..70_000).map(|i| format!("app{i}")).collect();
+        let frame = Frame::Submit {
+            job_id: 1,
+            job: JobSpec::mix(apps, 4096),
+        };
+        assert_eq!(
+            frame.encode_into(&mut buf),
+            Err(FrameError::BadValue {
+                field: "job.source.mix.count"
+            })
+        );
+        // A string longer than its u16 length prefix likewise.
+        let frame = Frame::JobError {
+            job_id: 2,
+            code: ErrorCode::Sim,
+            message: "x".repeat(70_000),
+        };
+        assert_eq!(
+            frame.encode_into(&mut buf),
+            Err(FrameError::BadValue {
+                field: "string length"
+            })
+        );
+        // And a frame that would exceed what read_frame accepts fails
+        // at encode rather than producing an unreadable stream.
+        let apps: Vec<String> = (0..65_000).map(|i| format!("application-{i:08}")).collect();
+        let frame = Frame::Submit {
+            job_id: 3,
+            job: JobSpec::mix(apps, 4096),
+        };
+        assert_eq!(
+            frame.encode_into(&mut buf),
+            Err(FrameError::BadValue {
+                field: "frame length"
+            })
+        );
+        // Failed encodes leave the buffer reusable: a good frame after a
+        // bad one round-trips.
+        roundtrip(Frame::Hello { version: 1 });
     }
 
     #[test]

@@ -76,12 +76,16 @@ pub fn auto_shard_count(stream_len: u64) -> usize {
 }
 
 /// Resolves a user-facing shard request: `0` means "auto" (see
-/// [`auto_shard_count`]), any other value is taken literally.
+/// [`auto_shard_count`]), any other value is taken literally — clamped
+/// to the stream length (and at least 1), so a request like
+/// `--shards 64` over a 10-access stream plans 10 single-access shards
+/// instead of 54 empty ones whose workers spin up for nothing.
 pub fn resolve_shards(requested: usize, stream_len: u64) -> usize {
     if requested == 0 {
         auto_shard_count(stream_len)
     } else {
-        requested
+        let cap = usize::try_from(stream_len.max(1)).unwrap_or(usize::MAX);
+        requested.min(cap).max(1)
     }
 }
 
@@ -297,6 +301,49 @@ impl ShardPlan {
         ShardPlan { ranges }
     }
 
+    /// Splits `total` accesses into `shards` contiguous ranges whose
+    /// interior boundaries fall on multiples of `alignment`.
+    ///
+    /// With `alignment == 1` (or 0, which is treated as 1) the plan is
+    /// **identical** to [`ShardPlan::split`] — the sequential-equality
+    /// pins on generator workloads are untouched. For larger alignments
+    /// the stream's whole alignment units are split as evenly as
+    /// [`ShardPlan::split`] splits accesses, and the final shard absorbs
+    /// the sub-unit remainder; when the stream holds fewer whole units
+    /// than shards, leading shards plan empty ranges (which workers
+    /// skip for free), never misaligned ones.
+    ///
+    /// This is what lets block-compressed (v2) trace replay shard
+    /// without paying delta decoding at the cuts: the workloads layer
+    /// advertises its records-per-block via `StreamSpec::seek_alignment`
+    /// and every worker's O(1) seek then lands exactly on a block
+    /// restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero, as for [`ShardPlan::split`].
+    pub fn split_aligned(total: u64, shards: usize, alignment: u64) -> Self {
+        if alignment <= 1 {
+            return Self::split(total, shards);
+        }
+        let units = total / alignment;
+        let unit_plan = Self::split(units, shards);
+        let mut ranges = Vec::with_capacity(shards);
+        for (index, unit_range) in unit_plan.ranges.iter().enumerate() {
+            let start = unit_range.start * alignment;
+            let end = if index + 1 == unit_plan.ranges.len() {
+                total
+            } else {
+                (unit_range.start + unit_range.len) * alignment
+            };
+            ranges.push(ShardRange {
+                start,
+                len: end - start,
+            });
+        }
+        ShardPlan { ranges }
+    }
+
     /// The planned ranges, in stream order.
     pub fn ranges(&self) -> &[ShardRange] {
         &self.ranges
@@ -403,7 +450,9 @@ pub fn run_app_sharded<S: StreamSpec + ?Sized>(
     // assume it is constructible and stay Result-free.
     drop(Engine::new(config)?);
 
-    let plan = ShardPlan::split(app.stream_len(scale), shards);
+    // Land shard cuts on the stream's preferred seek boundaries (block
+    // restarts for v2 traces; 1 — an ordinary even split — otherwise).
+    let plan = ShardPlan::split_aligned(app.stream_len(scale), shards, app.seek_alignment());
     let shard_task = |index: usize| -> ShardHarvest {
         let range = plan.ranges()[index];
         let mut engine = Engine::new(config).expect("configuration validated above");
@@ -691,6 +740,65 @@ mod tests {
         assert_eq!(resolve_shards(3, u64::MAX), 3);
         assert_eq!(resolve_shards(1, 0), 1);
         assert_eq!(resolve_shards(0, 100_000), auto_shard_count(100_000));
+    }
+
+    #[test]
+    fn resolve_shards_clamps_literal_requests_to_the_stream() {
+        // More shards than accesses planned nothing but empty slices;
+        // the resolver now caps the request at the stream length.
+        assert_eq!(resolve_shards(64, 10), 10);
+        assert_eq!(resolve_shards(10, 10), 10);
+        assert_eq!(resolve_shards(9, 10), 9);
+        // Degenerate streams still resolve to one (never zero) shard.
+        assert_eq!(resolve_shards(64, 0), 1);
+        assert_eq!(resolve_shards(usize::MAX, 1), 1);
+    }
+
+    #[test]
+    fn aligned_split_with_unit_alignment_is_the_plain_split() {
+        for total in [0u64, 1, 7, 4096, 99_991] {
+            for shards in [1usize, 2, 3, 8, 64] {
+                for alignment in [0u64, 1] {
+                    assert_eq!(
+                        ShardPlan::split_aligned(total, shards, alignment),
+                        ShardPlan::split(total, shards),
+                        "{total}/{shards}/align {alignment}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_split_lands_interior_cuts_on_block_boundaries() {
+        for (total, shards, alignment) in [
+            (2000u64, 4usize, 100u64),
+            (2000, 4, 256),
+            (130, 4, 16),
+            (99_991, 7, 4096),
+            (10, 4, 16), // fewer whole blocks than shards
+        ] {
+            let plan = ShardPlan::split_aligned(total, shards, alignment);
+            assert_eq!(plan.ranges().len(), shards);
+            assert_eq!(plan.total(), total, "{total}/{shards}/{alignment}");
+            let mut expected_start = 0;
+            for (index, range) in plan.ranges().iter().enumerate() {
+                assert_eq!(range.start, expected_start, "contiguous");
+                assert_eq!(
+                    range.start % alignment,
+                    0,
+                    "{total}/{shards}/{alignment}: shard {index} starts misaligned"
+                );
+                expected_start += range.len;
+            }
+            assert_eq!(expected_start, total);
+        }
+        // When block boundaries coincide with the even split, the plans
+        // agree exactly — the anchor of the v1↔v2 sharded differential.
+        assert_eq!(
+            ShardPlan::split_aligned(2000, 4, 100),
+            ShardPlan::split(2000, 4)
+        );
     }
 
     #[test]

@@ -243,6 +243,90 @@ fn mmap_trace_replay_path_never_allocates_in_steady_state() {
 }
 
 #[test]
+fn v2_block_decode_never_allocates_in_steady_state() {
+    use tlbsim_trace::{V2Trace, V2TraceWriter};
+    use tlbsim_workloads::TraceWorkload;
+
+    // Record the lap stream as a delta-block v2 trace. A small block
+    // length keeps the restart/delta mix representative: the measured
+    // replay crosses hundreds of block boundaries, so both the restart
+    // decode and the varint delta chain are exercised continuously.
+    let lap = lap_stream();
+    let path =
+        std::env::temp_dir().join(format!("tlbsim-zero-alloc-v2-{}.tlbt", std::process::id()));
+    {
+        let mut writer = V2TraceWriter::create_with_block_len(
+            std::fs::File::create(&path).expect("temp trace file creates"),
+            64,
+        )
+        .expect("trace header writes");
+        for _ in 0..4 {
+            for access in &lap {
+                writer.write(access).expect("record writes");
+            }
+        }
+        writer.finish().expect("block index and footer write");
+    }
+
+    // --- Cursor level: open -> decode_batch -> engine drive. The
+    // whole-map backend is the steady-state path; the windowed
+    // streaming backend remaps (and therefore allocates) by design.
+    let trace = V2Trace::open(&path).expect("recorded trace validates");
+    let config = SimConfig::paper_default();
+    let mut engine = Engine::new(&config).expect("valid configuration");
+    let mut batch = vec![MemoryAccess::read(0, 0); 4096];
+
+    // Warm-up: one full replay populates the engine and faults in the
+    // whole mapping.
+    let mut cursor = trace.cursor();
+    loop {
+        let filled = cursor.decode_batch(&mut batch).expect("validated records");
+        if filled == 0 {
+            break;
+        }
+        engine.access_batch(&batch[..filled]);
+    }
+
+    // Steady state: the O(1) index seek, every block-boundary restart,
+    // the zig-zag varint decode and the miss path must all stay off
+    // the heap.
+    let before = allocations_so_far();
+    cursor.seek(0);
+    loop {
+        let filled = cursor.decode_batch(&mut batch).expect("validated records");
+        if filled == 0 {
+            break;
+        }
+        engine.access_batch(&batch[..filled]);
+    }
+    let allocated = allocations_so_far() - before;
+    assert!(
+        engine.stats().misses >= 8 * 600,
+        "the replay must actually stress the miss path, saw {} misses",
+        engine.stats().misses
+    );
+    assert_eq!(
+        allocated, 0,
+        "cursor-level v2 block decode performed {allocated} heap allocations"
+    );
+
+    // --- Full stack: TraceWorkload (v2 sniffed) -> run_workload. ---
+    let workload_spec = TraceWorkload::open(&path).expect("recorded trace validates");
+    assert_eq!(workload_spec.format_version(), 2, "v2 header sniffed");
+    engine.run_workload(&mut workload_spec.workload());
+    let mut replay = workload_spec.workload();
+    let before = allocations_so_far();
+    engine.run_workload(&mut replay);
+    let allocated = allocations_so_far() - before;
+    assert_eq!(
+        allocated, 0,
+        "v2 TraceWorkload replay performed {allocated} heap allocations"
+    );
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn quarantine_decode_never_allocates_in_steady_state() {
     use tlbsim_trace::{BinaryTraceWriter, DecodePolicy, MmapTrace, HEADER_BYTES, RECORD_BYTES};
     use tlbsim_workloads::TraceWorkload;

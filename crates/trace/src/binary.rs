@@ -220,6 +220,7 @@ impl<R: Read> BinaryTraceReader<R> {
             records_bad: self.bad,
             torn_tail_bytes: self.torn_tail,
             first_bad_record: self.first_bad,
+            blocks_bad: 0,
         }
     }
 

@@ -44,6 +44,26 @@ pub enum TraceError {
         /// The policy's budget.
         max_bad: u64,
     },
+    /// A v2 trace's footer or block index is missing or inconsistent.
+    ///
+    /// Like header errors, this is fatal under **every** policy: without
+    /// a trustworthy index there is no grid to resynchronise on, so
+    /// nothing can be quarantined.
+    TornIndex {
+        /// What specifically failed to validate.
+        detail: &'static str,
+    },
+    /// A v2 block's delta payload is damaged (a varint overruns the
+    /// block's extent, or the payload ends early / carries spare bytes).
+    TornBlock {
+        /// Zero-based index of the damaged block.
+        block: u64,
+    },
+    /// A v2 block is too short to hold its 17-byte restart record.
+    TornRestart {
+        /// Zero-based index of the damaged block.
+        block: u64,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -71,6 +91,15 @@ impl fmt::Display for TraceError {
                     f,
                     "quarantine budget exhausted: {bad} bad records (max_bad {max_bad})"
                 )
+            }
+            TraceError::TornIndex { detail } => {
+                write!(f, "v2 trace index is damaged: {detail}")
+            }
+            TraceError::TornBlock { block } => {
+                write!(f, "v2 trace block {block} has a damaged delta payload")
+            }
+            TraceError::TornRestart { block } => {
+                write!(f, "v2 trace block {block} ends inside its restart record")
             }
         }
     }
@@ -108,6 +137,14 @@ mod tests {
         assert!(e.to_string().contains("0x9"));
         let e = TraceError::TruncatedHeader { len: 3 };
         assert!(e.to_string().contains("mid-header"));
+        let e = TraceError::TornIndex {
+            detail: "footer magic mismatch",
+        };
+        assert!(e.to_string().contains("footer magic mismatch"));
+        let e = TraceError::TornBlock { block: 12 };
+        assert!(e.to_string().contains("block 12"));
+        let e = TraceError::TornRestart { block: 3 };
+        assert!(e.to_string().contains("block 3"));
     }
 
     #[test]

@@ -159,7 +159,21 @@ impl FaultPlan {
     ///
     /// Faults aimed past the end of the image are ignored — a plan can
     /// be broader than one particular file.
+    ///
+    /// Images carrying a **v2** header (version 2 with a parseable
+    /// footer) take the block-format baking path instead: each fault
+    /// lands on the restart record of the block containing its target
+    /// record, and `TruncateTail` is ignored (tail truncation destroys
+    /// the v2 footer, which is fatal under every policy — there is no
+    /// quarantinable torn tail to manufacture).
     pub fn apply_to_bytes(&self, bytes: &mut Vec<u8>) {
+        if bytes.len() >= HEADER_BYTES
+            && bytes[0..4] == crate::binary::MAGIC
+            && u16::from_le_bytes([bytes[4], bytes[5]]) == crate::block::V2_VERSION
+        {
+            crate::v2::bake_faults(bytes, &self.faults);
+            return;
+        }
         let record_base = |r: u64| HEADER_BYTES + (r as usize) * RECORD_BYTES;
         for fault in &self.faults {
             let base = record_base(fault.record);

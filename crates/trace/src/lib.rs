@@ -12,6 +12,12 @@
 //!   records decode batch-wise into caller-owned buffers, and seeking is
 //!   O(1) — the full-speed input path the simulator's batched engines
 //!   and sharded executor consume;
+//! * [`V2TraceWriter`] / [`V2Trace`] / [`V2TraceCursor`] — the **v2**
+//!   block-compressed variant of the same format: records are packed
+//!   into delta-compressed blocks behind a trailing block index, cutting
+//!   corpora to a few bytes per record while keeping O(1) seeks on block
+//!   boundaries, and [`V2TraceCursor::open_streaming`] replays files
+//!   larger than RAM through a sliding mapped window;
 //! * [`DecodePolicy`] / [`TraceHealth`] — strict (abort on first fault)
 //!   vs quarantine (skip, count, bound) decode, with a health report of
 //!   what a damaged file lost; see "Corruption & quarantine semantics"
@@ -53,6 +59,7 @@
 #![deny(missing_docs)]
 
 mod binary;
+mod block;
 mod error;
 mod fault;
 mod mmap;
@@ -60,9 +67,13 @@ mod policy;
 mod stats;
 mod stream;
 mod text;
+mod v2;
 
 pub use binary::{
     BinaryTraceReader, BinaryTraceWriter, HEADER_BYTES, MAGIC, RECORD_BYTES, VERSION,
+};
+pub use block::{
+    DEFAULT_BLOCK_LEN, FOOTER_BYTES, FOOTER_MAGIC, INDEX_ENTRY_BYTES, RESTART_BYTES, V2_VERSION,
 };
 pub use error::TraceError;
 pub use fault::{wild_vaddr, FaultKind, FaultPlan, FaultyRead, PlannedFault};
@@ -71,3 +82,4 @@ pub use policy::{DecodePolicy, TraceHealth};
 pub use stats::TraceStats;
 pub use stream::{Sampled, TraceStreamExt, TraceWindow};
 pub use text::{TextTraceReader, TextTraceWriter};
+pub use v2::{V2Trace, V2TraceCursor, V2TraceWriter};

@@ -450,6 +450,7 @@ impl MmapTraceCursor {
             records_bad: self.bad_seen,
             torn_tail_bytes: self.torn_tail,
             first_bad_record: self.first_bad,
+            blocks_bad: 0,
         }
     }
 }

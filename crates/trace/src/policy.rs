@@ -105,6 +105,11 @@ pub struct TraceHealth {
     pub torn_tail_bytes: u64,
     /// Index (on the raw 17-byte grid) of the first quarantined record.
     pub first_bad_record: Option<u64>,
+    /// Whole v2 blocks quarantined. v2 damage is block-granular — a
+    /// damaged block loses every record it held, and those records are
+    /// already counted in `records_bad` — so this field refines, never
+    /// extends, the bad-record tally. Always 0 on v1 paths.
+    pub blocks_bad: u64,
 }
 
 impl TraceHealth {
@@ -127,6 +132,9 @@ impl fmt::Display for TraceHealth {
             if let Some(first) = self.first_bad_record {
                 write!(f, " (first at record {first})")?;
             }
+        }
+        if self.blocks_bad > 0 {
+            write!(f, " in {} bad blocks", self.blocks_bad)?;
         }
         if self.torn_tail_bytes > 0 {
             write!(f, ", {}-byte torn tail", self.torn_tail_bytes)?;
@@ -165,6 +173,7 @@ mod tests {
             records_bad: 3,
             torn_tail_bytes: 0,
             first_bad_record: Some(2),
+            blocks_bad: 0,
         };
         assert!(DecodePolicy::quarantine(3).admits(&h));
         assert!(!DecodePolicy::quarantine(2).admits(&h));
@@ -181,12 +190,14 @@ mod tests {
             records_bad: 2,
             torn_tail_bytes: 5,
             first_bad_record: Some(17),
+            blocks_bad: 1,
         };
         let s = h.to_string();
         assert!(s.contains("98 records ok"));
         assert!(s.contains("2 quarantined"));
         assert!(s.contains("record 17"));
         assert!(s.contains("5-byte torn tail"));
+        assert!(s.contains("1 bad block"));
         let clean = TraceHealth {
             records_ok: 4,
             ..TraceHealth::default()

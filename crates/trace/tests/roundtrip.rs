@@ -6,8 +6,9 @@
 use proptest::prelude::*;
 use tlbsim_core::{AccessKind, MemoryAccess};
 use tlbsim_trace::{
-    BinaryTraceReader, BinaryTraceWriter, DecodePolicy, MmapTrace, TextTraceReader,
-    TextTraceWriter, TraceError, TraceStreamExt, HEADER_BYTES, RECORD_BYTES,
+    BinaryTraceReader, BinaryTraceWriter, DecodePolicy, FaultKind, FaultPlan, MmapTrace,
+    TextTraceReader, TextTraceWriter, TraceError, TraceStreamExt, V2Trace, V2TraceWriter,
+    HEADER_BYTES, RECORD_BYTES,
 };
 
 fn encode(records: &[MemoryAccess]) -> Vec<u8> {
@@ -39,6 +40,28 @@ fn open_via_file_policy(
     ));
     std::fs::write(&path, bytes).unwrap();
     let opened = MmapTrace::open_with_policy(&path, policy);
+    std::fs::remove_file(&path).ok();
+    opened
+}
+
+fn encode_v2(records: &[MemoryAccess], block_len: u32) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut w = V2TraceWriter::create_with_block_len(&mut buf, block_len).unwrap();
+    for r in records {
+        w.write(r).unwrap();
+    }
+    w.finish().unwrap();
+    buf
+}
+
+fn open_v2_via_file(bytes: &[u8], tag: &str, policy: DecodePolicy) -> Result<V2Trace, TraceError> {
+    let path = std::env::temp_dir().join(format!(
+        "tlbsim-proptest-{}-{tag}-{}.tlbt",
+        std::process::id(),
+        bytes.len()
+    ));
+    std::fs::write(&path, bytes).unwrap();
+    let opened = V2Trace::open_with_policy(&path, policy);
     std::fs::remove_file(&path).ok();
     opened
 }
@@ -318,6 +341,109 @@ proptest! {
         prop_assert_eq!(health.records_ok, got.len() as u64);
         prop_assert_eq!(health.records_bad, 0);
         prop_assert!(!health.is_clean());
+    }
+
+    #[test]
+    fn v2_roundtrip_across_arbitrary_block_lens(
+        records in prop::collection::vec(arb_access(), 0..200),
+        block_len in 1u32..300,
+        batch_len in 1usize..64,
+    ) {
+        let bytes = encode_v2(&records, block_len);
+        let trace = open_v2_via_file(&bytes, "v2-roundtrip", DecodePolicy::Strict).unwrap();
+        prop_assert_eq!(trace.record_count(), records.len() as u64);
+        prop_assert_eq!(trace.block_len(), u64::from(block_len));
+        let mut got = Vec::new();
+        let mut cursor = trace.cursor();
+        let mut buf = vec![MemoryAccess::read(0, 0); batch_len];
+        loop {
+            let n = cursor.decode_batch(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        prop_assert_eq!(got, records);
+    }
+
+    #[test]
+    fn v2_decode_agrees_with_v1_decode(
+        records in prop::collection::vec(arb_access(), 0..150),
+        block_len in 1u32..64,
+    ) {
+        let via_v1: Vec<MemoryAccess> = open_via_file(&encode(&records), "v1-agree")
+            .unwrap()
+            .cursor()
+            .map(|r| r.unwrap())
+            .collect();
+        let via_v2: Vec<MemoryAccess> =
+            open_v2_via_file(&encode_v2(&records, block_len), "v2-agree", DecodePolicy::Strict)
+                .unwrap()
+                .cursor()
+                .map(|r| r.unwrap())
+                .collect();
+        prop_assert_eq!(via_v2, via_v1);
+    }
+
+    #[test]
+    fn v2_truncation_anywhere_is_a_typed_error(
+        records in prop::collection::vec(arb_access(), 1..60),
+        block_len in 1u32..40,
+        cut in any::<usize>(),
+    ) {
+        // The block index and footer live at the tail, so *any* strict
+        // truncation destroys the layout: the open must fail with a
+        // typed error under every policy — torn v2 metadata is never
+        // quarantinable — and must never panic or return a shorter
+        // trace that silently misreports its length.
+        let bytes = encode_v2(&records, block_len);
+        let cut = cut % bytes.len();
+        let truncated = &bytes[..cut];
+        for policy in [DecodePolicy::Strict, DecodePolicy::lenient()] {
+            let opened = open_v2_via_file(truncated, "v2-cut", policy);
+            prop_assert!(opened.is_err(), "cut at {} of {} accepted", cut, bytes.len());
+        }
+    }
+
+    #[test]
+    fn v2_quarantine_drops_exactly_the_damaged_block(
+        records in prop::collection::vec(arb_access(), 1..200),
+        block_len in 1u32..32,
+        seed in any::<u64>(),
+    ) {
+        // Bake one kind corruption at a seeded position: it lands on
+        // the restart record of some block, so quarantine must drop
+        // that whole block (delta chains cannot resync mid-block) and
+        // nothing else.
+        let mut bytes = encode_v2(&records, block_len);
+        FaultPlan::seeded(seed, records.len() as u64, &[(FaultKind::CorruptKind, 1)])
+            .apply_to_bytes(&mut bytes);
+
+        let strict = open_v2_via_file(&bytes, "v2-chaos-strict", DecodePolicy::Strict).unwrap();
+        prop_assert!(matches!(
+            strict.validate_records(),
+            Err(TraceError::InvalidKind { .. })
+        ));
+
+        let trace = open_v2_via_file(&bytes, "v2-chaos", DecodePolicy::lenient()).unwrap();
+        let health = trace.scan_health().unwrap();
+        prop_assert_eq!(health.blocks_bad, 1);
+        let first = health.first_bad_record.unwrap();
+        prop_assert_eq!(first % u64::from(block_len), 0);
+        let block_start = first as usize;
+        let block_end = (block_start + block_len as usize).min(records.len());
+        prop_assert_eq!(health.records_bad, (block_end - block_start) as u64);
+        prop_assert_eq!(
+            health.records_ok,
+            (records.len() - (block_end - block_start)) as u64
+        );
+        let got: Vec<MemoryAccess> = trace.cursor().map(|r| r.unwrap()).collect();
+        let want: Vec<MemoryAccess> = records[..block_start]
+            .iter()
+            .chain(&records[block_end..])
+            .copied()
+            .collect();
+        prop_assert_eq!(got, want);
     }
 
     #[test]

@@ -47,6 +47,17 @@ pub trait StreamSpec: Send + Sync {
     fn quarantined_records(&self) -> u64 {
         0
     }
+
+    /// Preferred alignment (in accesses) for shard-boundary positions.
+    /// Always ≥ 1; the default of 1 means any position seeks equally
+    /// fast. Block-compressed traces report their records-per-block so
+    /// the sharded executor lands cuts on block boundaries, where a
+    /// seek costs zero delta decoding. Purely advisory: any position is
+    /// *correct* to seek to — misaligned cuts only pay a bounded
+    /// decode-forward inside one block.
+    fn seek_alignment(&self) -> u64 {
+        1
+    }
 }
 
 impl<S: StreamSpec + ?Sized> StreamSpec for &S {
@@ -65,6 +76,10 @@ impl<S: StreamSpec + ?Sized> StreamSpec for &S {
     fn quarantined_records(&self) -> u64 {
         (**self).quarantined_records()
     }
+
+    fn seek_alignment(&self) -> u64 {
+        (**self).seek_alignment()
+    }
 }
 
 impl<S: StreamSpec + ?Sized> StreamSpec for std::sync::Arc<S> {
@@ -82,6 +97,10 @@ impl<S: StreamSpec + ?Sized> StreamSpec for std::sync::Arc<S> {
 
     fn quarantined_records(&self) -> u64 {
         (**self).quarantined_records()
+    }
+
+    fn seek_alignment(&self) -> u64 {
+        (**self).seek_alignment()
     }
 }
 

@@ -1,18 +1,24 @@
 //! Recorded traces as first-class workloads.
 //!
-//! [`TraceWorkload`] adapts an [`MmapTrace`] to the [`StreamSpec`] /
+//! [`TraceWorkload`] adapts a recorded trace — v1 flat grid or v2
+//! block-compressed, sniffed from the header — to the [`StreamSpec`] /
 //! [`Workload`] surface, so a trace recorded from a real machine (or
 //! dumped from a synthetic model with `xp record`) drives `run_app`,
 //! `sweep` and `run_app_sharded` exactly like a registered application:
 //! replay decodes record batches zero-copy out of the mapped file into
 //! the engines' batch buffers, and sharded replay seeks each worker's
-//! cursor in O(1) because records are fixed 17-byte cells.
+//! cursor in O(1) — on the fixed 17-byte cells of v1, or on the block
+//! index of v2 (whose [`StreamSpec::seek_alignment`] steers shard cuts
+//! onto block boundaries). [`TraceWorkload::open_streaming`] replays v2
+//! corpora larger than RAM through a sliding mapped window.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use tlbsim_core::MemoryAccess;
-use tlbsim_trace::{DecodePolicy, MmapTrace, MmapTraceCursor, TraceError, TraceHealth};
+use tlbsim_trace::{
+    DecodePolicy, MmapTrace, MmapTraceCursor, TraceError, TraceHealth, V2Trace, V2TraceCursor,
+};
 
 use crate::gen::{AccessSource, Workload};
 use crate::scale::Scale;
@@ -67,21 +73,82 @@ use crate::spec::StreamSpec;
 #[derive(Debug, Clone)]
 pub struct TraceWorkload {
     name: Arc<str>,
-    trace: MmapTrace,
+    trace: AnyTrace,
     health: TraceHealth,
+}
+
+/// The format-dispatched handle behind a [`TraceWorkload`]: v1 flat
+/// grid, v2 whole-file mapping, or v2 streamed through a window.
+#[derive(Debug, Clone)]
+enum AnyTrace {
+    V1(MmapTrace),
+    V2(V2Trace),
+    /// Each replay re-opens its own streaming cursor over the file; the
+    /// layout facts were validated (and the body fully scanned) at
+    /// workload-open time.
+    V2Streaming {
+        path: PathBuf,
+        policy: DecodePolicy,
+        window_blocks: u64,
+        block_len: u64,
+    },
 }
 
 impl TraceWorkload {
     /// Opens and fully validates a trace file under the default strict
-    /// policy; the workload's name is the file stem.
+    /// policy; the workload's name is the file stem. The format version
+    /// (v1 flat grid or v2 block-compressed) is sniffed from the
+    /// header.
     ///
     /// # Errors
     ///
     /// Any [`TraceError`] surfaced by mapping or validating the file —
-    /// truncated/bad headers, a torn final record, or an invalid
-    /// access-kind byte anywhere in the body.
+    /// truncated/bad headers, a torn final record or index, or an
+    /// invalid access-kind byte anywhere in the body.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceError> {
         Self::open_with_policy(path, DecodePolicy::Strict)
+    }
+
+    /// Opens a v2 trace for **streaming** replay: each replay cursor
+    /// maps a sliding window of `window_blocks` blocks instead of the
+    /// whole file, so corpora larger than RAM run in bounded memory.
+    /// The body is still scanned once at open (through the same
+    /// window), so replay itself cannot fail mid-simulation and the
+    /// health report is complete.
+    ///
+    /// A v1 file falls back to the whole-file mapping — the v1 grid has
+    /// no block index to window over; the kernel pages the mapping as
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TraceWorkload::open_with_policy`].
+    pub fn open_streaming(
+        path: impl AsRef<Path>,
+        policy: DecodePolicy,
+        window_blocks: u64,
+    ) -> Result<Self, TraceError> {
+        let path = path.as_ref();
+        match V2TraceCursor::open_streaming(path, policy, window_blocks) {
+            Ok(mut cursor) => {
+                let block_len = cursor.block_len();
+                let health = scan_streaming(&mut cursor)?;
+                Ok(TraceWorkload {
+                    name: stem_name(path),
+                    trace: AnyTrace::V2Streaming {
+                        path: path.to_path_buf(),
+                        policy,
+                        window_blocks,
+                        block_len,
+                    },
+                    health,
+                })
+            }
+            Err(TraceError::UnsupportedVersion { found: 1 }) => {
+                Self::open_with_policy(path, policy)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Opens a trace file under an explicit [`DecodePolicy`].
@@ -104,11 +171,27 @@ impl TraceWorkload {
         policy: DecodePolicy,
     ) -> Result<Self, TraceError> {
         let path = path.as_ref();
-        let name = path
-            .file_stem()
-            .map(|stem| stem.to_string_lossy().into_owned())
-            .unwrap_or_else(|| "trace".to_owned());
-        Self::from_trace(name, MmapTrace::open_with_policy(path, policy)?)
+        let name = stem_name(path);
+        match MmapTrace::open_with_policy(path, policy) {
+            Ok(trace) => {
+                let health = trace.scan_health()?;
+                Ok(TraceWorkload {
+                    name,
+                    trace: AnyTrace::V1(trace),
+                    health,
+                })
+            }
+            Err(TraceError::UnsupportedVersion { found: 2 }) => {
+                let trace = V2Trace::open_with_policy(path, policy)?;
+                let health = trace.scan_health()?;
+                Ok(TraceWorkload {
+                    name,
+                    trace: AnyTrace::V2(trace),
+                    health,
+                })
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Wraps an already-mapped trace under an explicit name, running
@@ -124,7 +207,25 @@ impl TraceWorkload {
         let health = trace.scan_health()?;
         Ok(TraceWorkload {
             name: Arc::from(name.into()),
-            trace,
+            trace: AnyTrace::V1(trace),
+            health,
+        })
+    }
+
+    /// Wraps an already-validated v2 trace under an explicit name,
+    /// running the same full-body scan under the trace's own decode
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// The first block's typed damage error (strict traces) or
+    /// [`TraceError::QuarantineExceeded`] past the budget (quarantine
+    /// traces).
+    pub fn from_v2_trace(name: impl Into<String>, trace: V2Trace) -> Result<Self, TraceError> {
+        let health = trace.scan_health()?;
+        Ok(TraceWorkload {
+            name: Arc::from(name.into()),
+            trace: AnyTrace::V2(trace),
             health,
         })
     }
@@ -150,25 +251,57 @@ impl TraceWorkload {
     }
 
     /// Which backend serves the bytes (`"mmap"` or the `"read"`
-    /// fallback).
+    /// fallback). A streaming workload reports `"mmap-window"`.
     pub fn backend(&self) -> &'static str {
-        self.trace.backend()
+        match &self.trace {
+            AnyTrace::V1(t) => t.backend(),
+            AnyTrace::V2(t) => t.backend(),
+            AnyTrace::V2Streaming { .. } => "mmap-window",
+        }
     }
 
-    /// The underlying mapped trace.
-    pub fn trace(&self) -> &MmapTrace {
-        &self.trace
+    /// The trace's format version (1 = flat grid, 2 = block-compressed).
+    pub fn format_version(&self) -> u16 {
+        match &self.trace {
+            AnyTrace::V1(_) => 1,
+            AnyTrace::V2(_) | AnyTrace::V2Streaming { .. } => 2,
+        }
     }
 
     /// A fresh replay of the whole trace.
     pub fn workload(&self) -> Workload {
-        Workload::from_source(
-            self.name.to_string(),
-            Box::new(TraceSource {
-                cursor: self.trace.cursor(),
-            }),
-        )
+        let cursor = match &self.trace {
+            AnyTrace::V1(t) => AnyCursor::V1(t.cursor()),
+            AnyTrace::V2(t) => AnyCursor::V2(t.cursor()),
+            AnyTrace::V2Streaming {
+                path,
+                policy,
+                window_blocks,
+                ..
+            } => AnyCursor::V2(
+                V2TraceCursor::open_streaming(path, *policy, *window_blocks)
+                    .expect("streaming trace was validated at open"),
+            ),
+        };
+        Workload::from_source(self.name.to_string(), Box::new(TraceSource { cursor }))
     }
+}
+
+/// The file stem as a workload name.
+fn stem_name(path: &Path) -> Arc<str> {
+    Arc::from(
+        path.file_stem()
+            .map(|stem| stem.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".to_owned()),
+    )
+}
+
+/// Drains a streaming cursor once for its complete health report —
+/// the open-time scan that lets replay itself never fail.
+fn scan_streaming(cursor: &mut V2TraceCursor) -> Result<TraceHealth, TraceError> {
+    let mut buf = [MemoryAccess::read(0, 0); 512];
+    while cursor.decode_batch(&mut buf)? != 0 {}
+    Ok(cursor.health())
 }
 
 impl StreamSpec for TraceWorkload {
@@ -187,12 +320,26 @@ impl StreamSpec for TraceWorkload {
     fn quarantined_records(&self) -> u64 {
         self.health.records_bad
     }
+
+    fn seek_alignment(&self) -> u64 {
+        match &self.trace {
+            AnyTrace::V1(_) => 1,
+            AnyTrace::V2(t) => t.block_len().max(1),
+            AnyTrace::V2Streaming { block_len, .. } => (*block_len).max(1),
+        }
+    }
 }
 
-/// The [`AccessSource`] driving a trace replay: one cursor, decoded
-/// batch-wise straight out of the shared mapping.
+/// The [`AccessSource`] driving a trace replay: one format-dispatched
+/// cursor, decoded batch-wise straight out of the mapping (or window).
 struct TraceSource {
-    cursor: MmapTraceCursor,
+    cursor: AnyCursor,
+}
+
+/// A v1 or v2 cursor behind one batch-decode surface.
+enum AnyCursor {
+    V1(MmapTraceCursor),
+    V2(V2TraceCursor),
 }
 
 impl AccessSource for TraceSource {
@@ -203,13 +350,21 @@ impl AccessSource for TraceSource {
         // it) — so a decode error here means the bytes changed under
         // the mapping (the file was modified concurrently), not a state
         // this process can recover from mid-simulation.
-        self.cursor
-            .decode_batch(buf)
-            .expect("trace records were scanned at open")
+        match &mut self.cursor {
+            AnyCursor::V1(c) => c
+                .decode_batch(buf)
+                .expect("trace records were scanned at open"),
+            AnyCursor::V2(c) => c
+                .decode_batch(buf)
+                .expect("trace records were scanned at open"),
+        }
     }
 
     fn skip(&mut self, n: u64) -> u64 {
-        self.cursor.skip_records(n)
+        match &mut self.cursor {
+            AnyCursor::V1(c) => c.skip_records(n),
+            AnyCursor::V2(c) => c.skip_records(n),
+        }
     }
 }
 
@@ -346,6 +501,94 @@ mod tests {
             TraceWorkload::open_with_policy(&path, tlbsim_trace::DecodePolicy::quarantine(1)),
             Err(TraceError::QuarantineExceeded { bad: 2, max_bad: 1 })
         ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    fn write_v2_trace(tag: &str, records: &[MemoryAccess], block_len: u32) -> std::path::PathBuf {
+        use tlbsim_trace::V2TraceWriter;
+        let path =
+            std::env::temp_dir().join(format!("tlbt2-workload-{}-{tag}", std::process::id()));
+        let mut w =
+            V2TraceWriter::create_with_block_len(std::fs::File::create(&path).unwrap(), block_len)
+                .unwrap();
+        for r in records {
+            w.write(r).unwrap();
+        }
+        w.finish().unwrap();
+        path
+    }
+
+    #[test]
+    fn v2_traces_are_sniffed_and_replay_identically() {
+        let recorded: Vec<MemoryAccess> = (0..700u64)
+            .map(|i| MemoryAccess::read(0x40 + i, i * 4096))
+            .collect();
+        let path = write_v2_trace("sniff", &recorded, 64);
+        let trace = TraceWorkload::open(&path).unwrap();
+        assert_eq!(trace.format_version(), 2);
+        assert_eq!(trace.stream_len(), 700);
+        assert_eq!(trace.seek_alignment(), 64);
+        assert!(trace.health().is_clean());
+        let replayed: Vec<MemoryAccess> = trace.workload().collect();
+        assert_eq!(replayed, recorded);
+        // Mid-block skip still agrees with the recorded stream.
+        let mut w = trace.workload();
+        assert_eq!(w.skip_accesses(97), 97);
+        let tail: Vec<MemoryAccess> = w.collect();
+        assert_eq!(tail, recorded[97..]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn streaming_open_replays_like_whole_file() {
+        let recorded: Vec<MemoryAccess> = (0..1000u64)
+            .map(|i| MemoryAccess::read(0x40 + i, i * 64))
+            .collect();
+        let path = write_v2_trace("stream", &recorded, 32);
+        let trace = TraceWorkload::open_streaming(&path, DecodePolicy::Strict, 3).unwrap();
+        assert_eq!(trace.backend(), "mmap-window");
+        assert_eq!(trace.format_version(), 2);
+        assert_eq!(trace.seek_alignment(), 32);
+        let replayed: Vec<MemoryAccess> = trace.workload().collect();
+        assert_eq!(replayed, recorded);
+        // v1 input falls back to the whole-file mapping transparently.
+        let v1_path = write_trace("stream-v1", &recorded);
+        let v1 = TraceWorkload::open_streaming(&v1_path, DecodePolicy::Strict, 3).unwrap();
+        assert_eq!(v1.format_version(), 1);
+        assert_eq!(v1.seek_alignment(), 1);
+        let replayed: Vec<MemoryAccess> = v1.workload().collect();
+        assert_eq!(replayed, recorded);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&v1_path).unwrap();
+    }
+
+    #[test]
+    fn quarantined_v2_trace_drops_whole_blocks() {
+        use tlbsim_trace::{FaultKind, FaultPlan};
+        let recorded: Vec<MemoryAccess> = (0..128u64)
+            .map(|i| MemoryAccess::read(0x40 + i, i * 4096))
+            .collect();
+        let path = write_v2_trace("quarantine", &recorded, 16);
+        let mut bytes = std::fs::read(&path).unwrap();
+        FaultPlan::new()
+            .with(40, FaultKind::CorruptKind)
+            .apply_to_bytes(&mut bytes);
+        std::fs::write(&path, bytes).unwrap();
+        assert!(TraceWorkload::open(&path).is_err());
+        // Block 2 (records 32..48) is quarantined whole.
+        let trace =
+            TraceWorkload::open_with_policy(&path, tlbsim_trace::DecodePolicy::quarantine(16))
+                .unwrap();
+        assert_eq!(trace.stream_len(), 112);
+        assert_eq!(trace.health().records_bad, 16);
+        assert_eq!(trace.health().blocks_bad, 1);
+        let want: Vec<MemoryAccess> = recorded[..32]
+            .iter()
+            .chain(&recorded[48..])
+            .copied()
+            .collect();
+        let got: Vec<MemoryAccess> = trace.workload().collect();
+        assert_eq!(got, want);
         std::fs::remove_file(&path).unwrap();
     }
 

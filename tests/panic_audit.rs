@@ -21,8 +21,17 @@ const EXPECT_CEILINGS: &[(&str, usize)] = &[
     ("crates/core", 3),
     ("crates/mmu", 1),
     ("crates/mem", 0),
-    ("crates/trace", 10),
-    ("crates/workloads", 14),
+    // trace 10 → 18 (trace-format-v2 PR): eight fixed-width
+    // `try_into().expect("N-byte slice")` conversions in block.rs when
+    // decoding restart records, the footer and index entries — the
+    // same infallible slice-to-array idiom mmap.rs and binary.rs
+    // already carry, bounds-checked by the enclosing length guards.
+    ("crates/trace", 18),
+    // workloads 14 → 16 (trace-format-v2 PR): two validated-at-open
+    // invariants in the v2 arms of TraceWorkload — the streaming
+    // cursor and whole-map health were both established by `open`
+    // before any replay can reach them.
+    ("crates/workloads", 16),
     // sim 9 → 11 (ASID PR): two `Engine::new(config).expect(...)` in the
     // mix executors, where the config was validated before any work
     // began — same invariant as the sharded executor's worker engines.
@@ -30,7 +39,10 @@ const EXPECT_CEILINGS: &[(&str, usize)] = &[
     ("crates/service", 0),
     // experiments 22 → 23 (ASID PR): the asid-variant kernel in the
     // multiprogram throughput probe, mirroring its flush twin.
-    ("crates/experiments", 23),
+    // 23 → 25 (trace-format-v2 PR): the raw-vs-compressed replay
+    // kernels in the trace_v2 throughput probe, mirroring the
+    // existing trace-replay kernel's validated-config invariant.
+    ("crates/experiments", 25),
     ("src", 0),
 ];
 
