@@ -11,12 +11,15 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::assoc::{Associativity, InvalidGeometry};
+use crate::confidence::{ConfidenceConfig, ConfidencePrefetcher};
 use crate::distance::DistancePrefetcher;
+use crate::ensemble::EnsemblePrefetcher;
 use crate::markov::MarkovPrefetcher;
 use crate::prefetcher::{NullPrefetcher, TlbPrefetcher};
 use crate::recency::RecencyPrefetcher;
 use crate::sequential::SequentialPrefetcher;
 use crate::stride::StridePrefetcher;
+use crate::trend::TrendStridePrefetcher;
 
 /// Which prefetching mechanism to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -33,6 +36,11 @@ pub enum PrefetcherKind {
     Recency,
     /// Distance prefetching (DP, this paper's contribution).
     Distance,
+    /// Trend-vote stride prefetching (TP) — ASP with a majority-vote
+    /// delta window instead of the last-two-deltas state machine.
+    TrendStride,
+    /// Set-dueling ensemble (EP) over a list of component mechanisms.
+    Ensemble,
 }
 
 impl PrefetcherKind {
@@ -56,6 +64,8 @@ impl PrefetcherKind {
             PrefetcherKind::Markov => "MP",
             PrefetcherKind::Recency => "RP",
             PrefetcherKind::Distance => "DP",
+            PrefetcherKind::TrendStride => "TP",
+            PrefetcherKind::Ensemble => "EP",
         }
     }
 }
@@ -80,6 +90,23 @@ pub enum ConfigError {
         /// The requested slot count.
         slots: usize,
     },
+    /// The trend-vote window is outside the supported
+    /// [`TrendStridePrefetcher::MIN_WINDOW`]`..=`[`TrendStridePrefetcher::MAX_WINDOW`]
+    /// range.
+    BadWindow {
+        /// The requested window length.
+        window: usize,
+    },
+    /// The confidence threshold exceeds the 2-bit counter maximum
+    /// ([`ConfidencePrefetcher::COUNTER_MAX`]).
+    BadConfidenceThreshold {
+        /// The requested threshold.
+        threshold: u8,
+    },
+    /// An ensemble was configured with no component mechanisms.
+    EmptyEnsemble,
+    /// An ensemble listed another ensemble as a component.
+    NestedEnsemble,
 }
 
 impl fmt::Display for ConfigError {
@@ -92,6 +119,19 @@ impl fmt::Display for ConfigError {
                 "slot count {slots} exceeds the inline row maximum of {}",
                 crate::SlotList::<u64>::MAX_CAPACITY
             ),
+            ConfigError::BadWindow { window } => write!(
+                f,
+                "trend window {window} outside {}..={}",
+                TrendStridePrefetcher::MIN_WINDOW,
+                TrendStridePrefetcher::MAX_WINDOW
+            ),
+            ConfigError::BadConfidenceThreshold { threshold } => write!(
+                f,
+                "confidence threshold {threshold} exceeds the 2-bit counter maximum of {}",
+                ConfidencePrefetcher::COUNTER_MAX
+            ),
+            ConfigError::EmptyEnsemble => f.write_str("ensemble needs at least one component"),
+            ConfigError::NestedEnsemble => f.write_str("ensembles cannot contain other ensembles"),
         }
     }
 }
@@ -100,7 +140,7 @@ impl std::error::Error for ConfigError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ConfigError::Geometry(g) => Some(g),
-            ConfigError::ZeroSlots | ConfigError::TooManySlots { .. } => None,
+            _ => None,
         }
     }
 }
@@ -135,6 +175,9 @@ pub struct PrefetcherConfig {
     assoc: Associativity,
     pc_qualified: bool,
     pair_indexed: bool,
+    window: usize,
+    confidence: Option<ConfidenceConfig>,
+    ensemble: Vec<PrefetcherKind>,
 }
 
 impl PrefetcherConfig {
@@ -142,6 +185,9 @@ impl PrefetcherConfig {
     pub const DEFAULT_ROWS: usize = 256;
     /// The paper's representative slot count (`s = 2`).
     pub const DEFAULT_SLOTS: usize = 2;
+
+    /// Default trend-vote window (`w = 8` deltas).
+    pub const DEFAULT_WINDOW: usize = 8;
 
     /// Starts a configuration for `kind` with the paper's defaults.
     pub fn new(kind: PrefetcherKind) -> Self {
@@ -152,6 +198,9 @@ impl PrefetcherConfig {
             assoc: Associativity::Direct,
             pc_qualified: false,
             pair_indexed: false,
+            window: Self::DEFAULT_WINDOW,
+            confidence: None,
+            ensemble: Vec::new(),
         }
     }
 
@@ -183,6 +232,19 @@ impl PrefetcherConfig {
     /// Distance prefetching (the paper's contribution).
     pub fn distance() -> Self {
         Self::new(PrefetcherKind::Distance)
+    }
+
+    /// Trend-vote stride prefetching with the default window.
+    pub fn trend_stride() -> Self {
+        Self::new(PrefetcherKind::TrendStride)
+    }
+
+    /// A set-dueling ensemble over `components`, each instantiated with
+    /// this configuration's geometry knobs.
+    pub fn ensemble_of(components: &[PrefetcherKind]) -> Self {
+        let mut cfg = Self::new(PrefetcherKind::Ensemble);
+        cfg.ensemble = components.to_vec();
+        cfg
     }
 
     /// Sets the prediction-table row count `r` (ignored by SP and RP).
@@ -248,6 +310,49 @@ impl PrefetcherConfig {
         self.pair_indexed
     }
 
+    /// Sets the trend-vote window length `w` (only meaningful for
+    /// [`PrefetcherKind::TrendStride`]).
+    pub fn window(&mut self, window: usize) -> &mut Self {
+        self.window = window;
+        self
+    }
+
+    /// Returns the configured trend-vote window length.
+    pub fn window_len(&self) -> usize {
+        self.window
+    }
+
+    /// Wraps the mechanism in a confidence throttle (any kind may be
+    /// wrapped; [`ConfidenceConfig::passthrough`] is provably inert).
+    pub fn confidence(&mut self, confidence: ConfidenceConfig) -> &mut Self {
+        self.confidence = Some(confidence);
+        self
+    }
+
+    /// Returns the confidence-throttle configuration, if one is set.
+    pub fn confidence_config(&self) -> Option<ConfidenceConfig> {
+        self.confidence
+    }
+
+    /// Returns the ensemble's component kinds (empty unless the kind is
+    /// [`PrefetcherKind::Ensemble`]).
+    pub fn ensemble_components(&self) -> &[PrefetcherKind] {
+        &self.ensemble
+    }
+
+    /// The configuration one ensemble component of `kind` is built
+    /// from: the same geometry knobs, no throttle, no nesting.
+    pub fn component_config(&self, kind: PrefetcherKind) -> PrefetcherConfig {
+        let mut cfg = PrefetcherConfig::new(kind);
+        cfg.rows = self.rows;
+        cfg.slots = self.slots;
+        cfg.assoc = self.assoc;
+        cfg.pc_qualified = self.pc_qualified;
+        cfg.pair_indexed = self.pair_indexed;
+        cfg.window = self.window;
+        cfg
+    }
+
     /// Instantiates the mechanism.
     ///
     /// # Errors
@@ -255,24 +360,48 @@ impl PrefetcherConfig {
     /// Returns [`ConfigError`] if the table geometry is invalid or the
     /// slot count is zero.
     pub fn build(&self) -> Result<Box<dyn TlbPrefetcher>, ConfigError> {
-        Ok(match self.kind {
+        let base: Box<dyn TlbPrefetcher> = match self.kind {
             PrefetcherKind::None => Box::new(NullPrefetcher::new()),
             PrefetcherKind::Sequential => Box::new(SequentialPrefetcher::new()),
             PrefetcherKind::Stride => Box::new(StridePrefetcher::from_config(self)?),
             PrefetcherKind::Markov => Box::new(MarkovPrefetcher::from_config(self)?),
             PrefetcherKind::Recency => Box::new(RecencyPrefetcher::new()),
             PrefetcherKind::Distance => Box::new(DistancePrefetcher::from_config(self)?),
+            PrefetcherKind::TrendStride => Box::new(TrendStridePrefetcher::from_config(self)?),
+            PrefetcherKind::Ensemble => Box::new(EnsemblePrefetcher::from_config(self)?),
+        };
+        Ok(match self.confidence {
+            None => base,
+            Some(conf) => Box::new(ConfidencePrefetcher::new(
+                base, self.rows, self.assoc, conf,
+            )?),
         })
     }
 
-    /// A compact label for figure legends, e.g. `DP,256,D`.
+    /// A compact label for figure legends, e.g. `DP,256,D`, `TP,8`,
+    /// `EP:DP+ASP` — confidence-throttled variants gain a `C+` prefix
+    /// (`C+DP,256,D`).
     pub fn label(&self) -> String {
-        match self.kind {
+        let base = match self.kind {
             PrefetcherKind::None => "none".to_owned(),
             PrefetcherKind::Sequential => "SP".to_owned(),
             PrefetcherKind::Recency => "RP".to_owned(),
             PrefetcherKind::Stride => format!("ASP,{}", self.rows),
+            PrefetcherKind::TrendStride => format!("TP,{}", self.window),
+            PrefetcherKind::Ensemble => format!(
+                "EP:{}",
+                self.ensemble
+                    .iter()
+                    .map(|k| k.abbrev())
+                    .collect::<Vec<_>>()
+                    .join("+")
+            ),
             _ => format!("{},{},{}", self.kind, self.rows, self.assoc.label()),
+        };
+        if self.confidence.is_some() {
+            format!("C+{base}")
+        } else {
+            base
         }
     }
 
@@ -289,10 +418,42 @@ impl PrefetcherConfig {
             return Err(ConfigError::TooManySlots { slots: self.slots });
         }
         match self.kind {
-            PrefetcherKind::Stride | PrefetcherKind::Markov | PrefetcherKind::Distance => {
+            PrefetcherKind::Stride
+            | PrefetcherKind::Markov
+            | PrefetcherKind::Distance
+            | PrefetcherKind::TrendStride => {
                 self.assoc.sets(self.rows)?;
             }
             _ => {}
+        }
+        if self.kind == PrefetcherKind::TrendStride
+            && !(TrendStridePrefetcher::MIN_WINDOW..=TrendStridePrefetcher::MAX_WINDOW)
+                .contains(&self.window)
+        {
+            return Err(ConfigError::BadWindow {
+                window: self.window,
+            });
+        }
+        if self.kind == PrefetcherKind::Ensemble {
+            if self.ensemble.is_empty() {
+                return Err(ConfigError::EmptyEnsemble);
+            }
+            if self.ensemble.contains(&PrefetcherKind::Ensemble) {
+                return Err(ConfigError::NestedEnsemble);
+            }
+            for &kind in &self.ensemble {
+                self.component_config(kind).validate()?;
+            }
+        }
+        if let Some(conf) = self.confidence {
+            if conf.threshold > ConfidencePrefetcher::COUNTER_MAX {
+                return Err(ConfigError::BadConfidenceThreshold {
+                    threshold: conf.threshold,
+                });
+            }
+            // The counter bank shares the table geometry knobs, so they
+            // must be valid even for otherwise untabled base kinds.
+            self.assoc.sets(self.rows)?;
         }
         Ok(())
     }
@@ -369,5 +530,78 @@ mod tests {
     fn error_display_is_meaningful() {
         let err = ConfigError::ZeroSlots;
         assert!(err.to_string().contains("slot"));
+        assert!(ConfigError::BadWindow { window: 1 }
+            .to_string()
+            .contains("window"));
+        assert!(ConfigError::BadConfidenceThreshold { threshold: 9 }
+            .to_string()
+            .contains("threshold"));
+        assert!(ConfigError::EmptyEnsemble.to_string().contains("component"));
+        assert!(ConfigError::NestedEnsemble.to_string().contains("ensemble"));
+    }
+
+    #[test]
+    fn adaptive_labels_are_distinct_and_stable() {
+        let mut tp = PrefetcherConfig::trend_stride();
+        tp.window(4);
+        assert_eq!(tp.label(), "TP,4");
+        let ep = PrefetcherConfig::ensemble_of(&[PrefetcherKind::Distance, PrefetcherKind::Stride]);
+        assert_eq!(ep.label(), "EP:DP+ASP");
+        let mut cdp = PrefetcherConfig::distance();
+        cdp.confidence(ConfidenceConfig::passthrough());
+        assert_eq!(cdp.label(), "C+DP,256,D");
+        let mut casp = PrefetcherConfig::stride();
+        casp.rows(64).confidence(ConfidenceConfig::adaptive());
+        assert_eq!(casp.label(), "C+ASP,64");
+    }
+
+    #[test]
+    fn adaptive_kinds_build_and_name_themselves() {
+        assert_eq!(
+            PrefetcherConfig::trend_stride().build().unwrap().name(),
+            "TP"
+        );
+        let ep = PrefetcherConfig::ensemble_of(&[PrefetcherKind::Distance]);
+        assert_eq!(ep.build().unwrap().name(), "EP");
+        let mut cdp = PrefetcherConfig::distance();
+        cdp.confidence(ConfidenceConfig::adaptive());
+        assert_eq!(cdp.build().unwrap().name(), "C+DP");
+    }
+
+    #[test]
+    fn adaptive_validation_errors_are_reported() {
+        let mut tp = PrefetcherConfig::trend_stride();
+        tp.window(99);
+        assert_eq!(tp.validate(), Err(ConfigError::BadWindow { window: 99 }));
+        assert!(tp.build().is_err());
+
+        let empty = PrefetcherConfig::ensemble_of(&[]);
+        assert_eq!(empty.validate(), Err(ConfigError::EmptyEnsemble));
+
+        let nested = PrefetcherConfig::ensemble_of(&[PrefetcherKind::Ensemble]);
+        assert_eq!(nested.validate(), Err(ConfigError::NestedEnsemble));
+
+        // A component's own geometry error propagates out of the list.
+        let mut bad_geom = PrefetcherConfig::ensemble_of(&[PrefetcherKind::Markov]);
+        bad_geom.rows(10).assoc(Associativity::ways_of(4));
+        assert!(matches!(bad_geom.validate(), Err(ConfigError::Geometry(_))));
+
+        let mut bad_conf = PrefetcherConfig::distance();
+        bad_conf.confidence(ConfidenceConfig {
+            threshold: 7,
+            max_degree: 0,
+        });
+        assert_eq!(
+            bad_conf.validate(),
+            Err(ConfigError::BadConfidenceThreshold { threshold: 7 })
+        );
+
+        // The counter bank needs valid geometry even over untabled RP.
+        let mut bad_bank = PrefetcherConfig::recency();
+        bad_bank
+            .rows(10)
+            .assoc(Associativity::ways_of(4))
+            .confidence(ConfidenceConfig::adaptive());
+        assert!(matches!(bad_bank.validate(), Err(ConfigError::Geometry(_))));
     }
 }

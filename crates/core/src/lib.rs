@@ -12,6 +12,17 @@
 //! * [`RecencyPrefetcher`] — Saulsbury et al. recency prefetching (RP),
 //! * [`NullPrefetcher`] — the no-prefetching baseline.
 //!
+//! Three adaptive families extend the static grid, each test-proven
+//! bit-identical to a static oracle in its degenerate configuration:
+//!
+//! * [`ConfidencePrefetcher`] — a 2-bit saturating confidence bank that
+//!   throttles any base mechanism's degree and issue (threshold 0 with
+//!   unlimited degree ≡ the bare base),
+//! * [`TrendStridePrefetcher`] — majority vote over a sliding delta
+//!   window (TP; window 2 ≡ ASP on monotone streams),
+//! * [`EnsemblePrefetcher`] — set-dueling selection among component
+//!   mechanisms (EP; a single component ≡ that component).
+//!
 //! All mechanisms implement [`TlbPrefetcher`]: they receive one
 //! [`MissContext`] per TLB miss and push the pages to pull into the
 //! prefetch buffer — plus any state-maintenance memory traffic — into a
@@ -63,8 +74,10 @@
 #![deny(missing_docs)]
 
 mod assoc;
+mod confidence;
 mod config;
 mod distance;
+mod ensemble;
 mod markov;
 mod prefetcher;
 mod recency;
@@ -73,11 +86,14 @@ mod sink;
 mod slots;
 mod stride;
 mod table;
+mod trend;
 mod types;
 
 pub use assoc::{Associativity, InvalidGeometry};
+pub use confidence::{ConfidenceConfig, ConfidencePrefetcher};
 pub use config::{ConfigError, PrefetcherConfig, PrefetcherKind};
 pub use distance::DistancePrefetcher;
+pub use ensemble::EnsemblePrefetcher;
 pub use markov::MarkovPrefetcher;
 pub use prefetcher::{
     HardwareProfile, IndexSource, MissContext, NullPrefetcher, PrefetchDecision, RowBudget,
@@ -89,6 +105,7 @@ pub use sink::CandidateBuf;
 pub use slots::SlotList;
 pub use stride::{RptEntry, RptState, StridePrefetcher};
 pub use table::{PredictionTable, TableKey};
+pub use trend::TrendStridePrefetcher;
 pub use types::{
     AccessKind, Asid, Distance, InvalidPageSize, MemoryAccess, PageSize, Pc, PhysPage, VirtAddr,
     VirtPage,

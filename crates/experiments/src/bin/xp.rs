@@ -54,7 +54,7 @@
 //! `record` dumps a registered application model's reference stream to
 //! the binary `TLBT` trace format — flat v1 by default, or delta-block
 //! v2 with `--format v2 [--block-len <records>]`; `replay` runs the
-//! figure grids' 21-scheme sweep over any such trace, mmap-replayed
+//! figure grids' 30-scheme sweep over any such trace, mmap-replayed
 //! zero-copy (v1) or block-decoded (v2, sniffed). `--stream-window
 //! <blocks>` replays a v2 trace through a sliding window of mapped
 //! blocks instead of one whole-file mapping, so traces larger than RAM
@@ -67,7 +67,7 @@
 //! `mix` interleaves several streams — registered application names
 //! and/or `TLBT` trace paths, comma-separated — into one multiprogrammed
 //! stream under a round-robin `--quantum` (default 50000 accesses) and
-//! runs the same 21-scheme sweep over the interleave, printing aggregate
+//! runs the same 30-scheme sweep over the interleave, printing aggregate
 //! and per-stream prediction accuracy. `--switch-policy` picks the
 //! context-switch semantics: `none` keeps all state across switches,
 //! `flush` empties the TLB, prefetch buffer and prediction tables at
@@ -101,7 +101,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use tlbsim_core::PrefetcherConfig;
+use tlbsim_core::{ConfidenceConfig, PrefetcherConfig, PrefetcherKind};
 use tlbsim_experiments::{
     extras, figure7, figure8, figure9, health, mix, replay, table1, table2, table3, throughput,
     tracestat,
@@ -161,7 +161,7 @@ fn usage() -> &'static str {
      xp bench-json [--out <path>]\n       \
      xp serve [--socket <path>] [--workers <n>] [--queue-depth <n>]\n       \
      xp submit (--trace <path> | --app <name>) [--socket <path>] \
-     [--scheme none|sp|asp|mp|rp|dp] [--scale <s>] [--shards <n|auto>] \
+     [--scheme none|sp|asp|mp|rp|dp|tp[,<w>]|ep[:a+b]|c+<base>] [--scale <s>] [--shards <n|auto>] \
      [--quarantine <n|unlimited>] [--snapshot-every <n>]\n       \
      xp shutdown [--socket <path>] [--no-drain]\n       \
      xp convert --trace <path> --out <path> [--format v1|v2|text] [--block-len <n>]\n       \
@@ -502,11 +502,18 @@ fn run_tracestat(args: &Args) -> Result<(), String> {
         return Err(format!("tracestat needs at least one path\n{}", usage()));
     }
     let mut rows = vec![tracestat::csv_header().to_owned()];
+    let mut stats = Vec::with_capacity(args.paths.len());
     for path in &args.paths {
         let stat = tracestat::stat(path, args.policy)
             .map_err(|e| format!("tracestat: {}: {e}", path.display()))?;
         println!("{}", stat.render());
         rows.push(stat.to_csv_row());
+        stats.push(stat);
+    }
+    if stats.len() > 1 {
+        let corpus = tracestat::CorpusStat::from_stats(&stats);
+        println!("{}", corpus.render());
+        rows.push(corpus.to_csv_row());
     }
     if let Some(dir) = &args.csv_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir:?}: {e}"))?;
@@ -611,17 +618,62 @@ fn run_bench_json(out: &Option<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
+const SCHEME_HINT: &str = "want none|sp|asp|mp|rp|dp|tp[,<window>]|ep[:<a>+<b>+...]|c+<base>";
+
+/// Base mechanism kinds addressable as ensemble components.
+fn parse_base_kind(name: &str) -> Option<PrefetcherKind> {
+    match name {
+        "sp" | "sequential" => Some(PrefetcherKind::Sequential),
+        "asp" | "stride" => Some(PrefetcherKind::Stride),
+        "mp" | "markov" => Some(PrefetcherKind::Markov),
+        "rp" | "recency" => Some(PrefetcherKind::Recency),
+        "dp" | "distance" => Some(PrefetcherKind::Distance),
+        _ => None,
+    }
+}
+
 fn parse_scheme(name: &str) -> Result<PrefetcherConfig, String> {
-    match name.to_ascii_lowercase().as_str() {
+    let lower = name.to_ascii_lowercase();
+    if let Some(base) = lower.strip_prefix("c+") {
+        let mut cfg = parse_scheme(base)?;
+        cfg.confidence(ConfidenceConfig::adaptive());
+        return Ok(cfg);
+    }
+    if lower == "ep" {
+        // Default duel: the paper's two strongest contenders.
+        return Ok(PrefetcherConfig::ensemble_of(&[
+            PrefetcherKind::Distance,
+            PrefetcherKind::Stride,
+        ]));
+    }
+    if let Some(list) = lower.strip_prefix("ep:") {
+        let mut kinds = Vec::new();
+        for part in list.split('+') {
+            kinds.push(
+                parse_base_kind(part).ok_or_else(|| {
+                    format!("unknown ensemble component {part:?} ({SCHEME_HINT})")
+                })?,
+            );
+        }
+        return Ok(PrefetcherConfig::ensemble_of(&kinds));
+    }
+    if lower == "tp" || lower.starts_with("tp,") {
+        let mut cfg = PrefetcherConfig::trend_stride();
+        if let Some(w) = lower.strip_prefix("tp,") {
+            let window = w
+                .parse::<usize>()
+                .map_err(|_| format!("bad trend window {w:?} ({SCHEME_HINT})"))?;
+            cfg.window(window);
+        }
+        return Ok(cfg);
+    }
+    match lower.as_str() {
         "none" => Ok(PrefetcherConfig::none()),
-        "sp" | "sequential" => Ok(PrefetcherConfig::sequential()),
-        "asp" | "stride" => Ok(PrefetcherConfig::stride()),
-        "mp" | "markov" => Ok(PrefetcherConfig::markov()),
-        "rp" | "recency" => Ok(PrefetcherConfig::recency()),
-        "dp" | "distance" => Ok(PrefetcherConfig::distance()),
-        other => Err(format!(
-            "unknown scheme {other:?} (want none|sp|asp|mp|rp|dp)"
-        )),
+        "trend" => Ok(PrefetcherConfig::trend_stride()),
+        other => match parse_base_kind(other) {
+            Some(kind) => Ok(PrefetcherConfig::new(kind)),
+            None => Err(format!("unknown scheme {other:?} ({SCHEME_HINT})")),
+        },
     }
 }
 

@@ -14,7 +14,7 @@ pub struct Figure7 {
     pub rows: Vec<GridRow>,
 }
 
-/// Runs the full SPEC CPU2000 grid (26 apps × 21 configurations).
+/// Runs the full SPEC CPU2000 grid (26 apps × 30 configurations).
 ///
 /// # Errors
 ///
@@ -85,7 +85,7 @@ mod tests {
         let fig = run(Scale::TINY).unwrap();
         assert_eq!(fig.rows.len(), 26);
         for row in &fig.rows {
-            assert_eq!(row.cells.len(), 21, "{} misses configs", row.app);
+            assert_eq!(row.cells.len(), 30, "{} misses configs", row.app);
         }
         let rendered = fig.render();
         assert!(rendered.contains("galgel"));

@@ -3,13 +3,17 @@
 
 use std::sync::Arc;
 
-use tlbsim_core::{Associativity, PrefetcherConfig};
+use tlbsim_core::{Associativity, ConfidenceConfig, PrefetcherConfig, PrefetcherKind};
 use tlbsim_sim::{run_app_sharded, sweep, SimConfig, SimError, SweepJob};
 use tlbsim_workloads::{AppSpec, Scale};
 
-/// The per-application scheme grid of Figures 7 and 8: RP; MP with
-/// r ∈ {1024, 512, 256} across associativities; DP and ASP with
-/// r ∈ {1024 … 32} direct-mapped — exactly the paper's legend order.
+/// The per-application scheme grid of Figures 7 and 8, plus the
+/// adaptive extension: RP; MP with r ∈ {1024, 512, 256} across
+/// associativities; DP and ASP with r ∈ {1024 … 32} direct-mapped —
+/// exactly the paper's legend order — followed by the adaptive block:
+/// TP at windows {4, 8, 16}, the confidence-throttled C+DP / C+ASP /
+/// C+MP at the representative geometry, and three set-dueling
+/// ensembles.
 pub fn paper_scheme_grid() -> Vec<PrefetcherConfig> {
     let mut grid = Vec::new();
     grid.push(PrefetcherConfig::recency());
@@ -37,7 +41,40 @@ pub fn paper_scheme_grid() -> Vec<PrefetcherConfig> {
         cfg.rows(rows);
         grid.push(cfg);
     }
+    grid.extend(adaptive_scheme_block());
     grid
+}
+
+/// The adaptive cells appended to [`paper_scheme_grid`]: 3 trend-vote
+/// windows, 3 confidence-throttled bases, 3 set-dueling ensembles.
+pub fn adaptive_scheme_block() -> Vec<PrefetcherConfig> {
+    let mut block = Vec::new();
+    for window in [4, 8, 16] {
+        let mut cfg = PrefetcherConfig::trend_stride();
+        cfg.window(window);
+        block.push(cfg);
+    }
+    for base in [
+        PrefetcherKind::Distance,
+        PrefetcherKind::Stride,
+        PrefetcherKind::Markov,
+    ] {
+        let mut cfg = PrefetcherConfig::new(base);
+        cfg.confidence(ConfidenceConfig::adaptive());
+        block.push(cfg);
+    }
+    for components in [
+        &[PrefetcherKind::Distance, PrefetcherKind::Stride][..],
+        &[PrefetcherKind::Recency, PrefetcherKind::Distance][..],
+        &[
+            PrefetcherKind::Distance,
+            PrefetcherKind::Stride,
+            PrefetcherKind::Markov,
+        ][..],
+    ] {
+        block.push(PrefetcherConfig::ensemble_of(components));
+    }
+    block
 }
 
 /// The four schemes of Table 2 at the paper's representative
@@ -179,12 +216,37 @@ mod tests {
 
     #[test]
     fn grid_matches_paper_legend_count() {
-        // RP + 8 MP + 6 DP + 6 ASP = 21 configurations.
-        assert_eq!(paper_scheme_grid().len(), 21);
+        // RP + 8 MP + 6 DP + 6 ASP = 21 paper configurations, plus the
+        // 9-cell adaptive block (3 TP + 3 C+ + 3 EP) = 30.
+        assert_eq!(paper_scheme_grid().len(), 30);
         assert_eq!(paper_scheme_grid()[0].label(), "RP");
         assert_eq!(paper_scheme_grid()[1].label(), "MP,1024,D");
         assert_eq!(paper_scheme_grid()[9].label(), "DP,1024,D");
         assert_eq!(paper_scheme_grid()[15].label(), "ASP,1024");
+        assert_eq!(paper_scheme_grid()[21].label(), "TP,4");
+        assert_eq!(paper_scheme_grid()[24].label(), "C+DP,256,D");
+        assert_eq!(paper_scheme_grid()[27].label(), "EP:DP+ASP");
+        assert_eq!(paper_scheme_grid()[29].label(), "EP:DP+ASP+MP");
+    }
+
+    #[test]
+    fn every_grid_cell_validates_and_builds() {
+        for cfg in paper_scheme_grid() {
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.label()));
+            cfg.build()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.label()));
+        }
+    }
+
+    #[test]
+    fn adaptive_block_labels_are_unique() {
+        let labels: Vec<String> = adaptive_scheme_block().iter().map(|c| c.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(labels.len(), 9);
+        assert_eq!(dedup.len(), labels.len(), "{labels:?}");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! | module | artifact | content |
 //! |--------|----------|---------|
 //! | [`table1`] | Table 1 | hardware comparison of ASP/MP/RP/DP, generated from the implementations |
-//! | [`figure7`] | Figure 7 | prediction accuracy, 26 SPEC CPU2000 apps × 21 scheme configurations |
+//! | [`figure7`] | Figure 7 | prediction accuracy, 26 SPEC CPU2000 apps × 30 scheme configurations |
 //! | [`figure8`] | Figure 8 | prediction accuracy, MediaBench + Etch + Pointer-Intensive |
 //! | [`table2`] | Table 2 | average and miss-rate-weighted accuracy over all 56 apps |
 //! | [`table3`] | Table 3 | normalized execution cycles, RP vs DP, on the five RP-favoured apps |

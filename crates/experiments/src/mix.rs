@@ -5,7 +5,7 @@
 //! closes that loop for the reproduction: it interleaves any combination
 //! of registered application models and recorded `TLBT` traces into one
 //! deterministic multiprogrammed stream (`MultiStreamSpec`, round-robin
-//! quantum), runs the figure grids' full 21-scheme sweep over the
+//! quantum), runs the figure grids' full 30-scheme sweep over the
 //! interleave — optionally flushing translation + prediction state at
 //! every context switch, optionally sharded across workers at switch
 //! boundaries — and reports aggregate *and per-stream* prediction
@@ -102,7 +102,7 @@ pub struct MixCell {
     pub per_stream: Vec<StreamStats>,
 }
 
-/// The 21-scheme sweep of one multiprogrammed interleave.
+/// The 30-scheme sweep of one multiprogrammed interleave.
 #[derive(Debug, Clone)]
 pub struct MixReport {
     /// The mix's composed name (`mix(a+b+…)`).

@@ -251,7 +251,7 @@ pub struct ReplayReport {
 /// Replays a recorded trace under the full figure-grid scheme sweep
 /// ([`paper_scheme_grid`]).
 ///
-/// With `shards <= 1` the 21 scheme runs execute job-parallel through
+/// With `shards <= 1` the 30 scheme runs execute job-parallel through
 /// [`sweep`], all sharing one mapping of the trace. With more, each run
 /// is itself partitioned across `shards` workers via
 /// [`run_app_sharded`] — sharded trace replay seeks each worker's

@@ -236,6 +236,40 @@ impl ServiceThroughput {
     }
 }
 
+/// Adaptive-family engine throughput against the plain DP baseline on
+/// the identical miss-heavy stream.
+///
+/// Confidence throttling wraps the distance prefetcher in a counter
+/// bank consulted on every miss, so its cost is the price of adaptivity
+/// itself; the trend-vote and ensemble numbers place the other two
+/// families on the same axis. The gate (confidence-wrapped DP ≥ 0.8×
+/// plain DP throughput) lives in `cargo bench`'s `adaptive` group
+/// (`tlbsim-bench`, `benches/throughput.rs`); this snapshot records
+/// what the host measured.
+#[derive(Debug, Clone)]
+pub struct AdaptiveThroughput {
+    /// Accesses simulated per run.
+    pub accesses: u64,
+    /// Best plain-DP nanoseconds per access (the baseline).
+    pub dp_ns_per_access: f64,
+    /// Best confidence-wrapped DP (`C+DP`, adaptive default)
+    /// nanoseconds per access.
+    pub confidence_dp_ns_per_access: f64,
+    /// Best trend-vote stride (`TP,8`) nanoseconds per access.
+    pub trend_ns_per_access: f64,
+    /// Best two-way set-dueling ensemble (`EP:DP+ASP`) nanoseconds per
+    /// access.
+    pub ensemble_ns_per_access: f64,
+}
+
+impl AdaptiveThroughput {
+    /// Confidence-wrapped DP throughput as a fraction of plain DP
+    /// throughput (1.0 = parity; the bench gate requires ≥ 0.8).
+    pub fn confidence_vs_base(&self) -> f64 {
+        self.dp_ns_per_access / self.confidence_dp_ns_per_access
+    }
+}
+
 /// The full telemetry snapshot.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
@@ -253,6 +287,8 @@ pub struct ThroughputReport {
     pub multiprogram: MultiprogramThroughput,
     /// Daemon-served vs in-process batch trace ingest throughput.
     pub service: ServiceThroughput,
+    /// Adaptive families vs the plain DP baseline.
+    pub adaptive: AdaptiveThroughput,
 }
 
 /// A deterministic synthetic miss stream mixing strided runs with
@@ -360,6 +396,7 @@ pub fn run() -> Result<ThroughputReport, SimError> {
     let trace_v2 = measure_trace_v2()?;
     let multiprogram = measure_multiprogram()?;
     let service = measure_service()?;
+    let adaptive = measure_adaptive()?;
 
     let misses = mixed_miss_stream(10_000);
     let mut dp = PrefetcherConfig::distance().build()?;
@@ -390,6 +427,40 @@ pub fn run() -> Result<ThroughputReport, SimError> {
         trace_v2,
         multiprogram,
         service,
+        adaptive,
+    })
+}
+
+/// Times the adaptive families against the plain DP baseline on the
+/// miss-heavy engine stream (the same fixture as the scheme table, so
+/// the numbers compose).
+fn measure_adaptive() -> Result<AdaptiveThroughput, SimError> {
+    use tlbsim_core::{ConfidenceConfig, PrefetcherKind};
+
+    let stream = engine_stream();
+    let mut confidence_dp = PrefetcherConfig::distance();
+    confidence_dp.confidence(ConfidenceConfig::adaptive());
+    let mut trend = PrefetcherConfig::trend_stride();
+    trend.window(8);
+    let ensemble =
+        PrefetcherConfig::ensemble_of(&[PrefetcherKind::Distance, PrefetcherKind::Stride]);
+
+    let measure = |prefetcher: PrefetcherConfig| -> Result<f64, SimError> {
+        let config = SimConfig::paper_default().with_prefetcher(prefetcher);
+        let mut engine = Engine::new(&config)?;
+        let best = best_time(|| {
+            engine.try_recycle(&config);
+            engine.run(stream.iter().copied());
+        });
+        Ok(best.as_nanos() as f64 / stream.len() as f64)
+    };
+
+    Ok(AdaptiveThroughput {
+        accesses: stream.len() as u64,
+        dp_ns_per_access: measure(PrefetcherConfig::distance())?,
+        confidence_dp_ns_per_access: measure(confidence_dp)?,
+        trend_ns_per_access: measure(trend)?,
+        ensemble_ns_per_access: measure(ensemble)?,
     })
 }
 
@@ -775,6 +846,18 @@ impl ThroughputReport {
             sv.served_ns_per_access,
             sv.served_vs_batch()
         );
+        let ad = &self.adaptive;
+        let _ = writeln!(
+            out,
+            "Adaptive ({} accesses): DP {:.2} ns/access, C+DP {:.2} ns/access \
+             ({:.2}x of DP throughput), TP,8 {:.2} ns/access, EP:DP+ASP {:.2} ns/access",
+            ad.accesses,
+            ad.dp_ns_per_access,
+            ad.confidence_dp_ns_per_access,
+            ad.confidence_vs_base(),
+            ad.trend_ns_per_access,
+            ad.ensemble_ns_per_access
+        );
         out
     }
 
@@ -878,12 +961,25 @@ impl ThroughputReport {
             out,
             "  \"service\": {{\"app\": \"{}\", \"accesses\": {}, \
              \"batch_ns_per_access\": {:.3}, \"served_ns_per_access\": {:.3}, \
-             \"served_vs_batch\": {:.3}}}",
+             \"served_vs_batch\": {:.3}}},",
             sv.app,
             sv.accesses,
             sv.batch_ns_per_access,
             sv.served_ns_per_access,
             sv.served_vs_batch()
+        );
+        let ad = &self.adaptive;
+        let _ = writeln!(
+            out,
+            "  \"adaptive\": {{\"accesses\": {}, \"dp_ns_per_access\": {:.3}, \
+             \"confidence_dp_ns_per_access\": {:.3}, \"trend_ns_per_access\": {:.3}, \
+             \"ensemble_ns_per_access\": {:.3}, \"confidence_vs_base\": {:.3}}}",
+            ad.accesses,
+            ad.dp_ns_per_access,
+            ad.confidence_dp_ns_per_access,
+            ad.trend_ns_per_access,
+            ad.ensemble_ns_per_access,
+            ad.confidence_vs_base()
         );
         out.push_str("}\n");
         out
@@ -943,6 +1039,13 @@ mod tests {
         assert_eq!(sv.app, "galgel");
         assert_eq!(sv.accesses, report.trace_replay.accesses);
         assert!(sv.served_vs_batch() > 0.0);
+        let ad = &report.adaptive;
+        assert_eq!(ad.accesses, report.schemes[0].accesses);
+        assert!(ad.dp_ns_per_access > 0.0);
+        assert!(ad.confidence_dp_ns_per_access > 0.0);
+        assert!(ad.trend_ns_per_access > 0.0);
+        assert!(ad.ensemble_ns_per_access > 0.0);
+        assert!(ad.confidence_vs_base() > 0.0);
         let json = report.to_json();
         assert!(json.contains("\"scheme\": \"DP\""));
         assert!(json.contains("dp_miss_path"));
@@ -956,6 +1059,8 @@ mod tests {
         assert!(json.contains("\"interleave_vs_single_stream\""));
         assert!(json.contains("\"service\""));
         assert!(json.contains("\"served_vs_batch\""));
+        assert!(json.contains("\"adaptive\""));
+        assert!(json.contains("\"confidence_vs_base\""));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -965,5 +1070,6 @@ mod tests {
         assert!(rendered.contains("Trace v2"));
         assert!(rendered.contains("Multiprogram"));
         assert!(rendered.contains("Service"));
+        assert!(rendered.contains("Adaptive"));
     }
 }

@@ -142,6 +142,112 @@ impl TraceStat {
     }
 }
 
+/// Aggregate roll-up of a trace corpus — the summary row `xp
+/// tracestat` appends when it is given more than one file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CorpusStat {
+    /// Files summarized.
+    pub files: u64,
+    /// Decodable records across the corpus.
+    pub records: u64,
+    /// Records on the grid (decodable plus quarantined).
+    pub grid_records: u64,
+    /// Data loads across the corpus.
+    pub reads: u64,
+    /// Data stores across the corpus.
+    pub writes: u64,
+    /// Summed per-file page footprints. Files may share pages, so this
+    /// is an upper bound on the corpus-wide union.
+    pub unique_pages: u64,
+    /// Bytes on disk across the corpus.
+    pub file_bytes: u64,
+    /// What the corpus would occupy in the flat v1 encoding.
+    pub v1_equivalent_bytes: u64,
+    /// Quarantined records across the corpus.
+    pub records_bad: u64,
+    /// Quarantined v2 blocks across the corpus.
+    pub blocks_bad: u64,
+}
+
+impl CorpusStat {
+    /// Rolls up per-file summaries into one corpus row.
+    pub fn from_stats<'a>(stats: impl IntoIterator<Item = &'a TraceStat>) -> CorpusStat {
+        let mut corpus = CorpusStat::default();
+        for s in stats {
+            corpus.files += 1;
+            corpus.records += s.records;
+            corpus.grid_records += s.grid_records();
+            corpus.reads += s.reads;
+            corpus.writes += s.writes;
+            corpus.unique_pages += s.unique_pages;
+            corpus.file_bytes += s.file_bytes;
+            corpus.v1_equivalent_bytes += s.v1_equivalent_bytes();
+            corpus.records_bad += s.health.records_bad;
+            corpus.blocks_bad += s.health.blocks_bad;
+        }
+        corpus
+    }
+
+    /// Bytes per grid record as stored, corpus-wide.
+    pub fn bytes_per_record(&self) -> f64 {
+        if self.grid_records == 0 {
+            0.0
+        } else {
+            self.file_bytes as f64 / self.grid_records as f64
+        }
+    }
+
+    /// Flat-v1 size over actual size, corpus-wide.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.file_bytes == 0 {
+            0.0
+        } else {
+            self.v1_equivalent_bytes as f64 / self.file_bytes as f64
+        }
+    }
+
+    /// Multi-line human-readable corpus summary.
+    pub fn render(&self) -> String {
+        format!(
+            "Corpus: {} files\n  \
+             records   {} decodable of {} on the grid ({} bad records, {} bad blocks)\n  \
+             kinds     {} reads, {} writes\n  \
+             footprint {} summed unique pages (union is at most this)\n  \
+             size      {} bytes on disk, {:.2} bytes/record, {:.2}x vs flat v1",
+            self.files,
+            self.records,
+            self.grid_records,
+            self.records_bad,
+            self.blocks_bad,
+            self.reads,
+            self.writes,
+            self.unique_pages,
+            self.file_bytes,
+            self.bytes_per_record(),
+            self.compression_ratio(),
+        )
+    }
+
+    /// One CSV row in the same column order as [`csv_header`], with
+    /// `TOTAL` in the path column and the corpus-invariant version /
+    /// block-length columns blanked.
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "TOTAL,,,{},{},{},{},{},{},{},{},{:.3},{:.3}",
+            self.grid_records,
+            self.records,
+            self.records_bad,
+            self.blocks_bad,
+            self.reads,
+            self.writes,
+            self.unique_pages,
+            self.file_bytes,
+            self.bytes_per_record(),
+            self.compression_ratio(),
+        )
+    }
+}
+
 /// Header for [`TraceStat::to_csv_row`].
 pub fn csv_header() -> &'static str {
     "path,version,block_len,grid_records,records_ok,records_bad,blocks_bad,\
@@ -250,6 +356,62 @@ mod tests {
         );
         std::fs::remove_file(&v1).unwrap();
         std::fs::remove_file(&v2).unwrap();
+    }
+
+    #[test]
+    fn corpus_rollup_sums_three_tiny_traces() {
+        let mut stats = Vec::new();
+        for (i, (app, records)) in [("gap", 400u64), ("mcf", 300), ("gap", 200)]
+            .iter()
+            .enumerate()
+        {
+            let path = temp(&format!("corpus-{i}"));
+            let format = if i == 1 {
+                RecordFormat::V2 { block_len: 64 }
+            } else {
+                RecordFormat::V1
+            };
+            record_with_format(app, tlbsim_workloads::Scale::TINY, Some(*records), &path, {
+                format
+            })
+            .unwrap();
+            stats.push(stat(&path, DecodePolicy::Strict).unwrap());
+            std::fs::remove_file(&path).unwrap();
+        }
+
+        let corpus = CorpusStat::from_stats(&stats);
+        assert_eq!(corpus.files, 3);
+        assert_eq!(corpus.records, 900);
+        assert_eq!(corpus.grid_records, 900);
+        assert_eq!(corpus.reads + corpus.writes, 900);
+        assert_eq!(corpus.records_bad, 0);
+        assert_eq!(
+            corpus.file_bytes,
+            stats.iter().map(|s| s.file_bytes).sum::<u64>()
+        );
+        assert_eq!(
+            corpus.v1_equivalent_bytes,
+            stats.iter().map(|s| s.v1_equivalent_bytes()).sum::<u64>()
+        );
+        assert_eq!(
+            corpus.unique_pages,
+            stats.iter().map(|s| s.unique_pages).sum::<u64>()
+        );
+        // One member is v2-compressed, so the corpus as a whole sits
+        // below its flat encoding.
+        assert!(corpus.compression_ratio() > 1.0);
+        assert!(corpus.bytes_per_record() < 17.5);
+        assert!(corpus.render().contains("Corpus: 3 files"));
+        // The TOTAL row lines up with the per-file CSV columns.
+        assert_eq!(
+            corpus.to_csv_row().split(',').count(),
+            csv_header().split(',').count()
+        );
+        // An empty corpus renders without dividing by zero.
+        let empty = CorpusStat::from_stats([]);
+        assert_eq!(empty.files, 0);
+        assert_eq!(empty.bytes_per_record(), 0.0);
+        assert_eq!(empty.compression_ratio(), 0.0);
     }
 
     #[test]

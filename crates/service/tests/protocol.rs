@@ -4,7 +4,7 @@
 //! typed [`FrameError`]s, never panics and never silently-wrong values.
 
 use proptest::prelude::*;
-use tlbsim_core::{Associativity, PrefetcherConfig, PrefetcherKind};
+use tlbsim_core::{Associativity, ConfidenceConfig, PrefetcherConfig, PrefetcherKind};
 use tlbsim_service::{read_frame, ErrorCode, Frame, JobSpec, WireError, PROTOCOL_VERSION};
 use tlbsim_sim::{PerStreamStats, RunHealth, SimStats, StreamStats, SwitchPolicy, TablePolicy};
 use tlbsim_trace::DecodePolicy;
@@ -59,31 +59,64 @@ fn arb_health() -> impl Strategy<Value = RunHealth> {
 }
 
 fn arb_scheme() -> impl Strategy<Value = PrefetcherConfig> {
-    (0u8..6, 1u32..5000, 1u32..16, 0u8..3, (0u8..2, 0u8..2)).prop_map(
-        |(kind, rows, slots, assoc, (pc, pair))| {
+    (
+        0u8..8,
+        1u32..5000,
+        1u32..16,
+        0u8..3,
+        (0u8..2, 0u8..2, 0u8..2),
+    )
+        .prop_map(|(kind, rows, slots, assoc, (pc, pair, throttled))| {
             let kind = match kind {
                 0 => PrefetcherKind::None,
                 1 => PrefetcherKind::Sequential,
                 2 => PrefetcherKind::Stride,
                 3 => PrefetcherKind::Markov,
                 4 => PrefetcherKind::Recency,
-                _ => PrefetcherKind::Distance,
+                5 => PrefetcherKind::Distance,
+                6 => PrefetcherKind::TrendStride,
+                _ => PrefetcherKind::Ensemble,
             };
             let assoc = match assoc {
                 0 => Associativity::Direct,
                 1 => Associativity::Full,
                 _ => Associativity::ways_of(1 + (rows % 8) as usize),
             };
-            let mut scheme = PrefetcherConfig::new(kind);
+            let mut scheme = if kind == PrefetcherKind::Ensemble {
+                // Derive a 1–3 component duel from the other draws; the
+                // codec carries any base-kind list, validity is build's
+                // concern.
+                let bases = [
+                    PrefetcherKind::Sequential,
+                    PrefetcherKind::Stride,
+                    PrefetcherKind::Markov,
+                    PrefetcherKind::Recency,
+                    PrefetcherKind::Distance,
+                ];
+                let count = 1 + (rows as usize % 3);
+                let start = slots as usize % bases.len();
+                let components: Vec<PrefetcherKind> = (0..count)
+                    .map(|i| bases[(start + i) % bases.len()])
+                    .collect();
+                PrefetcherConfig::ensemble_of(&components)
+            } else {
+                PrefetcherConfig::new(kind)
+            };
             scheme
                 .rows(rows as usize)
                 .slots(slots as usize)
                 .assoc(assoc)
                 .pc_qualified(pc == 1)
-                .pair_indexed(pair == 1);
+                .pair_indexed(pair == 1)
+                .window(2 + (rows as usize % 15));
+            if throttled == 1 {
+                scheme.confidence(ConfidenceConfig {
+                    threshold: (rows % 4) as u8,
+                    max_degree: slots % 9,
+                });
+            }
             scheme
-        },
-    )
+        })
 }
 
 fn arb_string() -> impl Strategy<Value = String> {
@@ -271,5 +304,5 @@ fn handshake_version_is_stable() {
     // The version constant participates in every handshake; changing it
     // is a protocol revision and must be deliberate (update
     // docs/PROTOCOL.md alongside).
-    assert_eq!(PROTOCOL_VERSION, 2);
+    assert_eq!(PROTOCOL_VERSION, 3);
 }

@@ -108,6 +108,111 @@ fn steady_state_miss_path_never_allocates() {
     }
 }
 
+/// The three adaptive schemes the static grid gained: trend-vote
+/// strides, a confidence-throttled distance prefetcher, and two
+/// set-dueling ensembles (including a three-way duel).
+fn adaptive_schemes() -> Vec<(PrefetcherConfig, &'static str)> {
+    use tlbsim_core::ConfidenceConfig;
+
+    let mut trend = PrefetcherConfig::trend_stride();
+    trend.window(8);
+    let mut confident = PrefetcherConfig::distance();
+    confident.confidence(ConfidenceConfig::adaptive());
+    vec![
+        (trend, "TP,8"),
+        (confident, "C+DP"),
+        (
+            PrefetcherConfig::ensemble_of(&[PrefetcherKind::Distance, PrefetcherKind::Stride]),
+            "EP:DP+ASP",
+        ),
+        (
+            PrefetcherConfig::ensemble_of(&[
+                PrefetcherKind::Distance,
+                PrefetcherKind::Stride,
+                PrefetcherKind::Markov,
+            ]),
+            "EP:DP+ASP+MP",
+        ),
+    ]
+}
+
+#[test]
+fn adaptive_steady_state_miss_path_never_allocates() {
+    // The adaptive families carry extra live state on the miss path —
+    // confidence counter rows, trend windows, duel scores — and all of
+    // it must reach a steady footprint exactly like the static tables:
+    // training, voting and throttling are in-place updates, never
+    // allocations.
+    let lap = lap_stream();
+    for (scheme, label) in adaptive_schemes() {
+        let config = SimConfig::paper_default().with_prefetcher(scheme);
+        let mut engine = Engine::new(&config).expect("valid configuration");
+
+        for _ in 0..4 {
+            engine.access_batch(&lap);
+        }
+
+        let before = allocations_so_far();
+        for _ in 0..4 {
+            engine.access_batch(&lap);
+        }
+        let allocated = allocations_so_far() - before;
+
+        let stats = engine.stats();
+        assert!(
+            stats.misses >= 4 * 600,
+            "{label}: the workload must actually stress the miss path, saw {} misses",
+            stats.misses
+        );
+        assert_eq!(
+            allocated, 0,
+            "{label}: steady-state loop performed {allocated} heap allocations"
+        );
+    }
+}
+
+#[test]
+fn adaptive_asid_switching_steady_state_never_allocates() {
+    // Tag-swap context switches under the adaptive families: once both
+    // ASIDs' counter banks, trend rows and duel scores are parked, a
+    // switch is a swap of tagged banks — no rebuild, no heap traffic.
+    use tlbsim_core::Asid;
+
+    let lap = lap_stream();
+    for (scheme, label) in adaptive_schemes() {
+        let config = SimConfig::paper_default().with_prefetcher(scheme);
+        let mut engine = Engine::new(&config).expect("valid configuration");
+
+        for _ in 0..4 {
+            for stream in 0..2usize {
+                engine.set_asid(Asid::new(stream as u16));
+                engine.attribute_to(stream);
+                engine.access_batch(&lap);
+            }
+        }
+
+        let before = allocations_so_far();
+        for _ in 0..4 {
+            for stream in 0..2usize {
+                engine.set_asid(Asid::new(stream as u16));
+                engine.attribute_to(stream);
+                engine.access_batch(&lap);
+            }
+        }
+        let allocated = allocations_so_far() - before;
+
+        assert!(
+            engine.stats().misses >= 8 * 600,
+            "{label}: the switching workload must stress the miss path, saw {} misses",
+            engine.stats().misses
+        );
+        assert_eq!(
+            allocated, 0,
+            "{label}: ASID-switching steady state performed {allocated} heap allocations"
+        );
+    }
+}
+
 #[test]
 fn asid_switching_steady_state_never_allocates() {
     // Flush-free multiprogramming in miniature: two address spaces

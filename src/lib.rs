@@ -84,7 +84,7 @@
 //! the switch-aware [`sim::run_mix`] / [`sim::run_mix_sharded`]
 //! additionally flush translation + prediction state at context
 //! switches and attribute hits/misses/prefetch outcomes per stream
-//! ([`sim::SimStats::per_stream`]). `xp mix` sweeps the 21-scheme grid
+//! ([`sim::SimStats::per_stream`]). `xp mix` sweeps the 30-scheme grid
 //! over an interleave, and the `multiprogram` bench group gates
 //! interleaved execution at ≥ 0.8× single-stream throughput. The
 //! architecture is documented in `docs/DESIGN.md`.
@@ -156,8 +156,8 @@ pub use tlbsim_workloads as workloads;
 /// The most common imports for working with the simulator.
 pub mod prelude {
     pub use tlbsim_core::{
-        Associativity, Distance, MemoryAccess, MissContext, PageSize, Pc, PrefetcherConfig,
-        PrefetcherKind, TlbPrefetcher, VirtAddr, VirtPage,
+        Associativity, ConfidenceConfig, Distance, MemoryAccess, MissContext, PageSize, Pc,
+        PrefetcherConfig, PrefetcherKind, TlbPrefetcher, VirtAddr, VirtPage,
     };
     pub use tlbsim_mem::TimingParams;
     pub use tlbsim_mmu::{PrefetchBuffer, Tlb, TlbConfig};

@@ -1,0 +1,231 @@
+//! Differential oracles for the adaptive mechanism families.
+//!
+//! Each adaptive mechanism has a degenerate configuration that must be
+//! **bit-identical** in [`SimStats`] to the static mechanism it
+//! extends — across the sequential engine, the sharded executor, and
+//! ASID-tagged multiprogrammed mixes:
+//!
+//! * confidence throttling at threshold 0 with unlimited degree is the
+//!   wrapped base mechanism;
+//! * the trend-vote stride detector at window 2 is the Chen–Baer
+//!   stride machine on monotone streams;
+//! * a one-component set-dueling ensemble is that component.
+//!
+//! Property tests add the guard rails: throttled issue never exceeds
+//! the configured degree, passthrough tracks the base on arbitrary
+//! streams, and duels replay deterministically.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tlb_distance::core::{AccessKind, CandidateBuf};
+use tlb_distance::prelude::*;
+use tlb_distance::trace::BinaryTraceWriter;
+
+const APPS: [&str; 3] = ["gap", "mcf", "galgel"];
+
+/// Runs one scheme over one app through all three execution modes.
+fn all_modes(scheme: &PrefetcherConfig, app: &'static AppSpec, partner: &str) -> Vec<SimStats> {
+    let config = SimConfig::paper_default().with_prefetcher(scheme.clone());
+    let sequential = run_app(app, Scale::TINY, &config).unwrap();
+    let sharded = run_app_sharded(app, Scale::TINY, &config, 4)
+        .unwrap()
+        .merged;
+    let mix = MultiStreamSpec::new(
+        vec![
+            Arc::new(app) as Arc<dyn StreamSpec>,
+            Arc::new(find_app(partner).unwrap()),
+        ],
+        Schedule::RoundRobin { quantum: 500 },
+    )
+    .unwrap();
+    let mixed = run_mix(
+        &mix,
+        Scale::TINY,
+        &config,
+        SwitchPolicy::Asid {
+            contexts: 2,
+            tables: TablePolicy::Shared,
+        },
+    )
+    .unwrap();
+    vec![sequential, sharded, mixed]
+}
+
+/// Asserts the degenerate scheme matches its oracle bit for bit on
+/// every registered app in [`APPS`], in every execution mode.
+fn assert_degenerates(degenerate: &PrefetcherConfig, oracle: &PrefetcherConfig, context: &str) {
+    for name in APPS {
+        let app = find_app(name).unwrap();
+        let got = all_modes(degenerate, app, "mcf");
+        let want = all_modes(oracle, app, "mcf");
+        for (mode, (g, w)) in ["sequential", "sharded", "asid-mix"]
+            .iter()
+            .zip(got.iter().zip(&want))
+        {
+            assert_eq!(g, w, "{context}: {name} diverges in {mode} mode");
+        }
+    }
+}
+
+#[test]
+fn passthrough_confidence_degenerates_to_every_base() {
+    for oracle in [
+        PrefetcherConfig::distance(),
+        PrefetcherConfig::stride(),
+        PrefetcherConfig::markov(),
+        PrefetcherConfig::recency(),
+    ] {
+        let mut wrapped = oracle.clone();
+        wrapped.confidence(ConfidenceConfig::passthrough());
+        assert_degenerates(&wrapped, &oracle, "C+passthrough");
+    }
+}
+
+#[test]
+fn single_component_ensemble_degenerates_to_its_component() {
+    for kind in [
+        PrefetcherKind::Distance,
+        PrefetcherKind::Stride,
+        PrefetcherKind::Recency,
+    ] {
+        let ensemble = PrefetcherConfig::ensemble_of(&[kind]);
+        let oracle = PrefetcherConfig::new(kind);
+        assert_degenerates(&ensemble, &oracle, "EP single-component");
+    }
+}
+
+fn temp(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("tlbsim-adaptive-{}-{tag}.tlbt", std::process::id()))
+}
+
+/// Writes a monotone trace: 2000 touches walking pages 0, k, 2k, …
+/// from one PC — the stream class on which window-2 trend voting and
+/// the Chen–Baer machine are provably the same predictor.
+fn monotone_trace(stride: u64, tag: &str) -> std::path::PathBuf {
+    let path = temp(tag);
+    let mut writer = BinaryTraceWriter::create(std::fs::File::create(&path).unwrap()).unwrap();
+    for i in 0..2000u64 {
+        writer
+            .write(&MemoryAccess {
+                pc: Pc::new(0x4000),
+                vaddr: VirtAddr::new(i * stride * 4096),
+                kind: AccessKind::Read,
+            })
+            .unwrap();
+    }
+    writer.finish().unwrap();
+    path
+}
+
+#[test]
+fn window_two_trend_vote_degenerates_to_asp_on_monotone_streams() {
+    let mut trend = PrefetcherConfig::trend_stride();
+    trend.window(2);
+    let oracle = PrefetcherConfig::stride();
+    for stride in [1u64, 3, 7] {
+        let path = monotone_trace(stride, &format!("mono-{stride}"));
+        let trace = TraceWorkload::open(&path).unwrap();
+        // The mix partner is a second monotone stream so both ASID
+        // contexts carry the equivalence, not just the first.
+        let partner = monotone_trace(stride + 1, &format!("mono-partner-{stride}"));
+        let partner_trace = TraceWorkload::open(&partner).unwrap();
+
+        let config_tp = SimConfig::paper_default().with_prefetcher(trend.clone());
+        let config_asp = SimConfig::paper_default().with_prefetcher(oracle.clone());
+
+        let seq_tp = run_app(&trace, Scale::TINY, &config_tp).unwrap();
+        let seq_asp = run_app(&trace, Scale::TINY, &config_asp).unwrap();
+        assert_eq!(seq_tp, seq_asp, "stride {stride}: sequential");
+        assert!(
+            seq_tp.prefetch_buffer_hits > 0,
+            "stride {stride}: the oracle pair must actually predict"
+        );
+
+        let sharded_tp = run_app_sharded(&trace, Scale::TINY, &config_tp, 4).unwrap();
+        let sharded_asp = run_app_sharded(&trace, Scale::TINY, &config_asp, 4).unwrap();
+        assert_eq!(
+            sharded_tp.merged, sharded_asp.merged,
+            "stride {stride}: sharded"
+        );
+
+        let mix = MultiStreamSpec::new(
+            vec![
+                Arc::new(trace.clone()) as Arc<dyn StreamSpec>,
+                Arc::new(partner_trace.clone()),
+            ],
+            Schedule::RoundRobin { quantum: 250 },
+        )
+        .unwrap();
+        for policy in [
+            SwitchPolicy::FlushOnSwitch,
+            SwitchPolicy::Asid {
+                contexts: 2,
+                tables: TablePolicy::Shared,
+            },
+        ] {
+            let mix_tp = run_mix(&mix, Scale::TINY, &config_tp, policy).unwrap();
+            let mix_asp = run_mix(&mix, Scale::TINY, &config_asp, policy).unwrap();
+            assert_eq!(mix_tp, mix_asp, "stride {stride}: mix under {policy}");
+        }
+
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&partner).unwrap();
+    }
+}
+
+fn replay(p: &mut Box<dyn TlbPrefetcher>, pages: &[u64]) -> Vec<(Vec<VirtPage>, u32)> {
+    let mut sink = CandidateBuf::new();
+    let mut out = Vec::with_capacity(pages.len());
+    for (i, page) in pages.iter().enumerate() {
+        sink.clear();
+        p.on_miss(
+            &MissContext::demand(VirtPage::new(*page), Pc::new(i as u64 % 4)),
+            &mut sink,
+        );
+        out.push((sink.pages().to_vec(), sink.maintenance_ops()));
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn throttled_issue_never_exceeds_the_configured_degree(
+        pages in prop::collection::vec(0u64..64, 0..400),
+        degree in 1u32..4,
+    ) {
+        let mut cfg = PrefetcherConfig::distance();
+        cfg.confidence(ConfidenceConfig { threshold: 2, max_degree: degree });
+        let mut throttled = cfg.build().unwrap();
+        let mut sink = CandidateBuf::new();
+        for (i, page) in pages.iter().enumerate() {
+            sink.clear();
+            throttled.on_miss(
+                &MissContext::demand(VirtPage::new(*page), Pc::new(i as u64 % 4)),
+                &mut sink,
+            );
+            prop_assert!(sink.pages().len() <= degree as usize);
+        }
+    }
+
+    #[test]
+    fn passthrough_tracks_the_base_on_arbitrary_streams(
+        pages in prop::collection::vec(0u64..512, 0..300),
+    ) {
+        let mut cfg = PrefetcherConfig::distance();
+        cfg.confidence(ConfidenceConfig::passthrough());
+        let mut wrapped = cfg.build().unwrap();
+        let mut base = PrefetcherConfig::distance().build().unwrap();
+        prop_assert_eq!(replay(&mut wrapped, &pages), replay(&mut base, &pages));
+    }
+
+    #[test]
+    fn duels_replay_deterministically(
+        pages in prop::collection::vec(0u64..4096, 0..300),
+    ) {
+        let components = [PrefetcherKind::Distance, PrefetcherKind::Stride];
+        let mut first = PrefetcherConfig::ensemble_of(&components).build().unwrap();
+        let mut second = PrefetcherConfig::ensemble_of(&components).build().unwrap();
+        prop_assert_eq!(replay(&mut first, &pages), replay(&mut second, &pages));
+    }
+}

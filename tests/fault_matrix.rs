@@ -41,15 +41,29 @@ fn bake(clean: &std::path::Path, tag: &str, plan: &FaultPlan) -> std::path::Path
 /// Runs one trace through all three execution modes and asserts each
 /// completes with the expected number of accesses.
 fn run_all_modes(trace: &TraceWorkload, expected_accesses: u64, context: &str) {
-    let config = SimConfig::paper_default();
+    run_all_modes_with(
+        &SimConfig::paper_default(),
+        trace,
+        expected_accesses,
+        context,
+    );
+}
 
-    let sequential = run_app_sharded(trace, Scale::TINY, &config, 1).unwrap();
+/// [`run_all_modes`] under an explicit configuration — the adaptive
+/// schemes run the same matrix as the paper-default DP.
+fn run_all_modes_with(
+    config: &SimConfig,
+    trace: &TraceWorkload,
+    expected_accesses: u64,
+    context: &str,
+) {
+    let sequential = run_app_sharded(trace, Scale::TINY, config, 1).unwrap();
     assert_eq!(
         sequential.merged.accesses, expected_accesses,
         "{context}: sequential"
     );
 
-    let sharded = run_app_sharded(trace, Scale::TINY, &config, 4).unwrap();
+    let sharded = run_app_sharded(trace, Scale::TINY, config, 4).unwrap();
     assert_eq!(
         sharded.merged.accesses, expected_accesses,
         "{context}: sharded"
@@ -81,7 +95,7 @@ fn run_all_modes(trace: &TraceWorkload, expected_accesses: u64, context: &str) {
             tables: TablePolicy::Shared,
         },
     ] {
-        let mixed = run_mix_sharded(&mix, Scale::TINY, &config, policy, 2).unwrap();
+        let mixed = run_mix_sharded(&mix, Scale::TINY, config, policy, 2).unwrap();
         assert_eq!(
             mixed.merged.per_stream.streams()[0].accesses,
             expected_accesses,
@@ -264,6 +278,86 @@ fn worker_panics_recover_in_every_mode_and_under_both_policies() {
     }
 
     std::fs::remove_file(&clean).unwrap();
+}
+
+/// The adaptive families run the fault matrix too: a quarantined
+/// decode replays its survivors under each scheme in every execution
+/// mode, and one budgeted worker panic heals back to the undisturbed
+/// baseline bit for bit — adaptivity must not leak shard or retry
+/// state into the stats.
+#[test]
+fn adaptive_schemes_survive_quarantine_and_heal_from_worker_panics() {
+    const K: u64 = 6;
+    let clean = record_gap("adaptive-clean");
+    let corruption = FaultPlan::seeded(23, RECORDS, &[(FaultKind::CorruptKind, K as usize)]);
+    let dirty = bake(&clean, "adaptive-dirty", &corruption);
+
+    let mut confident_dp = PrefetcherConfig::distance();
+    confident_dp.confidence(ConfidenceConfig::adaptive());
+    let schemes = [
+        (PrefetcherConfig::trend_stride(), "TP"),
+        (
+            PrefetcherConfig::ensemble_of(&[PrefetcherKind::Distance, PrefetcherKind::Stride]),
+            "EP:DP+ASP",
+        ),
+        (confident_dp, "C+DP"),
+    ];
+
+    for (scheme, label) in &schemes {
+        let config = SimConfig::paper_default().with_prefetcher(scheme.clone());
+
+        // Quarantine decode: the damaged trace loses exactly K records
+        // and the survivors drive all three execution modes.
+        let trace = TraceWorkload::open_with_policy(&dirty, DecodePolicy::quarantine(K)).unwrap();
+        assert_eq!(trace.health().records_bad, K, "{label}");
+        run_all_modes_with(&config, &trace, RECORDS - K, label);
+
+        // Shard-panic recovery: one budgeted panic retries away, and at
+        // one shard the merged stats match the undisturbed baseline.
+        let undisturbed = TraceWorkload::open(&clean).unwrap();
+        let baseline = run_app(&undisturbed, Scale::TINY, &config).unwrap();
+        let panic_plan = FaultPlan::new().with(700, FaultKind::WorkerPanic);
+        for shards in [1usize, 4] {
+            let chaos = ChaosSpec::new(Arc::new(undisturbed.clone()), panic_plan.clone(), 1);
+            let run = run_app_sharded(&chaos, Scale::TINY, &config, shards).unwrap();
+            assert_eq!(run.health.retries, 1, "{label}@{shards}");
+            if shards == 1 {
+                assert_eq!(run.merged, baseline, "{label}: recovery changed stats");
+            }
+        }
+
+        // ...and the panicking member heals inside a flush-free ASID
+        // mix, with its attribution intact.
+        let chaos = ChaosSpec::new(Arc::new(undisturbed.clone()), panic_plan.clone(), 1);
+        let mix = MultiStreamSpec::new(
+            vec![
+                Arc::new(chaos) as Arc<dyn StreamSpec>,
+                Arc::new(find_app("mcf").unwrap()),
+            ],
+            Schedule::RoundRobin { quantum: 500 },
+        )
+        .unwrap();
+        let mixed = run_mix_sharded(
+            &mix,
+            Scale::TINY,
+            &config,
+            SwitchPolicy::Asid {
+                contexts: 2,
+                tables: TablePolicy::Shared,
+            },
+            2,
+        )
+        .unwrap();
+        assert_eq!(mixed.health.retries, 1, "{label}: mix retry");
+        assert_eq!(
+            mixed.merged.per_stream.streams()[0].accesses,
+            RECORDS,
+            "{label}: mix replayed the panicking member fully"
+        );
+    }
+
+    std::fs::remove_file(&clean).unwrap();
+    std::fs::remove_file(&dirty).unwrap();
 }
 
 /// The checked-in regression trace with K planted corruptions recovers

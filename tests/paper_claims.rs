@@ -204,6 +204,95 @@ fn dp_works_with_tiny_tables() {
 }
 
 #[test]
+fn confidence_threshold_sweeps_an_accuracy_coverage_frontier() {
+    // The adaptive extension's frontier claim: tightening the
+    // confidence threshold monotonically trades coverage for issue
+    // discipline. Every step up the threshold issues no more
+    // prefetches — and converts no more misses — than the step below,
+    // tracing an accuracy-vs-coverage frontier from the bare base
+    // (threshold 0) down to saturated-counters-only (threshold 3).
+    for name in ["gap", "gcc", "mcf"] {
+        let app = find_app(name).unwrap();
+        let mut frontier = Vec::new();
+        for threshold in [0u8, 2, 3] {
+            let mut cfg = PrefetcherConfig::distance();
+            cfg.confidence(ConfidenceConfig {
+                threshold,
+                max_degree: 4,
+            });
+            let stats = run_app(
+                app,
+                Scale::SMALL,
+                &SimConfig::paper_default().with_prefetcher(cfg),
+            )
+            .unwrap();
+            frontier.push((
+                threshold,
+                stats.prefetches_issued,
+                stats.prefetch_buffer_hits,
+            ));
+        }
+        for pair in frontier.windows(2) {
+            let (loose, tight) = (pair[0], pair[1]);
+            assert!(
+                tight.1 <= loose.1,
+                "{name}: threshold {} issued {} > threshold {}'s {}",
+                tight.0,
+                tight.1,
+                loose.0,
+                loose.1
+            );
+            assert!(
+                tight.2 <= loose.2,
+                "{name}: threshold {} covered {} > threshold {}'s {}",
+                tight.0,
+                tight.2,
+                loose.0,
+                loose.2
+            );
+        }
+        // The loose end of the frontier actually prefetches.
+        assert!(frontier[0].1 > 0, "{name}: frontier is degenerate");
+    }
+}
+
+#[test]
+fn adaptive_throttling_keeps_accuracy_while_cutting_issue() {
+    // The default throttle (threshold 2, degree 4) must sit on the
+    // useful part of the frontier: never issuing more than the bare
+    // base, never giving up more than a sliver of accuracy.
+    for name in ["gap", "gcc", "mcf"] {
+        let app = find_app(name).unwrap();
+        let base = run_app(
+            app,
+            Scale::SMALL,
+            &SimConfig::paper_default().with_prefetcher(PrefetcherConfig::distance()),
+        )
+        .unwrap();
+        let mut cfg = PrefetcherConfig::distance();
+        cfg.confidence(ConfidenceConfig::adaptive());
+        let throttled = run_app(
+            app,
+            Scale::SMALL,
+            &SimConfig::paper_default().with_prefetcher(cfg),
+        )
+        .unwrap();
+        assert!(
+            throttled.prefetches_issued <= base.prefetches_issued,
+            "{name}: throttle issued more ({} > {})",
+            throttled.prefetches_issued,
+            base.prefetches_issued
+        );
+        assert!(
+            throttled.accuracy() >= base.accuracy() - 0.05,
+            "{name}: throttle lost too much accuracy ({:.3} vs {:.3})",
+            throttled.accuracy(),
+            base.accuracy()
+        );
+    }
+}
+
+#[test]
 fn recency_traffic_dwarfs_distance_traffic() {
     // Table 1 / §3.2: RP needs up to 6 memory operations per miss (4 of
     // them pointer maintenance); DP needs only its s fetches. The paper
